@@ -1,0 +1,99 @@
+"""E4 — Section 4: acyclic CQ, FD-only constraints and the tractability frontier.
+
+Paper results reproduced in shape (Theorems 4.1/4.2, Corollary 4.4,
+Proposition 4.5):
+
+* with FD-only access schemas, A-containment of ACQ reduces to a chase plus a
+  single containment test — polynomial, and visibly flat as queries grow;
+* with general cardinality constraints the exact procedures fall back to the
+  element-query sweep — visibly exponential in the number of variables;
+* the Proposition 4.5 gadget (VBRP with FD-only A, M = 1) is decided exactly
+  and its cost is driven by a single NP containment test.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.algebra.atoms import RelationAtom
+from repro.algebra.cq import ConjunctiveQuery
+from repro.algebra.schema import schema_from_spec
+from repro.algebra.terms import Constant, Variable
+from repro.core.access import AccessConstraint, AccessSchema
+from repro.core.chase import chase_with_fds
+from repro.core.equivalence import a_contained_in
+from repro.core.vbrp import decide_vbrp
+from repro.workloads import reductions as red
+
+SCHEMA = schema_from_spec({"R": ("a", "b")})
+FDS = AccessSchema((AccessConstraint("R", ("a",), ("b",), 1),))
+CARD2 = AccessSchema((AccessConstraint("R", ("a",), ("b",), 2),))
+
+
+def star_query(branches: int) -> ConjunctiveQuery:
+    """R(c, y1), ..., R(c, yk): an ACQ whose FD-chase collapses all branches."""
+    variables = [Variable(f"y{i}") for i in range(branches)]
+    atoms = tuple(RelationAtom("R", (Constant("c"), v)) for v in variables)
+    return ConjunctiveQuery(head=tuple(variables), atoms=atoms, name=f"star{branches}")
+
+
+def collapsed_query(branches: int) -> ConjunctiveQuery:
+    y = Variable("y0")
+    return ConjunctiveQuery(
+        head=tuple(y for _ in range(branches)),
+        atoms=(RelationAtom("R", (Constant("c"), y)),),
+        name=f"collapsed{branches}",
+    )
+
+
+@pytest.mark.parametrize("branches", [2, 4, 8, 12])
+def test_fd_chase_is_polynomial(benchmark, branches):
+    query = star_query(branches)
+    chased = benchmark(lambda: chase_with_fds(query, FDS, SCHEMA))
+    benchmark.extra_info["branches"] = branches
+    assert chased is not None and len(chased.normalize().atoms) == 1
+
+
+@pytest.mark.parametrize("branches", [2, 4, 8])
+def test_a_containment_fd_only_fast_path(benchmark, branches):
+    """Corollary 4.4: ACQ containment under FDs via the chase (PTIME)."""
+    left, right = star_query(branches), collapsed_query(branches)
+    holds = benchmark(lambda: a_contained_in(left, right, FDS, SCHEMA))
+    benchmark.extra_info["branches"] = branches
+    benchmark.extra_info["access_schema"] = "FD-only"
+    assert holds
+
+
+@pytest.mark.parametrize("branches", [2, 3, 4, 5])
+def test_a_containment_general_constraints_element_sweep(benchmark, branches):
+    """The same question under a non-FD bound needs the exponential sweep."""
+    left, right = star_query(branches), collapsed_query(branches)
+
+    holds = benchmark.pedantic(
+        lambda: a_contained_in(left, right, CARD2, SCHEMA), rounds=1, iterations=1
+    )
+    benchmark.extra_info["branches"] = branches
+    benchmark.extra_info["access_schema"] = "R(a->b,2)"
+    # With bound 2 the branches need not all collapse, so containment fails
+    # as soon as there are two branches.
+    assert holds == (branches < 2)
+
+
+@pytest.mark.parametrize(
+    "label, phi",
+    [("sat", red.satisfiable_example()), ("unsat", red.unsatisfiable_example())],
+)
+def test_prop45_gadget_decision(benchmark, label, phi):
+    """Proposition 4.5: VBRP(CQ), FD-only A, fixed M = 1 — NP-complete."""
+    instance = red.prop45_reduction(phi)
+
+    def run():
+        return decide_vbrp(
+            instance.query, instance.views, instance.access_schema, instance.schema,
+            max_size=1, language="CQ",
+        )
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    benchmark.extra_info["formula"] = label
+    benchmark.extra_info["query_atoms"] = len(instance.query.atoms)
+    assert result.has_rewriting == instance.expected_rewriting

@@ -1,0 +1,57 @@
+"""E10 — approximate answering under a resource ratio α (Section 8 extension).
+
+The sweep reproduces the expected shape of data-driven approximation: the
+accessed fragment never exceeds ``α·|D|``, precision stays at 1 (monotone
+queries over a sub-instance), and recall grows with α — quickly for queries
+the access constraints can anchor, slowly for scan-bound analytics.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.algebra.evaluation import evaluate_cq
+from repro.core.approximation import (
+    answer_coverage,
+    answer_precision,
+    approximate_answer,
+)
+from repro.workloads import cdr, graph_search as gs
+
+ALPHAS = (0.02, 0.1, 0.5, 1.0)
+
+
+@pytest.mark.parametrize("alpha", ALPHAS)
+def test_graph_search_q0_accuracy_vs_alpha(benchmark, gs_small, alpha):
+    query = gs.query_q0()
+    exact = evaluate_cq(query, gs_small.database.facts)
+
+    answer = benchmark(
+        lambda: approximate_answer(query, gs_small.database, gs.access_schema(), alpha)
+    )
+    benchmark.extra_info["alpha"] = alpha
+    benchmark.extra_info["budget"] = answer.budget
+    benchmark.extra_info["tuples_accessed"] = answer.tuples_accessed
+    benchmark.extra_info["coverage"] = round(answer_coverage(answer.rows, exact), 2)
+    assert answer.tuples_accessed <= answer.budget
+    assert answer_precision(answer.rows, exact) == 1.0
+    if alpha == 1.0:
+        assert answer.rows == exact
+
+
+@pytest.mark.parametrize("alpha", [0.1, 0.5])
+def test_cdr_analytics_query_accuracy_vs_alpha(benchmark, cdr_instance, alpha):
+    """An unanchored analytics query: approximation stays sound but recall is low."""
+    query = cdr.workload(cdr_instance, count=18, seed=31)[-1]
+    exact = evaluate_cq(query, cdr_instance.database.facts)
+
+    answer = benchmark.pedantic(
+        lambda: approximate_answer(query, cdr_instance.database, cdr.access_schema(), alpha),
+        rounds=1,
+        iterations=1,
+    )
+    benchmark.extra_info["alpha"] = alpha
+    benchmark.extra_info["coverage"] = round(answer_coverage(answer.rows, exact), 2)
+    benchmark.extra_info["exact_answers"] = len(exact)
+    assert answer.tuples_accessed <= answer.budget
+    assert answer_precision(answer.rows, exact) == 1.0

@@ -1,0 +1,92 @@
+"""E3 — Theorem 3.4: the bounded output problem (coNP) and its PTIME fragments.
+
+Paper results reproduced in shape:
+
+* BOP is coNP-complete for CQ — the exact procedure sweeps element queries,
+  whose number grows super-exponentially with the number of query variables;
+  the 3SAT gadget of the hardness proof is the worst case (its answer tracks
+  unsatisfiability);
+* the sufficient ``cov``-based check (⇐ direction of Lemma 3.6) and the
+  FD-chase path stay polynomial; they decide the favourable instances
+  instantly, which is what makes the conformance checks of Section 2 usable.
+
+Measured here: runtime of ``has_bounded_output`` on the 3SAT gadget for
+formulas of growing size, versus the PTIME covered-variable computation on
+anchored chain queries of growing length.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.algebra.atoms import RelationAtom
+from repro.algebra.cq import ConjunctiveQuery
+from repro.algebra.schema import schema_from_spec
+from repro.algebra.terms import Constant, Variable
+from repro.core.access import AccessConstraint, AccessSchema
+from repro.core.bounded_output import covered_variables, has_bounded_output
+from repro.core.element_queries import ElementQueryBudget, element_queries
+from repro.workloads import reductions as red
+
+CHAIN_SCHEMA = schema_from_spec({"R": ("a", "b")})
+CHAIN_ACCESS = AccessSchema((AccessConstraint("R", ("a",), ("b",), 2),))
+
+
+def chain_query(length: int) -> ConjunctiveQuery:
+    variables = [Variable(f"v{i}") for i in range(length + 1)]
+    atoms = [RelationAtom("R", (variables[i], variables[i + 1])) for i in range(length)]
+    anchored = [RelationAtom("R", (Constant(0), variables[0]))] + atoms
+    return ConjunctiveQuery(head=(variables[-1],), atoms=tuple(anchored), name=f"chain{length}")
+
+
+@pytest.mark.parametrize("length", [2, 4, 8, 16])
+def test_cov_fixpoint_is_polynomial(benchmark, length):
+    query = chain_query(length)
+    covered = benchmark(lambda: covered_variables(query, CHAIN_ACCESS, CHAIN_SCHEMA))
+    benchmark.extra_info["chain_length"] = length
+    benchmark.extra_info["covered_variables"] = len(covered)
+    assert len(covered) == length + 1
+
+
+@pytest.mark.parametrize("length", [2, 4, 8, 16])
+def test_quick_bounded_output_check_is_polynomial(benchmark, length):
+    query = chain_query(length)
+    bounded = benchmark(lambda: has_bounded_output(query, CHAIN_ACCESS, CHAIN_SCHEMA))
+    benchmark.extra_info["chain_length"] = length
+    assert bounded
+
+
+@pytest.mark.parametrize(
+    "label, phi",
+    [
+        ("1var_1clause", red.formula(1, [[(0, False)]])),
+        ("1var_2clauses_unsat", red.unsatisfiable_example()),
+        ("2var_2clauses_sat", red.satisfiable_example()),
+    ],
+)
+def test_bop_gadget_exact_decision(benchmark, label, phi):
+    """The coNP gadget: cost explodes with the number of gadget variables."""
+    instance = red.bop_reduction(phi)
+    budget = ElementQueryBudget(max_partitions=5_000_000, max_element_queries=1_000_000)
+
+    def run():
+        return has_bounded_output(instance.query, instance.access_schema, instance.schema, budget)
+
+    bounded = benchmark.pedantic(run, rounds=1, iterations=1)
+    benchmark.extra_info["formula"] = label
+    benchmark.extra_info["query_variables"] = len(instance.query.variables)
+    benchmark.extra_info["bounded"] = bounded
+    assert bounded == instance.expected_bounded
+
+
+@pytest.mark.parametrize("variables", [2, 3, 4])
+def test_element_query_enumeration_blowup(benchmark, variables):
+    """The raw source of the exponential cost: the number of element queries."""
+    vs = [Variable(f"v{i}") for i in range(variables)]
+    atoms = tuple(RelationAtom("R", (vs[i], vs[(i + 1) % variables])) for i in range(variables))
+    query = ConjunctiveQuery(head=(vs[0],), atoms=atoms, name=f"cycle{variables}")
+    budget = ElementQueryBudget(max_partitions=2_000_000, max_element_queries=500_000)
+
+    result = benchmark(lambda: element_queries(query, CHAIN_ACCESS, CHAIN_SCHEMA, budget))
+    benchmark.extra_info["query_variables"] = variables
+    benchmark.extra_info["element_queries"] = len(result)

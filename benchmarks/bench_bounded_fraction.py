@@ -1,0 +1,82 @@
+"""E8 — "77% of randomly generated conjunctive queries are boundedly evaluable
+under a couple of hundred access constraints".
+
+The introduction quotes experiments where a large fraction of random CQs
+admit bounded evaluation/rewriting once enough access constraints are
+available, and the fraction grows with the constraint set.  This benchmark
+mines access constraints from a synthetic CDR database at two granularities
+(few vs. many constraints), generates a random CQ workload and measures which
+fraction of it the plan builder can serve with a bounded plan.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.engine.optimizer import build_bounded_plan
+from repro.errors import UnsupportedQueryError
+from repro.storage.statistics import discover_access_constraints
+from repro.workloads import cdr
+from repro.workloads.random_cq import RandomCQConfig, random_workload
+
+
+@pytest.fixture(scope="module")
+def database(cdr_instance):
+    return cdr_instance.database
+
+
+@pytest.fixture(scope="module")
+def workload(database):
+    config = RandomCQConfig(min_atoms=1, max_atoms=3, constant_probability=0.45, seed=77)
+    return random_workload(cdr.schema(), database, 40, config)
+
+
+@pytest.mark.parametrize(
+    "label, max_x, max_bound",
+    [("few_constraints", 1, 5), ("many_constraints", 2, 60)],
+)
+def test_bounded_fraction_of_random_cqs(benchmark, database, workload, label, max_x, max_bound):
+    access = discover_access_constraints(database, max_x_size=max_x, max_bound=max_bound)
+    views = cdr.views()
+    schema = cdr.schema()
+
+    def run():
+        bounded = 0
+        attempted = 0
+        for query in workload:
+            try:
+                outcome = build_bounded_plan(query, views, access, schema)
+            except UnsupportedQueryError:
+                continue
+            attempted += 1
+            if outcome.found:
+                bounded += 1
+        return bounded, attempted
+
+    bounded, attempted = benchmark.pedantic(run, rounds=1, iterations=1)
+    benchmark.extra_info["setting"] = label
+    benchmark.extra_info["access_constraints"] = len(access)
+    benchmark.extra_info["queries"] = attempted
+    benchmark.extra_info["bounded_fraction"] = round(bounded / max(attempted, 1), 2)
+    assert attempted > 0
+
+
+def test_fraction_grows_with_more_constraints(database, workload):
+    """Non-benchmark sanity check of the trend the paper reports."""
+    schema, views = cdr.schema(), cdr.views()
+
+    def fraction(access):
+        bounded = attempted = 0
+        for query in workload:
+            try:
+                outcome = build_bounded_plan(query, views, access, schema)
+            except UnsupportedQueryError:
+                continue
+            attempted += 1
+            bounded += outcome.found
+        return bounded / max(attempted, 1)
+
+    few = discover_access_constraints(database, max_x_size=1, max_bound=5)
+    many = discover_access_constraints(database, max_x_size=2, max_bound=60)
+    assert len(many) > len(few)
+    assert fraction(many) >= fraction(few)

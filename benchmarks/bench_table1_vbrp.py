@@ -1,0 +1,91 @@
+"""E2 — Table I (CQ/UCQ/∃FO+ rows): cost profile of the exact VBRP procedures.
+
+Table I states that VBRP is Σp3-complete for CQ/UCQ/∃FO+ (Cp2k+1-complete with
+all parameters fixed) and drops to NP-/coNP-/PTIME only in the restricted
+settings of Section 4.  The exact decision procedure therefore enumerates a
+candidate-plan space that grows exponentially with the bound M — which is the
+measurable shape of the lower bounds on a laptop-scale reproduction.
+
+Measured here: runtime of ``decide_vbrp`` and the number of candidate plans
+as M grows from 2 to 4, plus the fixed-QPQ variant of Theorem 3.11 (constant
+candidate set, so only the A-equivalence tests remain).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.algebra.atoms import RelationAtom
+from repro.algebra.cq import ConjunctiveQuery
+from repro.algebra.schema import schema_from_spec
+from repro.algebra.terms import Constant, Variable
+from repro.algebra.views import ViewSet
+from repro.core.access import AccessConstraint, AccessSchema
+from repro.core.plans import ConstantScan, FetchNode, ProjectNode
+from repro.core.vbrp import PlanSearchSpace, decide_vbrp, enumerate_candidate_plans
+
+SCHEMA = schema_from_spec({"R": ("a", "b"), "S": ("b", "c")})
+ACCESS = AccessSchema(
+    (
+        AccessConstraint("R", ("a",), ("b",), 2),
+        AccessConstraint("S", ("b",), ("c",), 1),
+    )
+)
+NO_VIEWS = ViewSet(())
+Y, Z = Variable("y"), Variable("z")
+
+QUERY = ConjunctiveQuery(
+    head=(Z,),
+    atoms=(RelationAtom("R", (Constant(1), Y)), RelationAtom("S", (Y, Z))),
+    name="anchored_chain",
+)
+
+
+@pytest.mark.parametrize("max_size", [2, 3, 4])
+def test_candidate_plan_enumeration_grows_exponentially(benchmark, max_size):
+    space = PlanSearchSpace(constants=(1,))
+
+    plans = benchmark(
+        lambda: enumerate_candidate_plans(SCHEMA, NO_VIEWS, ACCESS, max_size, space, "CQ")
+    )
+    benchmark.extra_info["max_size_M"] = max_size
+    benchmark.extra_info["candidate_plans"] = len(plans)
+
+
+@pytest.mark.parametrize("max_size", [3, 4, 5])
+def test_decide_vbrp_exact(benchmark, max_size):
+    def run():
+        return decide_vbrp(QUERY, NO_VIEWS, ACCESS, SCHEMA, max_size=max_size, language="CQ")
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    benchmark.extra_info["max_size_M"] = max_size
+    benchmark.extra_info["has_rewriting"] = result.has_rewriting
+    benchmark.extra_info["candidates"] = result.candidates
+    benchmark.extra_info["conforming"] = result.conforming
+    assert result.has_rewriting == (max_size >= 5)
+
+
+def test_decide_vbrp_with_fixed_candidate_set(benchmark):
+    """Theorem 3.11 setting: R, A, M, V fixed — only equivalence tests remain."""
+    good = ProjectNode(
+        FetchNode(
+            ProjectNode(
+                FetchNode(ConstantScan(1, attribute="a"), "R", ("a",), ("b",)), ("b",)
+            ),
+            "S",
+            ("b",),
+            ("c",),
+        ),
+        ("c",),
+    )
+    decoys = [ConstantScan(1, attribute="c"), ProjectNode(ConstantScan(1, "c"), ())]
+    candidates = decoys + [good]
+
+    result = benchmark(
+        lambda: decide_vbrp(
+            QUERY, NO_VIEWS, ACCESS, SCHEMA, max_size=6, language="CQ",
+            candidate_plans=candidates,
+        )
+    )
+    benchmark.extra_info["candidates"] = len(candidates)
+    assert result.has_rewriting

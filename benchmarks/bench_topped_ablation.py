@@ -1,0 +1,89 @@
+"""E11 — ablation of the effective syntax's K cut-off (Section 5.2, case 4c).
+
+The ``covq``/``size`` induction restricts the inner conjunct expansions to
+sub-queries of size at most K, "to bound the number of expansions of Qs when
+computing covq and ensure that it is in PTIME"; the paper notes K = 1 already
+preserves expressive power up to equivalence.  The ablation measures how the
+cut-off affects (a) the cost of the analysis and (b) whether queries written
+*without* the equivalent reshaping are still accepted as topped — the
+practical trade-off a deployment has to pick.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.algebra.fo import atom, conj, exists, neg
+from repro.algebra.schema import schema_from_spec
+from repro.algebra.terms import Constant, Variable
+from repro.algebra.views import ViewSet
+from repro.core.access import AccessConstraint, AccessSchema
+from repro.core.topped import analyze_topped, topped_plan
+
+SCHEMA = schema_from_spec({"R": ("a", "b"), "T": ("b", "c"), "S": ("c", "d")})
+ACCESS = AccessSchema(
+    (
+        AccessConstraint("R", ("a",), ("b",), 4),
+        AccessConstraint("T", ("b",), ("c",), 4),
+        AccessConstraint("S", ("c",), ("d",), 4),
+    )
+)
+NO_VIEWS = ViewSet(())
+
+
+def propagation_query(width: int):
+    """A query whose inner conjunct has ``width`` atoms, so it needs K >= ~width.
+
+    Shape: R(1, y) ∧ (T(y, z1) ∧ S(z1, w1) ∧ ... ) — the trailing conjunct only
+    becomes bounded when the analysis may propagate y into it as a whole.
+    """
+    y = Variable("y")
+    inner = []
+    previous = y
+    for index in range(width):
+        z = Variable(f"z{index}")
+        relation = "T" if index % 2 == 0 else "S"
+        inner.append(atom(relation, previous, z))
+        previous = z
+    query = conj(atom("R", Constant(1), y), conj(*inner) if len(inner) > 1 else inner[0])
+    return query, (previous,)
+
+
+@pytest.mark.parametrize("cutoff", [1, 2, 4, 8])
+def test_analysis_cost_vs_cutoff(benchmark, cutoff):
+    query, _head = propagation_query(width=4)
+    analysis = benchmark(
+        lambda: analyze_topped(query, SCHEMA, NO_VIEWS, ACCESS, inner_size_cutoff=cutoff)
+    )
+    benchmark.extra_info["inner_size_cutoff"] = cutoff
+    benchmark.extra_info["covered"] = analysis.covered
+    benchmark.extra_info["size_estimate"] = analysis.size
+
+
+@pytest.mark.parametrize("cutoff", [1, 4])
+@pytest.mark.parametrize("width", [2, 4, 6])
+def test_acceptance_vs_cutoff_and_width(benchmark, cutoff, width):
+    """Larger cut-offs accept more queries as written; cost grows moderately."""
+    query, head = propagation_query(width=width)
+    plan = benchmark.pedantic(
+        lambda: topped_plan(query, head, SCHEMA, NO_VIEWS, ACCESS, inner_size_cutoff=cutoff),
+        rounds=1,
+        iterations=1,
+    )
+    benchmark.extra_info["inner_size_cutoff"] = cutoff
+    benchmark.extra_info["width"] = width
+    benchmark.extra_info["accepted"] = plan is not None
+    if plan is not None:
+        benchmark.extra_info["plan_size"] = plan.size()
+
+
+def test_negation_needs_propagation(benchmark):
+    """The Example 5.3 pattern: Q ∧ ¬R(z, w) is topped thanks to value propagation."""
+    z, w = Variable("z"), Variable("w")
+    base = conj(atom("R", Constant(1), z))
+    query = conj(base, neg(exists([w], atom("T", z, w))))
+    plan = benchmark(
+        lambda: topped_plan(query, (z,), SCHEMA, NO_VIEWS, ACCESS, inner_size_cutoff=2)
+    )
+    benchmark.extra_info["accepted"] = plan is not None
+    assert plan is not None

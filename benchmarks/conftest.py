@@ -1,0 +1,30 @@
+"""Shared fixtures for the benchmark harness.
+
+Each ``bench_*.py`` module regenerates one table/figure-level artefact of the
+paper (see DESIGN.md, "Experiment index", and EXPERIMENTS.md for the mapping
+and the measured outcomes).  Benchmarks are sized to finish in seconds while
+still exhibiting the asymptotic shapes the paper's results predict; the
+`extra_info` attached to every benchmark records the quantities of interest
+(tuples fetched vs. scanned, candidate-plan counts, coverage fractions, ...).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.workloads import cdr, graph_search
+
+
+@pytest.fixture(scope="session")
+def gs_small():
+    return graph_search.generate(num_persons=1_000, num_movies=500, seed=11)
+
+
+@pytest.fixture(scope="session")
+def gs_large():
+    return graph_search.generate(num_persons=8_000, num_movies=2_000, seed=11)
+
+
+@pytest.fixture(scope="session")
+def cdr_instance():
+    return cdr.generate(num_customers=400, num_days=5, seed=13)

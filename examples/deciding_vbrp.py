@@ -1,0 +1,84 @@
+"""The decision procedures: VBRP, AlgACQ, BOP and the reduction gadgets.
+
+This example exercises the *exact* decision procedures of Sections 3 and 4 on
+instances small enough to check completely:
+
+1. ``decide_vbrp`` — does a CQ have an M-bounded rewriting? (Theorem 3.1's
+   upper-bound algorithm, made deterministic by enumerating candidate plans);
+2. ``alg_acq`` — the PTIME-flavoured procedure for acyclic CQ with fixed
+   parameters (Theorem 4.2);
+3. ``has_bounded_output`` — the BOP decision (Theorem 3.4), including the
+   3SAT reduction gadget whose answer must track (un)satisfiability;
+4. the Proposition 4.5 gadget: VBRP under FD-only constraints with M = 1.
+
+Run with:  python examples/deciding_vbrp.py
+"""
+
+from __future__ import annotations
+
+from repro.algebra import ConjunctiveQuery, Constant, RelationAtom, Variable, ViewSet, schema_from_spec
+from repro.core.access import AccessConstraint, AccessSchema
+from repro.core.bounded_output import has_bounded_output
+from repro.core.vbrp import alg_acq, decide_vbrp
+from repro.workloads import reductions as red
+
+X, Y, Z = Variable("x"), Variable("y"), Variable("z")
+
+
+def vbrp_demo() -> None:
+    print("=== VBRP(CQ): exact decision on a small schema ===\n")
+    schema = schema_from_spec({"R": ("a", "b"), "S": ("b", "c")})
+    access = AccessSchema(
+        (AccessConstraint("R", ("a",), ("b",), 2), AccessConstraint("S", ("b",), ("c",), 1))
+    )
+    queries = {
+        "anchored  Q(z) :- R(1,y), S(y,z)": ConjunctiveQuery(
+            head=(Z,),
+            atoms=(RelationAtom("R", (Constant(1), Y)), RelationAtom("S", (Y, Z))),
+        ),
+        "unanchored Q(z) :- R(x,y), S(y,z)": ConjunctiveQuery(
+            head=(Z,),
+            atoms=(RelationAtom("R", (X, Y)), RelationAtom("S", (Y, Z))),
+        ),
+    }
+    for label, query in queries.items():
+        for m in (3, 5):
+            result = decide_vbrp(query, ViewSet(()), access, schema, max_size=m, language="CQ")
+            print(f"{label}   M={m}:  has rewriting? {result.has_rewriting}  "
+                  f"(candidates={result.candidates}, conforming={result.conforming})")
+        acq = alg_acq(query, ViewSet(()), access, schema, max_size=5)
+        print(f"{label}   AlgACQ agrees: {acq.has_rewriting}\n")
+
+
+def bop_demo() -> None:
+    print("=== BOP: bounded output, including the Theorem 3.4 gadget ===\n")
+    for name, phi in (("unsatisfiable", red.unsatisfiable_example()),
+                      ("satisfiable", red.satisfiable_example())):
+        instance = red.bop_reduction(phi)
+        bounded = has_bounded_output(instance.query, instance.access_schema, instance.schema)
+        print(f"3SAT formula is {name:>13}:  Q(w) has bounded output? {bounded} "
+              f"(expected {instance.expected_bounded})")
+    print()
+
+
+def prop45_demo() -> None:
+    print("=== Proposition 4.5: VBRP(CQ) with FD-only constraints, M = 1 ===\n")
+    for name, phi in (("satisfiable", red.satisfiable_example()),
+                      ("unsatisfiable", red.unsatisfiable_example())):
+        instance = red.prop45_reduction(phi)
+        result = decide_vbrp(
+            instance.query, instance.views, instance.access_schema, instance.schema,
+            max_size=1, language="CQ",
+        )
+        print(f"3SAT formula is {name:>13}:  Q has a 1-bounded rewriting using {{Qc}}? "
+              f"{result.has_rewriting} (expected {instance.expected_rewriting})")
+    print(
+        "\nThe gadget answers track satisfiability exactly — the NP-hardness of "
+        "Proposition 4.5 in action."
+    )
+
+
+if __name__ == "__main__":
+    vbrp_demo()
+    bop_demo()
+    prop45_demo()

@@ -1,0 +1,62 @@
+"""Scale independence: the I/O of the bounded plan is flat while scans grow.
+
+This script reproduces the *shape* of the paper's headline claim ("query
+plans for boundedly evaluable queries outperform commercial query engines by
+3 orders of magnitude, and the gap gets larger on bigger data"): it evaluates
+Q0 of Example 1.1 on Graph Search datasets of increasing size and prints the
+number of tuples the bounded plan fetches versus the number of tuples a
+full-scan evaluation reads.
+
+Run with:  python examples/graph_search_scale.py
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro import BoundedEngine
+from repro.workloads import graph_search as gs
+
+SCALES = [1_000, 5_000, 20_000, 80_000]
+
+
+def main() -> None:
+    print("=== Scale independence of the bounded rewriting of Q0 ===\n")
+    header = (
+        f"{'persons':>9} {'|D|':>9} {'fetched':>8} {'scanned':>10} "
+        f"{'ratio':>9} {'plan (s)':>9} {'scan (s)':>9}"
+    )
+    print(header)
+    print("-" * len(header))
+
+    q0 = gs.query_q0()
+    access, views = gs.access_schema(), gs.views()
+    for persons in SCALES:
+        data = gs.generate(num_persons=persons, num_movies=max(500, persons // 4), seed=17)
+        engine = BoundedEngine(data.database, access, views)
+
+        started = time.perf_counter()
+        answer = engine.answer(q0)
+        plan_seconds = time.perf_counter() - started
+
+        started = time.perf_counter()
+        baseline = engine.baseline(q0)
+        scan_seconds = time.perf_counter() - started
+
+        assert answer.rows == baseline.rows
+        ratio = baseline.tuples_scanned / max(answer.tuples_fetched, 1)
+        print(
+            f"{persons:>9,} {data.database.size:>9,} {answer.tuples_fetched:>8} "
+            f"{baseline.tuples_scanned:>10,} {ratio:>8.0f}x "
+            f"{plan_seconds:>9.3f} {scan_seconds:>9.3f}"
+        )
+
+    print(
+        "\nThe 'fetched' column stays bounded by 2*N0 = "
+        f"{2 * 100} while the scan grows linearly with |D| — the access-ratio "
+        "gap widens with the data, as reported in the paper."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setuptools entry point.
+
+The project metadata lives in ``pyproject.toml``; this file exists so that
+``pip install -e .`` works on minimal environments (no ``wheel`` package, no
+network for build isolation) via the legacy setuptools editable install.
+"""
+
+from setuptools import setup
+
+setup()

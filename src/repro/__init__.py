@@ -1,0 +1,166 @@
+"""Bounded query rewriting using views under access constraints.
+
+A faithful, executable reproduction of
+
+    Yang Cao, Wenfei Fan, Floris Geerts, Ping Lu.
+    "Bounded Query Rewriting Using Views."  PODS 2016 / ACM TODS 43(1), 2018.
+
+The package is organised as follows:
+
+* :mod:`repro.algebra` — the query-language substrate: schemas, terms,
+  conjunctive queries (CQ), unions of CQs (UCQ), full first-order queries
+  (FO), views, containment, acyclicity and evaluation;
+* :mod:`repro.storage` — in-memory instances, the indices realising access
+  constraints, and constraint discovery;
+* :mod:`repro.core` — the paper's contribution: access schemas, bounded
+  output, A-equivalence, query plans with ``fetch``, conformance, the VBRP
+  decision procedures, the effective syntax (topped and size-bounded
+  queries) and cross-language rewriting;
+* :mod:`repro.engine` — a practical engine answering queries with cached
+  views plus constant-size fetches, and the naive full-scan baseline;
+* :mod:`repro.workloads` — Example 1.1's Graph Search workload, a synthetic
+  CDR workload, random CQ generation and the reduction gadgets used in the
+  lower-bound proofs.
+
+Quickstart (Example 1.1)::
+
+    from repro import BoundedEngine
+    from repro.workloads import graph_search as gs
+
+    data = gs.generate(num_persons=10_000, num_movies=2_000)
+    engine = BoundedEngine(data.database, gs.access_schema(), gs.views())
+    answer = engine.answer(gs.query_q0())
+    assert answer.used_bounded_plan
+    print(len(answer.rows), "movies,", answer.tuples_fetched, "tuples fetched")
+"""
+
+from .algebra import (
+    ConjunctiveQuery,
+    Constant,
+    DatabaseSchema,
+    EqualityAtom,
+    FOQuery,
+    RelationAtom,
+    RelationSchema,
+    UnionQuery,
+    Variable,
+    View,
+    ViewSet,
+    parse_access_schema,
+    parse_cq,
+    parse_ucq,
+    schema_from_spec,
+    variables,
+)
+from .core import (
+    AccessConstraint,
+    AccessSchema,
+    access_constraint,
+    a_contained_in,
+    a_equivalent,
+    accuracy_sweep,
+    alg_acq,
+    alg_mp,
+    analyze_topped,
+    approximate_answer,
+    conforms_to,
+    covered_variables,
+    decide_vbrp,
+    decide_vbrp_plus,
+    diversified_answer,
+    execute_plan,
+    has_bounded_output,
+    is_bounded_rewriting,
+    is_boundedly_evaluable,
+    is_effectively_bounded,
+    is_size_bounded,
+    is_topped,
+    make_size_bounded,
+    minimize_cq,
+    output_bound_estimate,
+    plan_to_cq,
+    plan_to_fo,
+    plan_to_ucq,
+    top_k_diversified,
+    topped_plan,
+)
+from .engine import (
+    BoundedEngine,
+    MaintainedEngine,
+    NaiveEngine,
+    build_bounded_plan,
+    plan_to_sql,
+)
+from .storage import (
+    Database,
+    Deletion,
+    IndexSet,
+    Insertion,
+    UpdateBatch,
+    discover_access_constraints,
+    random_update_batch,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AccessConstraint",
+    "AccessSchema",
+    "BoundedEngine",
+    "ConjunctiveQuery",
+    "Constant",
+    "Database",
+    "DatabaseSchema",
+    "Deletion",
+    "EqualityAtom",
+    "FOQuery",
+    "IndexSet",
+    "Insertion",
+    "MaintainedEngine",
+    "NaiveEngine",
+    "RelationAtom",
+    "RelationSchema",
+    "UnionQuery",
+    "UpdateBatch",
+    "Variable",
+    "View",
+    "ViewSet",
+    "__version__",
+    "a_contained_in",
+    "a_equivalent",
+    "access_constraint",
+    "accuracy_sweep",
+    "alg_acq",
+    "alg_mp",
+    "analyze_topped",
+    "approximate_answer",
+    "build_bounded_plan",
+    "conforms_to",
+    "covered_variables",
+    "decide_vbrp",
+    "decide_vbrp_plus",
+    "discover_access_constraints",
+    "diversified_answer",
+    "execute_plan",
+    "has_bounded_output",
+    "is_bounded_rewriting",
+    "is_boundedly_evaluable",
+    "is_effectively_bounded",
+    "is_size_bounded",
+    "is_topped",
+    "make_size_bounded",
+    "minimize_cq",
+    "output_bound_estimate",
+    "parse_access_schema",
+    "parse_cq",
+    "parse_ucq",
+    "plan_to_cq",
+    "plan_to_fo",
+    "plan_to_sql",
+    "plan_to_ucq",
+    "random_update_batch",
+    "schema_from_spec",
+    "top_k_diversified",
+    "topped_plan",
+    "variables",
+]

@@ -1,0 +1,143 @@
+"""Hypergraphs of conjunctive queries, acyclicity (ACQ) and join trees.
+
+A CQ is *acyclic* (hypertree-width 1) when the GYO reduction of its
+hypergraph succeeds (Section 4 of the paper).  The hypergraph has the query's
+variables as vertices and one hyperedge per relation atom, containing the
+variables of that atom.
+
+Acyclic conjunctive queries admit PTIME evaluation and containment via join
+trees (Yannakakis' algorithm); :mod:`repro.algebra.evaluation` uses the join
+tree produced here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+from .atoms import RelationAtom
+from .cq import ConjunctiveQuery
+from .terms import Variable
+
+
+@dataclass(frozen=True)
+class Hyperedge:
+    """A hyperedge: the variable set of one atom (identified by atom index)."""
+
+    index: int
+    atom: RelationAtom
+    variables: frozenset[Variable]
+
+
+@dataclass
+class JoinTree:
+    """A join tree over atom indices: ``parent[i]`` is the parent of atom i.
+
+    Roots have parent ``None``.  A join tree exists exactly for acyclic
+    queries; queries whose hypergraph has several connected components yield a
+    forest (several roots), which is still fine for Yannakakis-style
+    processing.
+    """
+
+    parent: dict[int, int | None] = field(default_factory=dict)
+
+    @property
+    def roots(self) -> list[int]:
+        return [index for index, parent in self.parent.items() if parent is None]
+
+    def children(self, index: int) -> list[int]:
+        return [child for child, parent in self.parent.items() if parent == index]
+
+    def post_order(self) -> list[int]:
+        """Indices in post-order (children before parents)."""
+        order: list[int] = []
+        visited: set[int] = set()
+
+        def visit(node: int) -> None:
+            if node in visited:
+                return
+            visited.add(node)
+            for child in self.children(node):
+                visit(child)
+            order.append(node)
+
+        for root in self.roots:
+            visit(root)
+        return order
+
+
+def hypergraph(query: ConjunctiveQuery) -> list[Hyperedge]:
+    """Return the hyperedges of the (normalised) query."""
+    normalized = query.normalize()
+    return [
+        Hyperedge(index=i, atom=atom, variables=frozenset(atom.variables))
+        for i, atom in enumerate(normalized.atoms)
+    ]
+
+
+def gyo_reduction(edges: Sequence[Hyperedge]) -> JoinTree | None:
+    """Run the GYO (Graham / Yu–Özsoyoğlu) reduction.
+
+    Returns a :class:`JoinTree` when the hypergraph is acyclic, ``None``
+    otherwise.  An *ear* is a hyperedge ``e`` such that every vertex of ``e``
+    is either exclusive to ``e`` or contained in some single other hyperedge
+    ``f``; ears are repeatedly removed and attached to their witness ``f``.
+    """
+    remaining: dict[int, frozenset[Variable]] = {e.index: e.variables for e in edges}
+    tree = JoinTree(parent={e.index: None for e in edges})
+
+    if not remaining:
+        return tree
+
+    changed = True
+    while changed and len(remaining) > 1:
+        changed = False
+        # Count in how many remaining edges each vertex occurs.
+        occurrence: dict[Variable, int] = {}
+        for variables in remaining.values():
+            for variable in variables:
+                occurrence[variable] = occurrence.get(variable, 0) + 1
+
+        for index in list(remaining):
+            variables = remaining[index]
+            shared = {v for v in variables if occurrence.get(v, 0) > 1}
+            witness: int | None = None
+            if not shared:
+                # Isolated edge: it forms its own component; detach it.
+                witness_found = True
+            else:
+                witness_found = False
+                for other_index, other_variables in remaining.items():
+                    if other_index == index:
+                        continue
+                    if shared <= other_variables:
+                        witness = other_index
+                        witness_found = True
+                        break
+            if witness_found:
+                del remaining[index]
+                if witness is not None:
+                    tree.parent[index] = witness
+                changed = True
+                break
+
+    if len(remaining) <= 1:
+        return tree
+    return None
+
+
+def join_tree(query: ConjunctiveQuery) -> JoinTree | None:
+    """Return a join tree of ``query`` or ``None`` when it is cyclic."""
+    return gyo_reduction(hypergraph(query))
+
+
+def is_acyclic(query: ConjunctiveQuery) -> bool:
+    """Return ``True`` when the CQ is acyclic (an ACQ)."""
+    return join_tree(query) is not None
+
+
+def is_self_join_free(query: ConjunctiveQuery) -> bool:
+    """True when no relation name is repeated among the atoms (Section 4)."""
+    normalized = query.normalize()
+    names = [atom.relation for atom in normalized.atoms]
+    return len(names) == len(set(names))

@@ -1,0 +1,139 @@
+"""Atomic formulas: relation atoms and (in)equality atoms.
+
+Following the paper (Section 2), atomic formulas are either relation atoms
+``R(x1, ..., xk)`` whose terms are variables or constants, or equality atoms
+``x = y`` / ``x = c``.  Inequality atoms are additionally supported because
+the effective syntax of Section 5 allows conditions of the form ``x != y`` and
+``x != c`` in selections.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Mapping
+
+from ..errors import QueryError, SchemaError
+from .schema import DatabaseSchema
+from .terms import Constant, Term, Variable, as_term, is_variable
+
+
+@dataclass(frozen=True)
+class RelationAtom:
+    """An atom ``R(t1, ..., tk)`` over relation ``relation``."""
+
+    relation: str
+    terms: tuple[Term, ...]
+
+    def __init__(self, relation: str, terms: Iterable[object]) -> None:
+        object.__setattr__(self, "relation", relation)
+        object.__setattr__(self, "terms", tuple(as_term(t) for t in terms))
+
+    @property
+    def arity(self) -> int:
+        return len(self.terms)
+
+    @property
+    def variables(self) -> tuple[Variable, ...]:
+        """Variables of the atom, in positional order with duplicates."""
+        return tuple(t for t in self.terms if isinstance(t, Variable))
+
+    @property
+    def constants(self) -> tuple[Constant, ...]:
+        return tuple(t for t in self.terms if isinstance(t, Constant))
+
+    def validate(self, schema: DatabaseSchema) -> None:
+        """Raise :class:`SchemaError` if the atom does not fit ``schema``."""
+        relation = schema.relation(self.relation)
+        if relation.arity != self.arity:
+            raise SchemaError(
+                f"atom {self} has arity {self.arity} but relation "
+                f"{self.relation!r} has arity {relation.arity}"
+            )
+
+    def substitute(self, mapping: Mapping[Term, Term]) -> "RelationAtom":
+        """Apply a term substitution to the atom."""
+        return RelationAtom(self.relation, tuple(mapping.get(t, t) for t in self.terms))
+
+    def term_at(self, position: int) -> Term:
+        return self.terms[position]
+
+    def __str__(self) -> str:
+        return f"{self.relation}({', '.join(str(t) for t in self.terms)})"
+
+
+@dataclass(frozen=True)
+class EqualityAtom:
+    """An equality (or inequality) atom between two terms.
+
+    ``negated=False`` encodes ``left = right``; ``negated=True`` encodes
+    ``left != right``.  Equalities between two constants are allowed — they
+    are either trivially true or make the query unsatisfiable — so that
+    element-query construction (which adds equalities mechanically) never has
+    to special-case them.
+    """
+
+    left: Term
+    right: Term
+    negated: bool = False
+
+    def __init__(self, left: object, right: object, negated: bool = False) -> None:
+        object.__setattr__(self, "left", as_term(left))
+        object.__setattr__(self, "right", as_term(right))
+        object.__setattr__(self, "negated", bool(negated))
+
+    @property
+    def is_equality(self) -> bool:
+        return not self.negated
+
+    @property
+    def variables(self) -> tuple[Variable, ...]:
+        return tuple(t for t in (self.left, self.right) if isinstance(t, Variable))
+
+    def substitute(self, mapping: Mapping[Term, Term]) -> "EqualityAtom":
+        return EqualityAtom(
+            mapping.get(self.left, self.left),
+            mapping.get(self.right, self.right),
+            self.negated,
+        )
+
+    def holds_for(self, left_value: object, right_value: object) -> bool:
+        """Evaluate the (in)equality on two concrete values."""
+        if self.negated:
+            return left_value != right_value
+        return left_value == right_value
+
+    def __str__(self) -> str:
+        op = "!=" if self.negated else "="
+        return f"{self.left} {op} {self.right}"
+
+
+Atom = RelationAtom | EqualityAtom
+
+
+def atoms_variables(atoms: Iterable[Atom]) -> Iterator[Variable]:
+    """Yield all variables appearing in ``atoms`` (with repetitions)."""
+    for atom in atoms:
+        yield from atom.variables
+
+
+def atoms_constants(atoms: Iterable[Atom]) -> Iterator[Constant]:
+    """Yield all constants appearing in ``atoms`` (with repetitions)."""
+    for atom in atoms:
+        if isinstance(atom, RelationAtom):
+            yield from atom.constants
+        else:
+            for term in (atom.left, atom.right):
+                if isinstance(term, Constant):
+                    yield term
+
+
+def check_equality_terms(atom: EqualityAtom) -> None:
+    """Reject inequality atoms between two constants with different values.
+
+    Such atoms are legal in principle but almost always indicate a typo in a
+    hand-written query; equality atoms between constants are kept because the
+    element-query machinery generates them on purpose.
+    """
+    if atom.negated and not is_variable(atom.left) and not is_variable(atom.right):
+        if atom.left == atom.right:
+            raise QueryError(f"inequality atom {atom} is unsatisfiable")

@@ -1,0 +1,113 @@
+"""Classical (constraint-free) containment and equivalence of CQs and UCQs.
+
+``Q1 ⊆ Q2`` means ``Q1(D) ⊆ Q2(D)`` for *all* instances ``D`` — the
+conventional notion, NP-complete for CQ [Chandra & Merlin 1977].  The
+constraint-aware notion ``Q1 ⊑_A Q2`` of the paper lives in
+:mod:`repro.core.equivalence` and reduces to the classical notion on element
+queries.
+
+For acyclic containing queries the test is polynomial: checking a
+homomorphism from an ACQ into a canonical database amounts to evaluating the
+ACQ on that database, which Yannakakis' algorithm does in PTIME
+(:func:`acyclic_contained_in`).
+"""
+
+from __future__ import annotations
+
+from ..errors import QueryError
+from .acyclicity import is_acyclic
+from .cq import ConjunctiveQuery
+from .evaluation import evaluate_cq_yannakakis
+from .homomorphism import homomorphism_between
+from .ucq import QueryLike, UnionQuery, as_union
+
+
+def cq_contained_in(query: ConjunctiveQuery, container: ConjunctiveQuery) -> bool:
+    """Chandra–Merlin test: ``query ⊆ container``.
+
+    Holds iff there is a homomorphism from ``container`` into the tableau of
+    ``query`` mapping head to summary.  An unsatisfiable ``query`` is
+    contained in everything.
+    """
+    if not query.is_satisfiable():
+        return True
+    return homomorphism_between(container, query) is not None
+
+
+def acyclic_contained_in(query: ConjunctiveQuery, container: ConjunctiveQuery) -> bool:
+    """PTIME containment test for an *acyclic* containing query.
+
+    Evaluates ``container`` over the canonical database of ``query`` with
+    Yannakakis' algorithm and checks that the summary is among the answers
+    (paper, Lemma 4.3(b) relies on exactly this).
+    """
+    if query.head_arity != container.head_arity:
+        raise QueryError("containment requires queries of equal head arity")
+    if not query.is_satisfiable():
+        return True
+    if not is_acyclic(container):
+        raise QueryError(f"container {container.name!r} is not acyclic")
+    tableau = query.tableau()
+    answers = evaluate_cq_yannakakis(container, tableau.facts())
+    return tableau.summary_values() in answers
+
+
+def cq_contained_in_ucq(query: ConjunctiveQuery, container: UnionQuery) -> bool:
+    """``query ⊆ container`` for a CQ against a UCQ.
+
+    By Sagiv–Yannakakis, a CQ is contained in a UCQ iff it is contained in
+    one of its disjuncts.
+    """
+    if not query.is_satisfiable():
+        return True
+    return any(cq_contained_in(query, disjunct) for disjunct in container.disjuncts)
+
+
+def contained_in(query: QueryLike, container: QueryLike) -> bool:
+    """Classical containment for CQs and UCQs on either side."""
+    left = as_union(query)
+    right = as_union(container)
+    if left.head_arity != right.head_arity:
+        raise QueryError("containment requires queries of equal head arity")
+    return all(cq_contained_in_ucq(disjunct, right) for disjunct in left.disjuncts)
+
+
+def equivalent(query: QueryLike, other: QueryLike) -> bool:
+    """Classical equivalence: mutual containment."""
+    return contained_in(query, other) and contained_in(other, query)
+
+
+def is_satisfiable(query: QueryLike) -> bool:
+    """A CQ/UCQ is satisfiable unless every disjunct equates distinct constants."""
+    union = as_union(query)
+    return any(disjunct.is_satisfiable() for disjunct in union.disjuncts)
+
+
+def minimal_disjuncts(query: UnionQuery) -> UnionQuery:
+    """Remove disjuncts subsumed by other disjuncts (a simple UCQ minimisation)."""
+    kept: list[ConjunctiveQuery] = []
+    disjuncts = list(query.satisfiable_disjuncts())
+    for index, disjunct in enumerate(disjuncts):
+        others = disjuncts[:index] + disjuncts[index + 1 :]
+        subsumed = any(
+            cq_contained_in(disjunct, other)
+            for other in others
+            if not (cq_contained_in(other, disjunct) and others.index(other) < index)
+        )
+        redundant = False
+        for other_index, other in enumerate(disjuncts):
+            if other_index == index:
+                continue
+            if cq_contained_in(disjunct, other):
+                # Keep only one representative of mutually equivalent disjuncts.
+                if not cq_contained_in(other, disjunct) or other_index < index:
+                    redundant = True
+                    break
+        if not redundant:
+            kept.append(disjunct)
+        del subsumed
+    if not kept and disjuncts:
+        kept.append(disjuncts[0])
+    if not kept:
+        return query
+    return UnionQuery(tuple(kept), name=query.name)

@@ -1,0 +1,270 @@
+"""Query evaluation over fact sets.
+
+This module provides the evaluation substrate used everywhere in the library:
+
+* :func:`evaluate_cq` — hash-join style evaluation of a conjunctive query;
+* :func:`evaluate_ucq` — union of the disjuncts' answers;
+* :func:`evaluate_cq_yannakakis` — Yannakakis' algorithm for *acyclic* CQs
+  (full reducer via semi-joins along a join tree, then join);
+* :func:`evaluate_fo` — active-domain evaluation of full first-order queries
+  (used by tests and by the FO examples; exponential in quantifier rank, as
+  expected for FO over the active domain).
+
+A *fact set* is a mapping ``relation name -> collection of value tuples``;
+:class:`repro.storage.instance.Database` exposes exactly this shape.
+"""
+
+from __future__ import annotations
+
+from typing import Collection, Iterable, Mapping, Sequence
+
+from ..errors import EvaluationError, QueryError
+from .atoms import EqualityAtom, RelationAtom
+from .acyclicity import join_tree
+from .cq import ConjunctiveQuery
+from .terms import Constant, Term, Variable
+from .ucq import UnionQuery
+
+FactSet = Mapping[str, Collection[tuple]]
+Binding = dict[Variable, object]
+
+
+# --------------------------------------------------------------------------- #
+# Conjunctive query evaluation
+# --------------------------------------------------------------------------- #
+
+
+def _atom_order(atoms: Sequence[RelationAtom], facts: FactSet) -> list[RelationAtom]:
+    """Greedy join order: selective atoms first, then stay connected."""
+    remaining = list(atoms)
+    ordered: list[RelationAtom] = []
+    bound: set[Variable] = set()
+
+    def score(atom: RelationAtom) -> tuple:
+        size = len(facts.get(atom.relation, ()))
+        bound_count = sum(1 for t in atom.terms if isinstance(t, Constant) or t in bound)
+        return (-bound_count, size)
+
+    while remaining:
+        best = min(remaining, key=score)
+        remaining.remove(best)
+        ordered.append(best)
+        bound.update(best.variables)
+    return ordered
+
+
+def _build_index(
+    facts: FactSet, relation: str, positions: tuple[int, ...]
+) -> dict[tuple, list[tuple]]:
+    """Index the tuples of ``relation`` by the values at ``positions``."""
+    index: dict[tuple, list[tuple]] = {}
+    for fact in facts.get(relation, ()):
+        key = tuple(fact[p] for p in positions)
+        index.setdefault(key, []).append(fact)
+    return index
+
+
+def _join_atom(
+    bindings: list[Binding],
+    atom: RelationAtom,
+    facts: FactSet,
+) -> list[Binding]:
+    """Extend each binding with all matches of ``atom``."""
+    if not bindings:
+        return []
+    # Positions whose term is a constant or a variable bound in *all* bindings
+    # (bindings produced by previous atoms share the same variable set).
+    sample = bindings[0]
+    bound_positions: list[int] = []
+    free_positions: list[int] = []
+    for position, term in enumerate(atom.terms):
+        if isinstance(term, Constant) or term in sample:
+            bound_positions.append(position)
+        else:
+            free_positions.append(position)
+    index = _build_index(facts, atom.relation, tuple(bound_positions))
+
+    result: list[Binding] = []
+    for binding in bindings:
+        key = []
+        for position in bound_positions:
+            term = atom.terms[position]
+            key.append(term.value if isinstance(term, Constant) else binding[term])
+        for fact in index.get(tuple(key), ()):
+            if len(fact) != len(atom.terms):
+                continue
+            extended = dict(binding)
+            ok = True
+            for position in free_positions:
+                term = atom.terms[position]
+                value = fact[position]
+                if term in extended and extended[term] != value:
+                    ok = False
+                    break
+                extended[term] = value  # type: ignore[index]
+            if ok:
+                result.append(extended)
+    return result
+
+
+def _project_head(head: Sequence[Term], bindings: Iterable[Binding]) -> set[tuple]:
+    answers: set[tuple] = set()
+    for binding in bindings:
+        row = []
+        for term in head:
+            if isinstance(term, Constant):
+                row.append(term.value)
+            else:
+                if term not in binding:
+                    raise EvaluationError(f"unsafe head variable {term} has no binding")
+                row.append(binding[term])
+        answers.add(tuple(row))
+    return answers
+
+
+def evaluate_cq(query: ConjunctiveQuery, facts: FactSet) -> set[tuple]:
+    """Evaluate a conjunctive query over a fact set.
+
+    Returns the set of answer tuples (set semantics).  An unsatisfiable query
+    yields the empty set; a query with an empty body yields its head tuple
+    when the head is fully constant (the "constant query" of the paper) and
+    raises otherwise.
+    """
+    if not query.is_satisfiable():
+        return set()
+    normalized = query.normalize()
+    bindings: list[Binding] = [{}]
+    for atom in _atom_order(normalized.atoms, facts):
+        bindings = _join_atom(bindings, atom, facts)
+        if not bindings:
+            return set()
+    return _project_head(normalized.head, bindings)
+
+
+def evaluate_ucq(query: UnionQuery | ConjunctiveQuery, facts: FactSet) -> set[tuple]:
+    """Evaluate a UCQ (or CQ) over a fact set."""
+    if isinstance(query, ConjunctiveQuery):
+        return evaluate_cq(query, facts)
+    answers: set[tuple] = set()
+    for disjunct in query.disjuncts:
+        answers |= evaluate_cq(disjunct, facts)
+    return answers
+
+
+# --------------------------------------------------------------------------- #
+# Yannakakis' algorithm for acyclic CQs
+# --------------------------------------------------------------------------- #
+
+
+def _semi_join(
+    left: set[tuple],
+    left_vars: tuple[Variable, ...],
+    right: set[tuple],
+    right_vars: tuple[Variable, ...],
+) -> set[tuple]:
+    """Keep the left tuples that join with at least one right tuple."""
+    shared = [v for v in left_vars if v in right_vars]
+    if not shared:
+        return left if right else set()
+    left_positions = [left_vars.index(v) for v in shared]
+    right_positions = [right_vars.index(v) for v in shared]
+    right_keys = {tuple(t[p] for p in right_positions) for t in right}
+    return {t for t in left if tuple(t[p] for p in left_positions) in right_keys}
+
+
+def _atom_tuples(atom: RelationAtom, facts: FactSet) -> tuple[tuple[Variable, ...], set[tuple]]:
+    """Materialise an atom as (variable schema, matching sub-tuples)."""
+    variables: list[Variable] = []
+    for term in atom.terms:
+        if isinstance(term, Variable) and term not in variables:
+            variables.append(term)
+    matches: set[tuple] = set()
+    for fact in facts.get(atom.relation, ()):
+        if len(fact) != len(atom.terms):
+            continue
+        binding: Binding = {}
+        ok = True
+        for term, value in zip(atom.terms, fact):
+            if isinstance(term, Constant):
+                if term.value != value:
+                    ok = False
+                    break
+            else:
+                if term in binding and binding[term] != value:
+                    ok = False
+                    break
+                binding[term] = value
+        if ok:
+            matches.add(tuple(binding[v] for v in variables))
+    return tuple(variables), matches
+
+
+def evaluate_cq_yannakakis(query: ConjunctiveQuery, facts: FactSet) -> set[tuple]:
+    """Evaluate an acyclic CQ with Yannakakis' semi-join programme.
+
+    Raises :class:`QueryError` when the query is not acyclic.
+    """
+    if not query.is_satisfiable():
+        return set()
+    normalized = query.normalize()
+    tree = join_tree(normalized)
+    if tree is None:
+        raise QueryError(f"query {query.name!r} is not acyclic")
+    if not normalized.atoms:
+        return _project_head(normalized.head, [{}])
+
+    schemas: dict[int, tuple[Variable, ...]] = {}
+    relations: dict[int, set[tuple]] = {}
+    for index, atom in enumerate(normalized.atoms):
+        schemas[index], relations[index] = _atom_tuples(atom, facts)
+
+    # Upward pass: reduce each parent by its children (post-order).
+    order = tree.post_order()
+    for node in order:
+        parent = tree.parent.get(node)
+        if parent is not None:
+            relations[parent] = _semi_join(
+                relations[parent], schemas[parent], relations[node], schemas[node]
+            )
+    # Downward pass: reduce children by their (already reduced) parents.
+    for node in reversed(order):
+        parent = tree.parent.get(node)
+        if parent is not None:
+            relations[node] = _semi_join(
+                relations[node], schemas[node], relations[parent], schemas[parent]
+            )
+
+    # Final join over the fully reduced relations (now safe to join directly).
+    bindings: list[Binding] = [{}]
+    for index in order:
+        variables, tuples = schemas[index], relations[index]
+        new_bindings: list[Binding] = []
+        for binding in bindings:
+            for row in tuples:
+                extended = dict(binding)
+                ok = True
+                for variable, value in zip(variables, row):
+                    if variable in extended and extended[variable] != value:
+                        ok = False
+                        break
+                    extended[variable] = value
+                if ok:
+                    new_bindings.append(extended)
+        bindings = new_bindings
+        if not bindings:
+            return set()
+    return _project_head(normalized.head, bindings)
+
+
+# --------------------------------------------------------------------------- #
+# Active-domain FO evaluation (definition lives in fo.py to avoid a cycle)
+# --------------------------------------------------------------------------- #
+
+
+def active_domain(facts: FactSet, extra: Iterable[object] = ()) -> set[object]:
+    """The set of all values occurring in the facts, plus ``extra`` values."""
+    domain: set[object] = set(extra)
+    for tuples in facts.values():
+        for row in tuples:
+            domain.update(row)
+    return domain

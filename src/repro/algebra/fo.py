@@ -1,0 +1,643 @@
+"""First-order (relational calculus) queries.
+
+The paper studies four query languages: CQ ⊆ UCQ ⊆ ∃FO+ ⊆ FO.  CQ and UCQ
+have dedicated classes (:mod:`repro.algebra.cq`, :mod:`repro.algebra.ucq`);
+this module provides the full FO abstract syntax tree used for
+
+* ∃FO+ queries (no negation, no universal quantification), which can be
+  converted to UCQs with :func:`to_ucq`;
+* full FO queries, as needed by the effective syntax of Section 5 (topped and
+  size-bounded queries) and by the FO bounded-rewriting examples;
+* active-domain evaluation (:func:`evaluate_fo`), the semantics used in the
+  paper's examples and tests.
+
+FO queries have no built-in head; whenever an ordered output is needed the
+caller supplies the tuple of free variables (see :class:`repro.algebra.views.View`).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Collection, Iterable, Mapping, Sequence
+
+from ..errors import QueryError, UnsupportedQueryError
+from .atoms import EqualityAtom, RelationAtom
+from .cq import ConjunctiveQuery
+from .evaluation import FactSet, active_domain
+from .terms import Constant, FreshVariableFactory, Term, Variable, as_term
+from .ucq import UnionQuery
+
+
+# --------------------------------------------------------------------------- #
+# AST
+# --------------------------------------------------------------------------- #
+
+
+class FOQuery:
+    """Base class of first-order query expressions."""
+
+    @property
+    def free_variables(self) -> frozenset[Variable]:
+        raise NotImplementedError
+
+    @property
+    def constants(self) -> frozenset[Constant]:
+        raise NotImplementedError
+
+    @property
+    def relation_names(self) -> frozenset[str]:
+        raise NotImplementedError
+
+    def substitute(self, mapping: Mapping[Term, Term]) -> "FOQuery":
+        raise NotImplementedError
+
+    def size(self) -> int:
+        """Number of atoms in the formula (the |Q| measure of Section 5)."""
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class FOTrue(FOQuery):
+    """The tautology query ``Qε`` — neutral element of conjunction."""
+
+    @property
+    def free_variables(self) -> frozenset[Variable]:
+        return frozenset()
+
+    @property
+    def constants(self) -> frozenset[Constant]:
+        return frozenset()
+
+    @property
+    def relation_names(self) -> frozenset[str]:
+        return frozenset()
+
+    def substitute(self, mapping: Mapping[Term, Term]) -> "FOQuery":
+        return self
+
+    def size(self) -> int:
+        return 0
+
+    def __str__(self) -> str:
+        return "true"
+
+
+@dataclass(frozen=True)
+class FOAtom(FOQuery):
+    """A relation (or view) atom ``R(t1, ..., tk)``."""
+
+    relation: str
+    terms: tuple[Term, ...]
+
+    def __init__(self, relation: str, terms: Iterable[object]) -> None:
+        object.__setattr__(self, "relation", relation)
+        object.__setattr__(self, "terms", tuple(as_term(t) for t in terms))
+
+    @property
+    def free_variables(self) -> frozenset[Variable]:
+        return frozenset(t for t in self.terms if isinstance(t, Variable))
+
+    @property
+    def constants(self) -> frozenset[Constant]:
+        return frozenset(t for t in self.terms if isinstance(t, Constant))
+
+    @property
+    def relation_names(self) -> frozenset[str]:
+        return frozenset({self.relation})
+
+    def substitute(self, mapping: Mapping[Term, Term]) -> "FOQuery":
+        return FOAtom(self.relation, tuple(mapping.get(t, t) for t in self.terms))
+
+    def size(self) -> int:
+        return 1
+
+    def to_relation_atom(self) -> RelationAtom:
+        return RelationAtom(self.relation, self.terms)
+
+    def __str__(self) -> str:
+        return f"{self.relation}({', '.join(str(t) for t in self.terms)})"
+
+
+@dataclass(frozen=True)
+class FOEquality(FOQuery):
+    """An equality or inequality condition between two terms."""
+
+    left: Term
+    right: Term
+    negated: bool = False
+
+    def __init__(self, left: object, right: object, negated: bool = False) -> None:
+        object.__setattr__(self, "left", as_term(left))
+        object.__setattr__(self, "right", as_term(right))
+        object.__setattr__(self, "negated", bool(negated))
+
+    @property
+    def free_variables(self) -> frozenset[Variable]:
+        return frozenset(t for t in (self.left, self.right) if isinstance(t, Variable))
+
+    @property
+    def constants(self) -> frozenset[Constant]:
+        return frozenset(t for t in (self.left, self.right) if isinstance(t, Constant))
+
+    @property
+    def relation_names(self) -> frozenset[str]:
+        return frozenset()
+
+    def substitute(self, mapping: Mapping[Term, Term]) -> "FOQuery":
+        return FOEquality(
+            mapping.get(self.left, self.left),
+            mapping.get(self.right, self.right),
+            self.negated,
+        )
+
+    def size(self) -> int:
+        return 1
+
+    def __str__(self) -> str:
+        op = "!=" if self.negated else "="
+        return f"{self.left} {op} {self.right}"
+
+
+@dataclass(frozen=True)
+class FOAnd(FOQuery):
+    """Conjunction of sub-queries."""
+
+    children: tuple[FOQuery, ...]
+
+    def __init__(self, children: Iterable[FOQuery]) -> None:
+        object.__setattr__(self, "children", tuple(children))
+        if not self.children:
+            raise QueryError("conjunction requires at least one conjunct")
+
+    @property
+    def free_variables(self) -> frozenset[Variable]:
+        return frozenset().union(*(c.free_variables for c in self.children))
+
+    @property
+    def constants(self) -> frozenset[Constant]:
+        return frozenset().union(*(c.constants for c in self.children))
+
+    @property
+    def relation_names(self) -> frozenset[str]:
+        return frozenset().union(*(c.relation_names for c in self.children))
+
+    def substitute(self, mapping: Mapping[Term, Term]) -> "FOQuery":
+        return FOAnd(tuple(c.substitute(mapping) for c in self.children))
+
+    def size(self) -> int:
+        return sum(c.size() for c in self.children)
+
+    def __str__(self) -> str:
+        return "(" + " ∧ ".join(str(c) for c in self.children) + ")"
+
+
+@dataclass(frozen=True)
+class FOOr(FOQuery):
+    """Disjunction of sub-queries."""
+
+    children: tuple[FOQuery, ...]
+
+    def __init__(self, children: Iterable[FOQuery]) -> None:
+        object.__setattr__(self, "children", tuple(children))
+        if not self.children:
+            raise QueryError("disjunction requires at least one disjunct")
+
+    @property
+    def free_variables(self) -> frozenset[Variable]:
+        return frozenset().union(*(c.free_variables for c in self.children))
+
+    @property
+    def constants(self) -> frozenset[Constant]:
+        return frozenset().union(*(c.constants for c in self.children))
+
+    @property
+    def relation_names(self) -> frozenset[str]:
+        return frozenset().union(*(c.relation_names for c in self.children))
+
+    def substitute(self, mapping: Mapping[Term, Term]) -> "FOQuery":
+        return FOOr(tuple(c.substitute(mapping) for c in self.children))
+
+    def size(self) -> int:
+        return sum(c.size() for c in self.children)
+
+    def __str__(self) -> str:
+        return "(" + " ∨ ".join(str(c) for c in self.children) + ")"
+
+
+@dataclass(frozen=True)
+class FONot(FOQuery):
+    """Negation of a sub-query."""
+
+    child: FOQuery
+
+    @property
+    def free_variables(self) -> frozenset[Variable]:
+        return self.child.free_variables
+
+    @property
+    def constants(self) -> frozenset[Constant]:
+        return self.child.constants
+
+    @property
+    def relation_names(self) -> frozenset[str]:
+        return self.child.relation_names
+
+    def substitute(self, mapping: Mapping[Term, Term]) -> "FOQuery":
+        return FONot(self.child.substitute(mapping))
+
+    def size(self) -> int:
+        return self.child.size()
+
+    def __str__(self) -> str:
+        return f"¬{self.child}"
+
+
+@dataclass(frozen=True)
+class FOExists(FOQuery):
+    """Existential quantification ``∃ variables . child``."""
+
+    variables: tuple[Variable, ...]
+    child: FOQuery
+
+    def __init__(self, variables: Iterable[Variable], child: FOQuery) -> None:
+        object.__setattr__(self, "variables", tuple(variables))
+        object.__setattr__(self, "child", child)
+
+    @property
+    def free_variables(self) -> frozenset[Variable]:
+        return self.child.free_variables - frozenset(self.variables)
+
+    @property
+    def constants(self) -> frozenset[Constant]:
+        return self.child.constants
+
+    @property
+    def relation_names(self) -> frozenset[str]:
+        return self.child.relation_names
+
+    def substitute(self, mapping: Mapping[Term, Term]) -> "FOQuery":
+        safe_mapping = {
+            key: value for key, value in mapping.items() if key not in self.variables
+        }
+        return FOExists(self.variables, self.child.substitute(safe_mapping))
+
+    def size(self) -> int:
+        return self.child.size()
+
+    def __str__(self) -> str:
+        names = ", ".join(str(v) for v in self.variables)
+        return f"∃{names}. {self.child}"
+
+
+@dataclass(frozen=True)
+class FOForAll(FOQuery):
+    """Universal quantification ``∀ variables . child``."""
+
+    variables: tuple[Variable, ...]
+    child: FOQuery
+
+    def __init__(self, variables: Iterable[Variable], child: FOQuery) -> None:
+        object.__setattr__(self, "variables", tuple(variables))
+        object.__setattr__(self, "child", child)
+
+    @property
+    def free_variables(self) -> frozenset[Variable]:
+        return self.child.free_variables - frozenset(self.variables)
+
+    @property
+    def constants(self) -> frozenset[Constant]:
+        return self.child.constants
+
+    @property
+    def relation_names(self) -> frozenset[str]:
+        return self.child.relation_names
+
+    def substitute(self, mapping: Mapping[Term, Term]) -> "FOQuery":
+        safe_mapping = {
+            key: value for key, value in mapping.items() if key not in self.variables
+        }
+        return FOForAll(self.variables, self.child.substitute(safe_mapping))
+
+    def size(self) -> int:
+        return self.child.size()
+
+    def __str__(self) -> str:
+        names = ", ".join(str(v) for v in self.variables)
+        return f"∀{names}. {self.child}"
+
+
+# --------------------------------------------------------------------------- #
+# Convenience constructors
+# --------------------------------------------------------------------------- #
+
+
+def atom(relation: str, *terms: object) -> FOAtom:
+    """Relation/view atom constructor."""
+    return FOAtom(relation, terms)
+
+
+def eq(left: object, right: object) -> FOEquality:
+    return FOEquality(left, right, negated=False)
+
+
+def neq(left: object, right: object) -> FOEquality:
+    return FOEquality(left, right, negated=True)
+
+
+def conj(*children: FOQuery) -> FOQuery:
+    flattened = [c for c in children if not isinstance(c, FOTrue)]
+    if not flattened:
+        return FOTrue()
+    if len(flattened) == 1:
+        return flattened[0]
+    return FOAnd(tuple(flattened))
+
+
+def disj(*children: FOQuery) -> FOQuery:
+    if len(children) == 1:
+        return children[0]
+    return FOOr(tuple(children))
+
+
+def neg(child: FOQuery) -> FONot:
+    return FONot(child)
+
+
+def exists(variables: Sequence[Variable], child: FOQuery) -> FOQuery:
+    if not variables:
+        return child
+    return FOExists(tuple(variables), child)
+
+
+def forall(variables: Sequence[Variable], child: FOQuery) -> FOQuery:
+    if not variables:
+        return child
+    return FOForAll(tuple(variables), child)
+
+
+# --------------------------------------------------------------------------- #
+# Language classification and conversions
+# --------------------------------------------------------------------------- #
+
+
+def is_positive_existential(query: FOQuery) -> bool:
+    """True when the query uses no negation and no universal quantification."""
+    if isinstance(query, (FOTrue, FOAtom)):
+        return True
+    if isinstance(query, FOEquality):
+        return not query.negated
+    if isinstance(query, (FOAnd, FOOr)):
+        return all(is_positive_existential(c) for c in query.children)
+    if isinstance(query, FOExists):
+        return is_positive_existential(query.child)
+    if isinstance(query, (FONot, FOForAll)):
+        return False
+    raise UnsupportedQueryError(f"unknown FO node {type(query).__name__}")
+
+
+def is_disjunction_free(query: FOQuery) -> bool:
+    """True when the query uses no disjunction (so ∃FO+ collapses to CQ)."""
+    if isinstance(query, (FOTrue, FOAtom, FOEquality)):
+        return True
+    if isinstance(query, FOAnd):
+        return all(is_disjunction_free(c) for c in query.children)
+    if isinstance(query, FOOr):
+        return False
+    if isinstance(query, (FOExists, FOForAll)):
+        return is_disjunction_free(query.child)
+    if isinstance(query, FONot):
+        return is_disjunction_free(query.child)
+    raise UnsupportedQueryError(f"unknown FO node {type(query).__name__}")
+
+
+def classify_language(query: FOQuery) -> str:
+    """Return the smallest language of {CQ, UCQ, EFO+, FO} containing ``query``.
+
+    UCQ is reported when disjunction occurs only at the top level (under the
+    outermost existential quantifiers); otherwise positive-existential queries
+    are classified as ``"EFO+"``.
+    """
+    if not is_positive_existential(query):
+        return "FO"
+    if is_disjunction_free(query):
+        return "CQ"
+
+    def strip_exists(q: FOQuery) -> FOQuery:
+        while isinstance(q, FOExists):
+            q = q.child
+        return q
+
+    stripped = strip_exists(query)
+    if isinstance(stripped, FOOr):
+        if all(is_disjunction_free(strip_exists(c)) for c in stripped.children):
+            return "UCQ"
+    return "EFO+"
+
+
+def rectify(query: FOQuery, factory: FreshVariableFactory | None = None) -> FOQuery:
+    """Rename bound variables apart from free variables and from each other."""
+    if factory is None:
+        used_names = {v.name for v in query.free_variables} | _all_variable_names(query)
+        factory = FreshVariableFactory(used=used_names)
+
+    def rename(q: FOQuery, mapping: dict[Term, Term]) -> FOQuery:
+        if isinstance(q, (FOTrue,)):
+            return q
+        if isinstance(q, (FOAtom, FOEquality)):
+            return q.substitute(mapping)
+        if isinstance(q, FOAnd):
+            return FOAnd(tuple(rename(c, mapping) for c in q.children))
+        if isinstance(q, FOOr):
+            return FOOr(tuple(rename(c, mapping) for c in q.children))
+        if isinstance(q, FONot):
+            return FONot(rename(q.child, mapping))
+        if isinstance(q, (FOExists, FOForAll)):
+            fresh = {var: factory.fresh(var.name) for var in q.variables}
+            new_mapping = dict(mapping)
+            new_mapping.update(fresh)
+            renamed_child = rename(q.child, new_mapping)
+            new_vars = tuple(fresh[var] for var in q.variables)
+            cls = FOExists if isinstance(q, FOExists) else FOForAll
+            return cls(new_vars, renamed_child)
+        raise UnsupportedQueryError(f"unknown FO node {type(q).__name__}")
+
+    return rename(query, {})
+
+
+def _all_variable_names(query: FOQuery) -> set[str]:
+    names: set[str] = set()
+
+    def visit(q: FOQuery) -> None:
+        if isinstance(q, FOAtom):
+            names.update(v.name for v in q.free_variables)
+        elif isinstance(q, FOEquality):
+            names.update(v.name for v in q.free_variables)
+        elif isinstance(q, (FOAnd, FOOr)):
+            for child in q.children:
+                visit(child)
+        elif isinstance(q, FONot):
+            visit(q.child)
+        elif isinstance(q, (FOExists, FOForAll)):
+            names.update(v.name for v in q.variables)
+            visit(q.child)
+
+    visit(query)
+    return names
+
+
+def to_ucq(query: FOQuery, head: Sequence[Term], name: str = "Q") -> UnionQuery:
+    """Convert an ∃FO+ query with output tuple ``head`` into a UCQ.
+
+    The conversion distributes conjunction over disjunction and may therefore
+    produce exponentially many disjuncts (Sagiv–Yannakakis), exactly as noted
+    in Section 2 of the paper.  Raises :class:`UnsupportedQueryError` for
+    queries using negation or universal quantification.
+    """
+    if not is_positive_existential(query):
+        raise UnsupportedQueryError(
+            "only positive existential FO queries can be converted to UCQ"
+        )
+    rectified = rectify(query)
+    branches = _branches(rectified)
+    head_terms = tuple(as_term(t) for t in head)
+    disjuncts = []
+    for index, (atoms, equalities) in enumerate(branches):
+        disjuncts.append(
+            ConjunctiveQuery(
+                head=head_terms,
+                atoms=tuple(atoms),
+                equalities=tuple(equalities),
+                name=f"{name}_{index}",
+            )
+        )
+    return UnionQuery(tuple(disjuncts), name=name)
+
+
+def _branches(query: FOQuery) -> list[tuple[list[RelationAtom], list[EqualityAtom]]]:
+    """Return the DNF branches of an ∃FO+ query as (atoms, equalities) pairs."""
+    if isinstance(query, FOTrue):
+        return [([], [])]
+    if isinstance(query, FOAtom):
+        return [([query.to_relation_atom()], [])]
+    if isinstance(query, FOEquality):
+        return [([], [EqualityAtom(query.left, query.right)])]
+    if isinstance(query, FOExists):
+        return _branches(query.child)
+    if isinstance(query, FOOr):
+        result: list[tuple[list[RelationAtom], list[EqualityAtom]]] = []
+        for child in query.children:
+            result.extend(_branches(child))
+        return result
+    if isinstance(query, FOAnd):
+        result = [([], [])]
+        for child in query.children:
+            child_branches = _branches(child)
+            result = [
+                (atoms + c_atoms, eqs + c_eqs)
+                for atoms, eqs in result
+                for c_atoms, c_eqs in child_branches
+            ]
+        return result
+    raise UnsupportedQueryError(f"cannot convert {type(query).__name__} to UCQ")
+
+
+def from_cq(query: ConjunctiveQuery) -> FOQuery:
+    """Express a CQ as an FO query (existentially closing non-head variables)."""
+    conjuncts: list[FOQuery] = [FOAtom(a.relation, a.terms) for a in query.atoms]
+    conjuncts.extend(
+        FOEquality(e.left, e.right, e.negated) for e in query.equalities
+    )
+    body = conj(*conjuncts) if conjuncts else FOTrue()
+    bound = sorted(query.existential_variables, key=lambda v: v.name)
+    return exists(bound, body)
+
+
+def from_ucq(query: UnionQuery) -> FOQuery:
+    """Express a UCQ as an FO query (a disjunction of the disjuncts' FO forms)."""
+    return disj(*(from_cq(d) for d in query.disjuncts))
+
+
+# --------------------------------------------------------------------------- #
+# Active-domain evaluation
+# --------------------------------------------------------------------------- #
+
+
+def satisfies(
+    query: FOQuery,
+    facts: FactSet,
+    assignment: Mapping[Variable, object],
+    domain: Collection[object],
+) -> bool:
+    """Active-domain satisfaction of ``query`` under ``assignment``."""
+    if isinstance(query, FOTrue):
+        return True
+    if isinstance(query, FOAtom):
+        row = []
+        for term in query.terms:
+            if isinstance(term, Constant):
+                row.append(term.value)
+            else:
+                if term not in assignment:
+                    raise QueryError(f"free variable {term} is not assigned")
+                row.append(assignment[term])
+        return tuple(row) in set(map(tuple, facts.get(query.relation, ())))
+    if isinstance(query, FOEquality):
+        def value(term: Term) -> object:
+            if isinstance(term, Constant):
+                return term.value
+            if term not in assignment:
+                raise QueryError(f"free variable {term} is not assigned")
+            return assignment[term]
+
+        return query.negated != (value(query.left) == value(query.right))
+    if isinstance(query, FOAnd):
+        return all(satisfies(c, facts, assignment, domain) for c in query.children)
+    if isinstance(query, FOOr):
+        return any(satisfies(c, facts, assignment, domain) for c in query.children)
+    if isinstance(query, FONot):
+        return not satisfies(query.child, facts, assignment, domain)
+    if isinstance(query, FOExists):
+        return _quantify(query.variables, query.child, facts, assignment, domain, any)
+    if isinstance(query, FOForAll):
+        return _quantify(query.variables, query.child, facts, assignment, domain, all)
+    raise UnsupportedQueryError(f"unknown FO node {type(query).__name__}")
+
+
+def _quantify(variables, child, facts, assignment, domain, combine) -> bool:
+    def outcomes():
+        for values in itertools.product(domain, repeat=len(variables)):
+            extended = dict(assignment)
+            extended.update(zip(variables, values))
+            yield satisfies(child, facts, extended, domain)
+
+    return combine(outcomes())
+
+
+def evaluate_fo(
+    query: FOQuery,
+    facts: FactSet,
+    head: Sequence[Variable] = (),
+    domain: Collection[object] | None = None,
+) -> set[tuple]:
+    """Evaluate an FO query under active-domain semantics.
+
+    ``head`` lists the free variables forming the output tuple (in order); it
+    must cover all free variables of the query.  The evaluation enumerates
+    assignments of head variables over the active domain, so it is meant for
+    modest instances (tests, examples, the canonical databases used in
+    decision procedures) — the engine's bounded plans are the scalable path.
+    """
+    head = tuple(head)
+    free = query.free_variables
+    if not free <= set(head):
+        missing = ", ".join(sorted(str(v) for v in free - set(head)))
+        raise QueryError(f"head does not cover free variables: {missing}")
+    if domain is None:
+        domain = active_domain(facts, (c.value for c in query.constants))
+    answers: set[tuple] = set()
+    for values in itertools.product(domain, repeat=len(head)):
+        assignment = dict(zip(head, values))
+        if satisfies(query, facts, assignment, domain):
+            answers.add(tuple(values))
+    return answers

@@ -1,0 +1,170 @@
+"""Homomorphism search between conjunctive queries and fact sets.
+
+The classical Chandra–Merlin characterisation reduces CQ containment and CQ
+evaluation to the existence of homomorphisms: ``Q1 ⊆ Q2`` iff there is a
+homomorphism from ``Q2`` into the canonical database (tableau) of ``Q1``
+mapping the head of ``Q2`` to the summary of ``Q1``.
+
+A *fact set* here is a mapping ``relation name -> collection of value
+tuples``.  Values can be arbitrary hashable objects; in canonical databases
+the remaining variables of a tableau appear as values themselves (labelled
+nulls).  A homomorphism maps every variable of the source query to a value
+such that each atom becomes a fact of the target, and constants map to their
+own value.
+"""
+
+from __future__ import annotations
+
+from typing import Collection, Iterator, Mapping, Sequence
+
+from ..errors import QueryError
+from .atoms import RelationAtom
+from .cq import ConjunctiveQuery
+from .terms import Constant, Term, Variable
+
+FactSet = Mapping[str, Collection[tuple]]
+Assignment = dict[Variable, object]
+
+
+def _term_value(term: Term, assignment: Assignment) -> object | None:
+    """Value of ``term`` under ``assignment`` or ``None`` when unbound."""
+    if isinstance(term, Constant):
+        return term.value
+    return assignment.get(term)
+
+
+def _order_atoms(atoms: Sequence[RelationAtom], facts: FactSet) -> list[RelationAtom]:
+    """Order atoms to make backtracking effective.
+
+    Atoms over small relations and atoms with many constants are placed
+    early; afterwards we greedily prefer atoms sharing variables with the
+    already-placed prefix (to keep the search connected).
+    """
+    remaining = list(atoms)
+    ordered: list[RelationAtom] = []
+    bound: set[Variable] = set()
+
+    def cost(atom: RelationAtom) -> tuple:
+        relation_size = len(facts.get(atom.relation, ()))
+        bound_positions = sum(
+            1 for t in atom.terms if isinstance(t, Constant) or t in bound
+        )
+        return (-bound_positions, relation_size)
+
+    while remaining:
+        best = min(remaining, key=cost)
+        remaining.remove(best)
+        ordered.append(best)
+        bound.update(best.variables)
+    return ordered
+
+
+def _match_atom(
+    atom: RelationAtom, facts: FactSet, assignment: Assignment
+) -> Iterator[Assignment]:
+    """Yield extensions of ``assignment`` matching ``atom`` against ``facts``."""
+    candidates = facts.get(atom.relation, ())
+    for fact in candidates:
+        if len(fact) != len(atom.terms):
+            continue
+        extension: Assignment = {}
+        consistent = True
+        for term, value in zip(atom.terms, fact):
+            expected = _term_value(term, assignment)
+            if expected is None:
+                expected = extension.get(term)  # type: ignore[arg-type]
+            if expected is None:
+                extension[term] = value  # type: ignore[index]
+            elif expected != value:
+                consistent = False
+                break
+        if consistent:
+            merged = dict(assignment)
+            merged.update(extension)
+            yield merged
+
+
+def iter_homomorphisms(
+    query: ConjunctiveQuery,
+    facts: FactSet,
+    head_values: Sequence[object] | None = None,
+) -> Iterator[Assignment]:
+    """Yield homomorphisms from ``query`` into ``facts``.
+
+    When ``head_values`` is given, only homomorphisms mapping the query head
+    (position-wise) onto those values are produced.  The query is normalised
+    first, so its equality atoms are honoured.
+    """
+    normalized = query.normalize()
+    assignment: Assignment = {}
+    if head_values is not None:
+        if len(head_values) != len(normalized.head):
+            raise QueryError(
+                f"head of {query.name!r} has arity {len(normalized.head)}, "
+                f"got {len(head_values)} required values"
+            )
+        for term, value in zip(normalized.head, head_values):
+            if isinstance(term, Constant):
+                if term.value != value:
+                    return
+            else:
+                bound = assignment.get(term)
+                if bound is None:
+                    assignment[term] = value
+                elif bound != value:
+                    return
+
+    ordered = _order_atoms(normalized.atoms, facts)
+
+    def backtrack(index: int, current: Assignment) -> Iterator[Assignment]:
+        if index == len(ordered):
+            yield dict(current)
+            return
+        for extended in _match_atom(ordered[index], facts, current):
+            yield from backtrack(index + 1, extended)
+
+    yield from backtrack(0, assignment)
+
+
+def find_homomorphism(
+    query: ConjunctiveQuery,
+    facts: FactSet,
+    head_values: Sequence[object] | None = None,
+) -> Assignment | None:
+    """Return one homomorphism (or ``None``) from ``query`` into ``facts``."""
+    if not query.is_satisfiable():
+        return None
+    for assignment in iter_homomorphisms(query, facts, head_values):
+        return assignment
+    return None
+
+
+def has_homomorphism(
+    query: ConjunctiveQuery,
+    facts: FactSet,
+    head_values: Sequence[object] | None = None,
+) -> bool:
+    """Existence version of :func:`find_homomorphism`."""
+    return find_homomorphism(query, facts, head_values) is not None
+
+
+def homomorphism_between(
+    source: ConjunctiveQuery, target: ConjunctiveQuery
+) -> Assignment | None:
+    """Homomorphism from ``source`` into the tableau of ``target``.
+
+    This is the Chandra–Merlin test witnessing ``target ⊆ source``.  The
+    returned assignment maps variables of ``source`` to values of the
+    canonical database of ``target`` (constants or labelled nulls).
+    """
+    if source.head_arity != target.head_arity:
+        raise QueryError(
+            "homomorphism_between requires queries of the same head arity: "
+            f"{source.name!r} has {source.head_arity}, {target.name!r} has {target.head_arity}"
+        )
+    if not target.is_satisfiable():
+        # The canonical database of an unsatisfiable query is undefined; by
+        # convention every query maps into it (target is empty everywhere).
+        return {}
+    tableau = target.tableau()
+    return find_homomorphism(source, tableau.facts(), tableau.summary_values())

@@ -1,0 +1,319 @@
+"""A small text syntax for conjunctive queries, unions and access constraints.
+
+Writing queries by assembling :class:`RelationAtom` objects is precise but
+verbose; examples, tests and interactive exploration benefit from a compact
+Datalog-like notation.  This module parses
+
+* conjunctive queries::
+
+      Q(x, y) :- R(x, 'a'), S(y, x), x = y
+
+  Lower-case bare identifiers are variables; quoted strings and numbers are
+  constants.  Equality conditions may appear among the body conjuncts.
+
+* unions of conjunctive queries — several rules with the same head name and
+  arity, separated by ``;`` or given as separate strings;
+
+* access constraints::
+
+      movie(studio, release -> mid, 100)
+      rating(mid -> rank, 1)
+      Ror(-> B, A1, A2, 4)          # empty X
+
+The grammar is deliberately tiny (no comments, no aggregation, no negation);
+anything richer should be built with the programmatic API.  Parse errors
+raise :class:`repro.errors.QueryError` with a position-annotated message.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Iterator, Sequence
+
+from ..core.access import AccessConstraint, AccessSchema
+from ..errors import QueryError
+from .atoms import EqualityAtom, RelationAtom
+from .cq import ConjunctiveQuery
+from .terms import Constant, Term, Variable
+from .ucq import UnionQuery
+
+
+_TOKEN_PATTERN = re.compile(
+    r"""
+    (?P<ws>\s+)
+  | (?P<arrow>:-|<-)
+  | (?P<implies>->)
+  | (?P<string>'[^']*'|"[^"]*")
+  | (?P<number>-?\d+(?:\.\d+)?)
+  | (?P<name>[A-Za-z_][A-Za-z_0-9]*)
+  | (?P<punct>[(),;=])
+    """,
+    re.VERBOSE,
+)
+
+
+class _Token:
+    """A lexical token with its kind, text and input position."""
+
+    __slots__ = ("kind", "text", "position")
+
+    def __init__(self, kind: str, text: str, position: int) -> None:
+        self.kind = kind
+        self.text = text
+        self.position = position
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"_Token({self.kind}, {self.text!r}, {self.position})"
+
+
+def _tokenize(source: str) -> list[_Token]:
+    tokens: list[_Token] = []
+    index = 0
+    while index < len(source):
+        match = _TOKEN_PATTERN.match(source, index)
+        if match is None:
+            raise QueryError(
+                f"unexpected character {source[index]!r} at position {index} in {source!r}"
+            )
+        index = match.end()
+        kind = match.lastgroup or ""
+        if kind == "ws":
+            continue
+        tokens.append(_Token(kind, match.group(), match.start()))
+    return tokens
+
+
+class _TokenStream:
+    """Cursor over a token list with convenience accessors."""
+
+    def __init__(self, tokens: Sequence[_Token], source: str) -> None:
+        self._tokens = list(tokens)
+        self._source = source
+        self._index = 0
+
+    # ------------------------------------------------------------------ #
+
+    @property
+    def exhausted(self) -> bool:
+        return self._index >= len(self._tokens)
+
+    def peek(self) -> _Token | None:
+        if self.exhausted:
+            return None
+        return self._tokens[self._index]
+
+    def next(self) -> _Token:
+        token = self.peek()
+        if token is None:
+            raise QueryError(f"unexpected end of input in {self._source!r}")
+        self._index += 1
+        return token
+
+    def expect(self, kind: str, text: str | None = None) -> _Token:
+        token = self.next()
+        if token.kind != kind or (text is not None and token.text != text):
+            wanted = text if text is not None else kind
+            raise QueryError(
+                f"expected {wanted!r} at position {token.position} in "
+                f"{self._source!r}, found {token.text!r}"
+            )
+        return token
+
+    def accept(self, kind: str, text: str | None = None) -> _Token | None:
+        token = self.peek()
+        if token is None or token.kind != kind:
+            return None
+        if text is not None and token.text != text:
+            return None
+        self._index += 1
+        return token
+
+
+def _constant_value(token: _Token) -> object:
+    if token.kind == "string":
+        return token.text[1:-1]
+    if token.kind == "number":
+        text = token.text
+        return float(text) if "." in text else int(text)
+    raise QueryError(f"token {token.text!r} is not a constant")
+
+
+def _parse_term(stream: _TokenStream, variable_names: set[str]) -> Term:
+    """Parse one term: a variable name, a quoted string or a number."""
+    token = stream.next()
+    if token.kind == "name":
+        variable_names.add(token.text)
+        return Variable(token.text)
+    if token.kind in ("string", "number"):
+        return Constant(_constant_value(token))
+    raise QueryError(
+        f"expected a term at position {token.position}, found {token.text!r}"
+    )
+
+
+def _parse_term_list(stream: _TokenStream, variable_names: set[str]) -> list[Term]:
+    stream.expect("punct", "(")
+    terms: list[Term] = []
+    if stream.accept("punct", ")"):
+        return terms
+    terms.append(_parse_term(stream, variable_names))
+    while stream.accept("punct", ","):
+        terms.append(_parse_term(stream, variable_names))
+    stream.expect("punct", ")")
+    return terms
+
+
+def _parse_body_conjunct(
+    stream: _TokenStream, variable_names: set[str]
+) -> RelationAtom | EqualityAtom:
+    """One body conjunct: either ``R(t1, ..., tk)`` or ``t1 = t2``."""
+    first = stream.peek()
+    if first is None:
+        raise QueryError("unexpected end of input while reading the query body")
+    if first.kind == "name":
+        follower = stream._tokens[stream._index + 1] if stream._index + 1 < len(stream._tokens) else None
+        if follower is not None and follower.kind == "punct" and follower.text == "(":
+            relation = stream.expect("name").text
+            terms = _parse_term_list(stream, variable_names)
+            return RelationAtom(relation, terms)
+    left = _parse_term(stream, variable_names)
+    stream.expect("punct", "=")
+    right = _parse_term(stream, variable_names)
+    return EqualityAtom(left, right)
+
+
+def _parse_rule(stream: _TokenStream) -> ConjunctiveQuery:
+    """Parse one rule ``Name(head) :- body``; the body may be empty."""
+    variable_names: set[str] = set()
+    name_token = stream.expect("name")
+    head = _parse_term_list(stream, variable_names)
+    atoms: list[RelationAtom] = []
+    equalities: list[EqualityAtom] = []
+    if stream.accept("arrow") is not None:
+        conjunct = _parse_body_conjunct(stream, variable_names)
+        _append_conjunct(conjunct, atoms, equalities)
+        while stream.accept("punct", ","):
+            conjunct = _parse_body_conjunct(stream, variable_names)
+            _append_conjunct(conjunct, atoms, equalities)
+    return ConjunctiveQuery(
+        head=head, atoms=tuple(atoms), equalities=tuple(equalities), name=name_token.text
+    )
+
+
+def _append_conjunct(
+    conjunct: RelationAtom | EqualityAtom,
+    atoms: list[RelationAtom],
+    equalities: list[EqualityAtom],
+) -> None:
+    if isinstance(conjunct, RelationAtom):
+        atoms.append(conjunct)
+    else:
+        equalities.append(conjunct)
+
+
+def parse_cq(source: str) -> ConjunctiveQuery:
+    """Parse a single conjunctive query from its textual form.
+
+    >>> q = parse_cq("Q(x) :- movie(x, y, 'Universal', '2014'), rating(x, 5)")
+    >>> q.name, q.head_arity, len(q.atoms)
+    ('Q', 1, 2)
+    """
+    stream = _TokenStream(_tokenize(source), source)
+    query = _parse_rule(stream)
+    if not stream.exhausted:
+        token = stream.peek()
+        assert token is not None
+        raise QueryError(
+            f"trailing input at position {token.position} in {source!r}: {token.text!r}"
+        )
+    return query
+
+
+def parse_ucq(source: str) -> UnionQuery:
+    """Parse a union of conjunctive queries: rules separated by ``;``.
+
+    All rules must share the same head arity (they usually also share the
+    same head name, but this is not enforced — the union takes the first
+    rule's name).
+
+    >>> u = parse_ucq("Q(x) :- R(x, 1) ; Q(x) :- S(x, 2)")
+    >>> len(u.disjuncts)
+    2
+    """
+    stream = _TokenStream(_tokenize(source), source)
+    disjuncts = [_parse_rule(stream)]
+    while stream.accept("punct", ";"):
+        disjuncts.append(_parse_rule(stream))
+    if not stream.exhausted:
+        token = stream.peek()
+        assert token is not None
+        raise QueryError(
+            f"trailing input at position {token.position} in {source!r}: {token.text!r}"
+        )
+    return UnionQuery(tuple(disjuncts), name=disjuncts[0].name)
+
+
+def parse_access_constraint(source: str) -> AccessConstraint:
+    """Parse an access constraint ``R(X -> Y, N)``.
+
+    ``X`` and ``Y`` are comma-separated attribute names; ``X`` may be empty
+    (constraints of the form ``R(∅ -> Y, N)`` are written ``R(-> Y, N)``).
+
+    >>> str(parse_access_constraint("movie(studio, release -> mid, 100)"))
+    'movie((studio, release) -> (mid), 100)'
+    """
+    stream = _TokenStream(_tokenize(source), source)
+    relation = stream.expect("name").text
+    stream.expect("punct", "(")
+    x_attrs: list[str] = []
+    while stream.peek() is not None and stream.peek().kind == "name":  # type: ignore[union-attr]
+        x_attrs.append(stream.expect("name").text)
+        if stream.accept("punct", ",") is None:
+            break
+    stream.expect("implies")
+    y_attrs: list[str] = [stream.expect("name").text]
+    bound: int | None = None
+    while stream.accept("punct", ","):
+        token = stream.next()
+        if token.kind == "name":
+            y_attrs.append(token.text)
+        elif token.kind == "number":
+            bound = int(token.text)
+            break
+        else:
+            raise QueryError(
+                f"expected an attribute or the bound at position {token.position} "
+                f"in {source!r}, found {token.text!r}"
+            )
+    if bound is None:
+        raise QueryError(f"access constraint {source!r} is missing its bound N")
+    stream.expect("punct", ")")
+    if not stream.exhausted:
+        token = stream.peek()
+        assert token is not None
+        raise QueryError(
+            f"trailing input at position {token.position} in {source!r}: {token.text!r}"
+        )
+    return AccessConstraint(relation, tuple(x_attrs), tuple(y_attrs), bound)
+
+
+def parse_access_schema(source: str | Sequence[str]) -> AccessSchema:
+    """Parse a whole access schema: one constraint per line (or per list item).
+
+    Blank lines are skipped.
+
+    >>> schema = parse_access_schema('''
+    ...     movie(studio, release -> mid, 100)
+    ...     rating(mid -> rank, 1)
+    ... ''')
+    >>> len(schema)
+    2
+    """
+    if isinstance(source, str):
+        lines: Iterator[str] = iter(source.splitlines())
+    else:
+        lines = iter(source)
+    constraints = [
+        parse_access_constraint(line.strip()) for line in lines if line.strip()
+    ]
+    return AccessSchema(constraints)

@@ -1,0 +1,123 @@
+"""Terms of the query languages: variables and constants.
+
+Queries in this library are built from :class:`Variable` and
+:class:`Constant` terms.  Both are immutable and hashable so they can be used
+freely inside sets, dictionaries, tableaux and canonical databases.
+
+Variables compare by name; constants compare by wrapped value.  A variable is
+never equal to a constant, even when the variable name and the constant value
+coincide, which keeps canonical databases (where variables play the role of
+labelled nulls) unambiguous.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Hashable, Iterable, Iterator, Union
+
+
+@dataclass(frozen=True, order=True)
+class Variable:
+    """A query variable, identified by its name."""
+
+    name: str
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"?{self.name}"
+
+    def __str__(self) -> str:
+        return f"?{self.name}"
+
+
+@dataclass(frozen=True)
+class Constant:
+    """A constant value appearing in a query.
+
+    The wrapped ``value`` can be any hashable Python object (strings and
+    integers in practice).
+    """
+
+    value: Hashable
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"Constant({self.value!r})"
+
+    def __str__(self) -> str:
+        return repr(self.value)
+
+
+Term = Union[Variable, Constant]
+
+
+def is_variable(term: object) -> bool:
+    """Return ``True`` if ``term`` is a :class:`Variable`."""
+    return isinstance(term, Variable)
+
+
+def is_constant(term: object) -> bool:
+    """Return ``True`` if ``term`` is a :class:`Constant`."""
+    return isinstance(term, Constant)
+
+
+def as_term(value: object) -> Term:
+    """Coerce ``value`` into a term.
+
+    Strings are *not* implicitly turned into variables: only existing
+    :class:`Variable`/:class:`Constant` instances pass through unchanged, any
+    other hashable value is wrapped as a :class:`Constant`.  Use
+    :func:`variables` (or construct :class:`Variable` directly) when variables
+    are intended.
+    """
+    if isinstance(value, (Variable, Constant)):
+        return value
+    return Constant(value)
+
+
+def variables(names: str | Iterable[str]) -> tuple[Variable, ...]:
+    """Create a tuple of variables from a whitespace separated string.
+
+    >>> variables("x y z")
+    (?x, ?y, ?z)
+    """
+    if isinstance(names, str):
+        names = names.split()
+    return tuple(Variable(name) for name in names)
+
+
+class FreshVariableFactory:
+    """Produces variables guaranteed not to clash with a set of used names.
+
+    The factory is handy when renaming queries apart (e.g. while unfolding
+    view definitions into a plan) or when introducing existential variables
+    for unconstrained attributes of a fetched relation.
+    """
+
+    def __init__(self, used: Iterable[str] = (), prefix: str = "_v") -> None:
+        self._used = set(used)
+        self._prefix = prefix
+        self._counter = itertools.count()
+
+    def reserve(self, names: Iterable[str]) -> None:
+        """Mark additional names as used."""
+        self._used.update(names)
+
+    def fresh(self, hint: str | None = None) -> Variable:
+        """Return a fresh variable, optionally based on ``hint``."""
+        base = hint if hint else self._prefix
+        candidate = base
+        while candidate in self._used:
+            candidate = f"{base}_{next(self._counter)}"
+        self._used.add(candidate)
+        return Variable(candidate)
+
+    def fresh_many(self, count: int, hint: str | None = None) -> tuple[Variable, ...]:
+        """Return ``count`` fresh variables."""
+        return tuple(self.fresh(hint) for _ in range(count))
+
+
+def term_names(terms: Iterable[Term]) -> Iterator[str]:
+    """Yield the names of all variables appearing in ``terms``."""
+    for term in terms:
+        if isinstance(term, Variable):
+            yield term.name

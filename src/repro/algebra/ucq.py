@@ -1,0 +1,102 @@
+"""Unions of conjunctive queries (UCQ / SPCU queries).
+
+A UCQ ``Q(x̄) = Q1(x̄) ∪ ... ∪ Qk(x̄)`` is a non-empty sequence of conjunctive
+queries sharing the same head arity.  UCQs are the normal form we use for
+positive existential FO queries (∃FO+) throughout the core algorithms: every
+∃FO+ query can be written as a UCQ (possibly exponentially larger), see
+Section 2 of the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Sequence
+
+from ..errors import QueryError
+from .cq import ConjunctiveQuery, check_same_arity
+from .schema import DatabaseSchema
+from .terms import Constant, Variable
+
+
+@dataclass(frozen=True)
+class UnionQuery:
+    """A union of conjunctive queries with a common head arity."""
+
+    disjuncts: tuple[ConjunctiveQuery, ...]
+    name: str = "Q"
+
+    def __init__(self, disjuncts: Sequence[ConjunctiveQuery], name: str = "Q") -> None:
+        disjuncts = tuple(disjuncts)
+        check_same_arity(disjuncts)
+        object.__setattr__(self, "disjuncts", disjuncts)
+        object.__setattr__(self, "name", name)
+
+    @property
+    def head_arity(self) -> int:
+        return self.disjuncts[0].head_arity
+
+    @property
+    def is_boolean(self) -> bool:
+        return self.head_arity == 0
+
+    @property
+    def is_single_cq(self) -> bool:
+        return len(self.disjuncts) == 1
+
+    @property
+    def variables(self) -> frozenset[Variable]:
+        found: set[Variable] = set()
+        for disjunct in self.disjuncts:
+            found.update(disjunct.variables)
+        return frozenset(found)
+
+    @property
+    def constants(self) -> frozenset[Constant]:
+        found: set[Constant] = set()
+        for disjunct in self.disjuncts:
+            found.update(disjunct.constants)
+        return frozenset(found)
+
+    @property
+    def relation_names(self) -> frozenset[str]:
+        names: set[str] = set()
+        for disjunct in self.disjuncts:
+            names.update(disjunct.relation_names)
+        return frozenset(names)
+
+    def validate(self, schema: DatabaseSchema) -> None:
+        for disjunct in self.disjuncts:
+            disjunct.validate(schema)
+
+    def satisfiable_disjuncts(self) -> tuple[ConjunctiveQuery, ...]:
+        """Drop unsatisfiable disjuncts (their equalities equate constants)."""
+        return tuple(d for d in self.disjuncts if d.is_satisfiable())
+
+    def __iter__(self) -> Iterator[ConjunctiveQuery]:
+        return iter(self.disjuncts)
+
+    def __len__(self) -> int:
+        return len(self.disjuncts)
+
+    def __str__(self) -> str:
+        return " ∪ ".join(str(d) for d in self.disjuncts)
+
+
+QueryLike = ConjunctiveQuery | UnionQuery
+
+
+def as_union(query: QueryLike, name: str | None = None) -> UnionQuery:
+    """Coerce a CQ or UCQ into a :class:`UnionQuery`."""
+    if isinstance(query, UnionQuery):
+        return query
+    if isinstance(query, ConjunctiveQuery):
+        return UnionQuery((query,), name=name if name is not None else query.name)
+    raise QueryError(f"expected a CQ or UCQ, got {type(query).__name__}")
+
+
+def union_of(queries: Iterable[QueryLike], name: str = "Q") -> UnionQuery:
+    """Flatten a collection of CQs/UCQs into a single UCQ."""
+    disjuncts: list[ConjunctiveQuery] = []
+    for query in queries:
+        disjuncts.extend(as_union(query).disjuncts)
+    return UnionQuery(tuple(disjuncts), name=name)

@@ -1,0 +1,192 @@
+"""Views: named, L-definable queries whose results are cached.
+
+A view ``V`` is a query (CQ, UCQ or FO) together with a name and an explicit
+output head.  Views are the second ingredient of bounded rewriting: a bounded
+plan may scan cached view results ``V(D)`` freely (no I/O cost is charged for
+them), while access to the base relations goes through ``fetch`` operations
+controlled by the access schema.
+
+:class:`ViewSet` groups the views used by a rewriting problem and provides
+the extended schema (base relations plus one virtual relation per view) that
+queries over views are validated against.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Mapping, Sequence
+
+from ..errors import QueryError, SchemaError, UnsupportedQueryError
+from .cq import ConjunctiveQuery
+from .fo import FOQuery, classify_language, from_cq, from_ucq
+from .schema import DatabaseSchema, RelationSchema
+from .terms import Constant, Term, Variable
+from .ucq import UnionQuery
+
+ViewDefinition = ConjunctiveQuery | UnionQuery | FOQuery
+
+
+@dataclass(frozen=True)
+class View:
+    """A named view with an explicit output head.
+
+    For CQ/UCQ definitions the head defaults to the definition's own head; FO
+    definitions have no intrinsic head, so one must be supplied (a tuple of
+    the free variables of the definition in output order).
+    """
+
+    name: str
+    definition: ViewDefinition
+    head: tuple[Term, ...]
+
+    def __init__(
+        self,
+        name: str,
+        definition: ViewDefinition,
+        head: Sequence[Term] | None = None,
+    ) -> None:
+        if isinstance(definition, (ConjunctiveQuery, UnionQuery)):
+            default_head = (
+                definition.head
+                if isinstance(definition, ConjunctiveQuery)
+                else definition.disjuncts[0].head
+            )
+            resolved_head = tuple(head) if head is not None else tuple(default_head)
+            if len(resolved_head) != len(default_head):
+                raise QueryError(
+                    f"view {name!r}: head arity {len(resolved_head)} does not match "
+                    f"definition arity {len(default_head)}"
+                )
+        elif isinstance(definition, FOQuery):
+            if head is None:
+                raise QueryError(
+                    f"view {name!r}: FO definitions require an explicit head"
+                )
+            resolved_head = tuple(head)
+            if not definition.free_variables <= {
+                t for t in resolved_head if isinstance(t, Variable)
+            }:
+                raise QueryError(
+                    f"view {name!r}: head does not cover the free variables of the definition"
+                )
+        else:
+            raise QueryError(
+                f"view {name!r}: unsupported definition type {type(definition).__name__}"
+            )
+        object.__setattr__(self, "name", name)
+        object.__setattr__(self, "definition", definition)
+        object.__setattr__(self, "head", resolved_head)
+
+    # ------------------------------------------------------------------ #
+
+    @property
+    def arity(self) -> int:
+        return len(self.head)
+
+    @property
+    def language(self) -> str:
+        """The language of the definition: ``"CQ"``, ``"UCQ"``, ``"EFO+"`` or ``"FO"``."""
+        if isinstance(self.definition, ConjunctiveQuery):
+            return "CQ"
+        if isinstance(self.definition, UnionQuery):
+            return "UCQ"
+        return classify_language(self.definition)
+
+    @property
+    def attributes(self) -> tuple[str, ...]:
+        """Output attribute names: head variable names, or positional names."""
+        names: list[str] = []
+        seen: set[str] = set()
+        for index, term in enumerate(self.head):
+            if isinstance(term, Variable) and term.name not in seen:
+                names.append(term.name)
+                seen.add(term.name)
+            else:
+                fresh = f"{self.name}_a{index}"
+                names.append(fresh)
+                seen.add(fresh)
+        return tuple(names)
+
+    def relation_schema(self) -> RelationSchema:
+        """The virtual relation schema under which the view can be referenced."""
+        return RelationSchema(self.name, self.attributes)
+
+    def as_ucq(self) -> UnionQuery:
+        """Return the definition as a UCQ (only for CQ/UCQ views)."""
+        if isinstance(self.definition, ConjunctiveQuery):
+            return UnionQuery((self.definition,), name=self.name)
+        if isinstance(self.definition, UnionQuery):
+            return self.definition
+        raise UnsupportedQueryError(
+            f"view {self.name!r} is defined in FO and has no UCQ form"
+        )
+
+    def as_fo(self) -> FOQuery:
+        """Return the definition as an FO formula (head order given by ``self.head``)."""
+        if isinstance(self.definition, ConjunctiveQuery):
+            return from_cq(self.definition)
+        if isinstance(self.definition, UnionQuery):
+            return from_ucq(self.definition)
+        return self.definition
+
+    @property
+    def head_variables(self) -> tuple[Variable, ...]:
+        return tuple(t for t in self.head if isinstance(t, Variable))
+
+    def __str__(self) -> str:
+        head = ", ".join(str(t) for t in self.head)
+        return f"{self.name}({head}) := {self.definition}"
+
+
+class ViewSet:
+    """A collection of views addressable by name."""
+
+    def __init__(self, views: Iterable[View] = ()) -> None:
+        self._views: dict[str, View] = {}
+        for view in views:
+            self.add(view)
+
+    def add(self, view: View) -> None:
+        if view.name in self._views and self._views[view.name] != view:
+            raise SchemaError(f"view {view.name!r} already defined differently")
+        self._views[view.name] = view
+
+    def view(self, name: str) -> View:
+        try:
+            return self._views[name]
+        except KeyError as exc:
+            raise SchemaError(f"unknown view {name!r}; known: {sorted(self._views)}") from exc
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._views
+
+    def __iter__(self) -> Iterator[View]:
+        return iter(self._views.values())
+
+    def __len__(self) -> int:
+        return len(self._views)
+
+    @property
+    def names(self) -> tuple[str, ...]:
+        return tuple(self._views)
+
+    def extended_schema(self, base: DatabaseSchema) -> DatabaseSchema:
+        """Base schema extended with one virtual relation per view."""
+        extended = DatabaseSchema(base)
+        for view in self:
+            extended.add(view.relation_schema())
+        return extended
+
+    def languages(self) -> frozenset[str]:
+        return frozenset(view.language for view in self)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"ViewSet({', '.join(self.names)})"
+
+
+def views_from_mapping(definitions: Mapping[str, ViewDefinition]) -> ViewSet:
+    """Build a :class:`ViewSet` from ``{name: definition}`` (CQ/UCQ only)."""
+    views = []
+    for name, definition in definitions.items():
+        views.append(View(name, definition))
+    return ViewSet(views)

@@ -1,0 +1,201 @@
+"""Bounded evaluability — answering a query without views (Fan et al. 2015).
+
+Bounded rewriting using views generalises *bounded evaluability*: a query
+``Q`` is boundedly evaluable under an access schema ``A`` when ``Q(D)`` can
+be computed, for every ``D |= A``, from a fragment ``D_Q`` fetched through
+the indices of ``A`` alone — no cached views.  The paper uses the notion
+throughout its motivation ("under A0, query Q0 is *not* boundedly evaluable"
+in Example 1.1) and its reductions; this module exposes it directly:
+
+* :func:`is_boundedly_evaluable` — the exact decision, realised as VBRP with
+  an empty view set (sound and complete relative to the enumerated plan
+  vocabulary, exponential in ``M`` by necessity);
+* :func:`is_effectively_bounded` — the PTIME *sufficient* check in the spirit
+  of the "effectively bounded" syntactic class of [Cao et al. 2014]: every
+  query variable must be reachable through the access constraints starting
+  from the query's constants, and every atom must be coverable by a fetch
+  whose key attributes are all reachable.  Queries passing this check are
+  boundedly evaluable and the heuristic plan builder will find a plan for
+  them (with ``V = ∅``).
+* :func:`bounded_evaluability_report` — a diagnostic narrowing down *why* a
+  query fails the syntactic check (which variables / atoms are the problem),
+  which is what a practitioner needs in order to select views that repair it
+  — the very workflow bounded rewriting using views is about.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..algebra.cq import ConjunctiveQuery
+from ..algebra.schema import DatabaseSchema
+from ..algebra.terms import Constant, Variable
+from ..algebra.ucq import QueryLike, as_union
+from ..algebra.views import ViewSet
+from ..errors import UnsupportedQueryError
+from .access import AccessSchema
+from .bounded_output import covered_variables
+from .element_queries import ElementQueryBudget
+from .plans import CQ, PlanNode
+from .vbrp import PlanSearchSpace, VBRPResult, decide_vbrp
+
+
+# --------------------------------------------------------------------------- #
+# Exact decision (via VBRP with V = ∅)
+# --------------------------------------------------------------------------- #
+
+
+def is_boundedly_evaluable(
+    query: QueryLike,
+    access_schema: AccessSchema,
+    schema: DatabaseSchema,
+    max_size: int,
+    language: str = CQ,
+    space: PlanSearchSpace | None = None,
+    budget: ElementQueryBudget | None = None,
+) -> VBRPResult:
+    """Decide whether ``query`` has an ``M``-bounded plan using no views.
+
+    Equivalent to ``decide_vbrp`` with an empty view set: bounded evaluability
+    is the special case ``V = ∅`` of bounded rewriting.  The returned
+    :class:`~repro.core.vbrp.VBRPResult` carries the witnessing plan when the
+    answer is positive.
+    """
+    return decide_vbrp(
+        query,
+        ViewSet(),
+        access_schema,
+        schema,
+        max_size=max_size,
+        language=language,
+        space=space,
+        budget=budget,
+    )
+
+
+# --------------------------------------------------------------------------- #
+# PTIME sufficient syntactic check
+# --------------------------------------------------------------------------- #
+
+
+@dataclass
+class BoundedEvaluabilityReport:
+    """Outcome of the syntactic bounded-evaluability check.
+
+    ``effectively_bounded`` is the (sufficient, not necessary) decision.
+    When negative, ``unreachable_variables`` lists variables no chain of
+    access constraints can bound starting from the query's constants, and
+    ``uncoverable_atoms`` lists atom indices for which no access constraint
+    provides a usable fetch.  Both are the natural targets for view selection.
+    """
+
+    effectively_bounded: bool
+    unreachable_variables: frozenset[Variable] = frozenset()
+    uncoverable_atoms: tuple[int, ...] = ()
+    reasons: list[str] = field(default_factory=list)
+
+
+def _atom_coverable(
+    atom_index: int,
+    query: ConjunctiveQuery,
+    access_schema: AccessSchema,
+    schema: DatabaseSchema,
+    reachable: frozenset[Variable],
+) -> bool:
+    """Is there a constraint whose key attributes are constants/reachable vars?"""
+    atom = query.atoms[atom_index]
+    relation = schema.relation(atom.relation)
+    for constraint in access_schema.for_relation(atom.relation):
+        x_positions = relation.positions(constraint.x)
+        key_terms = [atom.terms[p] for p in x_positions]
+        if all(isinstance(t, Constant) or t in reachable for t in key_terms):
+            return True
+    return False
+
+
+def is_effectively_bounded(
+    query: QueryLike,
+    access_schema: AccessSchema,
+    schema: DatabaseSchema,
+) -> bool:
+    """PTIME sufficient test for bounded evaluability (no views).
+
+    Returns ``True`` only when every disjunct passes the check of
+    :func:`bounded_evaluability_report`; a ``False`` answer is inconclusive
+    (the exact procedure may still find a plan).
+    """
+    return bounded_evaluability_report(query, access_schema, schema).effectively_bounded
+
+
+def bounded_evaluability_report(
+    query: QueryLike,
+    access_schema: AccessSchema,
+    schema: DatabaseSchema,
+) -> BoundedEvaluabilityReport:
+    """Diagnostic version of :func:`is_effectively_bounded`.
+
+    For each disjunct the check requires that (a) every variable of the query
+    is covered (reachable through the constraints from the constants of the
+    query, in the sense of ``cov(Q, A)``), and (b) every atom admits a fetch
+    whose key attributes are constants or covered variables.  Together these
+    guarantee a bounded plan: fetch the atoms in (any) coverage order and join.
+    """
+    union = as_union(query)
+    unreachable: set[Variable] = set()
+    uncoverable: list[int] = []
+    reasons: list[str] = []
+    for disjunct in union.disjuncts:
+        if not disjunct.is_satisfiable():
+            continue
+        normalized = disjunct.normalize()
+        reachable = covered_variables(normalized, access_schema, schema)
+        missing = normalized.variables - reachable
+        if missing:
+            unreachable.update(missing)
+            reasons.append(
+                f"disjunct {disjunct.name!r}: variables "
+                f"{sorted(v.name for v in missing)} are not covered by the access schema"
+            )
+        for index in range(len(normalized.atoms)):
+            if not _atom_coverable(index, normalized, access_schema, schema, reachable):
+                uncoverable.append(index)
+                reasons.append(
+                    f"disjunct {disjunct.name!r}: atom {normalized.atoms[index]} has no "
+                    "access constraint with bound key attributes"
+                )
+    return BoundedEvaluabilityReport(
+        effectively_bounded=not unreachable and not uncoverable,
+        unreachable_variables=frozenset(unreachable),
+        uncoverable_atoms=tuple(uncoverable),
+        reasons=reasons,
+    )
+
+
+# --------------------------------------------------------------------------- #
+# View suggestion: which variables a view must bind to repair boundedness
+# --------------------------------------------------------------------------- #
+
+
+def suggest_view_targets(
+    query: QueryLike,
+    access_schema: AccessSchema,
+    schema: DatabaseSchema,
+) -> frozenset[Variable]:
+    """Variables a view should bind/cache to make the query boundedly rewritable.
+
+    These are exactly the variables the syntactic check reports as
+    unreachable; a view whose head contains them (and whose output is either
+    cached or bounded) removes the corresponding obstruction — the workflow of
+    Example 1.1, where caching ``V1(mid)`` repairs ``Q0``.
+    """
+    report = bounded_evaluability_report(query, access_schema, schema)
+    return report.unreachable_variables
+
+
+def certify_plan_needs_no_views(plan: PlanNode) -> None:
+    """Raise when a plan claimed to witness bounded *evaluability* uses views."""
+    if plan.uses_views():
+        raise UnsupportedQueryError(
+            "the plan scans cached views; it witnesses bounded rewriting using views, "
+            "not bounded evaluability"
+        )

@@ -1,0 +1,129 @@
+"""Chasing tableaux with FD-shaped access constraints.
+
+When every constraint of the access schema has bound ``N = 1`` (functional
+dependencies with an index), the tableau of a CQ can be *chased*: whenever two
+atoms of the same relation agree on the ``X`` attributes of a constraint
+``R(X -> Y, 1)`` but disagree on ``Y``, the ``Y`` terms are unified.  The
+chase terminates, the result ``Q_A`` is A-equivalent to ``Q`` and its tableau
+satisfies ``A`` (Corollary 4.4 and Proposition 4.5 build on this), which makes
+A-containment checkable by a single classical containment test instead of an
+exponential element-query sweep.
+"""
+
+from __future__ import annotations
+
+from ..algebra.cq import ConjunctiveQuery
+from ..algebra.schema import DatabaseSchema
+from ..algebra.terms import Constant, Term, Variable
+from ..errors import UnsupportedQueryError
+from .access import AccessSchema
+
+
+class ChaseFailure(Exception):
+    """Internal signal: the chase tried to equate two distinct constants.
+
+    In that case no instance satisfying ``A`` embeds the query's tableau, i.e.
+    the query is A-unsatisfiable (``Q ≡_A ∅``).
+    """
+
+
+def _unify(left: Term, right: Term) -> dict[Term, Term]:
+    """Substitution unifying two terms (constants win over variables)."""
+    if left == right:
+        return {}
+    if isinstance(left, Constant) and isinstance(right, Constant):
+        raise ChaseFailure()
+    if isinstance(left, Constant):
+        return {right: left}
+    if isinstance(right, Constant):
+        return {left: right}
+    # Both variables: pick a deterministic representative.
+    if left.name <= right.name:  # type: ignore[union-attr]
+        return {right: left}
+    return {left: right}
+
+
+def chase_with_fds(
+    query: ConjunctiveQuery,
+    access_schema: AccessSchema,
+    schema: DatabaseSchema,
+) -> ConjunctiveQuery | None:
+    """Chase the query's tableau with the FD-shaped constraints of ``A``.
+
+    Only constraints with ``bound == 1`` participate (constraints with larger
+    bounds impose no equalities).  Returns the chased, normalised query, or
+    ``None`` when the chase fails — i.e. the query is A-unsatisfiable.
+
+    Raises :class:`UnsupportedQueryError` when called with an access schema
+    that is not FD-only, to avoid silently producing a query that is *not*
+    A-equivalent to the input.
+    """
+    if not access_schema.is_fd_only:
+        raise UnsupportedQueryError(
+            "chase_with_fds requires an FD-only access schema; use the "
+            "element-query based procedures for general access schemas"
+        )
+    return chase_applying_fds(query, access_schema, schema)
+
+
+def chase_applying_fds(
+    query: ConjunctiveQuery,
+    access_schema: AccessSchema,
+    schema: DatabaseSchema,
+) -> ConjunctiveQuery | None:
+    """Apply the FD-shaped constraints (``bound == 1``) of any access schema.
+
+    Unlike :func:`chase_with_fds` this does not require the schema to be
+    FD-only; it simply ignores the non-FD constraints.  The result is always
+    A-contained in the original query and A-equivalent to it (the equalities
+    applied are forced by ``A``), but its tableau is only guaranteed to
+    satisfy ``A`` when the schema is FD-only.
+    """
+    current = query.normalize()
+    changed = True
+    try:
+        while changed:
+            changed = False
+            for constraint in access_schema:
+                if constraint.bound != 1:
+                    continue
+                relation = schema.relation(constraint.relation)
+                x_positions = relation.positions(constraint.x)
+                y_positions = relation.positions(constraint.y)
+                atoms = [a for a in current.atoms if a.relation == constraint.relation]
+                substitution: dict[Term, Term] = {}
+                for i, first in enumerate(atoms):
+                    for second in atoms[i + 1 :]:
+                        first_key = tuple(first.terms[p] for p in x_positions)
+                        second_key = tuple(second.terms[p] for p in x_positions)
+                        if first_key != second_key:
+                            continue
+                        for position in y_positions:
+                            substitution.update(
+                                _unify(first.terms[position], second.terms[position])
+                            )
+                        if substitution:
+                            break
+                    if substitution:
+                        break
+                if substitution:
+                    current = current.substitute(substitution).normalize()
+                    changed = True
+                    break
+    except ChaseFailure:
+        return None
+    # The chase operates on the tableau, which is a *set* of atoms: unifying
+    # terms can make two atoms identical, so duplicates are dropped here
+    # (keeping the first occurrence order).
+    deduplicated: list = []
+    seen: set = set()
+    for atom in current.atoms:
+        if atom not in seen:
+            seen.add(atom)
+            deduplicated.append(atom)
+    return ConjunctiveQuery(
+        head=current.head,
+        atoms=tuple(deduplicated),
+        equalities=(),
+        name=f"{query.name}_chased",
+    )

@@ -1,0 +1,185 @@
+"""Element queries of a conjunctive query under an access schema.
+
+Section 3.1 of the paper regards a CQ ``Q`` posed on instances satisfying an
+access schema ``A`` as a union of special CQs ``Qe = Q ∧ ψ``, its *element
+queries*: ``ψ`` is a conjunction of equalities among the variables and
+constants of ``Q`` such that the tableau of ``Qe`` — viewed as an instance in
+which the remaining variables are pairwise-distinct constants — satisfies
+``A``.  Key facts used throughout the library:
+
+* every element query is (classically) contained in ``Q``;
+* ``Q`` is A-equivalent to the union of its (satisfiable) element queries;
+* a CQ has at most exponentially many element queries, which is the source of
+  the coNP/Σp3 lower bounds of Theorems 3.4 and 3.1.
+
+Enumeration is therefore exponential in the number of terms of ``Q``; a
+:class:`ElementQueryBudget` keeps it predictable and raises
+:class:`repro.errors.BudgetExceededError` when exceeded.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Sequence
+
+from ..algebra.cq import ConjunctiveQuery
+from ..algebra.schema import DatabaseSchema
+from ..algebra.terms import Constant, Term, Variable
+from ..errors import BudgetExceededError
+from .access import AccessSchema
+
+
+@dataclass
+class ElementQueryBudget:
+    """Budget for element-query enumeration.
+
+    ``max_partitions`` bounds the number of candidate equality patterns
+    examined; ``max_element_queries`` bounds the number of element queries
+    produced (both per top-level call).
+    """
+
+    max_partitions: int = 500_000
+    max_element_queries: int = 100_000
+
+    def partitions_guard(self, count: int) -> None:
+        if count > self.max_partitions:
+            raise BudgetExceededError(
+                f"element-query enumeration examined more than {self.max_partitions} "
+                "equality patterns; raise the ElementQueryBudget or use the "
+                "effective-syntax path"
+            )
+
+    def results_guard(self, count: int) -> None:
+        if count > self.max_element_queries:
+            raise BudgetExceededError(
+                f"more than {self.max_element_queries} element queries produced; "
+                "raise the ElementQueryBudget or use the effective-syntax path"
+            )
+
+
+DEFAULT_BUDGET = ElementQueryBudget()
+
+
+def _iter_partitions(
+    variables: Sequence[Variable],
+    constants: Sequence[Constant],
+    budget: ElementQueryBudget,
+) -> Iterator[list[list[Term]]]:
+    """Enumerate partitions of the query's terms into equality classes.
+
+    Each distinct constant seeds its own block (two constants can never be
+    equated — such element queries are unsatisfiable and skipped outright);
+    variables are then placed either into an existing block or into a new one,
+    in restricted-growth order so every partition is produced exactly once.
+    """
+    seed_blocks: list[list[Term]] = [[constant] for constant in constants]
+    examined = 0
+
+    def place(index: int, blocks: list[list[Term]], new_blocks: int) -> Iterator[list[list[Term]]]:
+        nonlocal examined
+        if index == len(variables):
+            examined += 1
+            budget.partitions_guard(examined)
+            yield [list(block) for block in blocks]
+            return
+        variable = variables[index]
+        # Join any existing block.
+        for block in blocks:
+            block.append(variable)
+            yield from place(index + 1, blocks, new_blocks)
+            block.pop()
+        # Open a new block (restricted growth: new blocks are appended in order).
+        blocks.append([variable])
+        yield from place(index + 1, blocks, new_blocks + 1)
+        blocks.pop()
+
+    yield from place(0, seed_blocks, 0)
+
+
+def _partition_substitution(blocks: list[list[Term]]) -> dict[Term, Term]:
+    """Map every term of each block to the block's representative.
+
+    The representative is the block's constant when present, otherwise the
+    variable with the smallest name (for deterministic output).
+    """
+    mapping: dict[Term, Term] = {}
+    for block in blocks:
+        constants = [t for t in block if isinstance(t, Constant)]
+        if constants:
+            representative: Term = constants[0]
+        else:
+            representative = min(
+                (t for t in block if isinstance(t, Variable)), key=lambda v: v.name
+            )
+        for term in block:
+            if term != representative:
+                mapping[term] = representative
+    return mapping
+
+
+def iter_element_queries(
+    query: ConjunctiveQuery,
+    access_schema: AccessSchema,
+    schema: DatabaseSchema,
+    budget: ElementQueryBudget | None = None,
+) -> Iterator[ConjunctiveQuery]:
+    """Yield the (satisfiable, deduplicated) element queries of ``query``.
+
+    Element queries are yielded in their normalised form: the equalities of
+    ``ψ`` are already folded into the atoms, so ``Qe.tableau()`` is the
+    tableau the paper reasons about.  Deduplication is by tableau, since
+    different equality patterns can induce the same tableau.
+    """
+    budget = budget or DEFAULT_BUDGET
+    if not query.is_satisfiable():
+        return
+    normalized = query.normalize()
+    variables = sorted(normalized.variables, key=lambda v: v.name)
+    constants = sorted(normalized.constants, key=lambda c: repr(c.value))
+
+    seen: set[tuple[frozenset, tuple]] = set()
+    produced = 0
+    for blocks in _iter_partitions(variables, constants, budget):
+        mapping = _partition_substitution(blocks)
+        candidate = normalized.substitute(mapping).normalize()
+        tableau = candidate.tableau()
+        key = (tableau.atoms, tableau.summary)
+        if key in seen:
+            continue
+        if not access_schema.satisfied_by(tableau.facts(), schema):
+            continue
+        seen.add(key)
+        produced += 1
+        budget.results_guard(produced)
+        yield ConjunctiveQuery(
+            head=candidate.head,
+            atoms=candidate.atoms,
+            equalities=(),
+            name=f"{query.name}_e{produced}",
+        )
+
+
+def element_queries(
+    query: ConjunctiveQuery,
+    access_schema: AccessSchema,
+    schema: DatabaseSchema,
+    budget: ElementQueryBudget | None = None,
+) -> list[ConjunctiveQuery]:
+    """Materialise all element queries (see :func:`iter_element_queries`)."""
+    return list(iter_element_queries(query, access_schema, schema, budget))
+
+
+def has_element_query(
+    query: ConjunctiveQuery,
+    access_schema: AccessSchema,
+    schema: DatabaseSchema,
+    budget: ElementQueryBudget | None = None,
+) -> bool:
+    """A CQ is A-satisfiable iff it has at least one element query.
+
+    (``Q ≡_A ∅`` — the empty query — exactly when no equality pattern makes
+    its tableau satisfy ``A``.)
+    """
+    for _ in iter_element_queries(query, access_schema, schema, budget):
+        return True
+    return False

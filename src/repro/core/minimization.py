@@ -1,0 +1,135 @@
+"""Minimisation of conjunctive queries (cores) and of UCQs.
+
+A conjunctive query is *minimal* when no proper subset of its atoms yields an
+equivalent query; the minimal equivalent query (the *core*) is unique up to
+isomorphism [Chandra & Merlin 1977].  Minimisation matters for bounded
+rewriting in two ways:
+
+* smaller queries have exponentially fewer element queries, so the exact
+  decision procedures (:mod:`repro.core.vbrp`, :mod:`repro.core.bounded_output`)
+  become markedly cheaper after minimisation;
+* the heuristic plan builder fetches one fragment per atom, so redundant atoms
+  directly inflate plan sizes and the fetched bag ``Dξ``.
+
+Minimising a CQ is NP-hard in general (it embeds containment), but the
+queries handled here are small; the implementation is the textbook
+fold-an-atom-away loop driven by the Chandra–Merlin test.
+"""
+
+from __future__ import annotations
+
+from ..algebra.containment import cq_contained_in
+from ..algebra.cq import ConjunctiveQuery
+from ..algebra.schema import DatabaseSchema
+from ..algebra.ucq import QueryLike, UnionQuery, as_union
+from ..errors import QueryError
+from .access import AccessSchema
+from .chase import chase_applying_fds
+
+
+def _without_atom(query: ConjunctiveQuery, index: int) -> ConjunctiveQuery:
+    atoms = query.atoms[:index] + query.atoms[index + 1 :]
+    return ConjunctiveQuery(
+        head=query.head, atoms=atoms, equalities=query.equalities, name=query.name
+    )
+
+
+def _head_variables_safe(query: ConjunctiveQuery) -> bool:
+    """All head variables still occur in the body (dropping an atom may break this)."""
+    body_variables = set()
+    for atom in query.atoms:
+        body_variables.update(atom.variables)
+    for equality in query.equalities:
+        body_variables.update(equality.variables)
+    return all(v in body_variables for v in query.head_variables)
+
+
+def minimize_cq(query: ConjunctiveQuery) -> ConjunctiveQuery:
+    """Return an equivalent query with a minimal set of atoms (the core).
+
+    The result is classically equivalent to the input; atoms are removed one
+    at a time as long as the reduced query still contains the original
+    (containment the other way is automatic because removing atoms only
+    relaxes the query).
+
+    >>> from repro.algebra.parser import parse_cq
+    >>> q = parse_cq("Q(x) :- R(x, y), R(x, z)")
+    >>> len(minimize_cq(q).atoms)
+    1
+    """
+    if not query.is_satisfiable():
+        return query
+    current = query.normalize()
+    changed = True
+    while changed:
+        changed = False
+        for index in range(len(current.atoms)):
+            candidate = _without_atom(current, index)
+            if not _head_variables_safe(candidate):
+                continue
+            # Removing atoms relaxes the query, so candidate ⊇ current always;
+            # the candidate is equivalent exactly when candidate ⊆ current.
+            if cq_contained_in(candidate, current):
+                current = candidate
+                changed = True
+                break
+    return ConjunctiveQuery(
+        head=current.head,
+        atoms=current.atoms,
+        equalities=current.equalities,
+        name=query.name,
+    )
+
+
+def is_minimal(query: ConjunctiveQuery) -> bool:
+    """Is the query its own core (no atom can be dropped)?"""
+    normalized = query.normalize()
+    return len(minimize_cq(normalized).atoms) == len(normalized.atoms)
+
+
+def minimize_ucq(query: QueryLike) -> UnionQuery:
+    """Minimise a UCQ: minimise each disjunct, then drop subsumed disjuncts.
+
+    A disjunct is dropped when it is classically contained in another kept
+    disjunct (Sagiv–Yannakakis); among mutually equivalent disjuncts the first
+    one is kept.
+    """
+    union = as_union(query)
+    minimized = [minimize_cq(d) for d in union.satisfiable_disjuncts()]
+    if not minimized:
+        return union
+    kept: list[ConjunctiveQuery] = []
+    for index, disjunct in enumerate(minimized):
+        redundant = False
+        for other_index, other in enumerate(minimized):
+            if other_index == index:
+                continue
+            if cq_contained_in(disjunct, other):
+                mutually = cq_contained_in(other, disjunct)
+                if not mutually or other_index < index:
+                    redundant = True
+                    break
+        if not redundant:
+            kept.append(disjunct)
+    if not kept:
+        kept.append(minimized[0])
+    return UnionQuery(tuple(kept), name=union.name)
+
+
+def minimize_under_fds(
+    query: ConjunctiveQuery,
+    access_schema: AccessSchema,
+    schema: DatabaseSchema,
+) -> ConjunctiveQuery:
+    """Chase with the FD-shaped constraints of ``A``, then minimise.
+
+    The result is A-equivalent to the input (the chase only applies equalities
+    forced by ``A``; minimisation preserves classical — hence A — equivalence).
+    This is the preprocessing the ACQ fast paths of Section 4 rely on.
+    """
+    chased = chase_applying_fds(query, access_schema, schema)
+    if chased is None:
+        raise QueryError(
+            f"query {query.name!r} is A-unsatisfiable (the chase equated two constants)"
+        )
+    return minimize_cq(chased)

@@ -1,0 +1,216 @@
+"""Execution of query plans with I/O accounting.
+
+The executor realises the operational semantics of Section 2: intermediate
+relations are computed bottom-up; ``fetch`` nodes retrieve data from the
+underlying database *only* through the index of a covering access constraint,
+and the executor records the bag ``Dξ`` of tuples so fetched.  Scanning cached
+views is free — that is precisely the point of bounded rewriting using views.
+
+The executor is deliberately decoupled from the storage layer: any *fetch
+provider* exposing ``fetch(constraint, key) -> frozenset[tuple]`` works
+(:class:`repro.storage.indexes.IndexSet` is the standard one).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Collection, Mapping, Protocol, Sequence
+
+from ..algebra.schema import DatabaseSchema
+from ..errors import PlanError
+from .access import AccessConstraint, AccessSchema
+from .plans import (
+    AttributeEqualsAttribute,
+    AttributeEqualsConstant,
+    ConstantScan,
+    DifferenceNode,
+    FetchNode,
+    PlanNode,
+    ProductNode,
+    ProjectNode,
+    RenameNode,
+    SelectNode,
+    UnionNode,
+    ViewScan,
+)
+
+
+class FetchProvider(Protocol):
+    """Anything able to serve index lookups for access constraints."""
+
+    def fetch(self, constraint: AccessConstraint, key: Sequence[object]) -> frozenset[tuple]:
+        """Return ``D_{R:XY}(X = key)`` for the constraint's relation."""
+        ...
+
+
+@dataclass
+class FetchStats:
+    """Accounting of the data fetched from the underlying database (``Dξ``).
+
+    ``tuples_fetched`` counts every tuple returned by every index lookup (bag
+    semantics, as in the paper's definition of ``Dξ``); ``fetch_calls`` counts
+    the index lookups themselves; ``per_relation`` breaks the tuple count down
+    by base relation.  View scans contribute ``view_tuples_scanned`` but no
+    I/O.
+    """
+
+    fetch_calls: int = 0
+    tuples_fetched: int = 0
+    per_relation: dict[str, int] = field(default_factory=dict)
+    view_tuples_scanned: int = 0
+
+    def record_fetch(self, relation: str, count: int) -> None:
+        self.fetch_calls += 1
+        self.tuples_fetched += count
+        self.per_relation[relation] = self.per_relation.get(relation, 0) + count
+
+    def record_view_scan(self, count: int) -> None:
+        self.view_tuples_scanned += count
+
+    def merged_with(self, other: "FetchStats") -> "FetchStats":
+        merged = FetchStats(
+            fetch_calls=self.fetch_calls + other.fetch_calls,
+            tuples_fetched=self.tuples_fetched + other.tuples_fetched,
+            per_relation=dict(self.per_relation),
+            view_tuples_scanned=self.view_tuples_scanned + other.view_tuples_scanned,
+        )
+        for relation, count in other.per_relation.items():
+            merged.per_relation[relation] = merged.per_relation.get(relation, 0) + count
+        return merged
+
+
+@dataclass
+class ExecutionResult:
+    """Result of executing a plan: output rows plus I/O statistics."""
+
+    attributes: tuple[str, ...]
+    rows: frozenset[tuple]
+    stats: FetchStats
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+
+class PlanExecutor:
+    """Executes plans against a fetch provider and a cache of view results."""
+
+    def __init__(
+        self,
+        schema: DatabaseSchema,
+        access_schema: AccessSchema,
+        provider: FetchProvider,
+        view_cache: Mapping[str, Collection[tuple]] | None = None,
+    ) -> None:
+        self.schema = schema
+        self.access_schema = access_schema
+        self.provider = provider
+        self.view_cache = {name: frozenset(map(tuple, rows)) for name, rows in (view_cache or {}).items()}
+
+    # ------------------------------------------------------------------ #
+
+    def execute(self, plan: PlanNode) -> ExecutionResult:
+        """Execute ``plan`` bottom-up, recording the fetched bag ``Dξ``."""
+        stats = FetchStats()
+        rows = self._evaluate(plan, stats)
+        return ExecutionResult(attributes=plan.attributes, rows=frozenset(rows), stats=stats)
+
+    # ------------------------------------------------------------------ #
+
+    def _evaluate(self, node: PlanNode, stats: FetchStats) -> set[tuple]:
+        if isinstance(node, ConstantScan):
+            return {(node.value,)}
+
+        if isinstance(node, ViewScan):
+            if node.view_name not in self.view_cache:
+                raise PlanError(
+                    f"view {node.view_name!r} is not materialised in the view cache"
+                )
+            rows = set(self.view_cache[node.view_name])
+            stats.record_view_scan(len(rows))
+            return rows
+
+        if isinstance(node, FetchNode):
+            return self._evaluate_fetch(node, stats)
+
+        if isinstance(node, ProjectNode):
+            child_rows = self._evaluate(node.child, stats)
+            positions = [node.child.attributes.index(a) for a in node.kept]
+            return {tuple(row[p] for p in positions) for row in child_rows}
+
+        if isinstance(node, SelectNode):
+            child_rows = self._evaluate(node.child, stats)
+            attributes = node.child.attributes
+            return {row for row in child_rows if self._passes(row, attributes, node)}
+
+        if isinstance(node, RenameNode):
+            return self._evaluate(node.child, stats)
+
+        if isinstance(node, ProductNode):
+            left_rows = self._evaluate(node.left, stats)
+            right_rows = self._evaluate(node.right, stats)
+            return {left + right for left in left_rows for right in right_rows}
+
+        if isinstance(node, UnionNode):
+            return self._evaluate(node.left, stats) | self._evaluate(node.right, stats)
+
+        if isinstance(node, DifferenceNode):
+            return self._evaluate(node.left, stats) - self._evaluate(node.right, stats)
+
+        raise PlanError(f"unknown plan node type {type(node).__name__}")
+
+    def _evaluate_fetch(self, node: FetchNode, stats: FetchStats) -> set[tuple]:
+        constraint = node.covering_constraint(self.access_schema)
+        if constraint is None:
+            raise PlanError(
+                f"fetch on {node.relation!r} has no covering access constraint; "
+                "the plan does not conform to the access schema"
+            )
+        if node.child is None:
+            keys: set[tuple] = {()}
+        else:
+            child_rows = self._evaluate(node.child, stats)
+            child_attributes = node.child.attributes
+            # Distinct X-values drive the index lookups (S_j has set semantics).
+            key_positions = [child_attributes.index(a) for a in constraint.x]
+            keys = {tuple(row[p] for p in key_positions) for row in child_rows}
+
+        # Returned tuples are over constraint.x + constraint-only-y attributes;
+        # project them onto the fetch node's output attributes.
+        provider_attributes = constraint.output_attributes
+        output_positions = [provider_attributes.index(a) for a in node.attributes]
+
+        result: set[tuple] = set()
+        for key in keys:
+            fetched = self.provider.fetch(constraint, key)
+            stats.record_fetch(node.relation, len(fetched))
+            for row in fetched:
+                result.add(tuple(row[p] for p in output_positions))
+        return result
+
+    @staticmethod
+    def _passes(row: tuple, attributes: tuple[str, ...], node: SelectNode) -> bool:
+        for predicate in node.predicates:
+            if isinstance(predicate, AttributeEqualsConstant):
+                value = row[attributes.index(predicate.attribute)]
+                if (value == predicate.value) == predicate.negated:
+                    return False
+            elif isinstance(predicate, AttributeEqualsAttribute):
+                left = row[attributes.index(predicate.left)]
+                right = row[attributes.index(predicate.right)]
+                if (left == right) == predicate.negated:
+                    return False
+            else:  # pragma: no cover - defensive
+                raise PlanError(f"unknown predicate type {type(predicate).__name__}")
+        return True
+
+
+def execute_plan(
+    plan: PlanNode,
+    schema: DatabaseSchema,
+    access_schema: AccessSchema,
+    provider: FetchProvider,
+    view_cache: Mapping[str, Collection[tuple]] | None = None,
+) -> ExecutionResult:
+    """One-shot convenience wrapper around :class:`PlanExecutor`."""
+    executor = PlanExecutor(schema, access_schema, provider, view_cache)
+    return executor.execute(plan)

@@ -1,0 +1,461 @@
+"""Conversions between query plans and queries.
+
+Section 2 of the paper observes that every plan ``ξ`` in a language L
+expresses a unique (up to equivalence) query ``Q_ξ`` in L whose size is
+linear in the size of ``ξ``.  The decision procedures need this conversion in
+both flavours:
+
+* :func:`plan_to_ucq` — for plans without set difference and without negated
+  selection predicates, producing a UCQ (a single-disjunct UCQ for CQ plans);
+* :func:`plan_to_fo` — for arbitrary plans, producing an FO formula together
+  with the tuple of output terms.
+
+Both functions can *unfold* view scans by substituting the view definitions,
+which is what conformance checking and A-equivalence need ("rewrite ξ into a
+query Q' by substituting the view definition for each view used in ξ").
+
+:func:`unfold_view_atoms` performs the analogous unfolding for queries written
+over view relations (e.g. the rewriting ``Q_ξ(mid) = movie(...) ∧ V1(mid) ∧
+rating(mid, 5)`` of Example 2.3).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..algebra.atoms import EqualityAtom, RelationAtom
+from ..algebra.cq import ConjunctiveQuery
+from ..algebra.fo import (
+    FOAtom,
+    FOEquality,
+    FOQuery,
+    FOTrue,
+    conj,
+    disj,
+    exists,
+    neg,
+    rectify,
+)
+from ..algebra.schema import DatabaseSchema
+from ..algebra.terms import Constant, FreshVariableFactory, Term, Variable
+from ..algebra.ucq import QueryLike, UnionQuery, as_union
+from ..algebra.views import ViewSet
+from ..errors import PlanError, UnsupportedQueryError
+from .plans import (
+    AttributeEqualsAttribute,
+    AttributeEqualsConstant,
+    ConstantScan,
+    DifferenceNode,
+    FetchNode,
+    PlanNode,
+    ProductNode,
+    ProjectNode,
+    RenameNode,
+    SelectNode,
+    UnionNode,
+    ViewScan,
+)
+
+
+# --------------------------------------------------------------------------- #
+# Plan -> UCQ
+# --------------------------------------------------------------------------- #
+
+
+def plan_to_ucq(
+    plan: PlanNode,
+    schema: DatabaseSchema,
+    views: ViewSet | None = None,
+    unfold_views: bool = True,
+    name: str = "Q_xi",
+) -> UnionQuery:
+    """The UCQ ``Q_ξ`` expressed by a plan without difference.
+
+    The head of every disjunct corresponds positionally to
+    ``plan.attributes``.  Raises :class:`UnsupportedQueryError` for plans that
+    use set difference or negated selection predicates (use
+    :func:`plan_to_fo` for those).
+    """
+    factory = FreshVariableFactory(prefix="p")
+    branches = _node_branches(plan, schema, views, unfold_views, factory)
+    disjuncts = tuple(
+        ConjunctiveQuery(
+            head=branch.head,
+            atoms=branch.atoms,
+            equalities=branch.equalities,
+            name=f"{name}_{index}",
+        )
+        for index, branch in enumerate(branches)
+    )
+    return UnionQuery(disjuncts, name=name)
+
+
+def plan_to_cq(
+    plan: PlanNode,
+    schema: DatabaseSchema,
+    views: ViewSet | None = None,
+    unfold_views: bool = True,
+    name: str = "Q_xi",
+) -> ConjunctiveQuery:
+    """The CQ expressed by a CQ plan (a plan whose UCQ form has one disjunct)."""
+    union = plan_to_ucq(plan, schema, views, unfold_views, name)
+    if len(union.disjuncts) != 1:
+        raise UnsupportedQueryError(
+            f"plan expresses a union of {len(union.disjuncts)} CQs, not a single CQ"
+        )
+    return union.disjuncts[0]
+
+
+def _node_branches(
+    node: PlanNode,
+    schema: DatabaseSchema,
+    views: ViewSet | None,
+    unfold_views: bool,
+    factory: FreshVariableFactory,
+) -> list[ConjunctiveQuery]:
+    """Return the node's output as a list of CQ branches (positional heads)."""
+    if isinstance(node, ConstantScan):
+        return [ConjunctiveQuery(head=(Constant(node.value),), atoms=())]
+
+    if isinstance(node, ViewScan):
+        if unfold_views:
+            if views is None or node.view_name not in views:
+                raise PlanError(
+                    f"cannot unfold unknown view {node.view_name!r}; pass the ViewSet"
+                )
+            view = views.view(node.view_name)
+            branches = []
+            for disjunct in view.as_ucq().disjuncts:
+                renamed, _ = disjunct.rename_apart(factory)
+                branches.append(renamed)
+            return branches
+        head = factory.fresh_many(len(node.view_attributes), hint="v")
+        return [
+            ConjunctiveQuery(
+                head=head, atoms=(RelationAtom(node.view_name, head),)
+            )
+        ]
+
+    if isinstance(node, FetchNode):
+        if node.child is None:
+            child_branches = [ConjunctiveQuery(head=(), atoms=())]
+            child_attributes: tuple[str, ...] = ()
+        else:
+            child_branches = _node_branches(node.child, schema, views, unfold_views, factory)
+            child_attributes = node.child.attributes
+        relation = schema.relation(node.relation)
+        branches = []
+        for child in child_branches:
+            terms: list[Term] = []
+            y_terms: dict[str, Term] = {}
+            for attribute in relation.attributes:
+                if attribute in node.x_attrs:
+                    position = child_attributes.index(attribute)
+                    terms.append(child.head[position])
+                elif attribute in node.y_attrs:
+                    fresh = factory.fresh(attribute)
+                    y_terms[attribute] = fresh
+                    terms.append(fresh)
+                else:
+                    terms.append(factory.fresh(attribute))
+            head: list[Term] = []
+            for attribute in node.attributes:
+                if attribute in node.x_attrs:
+                    position = child_attributes.index(attribute)
+                    head.append(child.head[position])
+                else:
+                    head.append(y_terms[attribute])
+            branches.append(
+                ConjunctiveQuery(
+                    head=tuple(head),
+                    atoms=child.atoms + (RelationAtom(node.relation, terms),),
+                    equalities=child.equalities,
+                )
+            )
+        return branches
+
+    if isinstance(node, ProjectNode):
+        child_branches = _node_branches(node.child, schema, views, unfold_views, factory)
+        positions = [node.child.attributes.index(a) for a in node.kept]
+        return [branch.project_head(positions) for branch in child_branches]
+
+    if isinstance(node, SelectNode):
+        if node.has_negated_predicate:
+            raise UnsupportedQueryError(
+                "negated selection predicates cannot be expressed in UCQ; use plan_to_fo"
+            )
+        child_branches = _node_branches(node.child, schema, views, unfold_views, factory)
+        result = []
+        for branch in child_branches:
+            equalities = list(branch.equalities)
+            for predicate in node.predicates:
+                if isinstance(predicate, AttributeEqualsConstant):
+                    position = node.child.attributes.index(predicate.attribute)
+                    equalities.append(
+                        EqualityAtom(branch.head[position], Constant(predicate.value))
+                    )
+                else:
+                    left = branch.head[node.child.attributes.index(predicate.left)]
+                    right = branch.head[node.child.attributes.index(predicate.right)]
+                    equalities.append(EqualityAtom(left, right))
+            result.append(
+                ConjunctiveQuery(
+                    head=branch.head, atoms=branch.atoms, equalities=tuple(equalities)
+                )
+            )
+        return result
+
+    if isinstance(node, RenameNode):
+        return _node_branches(node.child, schema, views, unfold_views, factory)
+
+    if isinstance(node, ProductNode):
+        left_branches = _node_branches(node.left, schema, views, unfold_views, factory)
+        right_branches = _node_branches(node.right, schema, views, unfold_views, factory)
+        return [
+            ConjunctiveQuery(
+                head=left.head + right.head,
+                atoms=left.atoms + right.atoms,
+                equalities=left.equalities + right.equalities,
+            )
+            for left in left_branches
+            for right in right_branches
+        ]
+
+    if isinstance(node, UnionNode):
+        return _node_branches(node.left, schema, views, unfold_views, factory) + _node_branches(
+            node.right, schema, views, unfold_views, factory
+        )
+
+    if isinstance(node, DifferenceNode):
+        raise UnsupportedQueryError(
+            "plans with set difference express FO queries; use plan_to_fo"
+        )
+
+    raise PlanError(f"unknown plan node type {type(node).__name__}")
+
+
+# --------------------------------------------------------------------------- #
+# Plan -> FO
+# --------------------------------------------------------------------------- #
+
+
+def plan_to_fo(
+    plan: PlanNode,
+    schema: DatabaseSchema,
+    views: ViewSet | None = None,
+    unfold_views: bool = True,
+) -> tuple[FOQuery, tuple[Term, ...]]:
+    """The FO query expressed by an arbitrary plan.
+
+    Returns ``(formula, output_terms)`` where ``output_terms`` corresponds
+    positionally to ``plan.attributes``; the free variables of ``formula`` are
+    exactly the variables among ``output_terms``.
+    """
+    factory = FreshVariableFactory(prefix="f")
+    return _node_fo(plan, schema, views, unfold_views, factory)
+
+
+def _align_to(
+    formula: FOQuery,
+    head_terms: Sequence[Term],
+    targets: Sequence[Variable],
+) -> FOQuery:
+    """Re-express ``formula`` so its output variables are exactly ``targets``."""
+    equalities = [FOEquality(target, term) for target, term in zip(targets, head_terms)]
+    old_variables = sorted(
+        {t for t in head_terms if isinstance(t, Variable) and t not in set(targets)},
+        key=lambda v: v.name,
+    )
+    return exists(old_variables, conj(formula, *equalities))
+
+
+def _node_fo(
+    node: PlanNode,
+    schema: DatabaseSchema,
+    views: ViewSet | None,
+    unfold_views: bool,
+    factory: FreshVariableFactory,
+) -> tuple[FOQuery, tuple[Term, ...]]:
+    if isinstance(node, ConstantScan):
+        return FOTrue(), (Constant(node.value),)
+
+    if isinstance(node, ViewScan):
+        head = factory.fresh_many(len(node.view_attributes), hint="v")
+        if not unfold_views:
+            return FOAtom(node.view_name, head), tuple(head)
+        if views is None or node.view_name not in views:
+            raise PlanError(
+                f"cannot unfold unknown view {node.view_name!r}; pass the ViewSet"
+            )
+        view = views.view(node.view_name)
+        # Rectify first so the view's bound variables are registered with the
+        # factory and can never clash with variables introduced elsewhere.
+        definition = rectify(view.as_fo(), factory)
+        # Rename the view's head variables onto the fresh output variables and
+        # close off the remaining free variables.
+        substitution: dict[Term, Term] = {}
+        residual_equalities: list[FOQuery] = []
+        for target, term in zip(head, view.head):
+            if isinstance(term, Variable) and term not in substitution:
+                substitution[term] = target
+            else:
+                residual_equalities.append(FOEquality(target, substitution.get(term, term)))
+        formula = definition.substitute(substitution)
+        leftovers = sorted(
+            formula.free_variables - set(head), key=lambda v: v.name
+        )
+        return exists(leftovers, conj(formula, *residual_equalities)), tuple(head)
+
+    if isinstance(node, FetchNode):
+        if node.child is None:
+            child_formula: FOQuery = FOTrue()
+            child_head: tuple[Term, ...] = ()
+            child_attributes: tuple[str, ...] = ()
+        else:
+            child_formula, child_head = _node_fo(
+                node.child, schema, views, unfold_views, factory
+            )
+            child_attributes = node.child.attributes
+        relation = schema.relation(node.relation)
+        terms: list[Term] = []
+        y_terms: dict[str, Term] = {}
+        hidden: list[Variable] = []
+        for attribute in relation.attributes:
+            if attribute in node.x_attrs:
+                position = child_attributes.index(attribute)
+                terms.append(child_head[position])
+            elif attribute in node.y_attrs:
+                fresh = factory.fresh(attribute)
+                y_terms[attribute] = fresh
+                terms.append(fresh)
+            else:
+                fresh = factory.fresh(attribute)
+                hidden.append(fresh)
+                terms.append(fresh)
+        head: list[Term] = []
+        for attribute in node.attributes:
+            if attribute in node.x_attrs:
+                position = child_attributes.index(attribute)
+                head.append(child_head[position])
+            else:
+                head.append(y_terms[attribute])
+        formula = conj(child_formula, FOAtom(node.relation, terms))
+        return exists(hidden, formula), tuple(head)
+
+    if isinstance(node, ProjectNode):
+        child_formula, child_head = _node_fo(node.child, schema, views, unfold_views, factory)
+        kept_positions = [node.child.attributes.index(a) for a in node.kept]
+        kept_terms = tuple(child_head[p] for p in kept_positions)
+        kept_variables = {t for t in kept_terms if isinstance(t, Variable)}
+        dropped = sorted(
+            {
+                t
+                for t in child_head
+                if isinstance(t, Variable) and t not in kept_variables
+            },
+            key=lambda v: v.name,
+        )
+        return exists(dropped, child_formula), kept_terms
+
+    if isinstance(node, SelectNode):
+        child_formula, child_head = _node_fo(node.child, schema, views, unfold_views, factory)
+        conditions: list[FOQuery] = []
+        for predicate in node.predicates:
+            if isinstance(predicate, AttributeEqualsConstant):
+                position = node.child.attributes.index(predicate.attribute)
+                conditions.append(
+                    FOEquality(child_head[position], Constant(predicate.value), predicate.negated)
+                )
+            else:
+                left = child_head[node.child.attributes.index(predicate.left)]
+                right = child_head[node.child.attributes.index(predicate.right)]
+                conditions.append(FOEquality(left, right, predicate.negated))
+        return conj(child_formula, *conditions), child_head
+
+    if isinstance(node, RenameNode):
+        return _node_fo(node.child, schema, views, unfold_views, factory)
+
+    if isinstance(node, ProductNode):
+        left_formula, left_head = _node_fo(node.left, schema, views, unfold_views, factory)
+        right_formula, right_head = _node_fo(node.right, schema, views, unfold_views, factory)
+        return conj(left_formula, right_formula), left_head + right_head
+
+    if isinstance(node, (UnionNode, DifferenceNode)):
+        left_formula, left_head = _node_fo(node.left, schema, views, unfold_views, factory)
+        right_formula, right_head = _node_fo(node.right, schema, views, unfold_views, factory)
+        targets = factory.fresh_many(len(node.attributes), hint="u")
+        aligned_left = _align_to(left_formula, left_head, targets)
+        aligned_right = _align_to(right_formula, right_head, targets)
+        if isinstance(node, UnionNode):
+            return disj(aligned_left, aligned_right), tuple(targets)
+        return conj(aligned_left, neg(aligned_right)), tuple(targets)
+
+    raise PlanError(f"unknown plan node type {type(node).__name__}")
+
+
+# --------------------------------------------------------------------------- #
+# View unfolding inside queries
+# --------------------------------------------------------------------------- #
+
+
+def unfold_view_atoms(query: QueryLike, views: ViewSet, name: str | None = None) -> UnionQuery:
+    """Replace atoms over view relations by the view definitions.
+
+    The input is a CQ/UCQ whose atoms may reference view names (the virtual
+    relations of ``views.extended_schema``); the output is a UCQ over base
+    relations only.  FO-defined views cannot be unfolded into a UCQ and raise
+    :class:`UnsupportedQueryError`.
+    """
+    union = as_union(query)
+    factory = FreshVariableFactory(
+        used=[v.name for v in union.variables], prefix="u"
+    )
+    result: list[ConjunctiveQuery] = []
+    for disjunct in union.disjuncts:
+        expansions = [
+            ConjunctiveQuery(head=disjunct.head, atoms=(), equalities=disjunct.equalities)
+        ]
+        for atom in disjunct.atoms:
+            if atom.relation in views:
+                view = views.view(atom.relation)
+                view_disjuncts = view.as_ucq().disjuncts
+                new_expansions = []
+                for partial in expansions:
+                    for view_disjunct in view_disjuncts:
+                        renamed, _ = view_disjunct.rename_apart(factory)
+                        alignment = tuple(
+                            EqualityAtom(atom_term, view_term)
+                            for atom_term, view_term in zip(atom.terms, renamed.head)
+                        )
+                        new_expansions.append(
+                            ConjunctiveQuery(
+                                head=partial.head,
+                                atoms=partial.atoms + renamed.atoms,
+                                equalities=partial.equalities
+                                + renamed.equalities
+                                + alignment,
+                            )
+                        )
+                expansions = new_expansions
+            else:
+                expansions = [
+                    ConjunctiveQuery(
+                        head=partial.head,
+                        atoms=partial.atoms + (atom,),
+                        equalities=partial.equalities,
+                    )
+                    for partial in expansions
+                ]
+        result.extend(expansions)
+    return UnionQuery(
+        tuple(
+            ConjunctiveQuery(
+                head=branch.head,
+                atoms=branch.atoms,
+                equalities=branch.equalities,
+                name=f"{query.name}_unfolded_{index}",
+            )
+            for index, branch in enumerate(result)
+        ),
+        name=name if name is not None else f"{query.name}_unfolded",
+    )

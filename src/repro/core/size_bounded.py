@@ -1,0 +1,137 @@
+"""Size-bounded queries: an effective syntax for FO queries with bounded output.
+
+The bounded output problem is undecidable for FO (Theorem 3.4).  Section 5.3
+therefore introduces *size-bounded queries*: FO queries of the shape
+
+    Q(x̄) = Q'(x̄) ∧ ∀x̄1, ..., x̄_{K+1} ( Q'(x̄1) ∧ ... ∧ Q'(x̄_{K+1})
+                                           → ∨_{i≠j} x̄i = x̄j )
+
+for some natural number ``K`` and FO query ``Q'``.  Theorem 5.2: every FO
+query with bounded output under ``A`` is A-equivalent to a size-bounded
+query; every size-bounded query has bounded output (by at most ``K``); and
+membership in the class is checkable in PTIME — it is purely syntactic.
+
+This module provides the constructor :func:`make_size_bounded`, the
+recogniser :func:`is_size_bounded` / :func:`size_bound_of` (which also
+returns the bound ``K``), and the guard builder used by both.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..algebra.fo import (
+    FOAnd,
+    FOEquality,
+    FOExists,
+    FOForAll,
+    FONot,
+    FOOr,
+    FOQuery,
+    conj,
+    disj,
+)
+from ..algebra.terms import Variable
+from ..errors import QueryError
+
+
+def _tuple_equality(left: Sequence[Variable], right: Sequence[Variable]) -> FOQuery:
+    """``x̄_i = x̄_j`` component-wise (a conjunction, or a single equality)."""
+    equalities = [FOEquality(a, b) for a, b in zip(left, right)]
+    return conj(*equalities)
+
+
+def _copies(head: Sequence[Variable], count: int, prefix: str) -> list[tuple[Variable, ...]]:
+    return [
+        tuple(Variable(f"{prefix}{index}_{variable.name}") for variable in head)
+        for index in range(count)
+    ]
+
+
+def size_bounded_guard(inner: FOQuery, head: Sequence[Variable], bound: int) -> FOQuery:
+    """The universally quantified guard asserting ``|Q'| <= bound``.
+
+    ``∀x̄1..x̄_{K+1} ( ∧_i Q'(x̄i) → ∨_{i<j} x̄i = x̄j )`` with the implication
+    written as ``¬(∧_i Q'(x̄i)) ∨ ∨_{i<j} x̄i = x̄j``.
+    """
+    head = tuple(head)
+    if bound < 0:
+        raise QueryError("size bound must be a natural number")
+    copies = _copies(head, bound + 1, prefix="_sb")
+    premise_conjuncts = []
+    for copy in copies:
+        substitution = dict(zip(head, copy))
+        premise_conjuncts.append(inner.substitute(substitution))
+    premise = conj(*premise_conjuncts)
+    equality_disjuncts = [
+        _tuple_equality(copies[i], copies[j])
+        for i in range(len(copies))
+        for j in range(i + 1, len(copies))
+    ]
+    body = disj(FONot(premise), *equality_disjuncts)
+    all_copy_variables = [variable for copy in copies for variable in copy]
+    return FOForAll(tuple(all_copy_variables), body)
+
+
+def make_size_bounded(inner: FOQuery, head: Sequence[Variable], bound: int) -> FOQuery:
+    """Construct the size-bounded query for ``inner`` with output bound ``bound``.
+
+    When ``inner`` has at most ``bound`` answers on an instance, the guard is
+    true and the result coincides with ``inner``; otherwise the result is
+    empty — so the result always has at most ``bound`` answers.
+    """
+    head = tuple(head)
+    if not inner.free_variables <= set(head):
+        missing = inner.free_variables - set(head)
+        raise QueryError(f"head does not cover free variables: {sorted(str(v) for v in missing)}")
+    return FOAnd((inner, size_bounded_guard(inner, head, bound)))
+
+
+@dataclass(frozen=True)
+class SizeBoundedMatch:
+    """Successful recognition of the size-bounded shape."""
+
+    inner: FOQuery
+    bound: int
+
+
+def match_size_bounded(query: FOQuery, head: Sequence[Variable]) -> SizeBoundedMatch | None:
+    """Recognise the canonical size-bounded shape (PTIME, purely syntactic).
+
+    The recogniser accepts exactly the queries produced by
+    :func:`make_size_bounded` (conjunct order as constructed); it returns the
+    inner query and the bound ``K`` on success, ``None`` otherwise.
+    """
+    head = tuple(head)
+    if not isinstance(query, FOAnd) or len(query.children) != 2:
+        return None
+    inner, guard = query.children
+    if not isinstance(guard, FOForAll):
+        return None
+    if head and len(guard.variables) % len(head) != 0:
+        return None
+    copies_count = len(guard.variables) // len(head) if head else 0
+    if head:
+        if copies_count < 1:
+            return None
+        bound = copies_count - 1
+    else:
+        # Boolean inner query: output size is at most 1 by definition; accept
+        # a guard over zero variables with bound 0 only if it matches.
+        bound = 0
+    expected = size_bounded_guard(inner, head, bound)
+    if expected != guard:
+        return None
+    return SizeBoundedMatch(inner=inner, bound=bound)
+
+
+def is_size_bounded(query: FOQuery, head: Sequence[Variable]) -> bool:
+    """Is ``query`` a size-bounded query (Theorem 5.2(c))?"""
+    return match_size_bounded(query, head) is not None
+
+
+def size_bound_of(query: FOQuery, head: Sequence[Variable]) -> int | None:
+    """The output bound ``K`` of a size-bounded query, or ``None``."""
+    match = match_size_bounded(query, head)
+    return match.bound if match is not None else None

@@ -1,0 +1,907 @@
+"""Topped queries: an effective syntax for FO queries with a bounded rewriting.
+
+VBRP is undecidable for FO and robustly intractable for CQ, so Section 5
+introduces *queries topped by (R, V, A, M)*: a syntactic class, checkable in
+PTIME, such that (Theorem 5.1)
+
+(a) every FO query with an ``M``-bounded rewriting using ``V`` under ``A`` is
+    A-equivalent to a topped query;
+(b) every topped query *has* an ``M``-bounded rewriting, and a witnessing
+    plan can be generated in PTIME; and
+(c) membership is decided by two inductively defined functions
+    ``covq(Qs, Q)`` (can values be propagated from the context ``Qs`` into
+    ``Q`` so that ``Qs ∧ Q`` keeps a bounded plan?) and ``size(Qs, Q)`` (an
+    upper bound on the size of that plan), with a bounded-output oracle for
+    the sub-queries used to drive ``fetch`` operations.
+
+This module implements the seven cases of the ``covq``/``size`` induction,
+the bounded-output oracle (exact for ∃FO+ contexts via Theorem 3.4, the
+size-bounded effective syntax of Theorem 5.2 for FO views), and — alongside
+the analysis — a *plan builder* that assembles the witnessing bounded plan,
+mirroring Figure 3.
+
+A note on plan sizes: the paper's ``size`` function counts the idealised
+minimum plan; the builder in this module favours clarity (it inserts explicit
+renames/selections when aligning attribute names), so the constructed plan
+can be moderately larger than the ``size`` estimate.  ``is_topped`` uses the
+paper's estimate; ``ToppedAnalysis.plan_size`` reports the constructed size.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+from ..algebra.fo import (
+    FOAnd,
+    FOAtom,
+    FOEquality,
+    FOExists,
+    FOForAll,
+    FONot,
+    FOOr,
+    FOQuery,
+    FOTrue,
+    conj,
+    is_positive_existential,
+    rectify,
+    to_ucq,
+)
+from ..algebra.schema import DatabaseSchema
+from ..algebra.terms import Constant, Term, Variable
+from ..algebra.views import View, ViewSet
+from ..errors import BudgetExceededError, QueryError, UnsupportedQueryError
+from .access import AccessConstraint, AccessSchema
+from .bounded_output import has_bounded_output
+from .element_queries import ElementQueryBudget
+from .plans import (
+    AttributeEqualsAttribute,
+    AttributeEqualsConstant,
+    ConstantScan,
+    DifferenceNode,
+    FetchNode,
+    PlanNode,
+    ProjectNode,
+    RenameNode,
+    SelectNode,
+    UnionNode,
+    ViewScan,
+    join_on_shared_attributes,
+)
+from .rewriting import unfold_view_atoms
+from .size_bounded import size_bound_of
+
+INFINITY = math.inf
+
+PlanBuilder = Callable[[], PlanNode]
+
+
+# --------------------------------------------------------------------------- #
+# Parameters and context (the Qs of the induction)
+# --------------------------------------------------------------------------- #
+
+
+@dataclass
+class ToppedParameters:
+    """The (R, V, A) part of "topped by (R, V, A, M)" plus the K cut-off.
+
+    ``inner_size_cutoff`` is the constant ``K`` bounding the size of the inner
+    conjunct in cases (4c) and (6b); the paper notes ``K = 1`` already
+    preserves expressive completeness.
+    """
+
+    schema: DatabaseSchema
+    views: ViewSet
+    access_schema: AccessSchema
+    inner_size_cutoff: int = 1
+    budget: ElementQueryBudget | None = None
+
+    def __post_init__(self) -> None:
+        self.extended_schema = self.views.extended_schema(self.schema)
+        self._cq_views = ViewSet(
+            view for view in self.views if view.language in ("CQ", "UCQ")
+        )
+        virtual_constraints = []
+        for view in self.views:
+            if view.language not in ("CQ", "UCQ"):
+                bound = size_bound_of(view.as_fo(), view.head_variables)
+                if bound is not None:
+                    virtual_constraints.append(
+                        AccessConstraint(view.name, (), view.attributes, max(bound, 1))
+                    )
+        self.extended_access = self.access_schema.extended_with(virtual_constraints)
+
+    # -- bounded output oracle ------------------------------------------- #
+
+    def formula_has_bounded_output(self, formula: FOQuery) -> bool:
+        """Bounded-output oracle used by cases (4a) and (7b).
+
+        Exact (Theorem 3.4) when the formula is positive-existential after
+        unfolding CQ/UCQ views; FO views are kept as virtual relations whose
+        output bound — when they match the size-bounded syntax of
+        Theorem 5.2 — becomes a virtual access constraint.  Anything else is
+        conservatively reported as unbounded.
+        """
+        if isinstance(formula, FOTrue):
+            return True
+        if not is_positive_existential(formula):
+            return False
+        head = sorted(formula.free_variables, key=lambda v: v.name)
+        try:
+            as_union = to_ucq(formula, head)
+            unfolded = unfold_view_atoms(as_union, self._cq_views)
+            return has_bounded_output(
+                unfolded, self.extended_access, self.extended_schema, self.budget
+            )
+        except (UnsupportedQueryError, BudgetExceededError):
+            return False
+
+    def view_for(self, name: str) -> View | None:
+        return self.views.view(name) if name in self.views else None
+
+    def is_base_relation(self, name: str) -> bool:
+        return name in self.schema and name not in self.views
+
+
+@dataclass
+class _Context:
+    """The context ``Qs``: conjuncts already known to have a bounded plan."""
+
+    params: ToppedParameters
+    conjuncts: tuple[FOQuery, ...] = ()
+    builder: PlanBuilder | None = None
+    size: float = 0.0
+
+    @property
+    def is_empty(self) -> bool:
+        return not self.conjuncts
+
+    @property
+    def free_variables(self) -> frozenset[Variable]:
+        if not self.conjuncts:
+            return frozenset()
+        return frozenset().union(*(c.free_variables for c in self.conjuncts))
+
+    def formula(self) -> FOQuery:
+        return conj(*self.conjuncts) if self.conjuncts else FOTrue()
+
+    def has_bounded_output(self) -> bool:
+        return self.params.formula_has_bounded_output(self.formula())
+
+    def bounded_output_with(self, extra: FOQuery) -> bool:
+        return self.params.formula_has_bounded_output(conj(self.formula(), extra))
+
+    def extended(self, extra: FOQuery, builder: PlanBuilder, size: float) -> "_Context":
+        """Context for ``Qs ∧ extra`` whose plan is produced by ``builder``."""
+        return _Context(
+            params=self.params,
+            conjuncts=self.conjuncts + (extra,),
+            builder=builder,
+            size=size,
+        )
+
+    def build(self) -> PlanNode | None:
+        return self.builder() if self.builder is not None else None
+
+
+# --------------------------------------------------------------------------- #
+# Result of the analysis
+# --------------------------------------------------------------------------- #
+
+
+@dataclass
+class ToppedAnalysis:
+    """Result of ``covq``/``size`` for a (Qs, Q) pair.
+
+    ``covered`` is ``covq(Qs, Q)``; ``size`` is the paper's ``size(Qs, Q)``
+    estimate (``inf`` when not covered); ``builder`` produces a plan for
+    ``Qs ∧ Q`` whose output attributes are the names of the free variables of
+    ``Qs ∧ Q``.
+    """
+
+    covered: bool
+    size: float
+    builder: PlanBuilder | None = None
+
+    @classmethod
+    def failure(cls) -> "ToppedAnalysis":
+        return cls(covered=False, size=INFINITY, builder=None)
+
+
+# --------------------------------------------------------------------------- #
+# Plan-construction helpers
+# --------------------------------------------------------------------------- #
+
+
+def _join(left: PlanNode | None, right: PlanNode) -> PlanNode:
+    if left is None:
+        return right
+    return join_on_shared_attributes(left, right)
+
+
+def _align(plan: PlanNode, attributes: Sequence[str]) -> PlanNode:
+    """Project/reorder ``plan`` onto ``attributes`` (all must be present)."""
+    if plan.attributes == tuple(attributes):
+        return plan
+    return ProjectNode(plan, tuple(attributes))
+
+
+def _atom_scan_plan(
+    relation_name: str,
+    terms: Sequence[Term],
+    attributes: Sequence[str],
+    source: PlanNode,
+    keep_variables: frozenset[Variable],
+) -> PlanNode:
+    """Turn a raw scan/fetch of an atom into a plan over variable-named attributes.
+
+    ``source`` produces rows over ``attributes`` (a subset of the relation's
+    attributes, positionally aligned with the corresponding ``terms``).  The
+    helper applies constant selections, equality selections for repeated
+    variables, renames attributes to variable names and projects onto the
+    variables in ``keep_variables``.
+    """
+    attr_list = list(attributes)
+    term_by_attr = dict(zip(attr_list, terms))
+    plan: PlanNode = source
+
+    # Constant positions -> constant selections.
+    constant_predicates = [
+        AttributeEqualsConstant(attr, term.value)
+        for attr, term in term_by_attr.items()
+        if isinstance(term, Constant)
+    ]
+    if constant_predicates:
+        plan = SelectNode(plan, tuple(constant_predicates))
+
+    # Repeated variables -> equality selections between their attribute copies.
+    positions_of: dict[Variable, list[str]] = {}
+    for attr in attr_list:
+        term = term_by_attr[attr]
+        if isinstance(term, Variable):
+            positions_of.setdefault(term, []).append(attr)
+    repeat_predicates = []
+    for variable, attrs in positions_of.items():
+        for extra in attrs[1:]:
+            repeat_predicates.append(AttributeEqualsAttribute(attrs[0], extra))
+    if repeat_predicates:
+        plan = SelectNode(plan, tuple(repeat_predicates))
+
+    # Keep one attribute per kept variable, then rename it to the variable name
+    # (projecting first avoids rename collisions with attributes being dropped).
+    primary: list[tuple[str, Variable]] = [
+        (attrs[0], variable)
+        for variable, attrs in positions_of.items()
+        if variable in keep_variables
+    ]
+    plan = ProjectNode(plan, tuple(attr for attr, _ in primary))
+    rename_map = {attr: variable.name for attr, variable in primary if attr != variable.name}
+    if rename_map:
+        plan = RenameNode(plan, rename_map)
+    kept_names = tuple(sorted(variable.name for _, variable in primary))
+    return ProjectNode(plan, kept_names)
+
+
+def _view_plan(
+    view: View, terms: Sequence[Term], keep_variables: frozenset[Variable]
+) -> PlanNode:
+    """Plan scanning a cached view atom ``V(terms)``."""
+    scan = ViewScan(view.name, view.attributes)
+    return _atom_scan_plan(view.name, terms, view.attributes, scan, keep_variables)
+
+
+# --------------------------------------------------------------------------- #
+# Shape detection helpers
+# --------------------------------------------------------------------------- #
+
+
+def _is_condition(query: FOQuery) -> bool:
+    return isinstance(query, FOEquality)
+
+
+@dataclass(frozen=True)
+class _ProjectedAtom:
+    """An atom possibly under existential quantifiers: ``∃w̄ R(terms)``."""
+
+    relation: str
+    terms: tuple[Term, ...]
+    quantified: frozenset[Variable]
+
+    @property
+    def free_variables(self) -> frozenset[Variable]:
+        return frozenset(
+            t for t in self.terms if isinstance(t, Variable) and t not in self.quantified
+        )
+
+
+def _as_projected_atom(query: FOQuery) -> _ProjectedAtom | None:
+    quantified: set[Variable] = set()
+    current = query
+    while isinstance(current, FOExists):
+        quantified.update(current.variables)
+        current = current.child
+    if isinstance(current, FOAtom):
+        return _ProjectedAtom(
+            relation=current.relation,
+            terms=current.terms,
+            quantified=frozenset(quantified),
+        )
+    return None
+
+
+def _split_negation(query: FOAnd) -> tuple[FOQuery, FOQuery] | None:
+    """Split ``Q1 ∧ ¬Q2`` out of a conjunction, if a negated conjunct exists."""
+    negated = [c for c in query.children if isinstance(c, FONot)]
+    if not negated:
+        return None
+    last_negated = negated[-1]
+    positives = [c for c in query.children if c is not last_negated]
+    left = conj(*positives) if positives else FOTrue()
+    return left, last_negated.child
+
+
+# --------------------------------------------------------------------------- #
+# Fetch-based construction shared by cases (4a), (7a) and (7b)
+# --------------------------------------------------------------------------- #
+
+
+def _try_fetch_atom(
+    atom: _ProjectedAtom,
+    key_variables: frozenset[Variable],
+    key_plan_builder: PlanBuilder | None,
+    key_bounded: Callable[[], bool],
+    params: ToppedParameters,
+) -> PlanBuilder | None:
+    """Builder fetching ``atom`` through an access constraint, or ``None``.
+
+    ``key_variables`` are the variables whose values can be propagated into
+    the fetch (free variables of the surrounding context); ``key_plan_builder``
+    builds the plan producing them (``None`` for the empty context, usable
+    only with constraints whose ``X`` is empty); ``key_bounded`` lazily checks
+    that the context has bounded output (condition of cases 4a / 7b).
+    """
+    if not params.is_base_relation(atom.relation):
+        return None
+    relation = params.schema.relation(atom.relation)
+    needed_positions = _needed_positions(atom)
+
+    for constraint in params.access_schema.for_relation(atom.relation):
+        x_positions = set(relation.positions(constraint.x))
+        y_positions = set(relation.positions(constraint.y))
+        usable = True
+        needs_key_plan = False
+        seen_key_variables: set[Variable] = set()
+        for position in x_positions:
+            term = atom.terms[position]
+            if isinstance(term, Constant):
+                continue
+            if (
+                isinstance(term, Variable)
+                and term in key_variables
+                and term not in atom.quantified
+                and term not in seen_key_variables
+            ):
+                seen_key_variables.add(term)
+                needs_key_plan = True
+                continue
+            usable = False
+            break
+        if not usable:
+            continue
+        if not needed_positions <= (x_positions | y_positions):
+            continue
+        if needs_key_plan:
+            # Values are propagated from the context, which therefore must
+            # have bounded output (conditions of cases 4a and 7b).
+            if key_plan_builder is None or not key_bounded():
+                continue
+        builder = _fetch_builder(
+            atom, constraint, relation.attributes, key_plan_builder, params
+        )
+        return builder
+    return None
+
+
+def _needed_positions(atom: _ProjectedAtom) -> set[int]:
+    """Positions whose values the plan must actually observe."""
+    needed: set[int] = set()
+    occurrences: dict[Variable, list[int]] = {}
+    for position, term in enumerate(atom.terms):
+        if isinstance(term, Constant):
+            needed.add(position)
+        elif isinstance(term, Variable):
+            occurrences.setdefault(term, []).append(position)
+            if term not in atom.quantified:
+                needed.add(position)
+    for variable, positions in occurrences.items():
+        if len(positions) > 1:
+            needed.update(positions)
+    return needed
+
+
+def _fetch_builder(
+    atom: _ProjectedAtom,
+    constraint: AccessConstraint,
+    relation_attributes: tuple[str, ...],
+    key_plan_builder: PlanBuilder | None,
+    params: ToppedParameters,
+) -> PlanBuilder:
+    """Assemble the fetch plan for ``atom`` through ``constraint``."""
+
+    def build() -> PlanNode:
+        x_attrs = constraint.x
+        # Key sub-plan with attributes named exactly like the constraint's X.
+        key_plan: PlanNode | None = None
+        if x_attrs:
+            variable_keys: list[tuple[str, Variable]] = []
+            constant_keys: list[tuple[str, Constant]] = []
+            for attr in x_attrs:
+                position = relation_attributes.index(attr)
+                term = atom.terms[position]
+                if isinstance(term, Variable):
+                    variable_keys.append((attr, term))
+                else:
+                    constant_keys.append((attr, term))
+            if variable_keys:
+                assert key_plan_builder is not None
+                source = key_plan_builder()
+                projected = ProjectNode(
+                    source, tuple(sorted({v.name for _, v in variable_keys}))
+                )
+                rename_map = {
+                    variable.name: attr
+                    for attr, variable in variable_keys
+                    if variable.name != attr
+                }
+                key_plan = RenameNode(projected, rename_map) if rename_map else projected
+            for attr, constant in constant_keys:
+                scan = ConstantScan(constant.value, attribute=attr)
+                key_plan = scan if key_plan is None else join_on_shared_attributes(key_plan, scan)
+
+        # Attributes fetched besides the key: everything needed that is not in X.
+        needed = _needed_positions(atom)
+        y_attrs = tuple(
+            relation_attributes[p]
+            for p in sorted(needed)
+            if relation_attributes[p] not in x_attrs
+        )
+        fetch = FetchNode(key_plan, atom.relation, x_attrs, y_attrs)
+
+        keep = atom.free_variables
+        fetched_positions = [relation_attributes.index(a) for a in fetch.attributes]
+        fetched_terms = [atom.terms[p] for p in fetched_positions]
+        atom_plan = _atom_scan_plan(
+            atom.relation, fetched_terms, fetch.attributes, fetch, keep
+        )
+        if key_plan_builder is None:
+            return atom_plan
+        return _join(key_plan_builder(), atom_plan)
+
+    return build
+
+
+# --------------------------------------------------------------------------- #
+# The covq / size induction
+# --------------------------------------------------------------------------- #
+
+
+def _analyze(ctx: _Context, query: FOQuery, params: ToppedParameters) -> ToppedAnalysis:
+    """Compute ``covq(Qs, Q)``, ``size(Qs, Q)`` and the plan builder."""
+
+    # Qε — the tautology query.
+    if isinstance(query, FOTrue):
+        builder = ctx.builder if ctx.builder is not None else None
+        return ToppedAnalysis(covered=True, size=0, builder=builder or (lambda: ProjectNode(ConstantScan(0), ())))
+
+    # Case (1): Q is (z = c) — also accept constant/variable equalities directly.
+    if isinstance(query, FOEquality) and not query.negated:
+        return _analyze_condition_leaf(ctx, query)
+
+    # Case (2): Q is a view atom V(z̄).
+    if isinstance(query, FOAtom) and query.relation in params.views:
+        return _analyze_view_atom(ctx, query, params)
+
+    # Case (7): Q is ∃w̄ Q' — including a bare base-relation atom (w̄ empty).
+    if isinstance(query, FOExists) or (
+        isinstance(query, FOAtom) and params.is_base_relation(query.relation)
+    ):
+        return _analyze_exists(ctx, query, params)
+
+    # Conjunctions: cases (3), (4) and (6).
+    if isinstance(query, FOAnd):
+        return _analyze_conjunction(ctx, query, params)
+
+    # Case (5): disjunction.
+    if isinstance(query, FOOr):
+        return _analyze_disjunction(ctx, query, params)
+
+    # Anything else (bare negation, universal quantification, ...) is not topped.
+    return ToppedAnalysis.failure()
+
+
+def _analyze_condition_leaf(ctx: _Context, query: FOEquality) -> ToppedAnalysis:
+    """Case (1): ``z = c`` (and the degenerate ``z = z'`` between context variables)."""
+    left, right = query.left, query.right
+
+    def build() -> PlanNode:
+        ctx_plan = ctx.build()
+        if isinstance(left, Variable) and isinstance(right, Constant):
+            return _join(ctx_plan, ConstantScan(right.value, attribute=left.name))
+        if isinstance(right, Variable) and isinstance(left, Constant):
+            return _join(ctx_plan, ConstantScan(left.value, attribute=right.name))
+        if isinstance(left, Variable) and isinstance(right, Variable):
+            if ctx_plan is None:
+                raise QueryError(
+                    f"equality {query} between variables needs a context providing them"
+                )
+            return SelectNode(ctx_plan, (AttributeEqualsAttribute(left.name, right.name),))
+        # Constant = constant: either a tautology or a contradiction.
+        base = ctx_plan if ctx_plan is not None else ProjectNode(ConstantScan(0), ())
+        if left == right:
+            return base
+        return SelectNode(ConstantScan(0, "c"), (AttributeEqualsConstant("c", 1),))
+
+    variables = query.free_variables
+    if len(variables) == 2 and not variables <= ctx.free_variables:
+        return ToppedAnalysis.failure()
+    return ToppedAnalysis(covered=True, size=1, builder=build)
+
+
+def _analyze_view_atom(
+    ctx: _Context, query: FOAtom, params: ToppedParameters
+) -> ToppedAnalysis:
+    """Case (2): a cached view can always be scanned."""
+    view = params.views.view(query.relation)
+
+    def build() -> PlanNode:
+        atom_plan = _view_plan(view, query.terms, query.free_variables)
+        return _join(ctx.build(), atom_plan)
+
+    return ToppedAnalysis(covered=True, size=1, builder=build)
+
+
+def _analyze_exists(
+    ctx: _Context, query: FOQuery, params: ToppedParameters
+) -> ToppedAnalysis:
+    """Case (7): ``∃w̄ Q'`` (with the bare-atom sub-cases 7a and 7b)."""
+    atom = _as_projected_atom(query)
+    if atom is not None and params.is_base_relation(atom.relation):
+        # (7a): constraint with empty X — a single index scan suffices.
+        fetch_builder = _try_fetch_atom(
+            atom,
+            key_variables=frozenset(),
+            key_plan_builder=None,
+            key_bounded=lambda: True,
+            params=params,
+        )
+        if fetch_builder is not None:
+            def build_7a() -> PlanNode:
+                return _join(ctx.build(), fetch_builder())
+
+            return ToppedAnalysis(covered=True, size=1, builder=build_7a)
+
+        # (7b): key values propagated from Qs, which must have bounded output.
+        fetch_builder = _try_fetch_atom(
+            atom,
+            key_variables=ctx.free_variables,
+            key_plan_builder=ctx.builder,
+            key_bounded=ctx.has_bounded_output,
+            params=params,
+        )
+        if fetch_builder is not None:
+            inner_size = 1.0
+            return ToppedAnalysis(covered=True, size=inner_size + 1, builder=fetch_builder)
+
+    if atom is not None and atom.relation in params.views:
+        # A projected view atom: scan the view, then project.
+        view = params.views.view(atom.relation)
+
+        def build_view() -> PlanNode:
+            atom_plan = _view_plan(view, atom.terms, atom.free_variables)
+            return _join(ctx.build(), atom_plan)
+
+        return ToppedAnalysis(covered=True, size=2, builder=build_view)
+
+    # (7c): recurse into the body and project the quantified variables away.
+    if isinstance(query, FOExists):
+        inner = _analyze(ctx, query.child, params)
+        if not inner.covered:
+            return ToppedAnalysis.failure()
+        quantified_names = {v.name for v in query.variables}
+
+        def build_project() -> PlanNode:
+            assert inner.builder is not None
+            plan = inner.builder()
+            kept = tuple(a for a in plan.attributes if a not in quantified_names)
+            return ProjectNode(plan, kept)
+
+        return ToppedAnalysis(covered=True, size=inner.size + 1, builder=build_project)
+
+    return ToppedAnalysis.failure()
+
+
+def _analyze_conjunction(
+    ctx: _Context, query: FOAnd, params: ToppedParameters
+) -> ToppedAnalysis:
+    """Cases (3), (4) and (6) for conjunctions.
+
+    Two groupings of the conjuncts are attempted and the smaller covered one
+    wins: (a) peel a trailing (in)equality condition (case 3) and (b) split
+    off the last non-condition conjunct as ``Q2`` and keep everything else —
+    including the conditions — in ``Q1`` (case 4).  Grouping (b) is what lets
+    a condition such as ``x = 1`` anchor the bounded-output check of ``Qs ∧
+    Q1`` in case (4a), as in Example 5.4.
+    """
+    split = _split_negation(query)
+    if split is not None:
+        return _analyze_negation(ctx, split[0], split[1], params)
+
+    children = list(query.children)
+    if len(children) == 1:
+        return _analyze(ctx, children[0], params)
+
+    candidates: list[ToppedAnalysis] = []
+    conditions = [c for c in children if _is_condition(c)]
+    non_conditions = [c for c in children if not _is_condition(c)]
+
+    # Grouping (a) — case (3): Q = Q' ∧ C for the last condition C.
+    if conditions:
+        candidates.append(_analyze_trailing_condition(ctx, children, conditions[-1], params))
+
+    # Grouping (b) — case (4): Q = Q1 ∧ Q2 with Q2 the last non-condition conjunct.
+    if non_conditions:
+        q2 = non_conditions[-1]
+        rest = [c for c in children if c is not q2]
+        if rest:
+            q1 = conj(*rest)
+            candidates.append(_analyze_binary_conjunction(ctx, q1, q2, params))
+        else:
+            candidates.append(_analyze(ctx, q2, params))
+
+    covered = [c for c in candidates if c.covered]
+    if not covered:
+        return ToppedAnalysis.failure()
+    return min(covered, key=lambda c: c.size)
+
+
+def _analyze_trailing_condition(
+    ctx: _Context,
+    children: list[FOQuery],
+    condition: FOEquality,
+    params: ToppedParameters,
+) -> ToppedAnalysis:
+    """Case (3): ``Q'(z̄) ∧ C`` for an (in)equality condition ``C``."""
+    rest = [c for c in children if c is not condition]
+    rest_query = conj(*rest) if rest else FOTrue()
+    available = ctx.free_variables | rest_query.free_variables
+    missing = condition.free_variables - available
+    if missing and (condition.negated or len(condition.free_variables) != 1):
+        # A condition over a variable the rest of the query never binds is
+        # only admissible when it *defines* the variable (z = c).
+        return ToppedAnalysis.failure()
+    inner = _analyze(ctx, rest_query, params)
+    if not inner.covered:
+        return ToppedAnalysis.failure()
+
+    def build_condition() -> PlanNode:
+        assert inner.builder is not None
+        plan = inner.builder()
+        condition_vars = {v.name for v in condition.free_variables}
+        if condition_vars <= set(plan.attributes):
+            predicate = _condition_predicate(condition, plan)
+            return SelectNode(plan, (predicate,))
+        # The condition introduces a new variable via z = c: realise it as
+        # a constant scan joined in (it cannot be negated here).
+        variable = next(iter(condition.free_variables))
+        constant = (
+            condition.right if isinstance(condition.left, Variable) else condition.left
+        )
+        assert isinstance(constant, Constant)
+        return _join(plan, ConstantScan(constant.value, attribute=variable.name))
+
+    return ToppedAnalysis(covered=True, size=inner.size + 1, builder=build_condition)
+
+
+def _condition_predicate(condition: FOEquality, plan: PlanNode):
+    left, right = condition.left, condition.right
+    if isinstance(left, Variable) and isinstance(right, Constant):
+        return AttributeEqualsConstant(left.name, right.value, condition.negated)
+    if isinstance(right, Variable) and isinstance(left, Constant):
+        return AttributeEqualsConstant(right.name, left.value, condition.negated)
+    if isinstance(left, Variable) and isinstance(right, Variable):
+        return AttributeEqualsAttribute(left.name, right.name, condition.negated)
+    raise QueryError(f"condition {condition} relates two constants")
+
+
+def _analyze_binary_conjunction(
+    ctx: _Context, q1: FOQuery, q2: FOQuery, params: ToppedParameters
+) -> ToppedAnalysis:
+    analysis_q1 = _analyze(ctx, q1, params)
+
+    # Case (4a): Q2 is (a projection of) a relation atom reachable by a fetch
+    # keyed by the free variables of Qs ∧ Q1, which must have bounded output.
+    if analysis_q1.covered:
+        atom = _as_projected_atom(q2)
+        if atom is not None and params.is_base_relation(atom.relation):
+            key_variables = ctx.free_variables | q1.free_variables
+            fetch_builder = _try_fetch_atom(
+                atom,
+                key_variables=key_variables,
+                key_plan_builder=analysis_q1.builder,
+                key_bounded=lambda: ctx.bounded_output_with(q1),
+                params=params,
+            )
+            if fetch_builder is not None:
+                return ToppedAnalysis(
+                    covered=True, size=analysis_q1.size + 1, builder=fetch_builder
+                )
+
+    # Case (4b): both conjuncts are covered with respect to Qs.
+    analysis_q2 = _analyze(ctx, q2, params)
+    if analysis_q1.covered and analysis_q2.covered:
+        shared = q1.free_variables & q2.free_variables
+        join_cost = 4 if shared else 1
+        size = 2 * ctx.size + analysis_q1.size + analysis_q2.size + join_cost
+
+        def build_join() -> PlanNode:
+            assert analysis_q1.builder is not None and analysis_q2.builder is not None
+            return join_on_shared_attributes(analysis_q1.builder(), analysis_q2.builder())
+
+        return ToppedAnalysis(covered=True, size=size, builder=build_join)
+
+    # Case (4c): extend Qs with Q1 and retry Q2 (bounded inner conjunct only).
+    if analysis_q1.covered and q2.size() <= params.inner_size_cutoff:
+        extended = ctx.extended(
+            q1, analysis_q1.builder, size=ctx.size + analysis_q1.size
+        )
+        analysis_q2_extended = _analyze(extended, q2, params)
+        if analysis_q2_extended.covered:
+            return ToppedAnalysis(
+                covered=True,
+                size=analysis_q1.size + analysis_q2_extended.size,
+                builder=analysis_q2_extended.builder,
+            )
+
+    return ToppedAnalysis.failure()
+
+
+def _analyze_disjunction(
+    ctx: _Context, query: FOOr, params: ToppedParameters
+) -> ToppedAnalysis:
+    """Case (5): disjuncts must share the same free variables (safe range)."""
+    children = query.children
+    free = children[0].free_variables
+    if any(child.free_variables != free for child in children[1:]):
+        return ToppedAnalysis.failure()
+    analyses = [_analyze(ctx, child, params) for child in children]
+    if not all(a.covered for a in analyses):
+        return ToppedAnalysis.failure()
+    size = sum(a.size for a in analyses) + (len(children) - 1)
+
+    def build_union() -> PlanNode:
+        plans = [a.builder() for a in analyses]  # type: ignore[misc]
+        attributes = tuple(sorted(set(plans[0].attributes)))
+        aligned = [_align(p, attributes) for p in plans]
+        result = aligned[0]
+        for plan in aligned[1:]:
+            result = UnionNode(result, plan)
+        return result
+
+    return ToppedAnalysis(covered=True, size=size, builder=build_union)
+
+
+def _analyze_negation(
+    ctx: _Context, q1: FOQuery, q2: FOQuery, params: ToppedParameters
+) -> ToppedAnalysis:
+    """Case (6): ``Q1 ∧ ¬Q2`` with matching free variables."""
+    if q1.free_variables != q2.free_variables:
+        return ToppedAnalysis.failure()
+    analysis_q1 = _analyze(ctx, q1, params)
+    if not analysis_q1.covered:
+        return ToppedAnalysis.failure()
+
+    analysis_q2 = _analyze(ctx, q2, params)
+    if analysis_q2.covered:
+        size = analysis_q1.size + analysis_q2.size + 1
+
+        def build_difference() -> PlanNode:
+            assert analysis_q1.builder is not None and analysis_q2.builder is not None
+            left = analysis_q1.builder()
+            right = analysis_q2.builder()
+            attributes = tuple(sorted(set(left.attributes) & set(right.attributes)))
+            return DifferenceNode(_align(left, attributes), _align(right, attributes))
+
+        return ToppedAnalysis(covered=True, size=size, builder=build_difference)
+
+    # Case (6b): Q1 ∧ ¬Q2 = Q1 ∧ ¬(Q1 ∧ Q2), useful when Q1 ∧ Q2 is covered
+    # (e.g. by propagating Q1's values into Q2).  Restricted to inner
+    # conjuncts of size at most K, as in the paper.
+    if q2.size() <= params.inner_size_cutoff:
+        analysis_q12 = _analyze(ctx, conj(q1, q2), params)
+        if analysis_q12.covered:
+            size = analysis_q1.size + analysis_q12.size + 1
+
+            def build_difference_12() -> PlanNode:
+                assert analysis_q1.builder is not None and analysis_q12.builder is not None
+                left = analysis_q1.builder()
+                right = analysis_q12.builder()
+                attributes = tuple(sorted(set(left.attributes)))
+                return DifferenceNode(_align(left, attributes), _align(right, attributes))
+
+            return ToppedAnalysis(covered=True, size=size, builder=build_difference_12)
+
+    return ToppedAnalysis.failure()
+
+
+# --------------------------------------------------------------------------- #
+# Public API
+# --------------------------------------------------------------------------- #
+
+
+def analyze_topped(
+    query: FOQuery,
+    schema: DatabaseSchema,
+    views: ViewSet,
+    access_schema: AccessSchema,
+    inner_size_cutoff: int = 1,
+    budget: ElementQueryBudget | None = None,
+) -> ToppedAnalysis:
+    """Run the ``covq``/``size`` analysis of ``query`` against ``(R, V, A)``."""
+    params = ToppedParameters(
+        schema=schema,
+        views=views,
+        access_schema=access_schema,
+        inner_size_cutoff=inner_size_cutoff,
+        budget=budget,
+    )
+    rectified = rectify(query)
+    return _analyze(_Context(params=params), rectified, params)
+
+
+def is_topped(
+    query: FOQuery,
+    schema: DatabaseSchema,
+    views: ViewSet,
+    access_schema: AccessSchema,
+    max_size: int,
+    inner_size_cutoff: int = 1,
+    budget: ElementQueryBudget | None = None,
+) -> bool:
+    """Is ``query`` topped by ``(R, V, A, M)``?  (Theorem 5.1(c), PTIME.)"""
+    analysis = analyze_topped(
+        query, schema, views, access_schema, inner_size_cutoff, budget
+    )
+    return analysis.covered and analysis.size <= max_size
+
+
+def topped_plan(
+    query: FOQuery,
+    head: Sequence[Variable],
+    schema: DatabaseSchema,
+    views: ViewSet,
+    access_schema: AccessSchema,
+    inner_size_cutoff: int = 1,
+    budget: ElementQueryBudget | None = None,
+) -> PlanNode | None:
+    """Generate the bounded plan of a topped query (Theorem 5.1(b)).
+
+    Returns ``None`` when the query is not topped.  The plan's output
+    attributes follow ``head`` (the query's free variables in output order).
+    """
+    analysis = analyze_topped(
+        query, schema, views, access_schema, inner_size_cutoff, budget
+    )
+    if not analysis.covered or analysis.builder is None:
+        return None
+    plan = analysis.builder()
+    wanted = tuple(variable.name for variable in head)
+    missing = [name for name in wanted if name not in plan.attributes]
+    if missing:
+        raise QueryError(
+            f"generated plan does not expose head attributes {missing}; "
+            f"plan attributes are {plan.attributes}"
+        )
+    if plan.attributes != wanted:
+        plan = ProjectNode(plan, wanted)
+    return plan

@@ -1,0 +1,535 @@
+"""The bounded rewriting problem VBRP(L) — decision procedures.
+
+``VBRP(L)``: given a database schema ``R``, a bound ``M``, an access schema
+``A``, a query ``Q ∈ L`` and a set ``V`` of L-definable views, decide whether
+``Q`` has an ``M``-bounded rewriting in L using ``V`` under ``A``
+(Section 3).  The problem is Σp3-complete for CQ/UCQ/∃FO+ and undecidable for
+FO (Theorem 3.1); with all of ``R, A, M, V`` fixed it drops to the Boolean
+NP-hierarchy (Theorem 3.11) and to coNP / PTIME for acyclic CQs (Theorems
+4.1/4.2, Corollary 4.4).
+
+This module implements the *exact* procedures:
+
+* :func:`enumerate_candidate_plans` — the candidate plan space ``QP_Q`` of
+  plans of size at most ``M`` built from the views, the access constraints
+  and the constants of ``Q`` (the paper's nondeterministic "guess a plan"
+  made deterministic; exponential in ``M`` by necessity);
+* :func:`decide_vbrp` — filter conforming candidates and test A-equivalence
+  with ``Q`` (the Σp3 upper-bound algorithm of Theorem 3.1);
+* :func:`maximum_plans` / :func:`alg_mp` / :func:`alg_acq` — the
+  characterisation via unique maximum plans (Lemma 3.12) and the PTIME
+  algorithm for ACQ with fixed parameters (Theorem 4.2).
+
+The *practical*, sound-but-incomplete plan builder used by the engine lives
+in :mod:`repro.engine.optimizer`.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+from ..algebra.acyclicity import is_acyclic
+from ..algebra.cq import ConjunctiveQuery
+from ..algebra.schema import DatabaseSchema
+from ..algebra.ucq import QueryLike, UnionQuery, as_union
+from ..algebra.views import ViewSet
+from ..errors import BudgetExceededError, UnsupportedQueryError
+from .access import AccessSchema
+from .conformance import conforms_to
+from .element_queries import ElementQueryBudget
+from .equivalence import a_contained_in, a_equivalent
+from .plans import (
+    AttributeEqualsAttribute,
+    AttributeEqualsConstant,
+    CQ,
+    EFO_PLUS,
+    FO,
+    UCQ,
+    ConstantScan,
+    DifferenceNode,
+    FetchNode,
+    PlanNode,
+    ProductNode,
+    ProjectNode,
+    RenameNode,
+    SelectNode,
+    UnionNode,
+    ViewScan,
+    language_leq,
+)
+from .rewriting import plan_to_ucq
+
+
+# --------------------------------------------------------------------------- #
+# Candidate plan enumeration
+# --------------------------------------------------------------------------- #
+
+
+@dataclass
+class PlanSearchSpace:
+    """Vocabulary and budgets for candidate-plan enumeration.
+
+    ``constants`` is the pool of constants plans may mention (the paper
+    requires "all constants in Q' are taken from Q").  The remaining knobs
+    trade completeness of the enumeration against its (inherently
+    exponential) size; the defaults are complete for the plan shapes used in
+    the paper's examples and reductions with small ``M``.
+    """
+
+    constants: tuple[object, ...] = ()
+    allow_renames: bool = True
+    max_select_attributes: int = 3
+    max_project_attributes: int = 6
+    max_plans: int = 200_000
+
+    def guard(self, count: int) -> None:
+        if count > self.max_plans:
+            raise BudgetExceededError(
+                f"candidate-plan enumeration exceeded {self.max_plans} plans; "
+                "lower M, restrict the search space, or use the heuristic engine"
+            )
+
+
+def _plan_key(node: PlanNode) -> tuple:
+    """A structural key for deduplication of enumerated plans."""
+    if isinstance(node, ConstantScan):
+        return ("const", node.value, node.attribute)
+    if isinstance(node, ViewScan):
+        return ("view", node.view_name, node.view_attributes)
+    if isinstance(node, FetchNode):
+        child = _plan_key(node.child) if node.child is not None else None
+        return ("fetch", node.relation, node.x_attrs, node.y_attrs, child)
+    if isinstance(node, ProjectNode):
+        return ("project", node.kept, _plan_key(node.child))
+    if isinstance(node, SelectNode):
+        return ("select", node.predicates, _plan_key(node.child))
+    if isinstance(node, RenameNode):
+        return ("rename", node.mapping, _plan_key(node.child))
+    if isinstance(node, ProductNode):
+        return ("product", _plan_key(node.left), _plan_key(node.right))
+    if isinstance(node, UnionNode):
+        return ("union", frozenset({_plan_key(node.left), _plan_key(node.right)}))
+    if isinstance(node, DifferenceNode):
+        return ("difference", _plan_key(node.left), _plan_key(node.right))
+    raise UnsupportedQueryError(f"unknown plan node {type(node).__name__}")
+
+
+def enumerate_candidate_plans(
+    schema: DatabaseSchema,
+    views: ViewSet,
+    access_schema: AccessSchema,
+    max_size: int,
+    space: PlanSearchSpace | None = None,
+    language: str = FO,
+) -> list[PlanNode]:
+    """Enumerate (deduplicated) candidate plans of size at most ``max_size``.
+
+    The enumeration is exhaustive over the following vocabulary: constant
+    scans over the supplied constant pool (attribute names taken from the
+    access constraints' key attributes), view scans, fetches through the
+    access constraints, projections, constant/attribute selections, renamings
+    towards fetch keys, products, unions and differences — restricted to the
+    operators allowed by ``language``.
+    """
+    space = space or PlanSearchSpace()
+    plans_by_size: dict[int, list[PlanNode]] = {s: [] for s in range(1, max_size + 1)}
+    seen: set[tuple] = set()
+    total = 0
+
+    def emit(plan: PlanNode, size: int) -> None:
+        nonlocal total
+        key = _plan_key(plan)
+        if key in seen:
+            return
+        seen.add(key)
+        plans_by_size[size].append(plan)
+        total += 1
+        space.guard(total)
+
+    if max_size < 1:
+        return []
+
+    # ---- size 1: leaves -------------------------------------------------- #
+    constant_attributes: set[str] = {"c"}
+    for constraint in access_schema:
+        if len(constraint.x) == 1:
+            constant_attributes.add(constraint.x[0])
+    for value in space.constants:
+        for attribute in sorted(constant_attributes):
+            emit(ConstantScan(value, attribute=attribute), 1)
+    for view in views:
+        emit(ViewScan(view.name, view.attributes), 1)
+    for constraint in access_schema:
+        if not constraint.x:
+            emit(FetchNode(None, constraint.relation, (), constraint.y), 1)
+
+    # ---- larger sizes ----------------------------------------------------- #
+    allow_union = language_leq(UCQ, language) or language in (UCQ, EFO_PLUS, FO)
+    allow_union = language in (UCQ, EFO_PLUS, FO)
+    allow_difference = language == FO
+
+    for size in range(2, max_size + 1):
+        # Unary operators over plans of size-1 smaller.
+        for child in plans_by_size[size - 1]:
+            _emit_unary(child, size, emit, schema, access_schema, space)
+        # Binary operators.
+        for left_size in range(1, size - 1):
+            right_size = size - 1 - left_size
+            if right_size < 1:
+                continue
+            for left in plans_by_size[left_size]:
+                for right in plans_by_size[right_size]:
+                    if not set(left.attributes) & set(right.attributes):
+                        emit(ProductNode(left, right), size)
+                    if left.attributes == right.attributes:
+                        if allow_union:
+                            emit(UnionNode(left, right), size)
+                        if allow_difference:
+                            emit(DifferenceNode(left, right), size)
+
+    candidates = [plan for plans in plans_by_size.values() for plan in plans]
+    return [plan for plan in candidates if language_leq(plan.language(), language)]
+
+
+def _emit_unary(
+    child: PlanNode,
+    size: int,
+    emit,
+    schema: DatabaseSchema,
+    access_schema: AccessSchema,
+    space: PlanSearchSpace,
+) -> None:
+    attributes = child.attributes
+
+    # Projections (proper subsets, including the empty projection).
+    if len(attributes) <= space.max_project_attributes:
+        for keep_size in range(0, len(attributes)):
+            for kept in itertools.combinations(attributes, keep_size):
+                emit(ProjectNode(child, kept), size)
+
+    # Attribute-equality selections.
+    for left, right in itertools.combinations(attributes, 2):
+        emit(SelectNode(child, (AttributeEqualsAttribute(left, right),)), size)
+
+    # Constant selections over small attribute subsets.
+    if space.constants:
+        limit = min(len(attributes), space.max_select_attributes)
+        for subset_size in range(1, limit + 1):
+            for subset in itertools.combinations(attributes, subset_size):
+                for assignment in itertools.product(space.constants, repeat=subset_size):
+                    predicates = tuple(
+                        AttributeEqualsConstant(attribute, value)
+                        for attribute, value in zip(subset, assignment)
+                    )
+                    emit(SelectNode(child, predicates), size)
+
+    # Fetches whose key attributes match the child's output attributes.
+    for constraint in access_schema:
+        if constraint.x and set(constraint.x) == set(attributes):
+            emit(
+                FetchNode(child, constraint.relation, constraint.x, constraint.y), size
+            )
+
+    # Renamings towards the key attributes of some constraint.
+    if space.allow_renames:
+        for constraint in access_schema:
+            if (
+                constraint.x
+                and len(constraint.x) == len(attributes)
+                and set(constraint.x) != set(attributes)
+            ):
+                mapping = dict(zip(attributes, constraint.x))
+                emit(RenameNode(child, mapping), size)
+
+
+# --------------------------------------------------------------------------- #
+# VBRP decision
+# --------------------------------------------------------------------------- #
+
+
+@dataclass
+class VBRPResult:
+    """Outcome of a VBRP decision.
+
+    ``has_rewriting`` is the answer; when positive, ``plan`` is an
+    ``M``-bounded plan witnessing it.  ``candidates`` / ``conforming`` report
+    how many plans were enumerated and how many passed conformance — the
+    quantities whose growth the Table I benchmarks measure.
+    """
+
+    has_rewriting: bool
+    plan: PlanNode | None = None
+    candidates: int = 0
+    conforming: int = 0
+    reason: str = ""
+
+
+def _query_as_ucq(query: QueryLike) -> UnionQuery:
+    union = as_union(query)
+    return union
+
+
+def decide_vbrp(
+    query: QueryLike,
+    views: ViewSet,
+    access_schema: AccessSchema,
+    schema: DatabaseSchema,
+    max_size: int,
+    language: str = CQ,
+    space: PlanSearchSpace | None = None,
+    budget: ElementQueryBudget | None = None,
+    candidate_plans: Sequence[PlanNode] | None = None,
+) -> VBRPResult:
+    """Decide whether ``query`` has an ``M``-bounded rewriting in ``language``.
+
+    ``query`` is a CQ or UCQ over the base schema.  ``language`` is one of
+    ``"CQ"``, ``"UCQ"``, ``"EFO+"`` — for these the procedure is sound and
+    complete relative to the enumerated candidate vocabulary (see
+    :func:`enumerate_candidate_plans`).  ``"FO"`` is rejected: VBRP(FO) is
+    undecidable (Theorem 3.1(2)); use
+    :func:`verify_rewriting_on_instances` to validate hand-written FO plans.
+
+    ``candidate_plans`` fixes the candidate set ``QP_Q`` explicitly — the
+    setting of Theorem 3.11 where ``R, A, M, V`` are all fixed.
+    """
+    if language == FO and candidate_plans is None:
+        raise UnsupportedQueryError(
+            "VBRP(FO) is undecidable (Theorem 3.1); supply candidate_plans explicitly "
+            "or verify a hand-written plan with verify_rewriting_on_instances"
+        )
+    target = _query_as_ucq(query)
+    if space is None:
+        constants = tuple(sorted({c.value for c in target.constants}, key=repr))
+        space = PlanSearchSpace(constants=constants)
+
+    if candidate_plans is None:
+        candidates = enumerate_candidate_plans(
+            schema, views, access_schema, max_size, space, language
+        )
+    else:
+        candidates = [
+            plan
+            for plan in candidate_plans
+            if plan.size() <= max_size and language_leq(plan.language(), language)
+        ]
+
+    head_arity = target.head_arity
+    conforming = 0
+    candidates_checked = 0
+    # Smaller plans first: the witness returned is then a minimum-size one.
+    for plan in sorted(candidates, key=lambda p: p.size()):
+        if len(plan.attributes) != head_arity:
+            continue
+        candidates_checked += 1
+        report = conforms_to(plan, access_schema, schema, views, budget)
+        if not report.conforms:
+            continue
+        conforming += 1
+        try:
+            expressed = plan_to_ucq(plan, schema, views, unfold_views=True)
+        except UnsupportedQueryError:
+            # FO-only plan: cannot be compared exactly; skip (sound).
+            continue
+        if a_equivalent(expressed, target, access_schema, schema, budget):
+            return VBRPResult(
+                has_rewriting=True,
+                plan=plan,
+                candidates=len(candidates),
+                conforming=conforming,
+            )
+    return VBRPResult(
+        has_rewriting=False,
+        plan=None,
+        candidates=len(candidates),
+        conforming=conforming,
+        reason="no conforming candidate plan is A-equivalent to the query",
+    )
+
+
+def is_bounded_rewriting(
+    plan: PlanNode,
+    query: QueryLike,
+    views: ViewSet,
+    access_schema: AccessSchema,
+    schema: DatabaseSchema,
+    max_size: int | None = None,
+    budget: ElementQueryBudget | None = None,
+) -> bool:
+    """Check that a given plan is an ``M``-bounded rewriting of ``query``.
+
+    Verifies the three requirements of Section 2: size bound (when given),
+    conformance to the access schema, and A-equivalence with the query.
+    Plans that cannot be expressed in UCQ (set difference) are rejected here;
+    validate those against sample instances with
+    :func:`verify_rewriting_on_instances`.
+    """
+    if max_size is not None and plan.size() > max_size:
+        return False
+    if not conforms_to(plan, access_schema, schema, views, budget).conforms:
+        return False
+    expressed = plan_to_ucq(plan, schema, views, unfold_views=True)
+    return a_equivalent(expressed, as_union(query), access_schema, schema, budget)
+
+
+# --------------------------------------------------------------------------- #
+# Maximum plans (Lemma 3.12), AlgMP and AlgACQ (Theorem 4.2)
+# --------------------------------------------------------------------------- #
+
+
+@dataclass
+class MaximumPlanResult:
+    """Result of the AlgMP computation."""
+
+    maximum: PlanNode | None
+    kept: list[PlanNode] = field(default_factory=list)
+    reason: str = ""
+
+
+def alg_mp(
+    query: QueryLike,
+    candidate_plans: Sequence[PlanNode],
+    views: ViewSet,
+    access_schema: AccessSchema,
+    schema: DatabaseSchema,
+    require_acyclic: bool = False,
+    budget: ElementQueryBudget | None = None,
+) -> MaximumPlanResult:
+    """Compute the unique maximum plan of ``QP_Q`` up to A-equivalence (AlgMP).
+
+    Steps (Theorem 4.2): drop candidates that are not in the right fragment
+    (optionally: whose expressed query is not acyclic), drop candidates that
+    do not conform to ``A`` or are not A-contained in ``Q``, drop
+    non-maximal candidates, and finally check that the remaining plans are
+    pairwise A-equivalent.
+    """
+    target = as_union(query)
+    expressed: dict[int, UnionQuery] = {}
+    kept: list[PlanNode] = []
+    for index, plan in enumerate(candidate_plans):
+        try:
+            plan_query = plan_to_ucq(plan, schema, views, unfold_views=True)
+        except UnsupportedQueryError:
+            continue
+        if len(plan.attributes) != target.head_arity:
+            continue
+        if require_acyclic and not all(is_acyclic(d) for d in plan_query.disjuncts):
+            continue
+        if not conforms_to(plan, access_schema, schema, views, budget).conforms:
+            continue
+        if not a_contained_in(plan_query, target, access_schema, schema, budget):
+            continue
+        expressed[len(kept)] = plan_query
+        kept.append(plan)
+
+    if not kept:
+        return MaximumPlanResult(maximum=None, reason="no conforming A-contained candidate")
+
+    # Drop plans strictly A-contained in another kept plan.
+    maximal: list[int] = []
+    for i in range(len(kept)):
+        dominated = False
+        for j in range(len(kept)):
+            if i == j:
+                continue
+            i_in_j = a_contained_in(expressed[i], expressed[j], access_schema, schema, budget)
+            j_in_i = a_contained_in(expressed[j], expressed[i], access_schema, schema, budget)
+            if i_in_j and not j_in_i:
+                dominated = True
+                break
+        if not dominated:
+            maximal.append(i)
+
+    # All maximal plans must be A-equivalent for the maximum to be unique.
+    for i in maximal[1:]:
+        if not (
+            a_contained_in(expressed[maximal[0]], expressed[i], access_schema, schema, budget)
+            and a_contained_in(expressed[i], expressed[maximal[0]], access_schema, schema, budget)
+        ):
+            return MaximumPlanResult(
+                maximum=None,
+                kept=[kept[m] for m in maximal],
+                reason="no unique maximum plan (two incomparable maximal candidates)",
+            )
+    return MaximumPlanResult(maximum=kept[maximal[0]], kept=[kept[m] for m in maximal])
+
+
+def alg_acq(
+    query: ConjunctiveQuery,
+    views: ViewSet,
+    access_schema: AccessSchema,
+    schema: DatabaseSchema,
+    max_size: int,
+    space: PlanSearchSpace | None = None,
+    budget: ElementQueryBudget | None = None,
+    candidate_plans: Sequence[PlanNode] | None = None,
+) -> VBRPResult:
+    """AlgACQ: VBRP for acyclic CQ under fixed parameters (Theorem 4.2).
+
+    Computes the unique maximum plan with :func:`alg_mp` and then checks
+    ``Q ⊑_A ξ``; by Lemma 3.12 the query has an ``M``-bounded rewriting iff
+    this succeeds.
+    """
+    if not is_acyclic(query):
+        raise UnsupportedQueryError(f"query {query.name!r} is not acyclic; AlgACQ requires ACQ")
+    if candidate_plans is None:
+        if space is None:
+            constants = tuple(sorted({c.value for c in query.constants}, key=repr))
+            space = PlanSearchSpace(constants=constants)
+        candidate_plans = enumerate_candidate_plans(
+            schema, views, access_schema, max_size, space, language=CQ
+        )
+    else:
+        candidate_plans = [p for p in candidate_plans if p.size() <= max_size]
+
+    result = alg_mp(
+        query,
+        candidate_plans,
+        views,
+        access_schema,
+        schema,
+        require_acyclic=True,
+        budget=budget,
+    )
+    if result.maximum is None:
+        return VBRPResult(
+            has_rewriting=False,
+            candidates=len(candidate_plans),
+            reason=result.reason or "no maximum plan",
+        )
+    expressed = plan_to_ucq(result.maximum, schema, views, unfold_views=True)
+    if a_contained_in(as_union(query), expressed, access_schema, schema, budget):
+        return VBRPResult(
+            has_rewriting=True, plan=result.maximum, candidates=len(candidate_plans)
+        )
+    return VBRPResult(
+        has_rewriting=False,
+        candidates=len(candidate_plans),
+        reason="the maximum plan is not A-equivalent to the query",
+    )
+
+
+# --------------------------------------------------------------------------- #
+# Validation of hand-written (possibly FO) rewritings on sample instances
+# --------------------------------------------------------------------------- #
+
+
+def verify_rewriting_on_instances(
+    plan: PlanNode,
+    expected_answers: Iterable[frozenset[tuple] | set[tuple]],
+    executed_answers: Iterable[frozenset[tuple] | set[tuple]],
+) -> bool:
+    """Compare executed plan answers with expected answers on sample instances.
+
+    A helper for FO rewritings (whose A-equivalence is undecidable in
+    general): the caller evaluates the original query and executes the plan
+    on a collection of instances satisfying ``A`` and passes both answer
+    sequences here.  Returns ``True`` when they agree everywhere — a sound
+    refutation test, not a proof of equivalence.
+    """
+    for expected, executed in zip(expected_answers, executed_answers):
+        if frozenset(expected) != frozenset(executed):
+            return False
+    del plan
+    return True

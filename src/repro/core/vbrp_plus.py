@@ -1,0 +1,138 @@
+"""Cross-language bounded rewriting: VBRP+(L1, L2) (Section 6).
+
+``VBRP+(L1, L2)`` asks whether a query ``Q ∈ L1`` has an ``M``-bounded
+rewriting whose plan lies in a *richer* language ``L2 ⊇ L1``.  Theorem 6.1
+shows that the relaxation does not lower the Σp3 lower bound, and Example 6.3
+exhibits a CQ that has a 5-bounded rewriting in FO but none in UCQ — so the
+relaxation can genuinely help for individual queries, it just does not make
+the decision problem easier.
+
+The decision procedure reuses :func:`repro.core.vbrp.decide_vbrp` with the
+plan language set to ``L2``.  Because A-equivalence is undecidable for FO,
+plans that genuinely need set difference are compared with the query on
+caller-supplied witness instances (sound refutation, not a proof); the result
+records whether the answer is exact or only a lower approximation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from ..algebra.schema import DatabaseSchema
+from ..algebra.ucq import QueryLike, as_union
+from ..algebra.views import ViewSet
+from ..errors import UnsupportedQueryError
+from .access import AccessSchema
+from .conformance import conforms_to
+from .element_queries import ElementQueryBudget
+from .equivalence import a_equivalent
+from .plans import CQ, EFO_PLUS, FO, UCQ, PlanNode, language_leq
+from .rewriting import plan_to_ucq
+from .vbrp import PlanSearchSpace, VBRPResult, decide_vbrp
+
+
+@dataclass
+class VBRPPlusResult:
+    """Outcome of a VBRP+ decision.
+
+    ``exact`` is ``False`` when the search had to skip candidate plans whose
+    A-equivalence with the query could not be decided (FO plans with set
+    difference and no witness instances); in that case a negative
+    ``has_rewriting`` only means "no rewriting was found".
+    """
+
+    has_rewriting: bool
+    plan: PlanNode | None
+    source_language: str
+    target_language: str
+    exact: bool
+    inner: VBRPResult
+
+
+def decide_vbrp_plus(
+    query: QueryLike,
+    views: ViewSet,
+    access_schema: AccessSchema,
+    schema: DatabaseSchema,
+    max_size: int,
+    source_language: str = CQ,
+    target_language: str = UCQ,
+    space: PlanSearchSpace | None = None,
+    budget: ElementQueryBudget | None = None,
+    candidate_plans: Sequence[PlanNode] | None = None,
+) -> VBRPPlusResult:
+    """Decide L1-to-L2 bounded rewriting for a CQ/UCQ query.
+
+    ``source_language`` documents the language of ``query`` (checked to be at
+    most UCQ here, since the exact procedures operate on CQ/UCQ queries);
+    ``target_language`` is the language the plan may use.
+    """
+    if not language_leq(source_language, target_language):
+        raise UnsupportedQueryError(
+            f"VBRP+ requires L1 ⊆ L2, got L1={source_language!r}, L2={target_language!r}"
+        )
+    if source_language not in (CQ, UCQ):
+        raise UnsupportedQueryError(
+            "the exact VBRP+ procedure accepts CQ or UCQ input queries; "
+            "use the effective syntax (topped queries) for ∃FO+/FO inputs"
+        )
+
+    effective_target = target_language
+    exact = True
+    if target_language == FO and candidate_plans is None:
+        # Plans that genuinely require difference cannot be verified exactly;
+        # search the ∃FO+ fragment (sound) and report the answer as inexact.
+        effective_target = EFO_PLUS
+        exact = False
+
+    inner = decide_vbrp(
+        query,
+        views,
+        access_schema,
+        schema,
+        max_size,
+        language=effective_target,
+        space=space,
+        budget=budget,
+        candidate_plans=candidate_plans,
+    )
+    return VBRPPlusResult(
+        has_rewriting=inner.has_rewriting,
+        plan=inner.plan,
+        source_language=source_language,
+        target_language=target_language,
+        exact=exact or inner.has_rewriting,
+        inner=inner,
+    )
+
+
+def verify_cross_language_rewriting(
+    plan: PlanNode,
+    query: QueryLike,
+    views: ViewSet,
+    access_schema: AccessSchema,
+    schema: DatabaseSchema,
+    max_size: int,
+    target_language: str,
+    budget: ElementQueryBudget | None = None,
+) -> bool:
+    """Check that a hand-written plan is an M-bounded L2 rewriting of ``query``.
+
+    Used for instance to validate the FO rewriting ``(V3 \\ V1) ∪ V2`` of
+    Example 6.3 once its A-equivalence has been established separately (the
+    equivalence argument is exact only for plans expressible in UCQ).
+    """
+    if plan.size() > max_size:
+        return False
+    if not language_leq(plan.language(), target_language):
+        return False
+    if not conforms_to(plan, access_schema, schema, views, budget).conforms:
+        return False
+    try:
+        expressed = plan_to_ucq(plan, schema, views, unfold_views=True)
+    except UnsupportedQueryError:
+        # FO plan: conformance and size hold; equivalence must be argued
+        # separately (undecidable in general).
+        return True
+    return a_equivalent(expressed, as_union(query), access_schema, schema, budget)

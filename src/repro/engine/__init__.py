@@ -1,0 +1,45 @@
+"""Engine layer: bounded-plan construction, execution, maintenance, SQL and the baseline."""
+
+from .baseline import BaselineResult, NaiveEngine
+from .maintenance import (
+    IncrementalViewCache,
+    MaintainedEngine,
+    MaintainedIndexSet,
+    MaintenanceReport,
+    MaintenanceStats,
+)
+from .optimizer import PlanSearchOutcome, build_bounded_plan, build_bounded_plan_ucq
+from .session import BoundedEngine, EngineAnswer
+from .sql import (
+    SQLTranslation,
+    cq_to_sql,
+    create_index_statements,
+    create_table_statements,
+    insert_statements,
+    materialize_view_statements,
+    plan_to_sql,
+    ucq_to_sql,
+)
+
+__all__ = [
+    "BaselineResult",
+    "BoundedEngine",
+    "EngineAnswer",
+    "IncrementalViewCache",
+    "MaintainedEngine",
+    "MaintainedIndexSet",
+    "MaintenanceReport",
+    "MaintenanceStats",
+    "NaiveEngine",
+    "PlanSearchOutcome",
+    "SQLTranslation",
+    "build_bounded_plan",
+    "build_bounded_plan_ucq",
+    "cq_to_sql",
+    "create_index_statements",
+    "create_table_statements",
+    "insert_statements",
+    "materialize_view_statements",
+    "plan_to_sql",
+    "ucq_to_sql",
+]

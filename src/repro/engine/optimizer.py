@@ -1,0 +1,530 @@
+"""Heuristic bounded-plan generation for CQ/UCQ queries (the practical path).
+
+The exact VBRP procedures (:mod:`repro.core.vbrp`) enumerate all candidate
+plans and are exponential by necessity.  Real systems instead *construct*
+plans directly from the query, as outlined in Section 5.1 of the paper
+("more practical algorithms for bounded rewriting using views can be
+developed along the same lines as the bounded plan generation algorithm of
+[Cao and Fan 2016]").  This module implements such a constructive builder:
+
+1. cached views whose bodies map homomorphically into the query are added as
+   free *filter/binder* fragments (scanning ``V(D)`` costs no I/O);
+2. uncovered query atoms are then fetched greedily through access constraints
+   whose key attributes are already bound by constants, views or earlier
+   fetches;
+3. the resulting plan is validated with the exact conformance checker, so
+   every plan returned is sound — the builder is simply not complete.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+from ..algebra.containment import equivalent
+from ..algebra.cq import ConjunctiveQuery
+from ..algebra.homomorphism import iter_homomorphisms
+from ..algebra.schema import DatabaseSchema
+from ..algebra.terms import Constant, FreshVariableFactory, Term, Variable
+from ..algebra.ucq import QueryLike, UnionQuery, as_union
+from ..algebra.views import View, ViewSet
+from ..core.access import AccessConstraint, AccessSchema
+from ..core.conformance import conforms_to
+from ..core.element_queries import ElementQueryBudget
+from ..core.plans import (
+    AttributeEqualsAttribute,
+    AttributeEqualsConstant,
+    ConstantScan,
+    FetchNode,
+    PlanNode,
+    ProjectNode,
+    RenameNode,
+    SelectNode,
+    UnionNode,
+    ViewScan,
+    join_on_shared_attributes,
+)
+from ..errors import UnsupportedQueryError
+
+
+@dataclass
+class _Fragment:
+    """A plan fragment binding a set of query variables (attribute = var name).
+
+    ``covers`` lists the indices of query atoms the fragment *accounts for*:
+    atoms covered by a view usage whose expansion stays equivalent to the
+    query do not need to be fetched at all (this is what makes Example 1.1's
+    Q0 boundedly rewritable using V1).
+    """
+
+    plan: PlanNode
+    bound: frozenset[Variable]
+    covers: frozenset[int] = frozenset()
+
+
+@dataclass
+class PlanSearchOutcome:
+    """Result of the heuristic plan construction."""
+
+    plan: PlanNode | None
+    reason: str = ""
+    fragments_used: int = 0
+
+    @property
+    def found(self) -> bool:
+        return self.plan is not None
+
+
+def _view_usages(
+    view: View, query: ConjunctiveQuery, max_homomorphisms: int = 8
+) -> list[tuple[dict, frozenset[int]]]:
+    """Ways of mapping the view body into the query (homomorphism + image atoms).
+
+    Soundness of using such a view in a plan: when a homomorphism ``h`` from
+    the view body into the query's tableau exists, every valuation satisfying
+    the query also satisfies the view body (composed with ``h``), hence the
+    corresponding head tuple is in ``V(D)`` — joining with the cached view
+    never loses answers.  Whether the usage may additionally *replace* the
+    atoms in its image is decided separately by an equivalence check of the
+    expansion (see :func:`build_bounded_plan`).
+    """
+    if view.language not in ("CQ", "UCQ"):
+        return []
+    union = view.as_ucq()
+    if len(union.disjuncts) != 1:
+        return []
+    definition = union.disjuncts[0].normalize()
+    tableau = query.tableau()
+    tableau_atoms = list(query.normalize().atoms)
+    usages: list[tuple[dict, frozenset[int]]] = []
+    seen: set[tuple] = set()
+    for assignment in iter_homomorphisms(definition, tableau.facts()):
+        key = tuple(sorted((v.name, repr(value)) for v, value in assignment.items()))
+        if key in seen:
+            continue
+        seen.add(key)
+        covered: set[int] = set()
+        for body_atom in definition.atoms:
+            image_terms = []
+            for term in body_atom.terms:
+                if isinstance(term, Constant):
+                    image_terms.append(term)
+                else:
+                    value = assignment[term]
+                    image_terms.append(value if isinstance(value, Variable) else Constant(value))
+            for index, query_atom in enumerate(tableau_atoms):
+                if (
+                    query_atom.relation == body_atom.relation
+                    and tuple(query_atom.terms) == tuple(image_terms)
+                ):
+                    covered.add(index)
+        usages.append((assignment, frozenset(covered)))
+        if len(usages) >= max_homomorphisms:
+            break
+    return usages
+
+
+def _view_fragment(
+    view: View,
+    query: ConjunctiveQuery,
+    assignment: dict,
+    covers: frozenset[int],
+) -> _Fragment | None:
+    """Build the plan fragment for one view usage."""
+    definition = view.as_ucq().disjuncts[0].normalize()
+    images: list[object] = []
+    for term in definition.head:
+        if isinstance(term, Constant):
+            images.append(term.value)
+        else:
+            images.append(assignment.get(term))
+    scan: PlanNode = ViewScan(view.name, view.attributes)
+
+    predicates = []
+    keep: dict[Variable, str] = {}
+    for attribute, image in zip(view.attributes, images):
+        if isinstance(image, Variable):
+            if image in keep:
+                predicates.append(AttributeEqualsAttribute(keep[image], attribute))
+            else:
+                keep[image] = attribute
+        else:
+            predicates.append(AttributeEqualsConstant(attribute, image))
+    if predicates:
+        scan = SelectNode(scan, tuple(predicates))
+    if not keep:
+        # Boolean filter: nothing to bind; only useful when it also covers atoms.
+        if not covers:
+            return None
+        scan = ProjectNode(scan, ())
+        return _Fragment(plan=scan, bound=frozenset(), covers=covers)
+    scan = ProjectNode(scan, tuple(attr for attr in keep.values()))
+    rename = {attr: var.name for var, attr in keep.items() if attr != var.name}
+    if rename:
+        scan = RenameNode(scan, rename)
+    return _Fragment(plan=scan, bound=frozenset(keep), covers=covers)
+
+
+def _usage_body_atoms(
+    view: View,
+    assignment: dict,
+    factory: FreshVariableFactory,
+) -> tuple[tuple, tuple]:
+    """The view body under the usage, renamed apart.
+
+    Only the view's *head* variables are replaced by their homomorphic images
+    — the plan can observe nothing but the view's output, so the existential
+    variables of the definition must stay fresh.  This is the expansion used
+    to decide whether the usage may replace the atoms in its image.
+    """
+    definition = view.as_ucq().disjuncts[0].normalize()
+    renamed, mapping = definition.rename_apart(factory)
+    head_variables = {t for t in definition.head if isinstance(t, Variable)}
+    substitution: dict[Term, Term] = {}
+    for original, value in assignment.items():
+        if original not in head_variables:
+            continue
+        renamed_variable = mapping.get(original, original)
+        substitution[renamed_variable] = (
+            value if isinstance(value, Variable) else Constant(value)
+        )
+    substituted = renamed.substitute(substitution)
+    return substituted.atoms, substituted.equalities
+
+
+def _full_expansion(
+    query: ConjunctiveQuery,
+    usages: Sequence[tuple[View, dict, frozenset[int]]],
+) -> ConjunctiveQuery:
+    """Expansion of "query with all usage-covered atoms replaced by view bodies".
+
+    Classical equivalence of this expansion with the original query certifies
+    that dropping the covered atoms from the fetch obligations is lossless.
+    """
+    normalized = query.normalize()
+    factory = FreshVariableFactory(
+        used=[v.name for v in normalized.variables], prefix="vw"
+    )
+    removed: set[int] = set()
+    extra_atoms: list = []
+    extra_equalities: list = []
+    for view, assignment, covered in usages:
+        removed.update(covered)
+        atoms, equalities = _usage_body_atoms(view, assignment, factory)
+        extra_atoms.extend(atoms)
+        extra_equalities.extend(equalities)
+    kept_atoms = tuple(
+        atom for index, atom in enumerate(normalized.atoms) if index not in removed
+    )
+    return ConjunctiveQuery(
+        head=normalized.head,
+        atoms=kept_atoms + tuple(extra_atoms),
+        equalities=tuple(extra_equalities),
+        name=f"{query.name}_expansion",
+    )
+
+
+def _atom_fetch(
+    atom_index: int,
+    query: ConjunctiveQuery,
+    constraint: AccessConstraint,
+    schema: DatabaseSchema,
+    bound: frozenset[Variable],
+    current: PlanNode | None,
+) -> _Fragment | None:
+    """Fetch fragment covering ``query.atoms[atom_index]`` via ``constraint``."""
+    atom = query.atoms[atom_index]
+    if atom.relation != constraint.relation:
+        return None
+    relation = schema.relation(atom.relation)
+    x_positions = relation.positions(constraint.x)
+    y_positions = relation.positions(constraint.y)
+
+    # Every X term must be a constant or an already-bound variable, and no
+    # variable may occupy two key positions (duplicating a column is not
+    # expressible with a single rename).
+    seen_key_variables: set[Variable] = set()
+    for position in x_positions:
+        term = atom.terms[position]
+        if isinstance(term, Constant):
+            continue
+        if isinstance(term, Variable) and term in bound and term not in seen_key_variables:
+            seen_key_variables.add(term)
+            continue
+        return None
+
+    # Positions the plan must observe: constants, head variables, variables
+    # shared with other atoms, repeated variables within this atom.
+    needed = _needed_positions(query, atom_index)
+    if not needed <= set(x_positions) | set(y_positions):
+        return None
+    if set(x_positions) and current is None and not _x_is_constant(atom, x_positions):
+        return None
+
+    # Build the key plan over the constraint's X attribute names.
+    key_plan: PlanNode | None = None
+    if constraint.x:
+        variable_keys = []
+        constant_keys = []
+        for attr, position in zip(constraint.x, x_positions):
+            term = atom.terms[position]
+            if isinstance(term, Variable):
+                variable_keys.append((attr, term))
+            else:
+                constant_keys.append((attr, term))
+        if variable_keys:
+            assert current is not None
+            names = tuple(sorted({v.name for _, v in variable_keys}))
+            key_plan = ProjectNode(current, names)
+            rename = {v.name: attr for attr, v in variable_keys if v.name != attr}
+            if rename:
+                key_plan = RenameNode(key_plan, rename)
+        for attr, term in constant_keys:
+            scan = ConstantScan(term.value, attribute=attr)
+            key_plan = scan if key_plan is None else join_on_shared_attributes(key_plan, scan)
+
+    y_needed = tuple(
+        relation.attributes[p]
+        for p in sorted(needed)
+        if relation.attributes[p] not in constraint.x
+    )
+    fetch: PlanNode = FetchNode(key_plan, atom.relation, constraint.x, y_needed)
+
+    # Constant checks, repeated-variable checks, renaming to variable names.
+    fetched_attrs = fetch.attributes
+    term_of = {attr: atom.terms[relation.position(attr)] for attr in fetched_attrs}
+    predicates = [
+        AttributeEqualsConstant(attr, term.value)
+        for attr, term in term_of.items()
+        if isinstance(term, Constant)
+    ]
+    occurrences: dict[Variable, list[str]] = {}
+    for attr in fetched_attrs:
+        term = term_of[attr]
+        if isinstance(term, Variable):
+            occurrences.setdefault(term, []).append(attr)
+    for variable, attrs in occurrences.items():
+        for extra in attrs[1:]:
+            predicates.append(AttributeEqualsAttribute(attrs[0], extra))
+    if predicates:
+        fetch = SelectNode(fetch, tuple(predicates))
+    primary = [(attrs[0], variable) for variable, attrs in occurrences.items()]
+    fetch = ProjectNode(fetch, tuple(attr for attr, _ in primary))
+    rename = {attr: variable.name for attr, variable in primary if attr != variable.name}
+    if rename:
+        fetch = RenameNode(fetch, rename)
+    return _Fragment(plan=fetch, bound=frozenset(v for _, v in primary))
+
+
+def _x_is_constant(atom, x_positions: Sequence[int]) -> bool:
+    return all(isinstance(atom.terms[p], Constant) for p in x_positions)
+
+
+def _needed_positions(query: ConjunctiveQuery, atom_index: int) -> set[int]:
+    atom = query.atoms[atom_index]
+    other_variables: set[Variable] = set(query.head_variables)
+    for index, other in enumerate(query.atoms):
+        if index != atom_index:
+            other_variables.update(other.variables)
+    needed: set[int] = set()
+    occurrences: dict[Variable, list[int]] = {}
+    for position, term in enumerate(atom.terms):
+        if isinstance(term, Constant):
+            needed.add(position)
+        else:
+            occurrences.setdefault(term, []).append(position)
+            if term in other_variables:
+                needed.add(position)
+    for positions in occurrences.values():
+        if len(positions) > 1:
+            needed.update(positions)
+    return needed
+
+
+def build_bounded_plan(
+    query: ConjunctiveQuery,
+    views: ViewSet,
+    access_schema: AccessSchema,
+    schema: DatabaseSchema,
+    max_size: int | None = None,
+    budget: ElementQueryBudget | None = None,
+    verify_conformance: bool = True,
+) -> PlanSearchOutcome:
+    """Construct a bounded plan for a CQ, or report why none was found.
+
+    The returned plan (when found) is equivalent to the query by construction
+    — every atom is enforced by a fetch, views only add implied filters — and
+    is checked for conformance to the access schema unless
+    ``verify_conformance`` is disabled.
+    """
+    normalized = query.normalize()
+    head_variables = [t for t in normalized.head if isinstance(t, Variable)]
+    if len(set(head_variables)) != len(head_variables):
+        raise UnsupportedQueryError(
+            "the heuristic plan builder requires distinct head variables"
+        )
+
+    # Step 1: view fragments (free, cached).  A usage whose expansion remains
+    # classically equivalent to the query may *cover* the atoms in its image,
+    # removing them from the fetch obligations; other usages act as filters
+    # and binders only.
+    fragments: list[_Fragment] = []
+    accepted_usages: list[tuple[View, dict, frozenset[int]]] = []
+    covered_by_views: set[int] = set()
+    for view in views:
+        best: tuple[dict, frozenset[int]] | None = None
+        for assignment, covered in _view_usages(view, normalized):
+            if best is None or len(covered) > len(best[1]):
+                best = (assignment, covered)
+        if best is None:
+            continue
+        assignment, covered = best
+        usable_coverage: frozenset[int] = frozenset()
+        if covered - covered_by_views:
+            # Largest subset of the image whose replacement keeps the
+            # expansion equivalent to the query (image sets are tiny, so the
+            # subset sweep is cheap).
+            candidates = sorted(
+                (frozenset(subset)
+                 for size in range(len(covered), 0, -1)
+                 for subset in itertools.combinations(sorted(covered), size)),
+                key=len,
+                reverse=True,
+            )
+            for subset in candidates:
+                candidate_usages = accepted_usages + [(view, assignment, subset)]
+                if equivalent(_full_expansion(normalized, candidate_usages), normalized):
+                    usable_coverage = subset
+                    accepted_usages.append((view, assignment, subset))
+                    break
+        fragment = _view_fragment(view, normalized, assignment, usable_coverage)
+        if fragment is None:
+            continue
+        fragments.append(fragment)
+        covered_by_views |= set(usable_coverage)
+
+    current: PlanNode | None = None
+    bound: frozenset[Variable] = frozenset()
+    for fragment in fragments:
+        current = fragment.plan if current is None else join_on_shared_attributes(
+            current, fragment.plan
+        )
+        bound |= fragment.bound
+
+    # Step 2: greedy fetching of the query atoms not covered by view usages.
+    # A candidate fetch whose key depends on previously bound variables is
+    # only accepted when its input provably has bounded output under A
+    # (checked through the conformance procedure on the fragment); otherwise
+    # the next covering constraint is tried — e.g. a constraint keyed on the
+    # atom's constants instead of on an unbounded view.
+    uncovered = set(range(len(normalized.atoms))) - covered_by_views
+    progress = True
+    while uncovered and progress:
+        progress = False
+        for atom_index in sorted(uncovered):
+            for constraint in access_schema.for_relation(
+                normalized.atoms[atom_index].relation
+            ):
+                fragment = _atom_fetch(
+                    atom_index, normalized, constraint, schema, bound, current
+                )
+                if fragment is None:
+                    continue
+                if verify_conformance and not conforms_to(
+                    fragment.plan, access_schema, schema, views, budget
+                ).conforms:
+                    continue
+                current = (
+                    fragment.plan
+                    if current is None
+                    else join_on_shared_attributes(current, fragment.plan)
+                )
+                bound |= fragment.bound
+                uncovered.discard(atom_index)
+                progress = True
+                break
+            if progress:
+                break
+
+    if uncovered:
+        return PlanSearchOutcome(
+            plan=None,
+            reason=f"{len(uncovered)} atoms cannot be fetched under the access schema",
+            fragments_used=len(fragments),
+        )
+    if current is None:
+        return PlanSearchOutcome(plan=None, reason="query has no atoms to plan for")
+
+    missing_heads = [v for v in head_variables if v.name not in current.attributes]
+    if missing_heads:
+        return PlanSearchOutcome(
+            plan=None,
+            reason=f"head variables {missing_heads} are not produced by any fragment",
+        )
+
+    plan: PlanNode = current
+    head_names = []
+    for term in normalized.head:
+        if isinstance(term, Variable):
+            head_names.append(term.name)
+        else:
+            scan = ConstantScan(term.value, attribute=f"_const_{len(head_names)}")
+            plan = join_on_shared_attributes(plan, scan)
+            head_names.append(f"_const_{len(head_names)}")
+    plan = ProjectNode(plan, tuple(head_names))
+
+    if max_size is not None and plan.size() > max_size:
+        return PlanSearchOutcome(
+            plan=None, reason=f"constructed plan has {plan.size()} nodes > M={max_size}"
+        )
+    if verify_conformance:
+        report = conforms_to(plan, access_schema, schema, views, budget)
+        if not report.conforms:
+            return PlanSearchOutcome(
+                plan=None,
+                reason="constructed plan does not conform to the access schema: "
+                + "; ".join(report.reasons),
+                fragments_used=len(fragments),
+            )
+    return PlanSearchOutcome(plan=plan, fragments_used=len(fragments))
+
+
+def build_bounded_plan_ucq(
+    query: QueryLike,
+    views: ViewSet,
+    access_schema: AccessSchema,
+    schema: DatabaseSchema,
+    max_size: int | None = None,
+    budget: ElementQueryBudget | None = None,
+) -> PlanSearchOutcome:
+    """Construct a bounded plan for a UCQ (one sub-plan per disjunct, unioned)."""
+    union = as_union(query)
+    sub_plans: list[PlanNode] = []
+    for disjunct in union.disjuncts:
+        outcome = build_bounded_plan(
+            disjunct, views, access_schema, schema, max_size, budget
+        )
+        if not outcome.found:
+            return PlanSearchOutcome(
+                plan=None,
+                reason=f"disjunct {disjunct.name!r}: {outcome.reason}",
+            )
+        sub_plans.append(outcome.plan)  # type: ignore[arg-type]
+    plan = sub_plans[0]
+    target_attrs = plan.attributes
+    for sub_plan in sub_plans[1:]:
+        aligned = sub_plan
+        if aligned.attributes != target_attrs:
+            rename = {
+                old: new
+                for old, new in zip(aligned.attributes, target_attrs)
+                if old != new
+            }
+            aligned = RenameNode(aligned, rename) if rename else aligned
+        plan = UnionNode(plan, aligned)
+    if max_size is not None and plan.size() > max_size:
+        return PlanSearchOutcome(
+            plan=None, reason=f"constructed plan has {plan.size()} nodes > M={max_size}"
+        )
+    return PlanSearchOutcome(plan=plan)

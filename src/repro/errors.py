@@ -1,0 +1,52 @@
+"""Exception hierarchy for the bounded-rewriting library.
+
+Every error raised by :mod:`repro` derives from :class:`ReproError`, so
+applications can catch a single base class.  More specific subclasses signal
+schema problems, malformed queries, plan construction errors and resource
+budgets being exceeded by the (worst-case exponential) decision procedures.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the library."""
+
+
+class SchemaError(ReproError):
+    """A relation / attribute reference does not match the database schema."""
+
+
+class QueryError(ReproError):
+    """A query is malformed (arity mismatch, unsafe head variable, ...)."""
+
+
+class PlanError(ReproError):
+    """A query plan is malformed (attribute mismatch, unknown view, ...)."""
+
+
+class AccessConstraintError(ReproError):
+    """An access constraint refers to unknown relations or attributes."""
+
+
+class UnsupportedQueryError(ReproError):
+    """The operation is not defined for this query language fragment.
+
+    For instance, asking for the tableau of a query with negation, or the
+    exact bounded-output test of a full FO query (undecidable; use the
+    size-bounded effective syntax instead).
+    """
+
+
+class BudgetExceededError(ReproError):
+    """An exponential decision procedure exceeded its configured budget.
+
+    The bounded-rewriting and bounded-output problems are Sigma^p_3- and
+    coNP-complete respectively, so exact procedures enumerate exponentially
+    many candidates in the worst case.  Budgets keep them predictable; callers
+    can raise the budget or switch to the heuristic/effective-syntax path.
+    """
+
+
+class EvaluationError(ReproError):
+    """A query or plan could not be evaluated on the given database."""

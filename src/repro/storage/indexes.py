@@ -1,0 +1,88 @@
+"""Indices realising access constraints.
+
+Each access constraint ``R(X -> Y, N)`` comes with an index: a function that,
+given an ``X``-value ``ā``, returns the ``XY``-projections
+``D_{R:XY}(X = ā)`` in ``O(N)`` time.  :class:`AccessIndex` is a hash index
+implementing exactly that contract; :class:`IndexSet` bundles the indices for
+a whole access schema over one database and is the *fetch provider* used by
+the bounded-plan executor.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Sequence
+
+from ..core.access import AccessConstraint, AccessSchema
+from ..errors import AccessConstraintError
+from .instance import Database
+
+
+class AccessIndex:
+    """A hash index from ``X``-values to ``X ∪ Y`` projections for one constraint."""
+
+    def __init__(self, constraint: AccessConstraint, database: Database) -> None:
+        self.constraint = constraint
+        relation = database.relation(constraint.relation)
+        schema = relation.schema
+        self._x_positions = schema.positions(constraint.x)
+        out_attrs = constraint.output_attributes
+        self._out_positions = schema.positions(out_attrs)
+        self.output_attributes = out_attrs
+        self._buckets: dict[tuple, frozenset[tuple]] = {}
+        buckets: dict[tuple, set[tuple]] = {}
+        for row in relation:
+            key = tuple(row[p] for p in self._x_positions)
+            value = tuple(row[p] for p in self._out_positions)
+            buckets.setdefault(key, set()).add(value)
+        self._buckets = {key: frozenset(values) for key, values in buckets.items()}
+
+    def lookup(self, key: Sequence[object]) -> frozenset[tuple]:
+        """Return ``D_{R:XY}(X = key)`` — the XY-projections for this key."""
+        return self._buckets.get(tuple(key), frozenset())
+
+    @property
+    def keys(self) -> frozenset[tuple]:
+        return frozenset(self._buckets)
+
+    def max_group_size(self) -> int:
+        """Largest number of distinct XY-projections of any group (≤ N when D |= A)."""
+        return max((len(v) for v in self._buckets.values()), default=0)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"AccessIndex({self.constraint}, {len(self._buckets)} keys)"
+
+
+class IndexSet:
+    """All indices of an access schema over one database.
+
+    The executor charges I/O only for tuples retrieved through these indices
+    (the bag ``Dξ`` of the paper); scans of cached views are free.
+    """
+
+    def __init__(self, database: Database, access_schema: AccessSchema) -> None:
+        access_schema.validate(database.schema)
+        self.database = database
+        self.access_schema = access_schema
+        self._indices: dict[AccessConstraint, AccessIndex] = {}
+        for constraint in access_schema:
+            self._indices[constraint] = AccessIndex(constraint, database)
+
+    def index_for(self, constraint: AccessConstraint) -> AccessIndex:
+        try:
+            return self._indices[constraint]
+        except KeyError as exc:
+            raise AccessConstraintError(
+                f"no index built for constraint {constraint}; it is not part of the access schema"
+            ) from exc
+
+    def fetch(self, constraint: AccessConstraint, key: Sequence[object]) -> frozenset[tuple]:
+        """Fetch ``D_{R:XY}(X = key)`` through the constraint's index."""
+        return self.index_for(constraint).lookup(key)
+
+    @property
+    def facts(self) -> Mapping[str, frozenset[tuple]]:
+        """Direct access to the underlying facts (used only by the *naive* baseline)."""
+        return self.database.facts
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"IndexSet({len(self._indices)} indices over {self.database!r})"

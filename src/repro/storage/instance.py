@@ -1,0 +1,156 @@
+"""Database instances: in-memory relations with set semantics.
+
+A :class:`Database` is a set-semantics instance of a
+:class:`repro.algebra.schema.DatabaseSchema`.  It exposes the ``facts``
+mapping consumed by every evaluation and decision procedure in the library,
+and implements ``D |= A`` satisfaction of access schemas.
+"""
+
+from __future__ import annotations
+
+from typing import Collection, Iterable, Iterator, Mapping
+
+from ..algebra.schema import DatabaseSchema, RelationSchema
+from ..core.access import AccessSchema
+from ..errors import SchemaError
+
+
+class Relation:
+    """An instance of a single relation schema (a set of tuples)."""
+
+    def __init__(self, schema: RelationSchema, tuples: Iterable[tuple] = ()) -> None:
+        self.schema = schema
+        self._tuples: set[tuple] = set()
+        for row in tuples:
+            self.add(row)
+
+    def add(self, row: Iterable[object]) -> None:
+        row = tuple(row)
+        if len(row) != self.schema.arity:
+            raise SchemaError(
+                f"tuple {row!r} has arity {len(row)}, relation {self.schema.name!r} "
+                f"expects {self.schema.arity}"
+            )
+        self._tuples.add(row)
+
+    def add_many(self, rows: Iterable[Iterable[object]]) -> None:
+        for row in rows:
+            self.add(row)
+
+    @property
+    def tuples(self) -> frozenset[tuple]:
+        return frozenset(self._tuples)
+
+    def project(self, attributes: Iterable[str]) -> set[tuple]:
+        positions = self.schema.positions(attributes)
+        return {tuple(row[p] for p in positions) for row in self._tuples}
+
+    def __len__(self) -> int:
+        return len(self._tuples)
+
+    def __iter__(self) -> Iterator[tuple]:
+        return iter(self._tuples)
+
+    def __contains__(self, row: object) -> bool:
+        return row in self._tuples
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"Relation({self.schema.name}, {len(self)} tuples)"
+
+
+class Database:
+    """A database instance over a schema.
+
+    >>> from repro.algebra.schema import schema_from_spec
+    >>> schema = schema_from_spec({"rating": ("mid", "rank")})
+    >>> db = Database(schema)
+    >>> db.add("rating", ("m1", 5))
+    >>> db.size
+    1
+    """
+
+    def __init__(
+        self,
+        schema: DatabaseSchema,
+        facts: Mapping[str, Iterable[tuple]] | None = None,
+    ) -> None:
+        self.schema = schema
+        self._relations: dict[str, Relation] = {
+            relation.name: Relation(relation) for relation in schema
+        }
+        if facts:
+            for name, rows in facts.items():
+                self.add_many(name, rows)
+
+    # ------------------------------------------------------------------ #
+    # Population
+    # ------------------------------------------------------------------ #
+
+    def add(self, relation: str, row: Iterable[object]) -> None:
+        self._relation(relation).add(row)
+
+    def add_many(self, relation: str, rows: Iterable[Iterable[object]]) -> None:
+        self._relation(relation).add_many(rows)
+
+    def _relation(self, name: str) -> Relation:
+        try:
+            return self._relations[name]
+        except KeyError as exc:
+            raise SchemaError(
+                f"unknown relation {name!r}; known: {sorted(self._relations)}"
+            ) from exc
+
+    # ------------------------------------------------------------------ #
+    # Inspection
+    # ------------------------------------------------------------------ #
+
+    def relation(self, name: str) -> Relation:
+        return self._relation(name)
+
+    @property
+    def facts(self) -> dict[str, frozenset[tuple]]:
+        """The instance as a fact set (relation name -> set of tuples)."""
+        return {name: relation.tuples for name, relation in self._relations.items()}
+
+    @property
+    def size(self) -> int:
+        """Total number of tuples (|D| in the paper)."""
+        return sum(len(relation) for relation in self._relations.values())
+
+    def relation_sizes(self) -> dict[str, int]:
+        return {name: len(relation) for name, relation in self._relations.items()}
+
+    def active_domain(self) -> set[object]:
+        domain: set[object] = set()
+        for relation in self._relations.values():
+            for row in relation:
+                domain.update(row)
+        return domain
+
+    # ------------------------------------------------------------------ #
+    # Access schema satisfaction
+    # ------------------------------------------------------------------ #
+
+    def satisfies(self, access_schema: AccessSchema) -> bool:
+        """``D |= A``: the instance satisfies every access constraint."""
+        return access_schema.satisfied_by(self.facts, self.schema)
+
+    def violations(self, access_schema: AccessSchema) -> list[str]:
+        return access_schema.violations(self.facts, self.schema)
+
+    # ------------------------------------------------------------------ #
+    # Convenience constructors
+    # ------------------------------------------------------------------ #
+
+    @classmethod
+    def from_facts(
+        cls, schema: DatabaseSchema, facts: Mapping[str, Iterable[tuple]]
+    ) -> "Database":
+        return cls(schema, facts)
+
+    def copy(self) -> "Database":
+        return Database.from_facts(self.schema, self.facts)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        sizes = ", ".join(f"{n}={len(r)}" for n, r in self._relations.items())
+        return f"Database({sizes})"

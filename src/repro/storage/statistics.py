@@ -1,0 +1,102 @@
+"""Discovery of access constraints from data.
+
+The paper assumes access constraints are "discovered from sample instances of
+R" (Section 4) — e.g. Facebook's 5000-friend cap, or "each person dines at
+most once per day".  This module mines such constraints: for candidate
+attribute pairs ``(X, Y)`` of a relation it computes the tight bound
+
+    N(X, Y) = max over X-values ā of |{t[Y] : t in D, t[X] = ā}|
+
+and keeps the candidates whose bound does not exceed a threshold.  The tight
+bound is also used by tests to double-check that generated workload data
+satisfies its intended access schema.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Iterable, Sequence
+
+from ..core.access import AccessConstraint, AccessSchema
+from .instance import Database
+
+
+def constraint_bound(
+    database: Database, relation: str, x: Sequence[str], y: Sequence[str]
+) -> int:
+    """The tight bound N for the candidate constraint ``relation(X -> Y, N)``.
+
+    Returns 0 for an empty relation.
+    """
+    rel = database.relation(relation)
+    x_positions = rel.schema.positions(x)
+    y_positions = rel.schema.positions(y)
+    groups: dict[tuple, set[tuple]] = {}
+    for row in rel:
+        key = tuple(row[p] for p in x_positions)
+        groups.setdefault(key, set()).add(tuple(row[p] for p in y_positions))
+    return max((len(values) for values in groups.values()), default=0)
+
+
+def discover_access_constraints(
+    database: Database,
+    max_x_size: int = 2,
+    max_bound: int = 100,
+    relations: Iterable[str] | None = None,
+) -> AccessSchema:
+    """Mine access constraints whose tight bound is at most ``max_bound``.
+
+    For every relation, every attribute subset ``X`` with ``|X| <= max_x_size``
+    (including the empty set) and every single attribute ``Y`` outside ``X``,
+    the tight bound is computed; candidates with bound in ``[1, max_bound]``
+    become constraints.  Subsumed constraints (same X, same Y, larger bound
+    than an already kept one) are dropped.
+    """
+    discovered: list[AccessConstraint] = []
+    names = tuple(relations) if relations is not None else database.schema.names
+    for name in names:
+        attributes = database.schema.relation(name).attributes
+        if not len(database.relation(name)):
+            continue
+        for size in range(0, max_x_size + 1):
+            for x in itertools.combinations(attributes, size):
+                remaining = [a for a in attributes if a not in x]
+                for y_attr in remaining:
+                    bound = constraint_bound(database, name, x, (y_attr,))
+                    if 1 <= bound <= max_bound:
+                        discovered.append(AccessConstraint(name, x, (y_attr,), bound))
+    return AccessSchema(_drop_subsumed(discovered))
+
+
+def _drop_subsumed(constraints: list[AccessConstraint]) -> list[AccessConstraint]:
+    """Drop constraints implied by another kept constraint with smaller X.
+
+    A constraint ``R(X' -> Y, N')`` is redundant when some kept constraint
+    ``R(X -> Y, N)`` has ``X ⊆ X'`` and ``N <= N'`` — any fetch the former can
+    serve, the latter serves at least as cheaply only if X matches exactly, so
+    we keep both unless X and Y coincide.  (Only exact duplicates with a worse
+    bound are dropped; different X-sets give genuinely different indices.)
+    """
+    kept: dict[tuple[str, tuple[str, ...], tuple[str, ...]], AccessConstraint] = {}
+    for constraint in constraints:
+        key = (constraint.relation, constraint.x, constraint.y)
+        existing = kept.get(key)
+        if existing is None or constraint.bound < existing.bound:
+            kept[key] = constraint
+    return list(kept.values())
+
+
+def verify_expected_schema(
+    database: Database, access_schema: AccessSchema
+) -> dict[AccessConstraint, int]:
+    """Return the tight bound measured for every constraint of ``access_schema``.
+
+    Useful in tests and benchmarks to confirm that generated data indeed
+    satisfies the intended constraints (measured bound <= declared bound).
+    """
+    measured: dict[AccessConstraint, int] = {}
+    for constraint in access_schema:
+        measured[constraint] = constraint_bound(
+            database, constraint.relation, constraint.x, constraint.y
+        )
+    return measured

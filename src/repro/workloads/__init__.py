@@ -1,0 +1,5 @@
+"""Workload generators: Example 1.1 graph search, synthetic CDR, random CQs, reduction gadgets."""
+
+from . import cdr, example63, graph_search, lower_bounds, random_cq, reductions
+
+__all__ = ["cdr", "example63", "graph_search", "lower_bounds", "random_cq", "reductions"]

@@ -1,0 +1,153 @@
+"""Example 6.3 of the paper: FO beats UCQ as a rewriting language.
+
+The example exhibits a Boolean CQ ``Q`` over six relations, three Boolean
+views ``V1, V2, V3`` and an access schema ``A`` such that, with ``M = 5``,
+
+* ``Q`` has a 5-bounded rewriting in FO — the plan ``(V3 \\ V1) ∪ V2``; and
+* ``Q`` has no 5-bounded rewriting in UCQ.
+
+The key semantic facts are ``Q ⋢_A V1``, ``V1 ⋢_A Q``, ``V2 ≡_A V1 ∧ Q`` and
+``V3 ≡_A V1 ∪ Q``; they follow from the interplay between the constraint
+``T(X -> Y, 3)`` and the four key constraints on ``K1 .. K4``, which force,
+in any valuation of ``Q'``, either ``x1 = x3`` or ``x2 = x4``.
+
+This module builds the schema, the access schema, ``Q``, the views and the
+5-node FO plan so that tests and benchmarks can exercise the construction.
+"""
+
+from __future__ import annotations
+
+from ..algebra.atoms import RelationAtom
+from ..algebra.cq import ConjunctiveQuery
+from ..algebra.schema import DatabaseSchema, schema_from_spec
+from ..algebra.terms import Variable
+from ..algebra.ucq import UnionQuery
+from ..algebra.views import View, ViewSet
+from ..core.access import AccessConstraint, AccessSchema
+from ..core.plans import DifferenceNode, PlanNode, UnionNode, ViewScan
+from ..storage.instance import Database
+
+
+def schema() -> DatabaseSchema:
+    return schema_from_spec(
+        {
+            "R": ("X", "Y", "Z"),
+            "T": ("X", "Y"),
+            "K1": ("X", "Y"),
+            "K2": ("X", "Y"),
+            "K3": ("X", "Y"),
+            "K4": ("X", "Y"),
+        }
+    )
+
+
+def access_schema() -> AccessSchema:
+    return AccessSchema(
+        (
+            AccessConstraint("T", ("X",), ("Y",), 3),
+            AccessConstraint("K1", ("X",), ("Y",), 1),
+            AccessConstraint("K2", ("X",), ("Y",), 1),
+            AccessConstraint("K3", ("X",), ("Y",), 1),
+            AccessConstraint("K4", ("X",), ("Y",), 1),
+        )
+    )
+
+
+def q_prime_atoms(x1, x2, x3, x4, y_prime) -> tuple[RelationAtom, ...]:
+    """The sub-query ``Q'(x1, x2, x3, x4)`` of Example 6.3."""
+    return (
+        RelationAtom("T", (y_prime, x1)),
+        RelationAtom("T", (y_prime, x2)),
+        RelationAtom("T", (y_prime, x3)),
+        RelationAtom("T", (y_prime, x4)),
+        RelationAtom("K1", (x1, 1)),
+        RelationAtom("K1", (x2, 2)),
+        RelationAtom("K2", (x3, 1)),
+        RelationAtom("K2", (x4, 2)),
+        RelationAtom("K3", (x1, 1)),
+        RelationAtom("K3", (x4, 2)),
+        RelationAtom("K4", (x2, 1)),
+        RelationAtom("K4", (x3, 2)),
+    )
+
+
+def query_q() -> ConjunctiveQuery:
+    """The Boolean CQ ``Q`` of Example 6.3."""
+    x, y, z1, z2, yp = (
+        Variable("x"),
+        Variable("y"),
+        Variable("z1"),
+        Variable("z2"),
+        Variable("yp"),
+    )
+    return ConjunctiveQuery(
+        head=(),
+        atoms=(
+            RelationAtom("R", (x, y, z1)),
+            RelationAtom("R", (x, y, z2)),
+        )
+        + q_prime_atoms(y, z1, y, z2, yp),
+        name="Q63",
+    )
+
+
+def _v1_definition(prefix: str) -> ConjunctiveQuery:
+    x, y, z1, z2, yp = (
+        Variable(f"{prefix}x"),
+        Variable(f"{prefix}y"),
+        Variable(f"{prefix}z1"),
+        Variable(f"{prefix}z2"),
+        Variable(f"{prefix}yp"),
+    )
+    return ConjunctiveQuery(
+        head=(),
+        atoms=(
+            RelationAtom("R", (x, z1, y)),
+            RelationAtom("R", (x, z2, y)),
+        )
+        + q_prime_atoms(z1, y, z2, y, yp),
+        name=f"{prefix}V1def",
+    )
+
+
+def views() -> ViewSet:
+    """The Boolean views V1, V2 (≡_A V1 ∧ Q) and V3 (≡_A V1 ∪ Q)."""
+    v1 = View("V1", _v1_definition("a_"))
+    v2 = View(
+        "V2",
+        ConjunctiveQuery(
+            head=(),
+            atoms=query_q().atoms + _v1_definition("b_").atoms,
+            name="V2def",
+        ),
+    )
+    v3 = View("V3", UnionQuery((query_q(), _v1_definition("c_")), name="V3def"))
+    return ViewSet((v1, v2, v3))
+
+
+def fo_plan() -> PlanNode:
+    """The 5-node FO rewriting ``(V3 \\ V1) ∪ V2``."""
+    return UnionNode(
+        DifferenceNode(ViewScan("V3", ()), ViewScan("V1", ())), ViewScan("V2", ())
+    )
+
+
+def canonical_instance_of(query: ConjunctiveQuery) -> Database:
+    """The query's tableau as a concrete database (variables become values)."""
+    database = Database(schema())
+    for relation, rows in query.tableau().facts().items():
+        database.add_many(relation, rows)
+    return database
+
+
+def witness_instances() -> list[Database]:
+    """Instances satisfying A that witness the example's containment claims."""
+    v1 = views().view("V1").as_ucq().disjuncts[0]
+    instances = [canonical_instance_of(query_q()), canonical_instance_of(v1)]
+    combined = Database(schema())
+    for database in instances:
+        for name, rows in database.facts.items():
+            combined.add_many(name, rows)
+    if combined.satisfies(access_schema()):
+        instances.append(combined)
+    return instances

@@ -1,0 +1,625 @@
+"""Lower-bound gadget constructions from Theorem 4.1 and Theorem 3.11.
+
+:mod:`repro.workloads.reductions` implements the Boolean gadgets shared by
+all reductions plus the Theorem 3.4 / Proposition 4.5 constructions; this
+module adds the remaining lower-bound families of the paper:
+
+* Theorem 4.1(1) — *precoloring extension*: an ACQ ``Q`` over a single binary
+  relation with one access constraint ``R(A -> B, 2)`` such that ``Q ≡_A ∅``
+  iff the precoloring of the graph's leaves cannot be extended to a proper
+  3-coloring (the construction of the electronic appendix, without the
+  ``Qf`` padding sub-query, which only serves to rule out small plans);
+* Theorem 4.1(2) — *3-colorability*: an ACQ over ``R(A, B)`` and ``R'(E, F)``
+  with ``A = {R(A -> B, 1), R'(∅ -> (E, F), 6)}`` such that ``Q ≡_A ∅`` iff
+  the graph is not 3-colorable;
+* Theorem 4.1(3) — *3SAT*: an ACQ over ``R(A, B, C)`` and ``R'(E)`` with
+  ``A = {R((A, B) -> C, 1), R'(∅ -> E, 2)}`` such that ``Q ≡_A ∅`` iff the
+  formula is unsatisfiable.  The gate encoding differs from the appendix in
+  one presentational aspect: Boolean connectives are realised through
+  *tagged* rows of the ternary relation (``R('or0', b, a∨b)`` etc.) instead
+  of the appendix's marker constants, which keeps the construction acyclic
+  with per-clause variable copies tied to the originals through the
+  functional constraint — the same mechanism, written more explicitly;
+* Theorem 3.11 — the ``C^p_{2k+1}``-hardness family: a query ``Q_Θ`` and
+  ``k`` fixed views such that ``Q_Θ`` has a 1-bounded rewriting using the
+  views iff the number of satisfiable formulas among ``Θ = (f_0, ..., f_2k)``
+  is even (the formulas must be *nested*: ``f_{i+1}`` satisfiable implies
+  ``f_i`` satisfiable, mirroring ``L_0 ⊇ L_1 ⊇ ...``).
+
+Every construction exposes the gadget pieces (schema, access schema, query,
+views where applicable), the expected outcome derived from a brute-force
+check of the source instance, and a *witness instance* builder realising the
+positive direction of the proof, so tests and benchmarks can exercise both
+the structural claims (acyclicity, fixed parameters) and the semantic ones.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Iterable, Mapping, Sequence
+
+from ..algebra.atoms import EqualityAtom, RelationAtom
+from ..algebra.cq import ConjunctiveQuery
+from ..algebra.schema import DatabaseSchema, schema_from_spec
+from ..algebra.terms import Constant, Term, Variable
+from ..algebra.views import View, ViewSet
+from ..core.access import AccessConstraint, AccessSchema
+from ..errors import QueryError
+from ..storage.instance import Database
+from .reductions import Formula, encode_formula, figure2_facts, formula
+
+COLORS = ("r", "g", "b")
+
+
+# --------------------------------------------------------------------------- #
+# Graphs
+# --------------------------------------------------------------------------- #
+
+
+@dataclass(frozen=True)
+class Graph:
+    """A simple undirected graph over vertices ``0 .. num_vertices - 1``.
+
+    Edges are stored as ordered pairs ``(i, j)`` with ``i < j``; the reduction
+    treats the pair order as the edge's "first" and "second" endpoint (the
+    paper encodes every undirected edge by two directed copies anyway).
+    """
+
+    num_vertices: int
+    edges: tuple[tuple[int, int], ...]
+
+    def __init__(self, num_vertices: int, edges: Iterable[tuple[int, int]]) -> None:
+        normalized = []
+        seen = set()
+        for left, right in edges:
+            if left == right:
+                raise QueryError("self-loops are not allowed (they are never colorable)")
+            if not (0 <= left < num_vertices and 0 <= right < num_vertices):
+                raise QueryError(f"edge ({left}, {right}) out of range")
+            pair = (min(left, right), max(left, right))
+            if pair in seen:
+                continue
+            seen.add(pair)
+            normalized.append(pair)
+        object.__setattr__(self, "num_vertices", num_vertices)
+        object.__setattr__(self, "edges", tuple(sorted(normalized)))
+
+    @property
+    def vertices(self) -> tuple[int, ...]:
+        return tuple(range(self.num_vertices))
+
+    def degree(self, vertex: int) -> int:
+        return sum(1 for edge in self.edges if vertex in edge)
+
+    def leaves(self) -> tuple[int, ...]:
+        return tuple(v for v in self.vertices if self.degree(v) == 1)
+
+    def colorings(self) -> Iterable[dict[int, str]]:
+        """All assignments of the three colors to the vertices."""
+        for assignment in itertools.product(COLORS, repeat=self.num_vertices):
+            yield dict(enumerate(assignment))
+
+    def is_proper(self, coloring: Mapping[int, str]) -> bool:
+        return all(coloring[i] != coloring[j] for i, j in self.edges)
+
+    def is_three_colorable(self) -> bool:
+        return any(self.is_proper(coloring) for coloring in self.colorings())
+
+    def precoloring_extendable(self, precoloring: Mapping[int, str]) -> bool:
+        """Brute force: can the precoloring be extended to a proper coloring?"""
+        return any(
+            self.is_proper(coloring)
+            for coloring in self.colorings()
+            if all(coloring[v] == c for v, c in precoloring.items())
+        )
+
+
+def path_graph(length: int) -> Graph:
+    """A path with ``length`` edges (``length + 1`` vertices)."""
+    return Graph(length + 1, [(i, i + 1) for i in range(length)])
+
+
+def cycle_graph(size: int) -> Graph:
+    """A cycle on ``size`` vertices."""
+    return Graph(size, [(i, (i + 1) % size) for i in range(size)])
+
+
+def complete_graph(size: int) -> Graph:
+    """The complete graph ``K_size`` (not 3-colorable for ``size >= 4``)."""
+    return Graph(size, [(i, j) for i in range(size) for j in range(i + 1, size)])
+
+
+# --------------------------------------------------------------------------- #
+# Theorem 4.1, case (1): precoloring extension, A = {R(A -> B, 2)}
+# --------------------------------------------------------------------------- #
+
+
+@dataclass
+class Theorem41Case1:
+    """The precoloring-extension gadget: ``Q ≡_A ∅`` iff no proper extension exists."""
+
+    graph: Graph
+    precoloring: dict[int, str]
+    schema: DatabaseSchema
+    access_schema: AccessSchema
+    query: ConjunctiveQuery
+
+    @property
+    def expected_empty(self) -> bool:
+        return not self.graph.precoloring_extendable(self.precoloring)
+
+    def witness_instance(self, coloring: Mapping[int, str] | None = None) -> Database:
+        """The instance of the proof's positive direction, built from a coloring.
+
+        When no coloring is supplied, a proper extension of the precoloring is
+        searched by brute force; :class:`QueryError` is raised if none exists.
+        """
+        if coloring is None:
+            coloring = next(
+                (
+                    candidate
+                    for candidate in self.graph.colorings()
+                    if self.graph.is_proper(candidate)
+                    and all(candidate[v] == c for v, c in self.precoloring.items())
+                ),
+                None,
+            )
+            if coloring is None:
+                raise QueryError("the precoloring has no proper extension")
+        database = Database(self.schema)
+        for left, right in itertools.permutations(COLORS, 2):
+            database.add("R", (left, right))
+        n = self.graph.num_vertices
+        for vertex in self.graph.vertices:
+            index = vertex + 1
+            database.add("R", (index, 1))
+            database.add("R", (index + n, 2))
+            database.add("R", (index + 2 * n, 3))
+            database.add("R", (index, coloring[vertex]))
+            database.add("R", (index + n, coloring[vertex]))
+            database.add("R", (index + 2 * n, coloring[vertex]))
+        return database
+
+
+def _vertex_block_atoms(index: int, n: int, terms: Sequence[Term]) -> list[RelationAtom]:
+    """The three (R(i, k) ∧ R(i, t1) ∧ R(i, t2) ...) blocks shared by Q1V/Q2V/QL.
+
+    For each offset ``k ∈ {1, 2, 3}`` the block asserts ``R(i + (k-1)·n, k)``
+    and ``R(i + (k-1)·n, t)`` for every term ``t`` — under ``R(A -> B, 2)``
+    this forces all the terms to take the same value (see the proof).
+    """
+    atoms: list[RelationAtom] = []
+    for offset, marker in ((0, 1), (n, 2), (2 * n, 3)):
+        key = Constant(index + offset)
+        atoms.append(RelationAtom("R", (key, Constant(marker))))
+        for term in terms:
+            atoms.append(RelationAtom("R", (key, term)))
+    return atoms
+
+
+def precoloring_reduction(
+    graph: Graph, precoloring: Mapping[int, str]
+) -> Theorem41Case1:
+    """Build the Theorem 4.1(1) gadget for a graph and a leaf precoloring."""
+    leaves = set(graph.leaves())
+    for vertex, color in precoloring.items():
+        if vertex not in leaves:
+            raise QueryError(f"precoloring may only color leaves; {vertex} is not a leaf")
+        if color not in COLORS:
+            raise QueryError(f"unknown color {color!r}")
+    schema = schema_from_spec({"R": ("a", "b")})
+    access = AccessSchema((AccessConstraint("R", ("a",), ("b",), 2),))
+
+    n = graph.num_vertices
+    vertex_vars = {v: Variable(f"v{v}") for v in graph.vertices}
+    atoms: list[RelationAtom] = []
+
+    # Q1: the six color tuples must be present.
+    for left, right in itertools.permutations(COLORS, 2):
+        atoms.append(RelationAtom("R", (Constant(left), Constant(right))))
+
+    # QE: every edge, in both directions, through fresh per-edge copies.
+    first_copy: dict[tuple[int, int], Variable] = {}
+    second_copy: dict[tuple[int, int], Variable] = {}
+    for edge in graph.edges:
+        i, j = edge
+        x1 = Variable(f"x1_{i}_{j}")
+        x2 = Variable(f"x2_{i}_{j}")
+        first_copy[edge] = x1
+        second_copy[edge] = x2
+        atoms.append(RelationAtom("R", (x1, x2)))
+        atoms.append(RelationAtom("R", (x2, x1)))
+
+    # Q1V / Q2V: tie the edge copies to their vertices through the constraint.
+    for edge in graph.edges:
+        i, j = edge
+        atoms.extend(_vertex_block_atoms(i + 1, n, (vertex_vars[i], first_copy[edge])))
+        atoms.extend(_vertex_block_atoms(j + 1, n, (vertex_vars[j], second_copy[edge])))
+
+    # QL: the precolored leaves carry their colors.
+    for vertex, color in sorted(precoloring.items()):
+        atoms.extend(_vertex_block_atoms(vertex + 1, n, (vertex_vars[vertex], Constant(color))))
+
+    query = ConjunctiveQuery(head=(), atoms=tuple(atoms), name="Q_precoloring")
+    return Theorem41Case1(
+        graph=graph,
+        precoloring=dict(precoloring),
+        schema=schema,
+        access_schema=access,
+        query=query,
+    )
+
+
+# --------------------------------------------------------------------------- #
+# Theorem 4.1, case (2): 3-colorability, A = {R(A -> B, 1), R'(∅ -> (E, F), 6)}
+# --------------------------------------------------------------------------- #
+
+
+@dataclass
+class Theorem41Case2:
+    """The 3-colorability gadget: ``Q ≡_A ∅`` iff the graph is not 3-colorable."""
+
+    graph: Graph
+    schema: DatabaseSchema
+    access_schema: AccessSchema
+    query: ConjunctiveQuery
+
+    @property
+    def expected_empty(self) -> bool:
+        return not self.graph.is_three_colorable()
+
+    def witness_instance(self, coloring: Mapping[int, str] | None = None) -> Database:
+        if coloring is None:
+            coloring = next(
+                (c for c in self.graph.colorings() if self.graph.is_proper(c)), None
+            )
+            if coloring is None:
+                raise QueryError("the graph is not 3-colorable")
+        database = Database(self.schema)
+        for left, right in itertools.permutations(COLORS, 2):
+            database.add("Rp", (left, right))
+        for vertex in self.graph.vertices:
+            database.add("R", (vertex + 1, coloring[vertex]))
+        return database
+
+
+def three_colorability_reduction(graph: Graph) -> Theorem41Case2:
+    """Build the Theorem 4.1(2) gadget for a graph."""
+    schema = schema_from_spec({"R": ("a", "b"), "Rp": ("e", "f")})
+    access = AccessSchema(
+        (
+            AccessConstraint("R", ("a",), ("b",), 1),
+            AccessConstraint("Rp", (), ("e", "f"), 6),
+        )
+    )
+    vertex_vars = {v: Variable(f"v{v}") for v in graph.vertices}
+    atoms: list[RelationAtom] = []
+
+    # Q1: the six color tuples of Rp.
+    for left, right in itertools.permutations(COLORS, 2):
+        atoms.append(RelationAtom("Rp", (Constant(left), Constant(right))))
+
+    # QE over Rp with per-edge copies, QV over R identifying the copies via the FD.
+    for edge in graph.edges:
+        i, j = edge
+        x1 = Variable(f"x1_{i}_{j}")
+        x2 = Variable(f"x2_{i}_{j}")
+        atoms.append(RelationAtom("Rp", (x1, x2)))
+        atoms.append(RelationAtom("Rp", (x2, x1)))
+        atoms.append(RelationAtom("R", (Constant(i + 1), x1)))
+        atoms.append(RelationAtom("R", (Constant(j + 1), x2)))
+    for vertex in graph.vertices:
+        atoms.append(RelationAtom("R", (Constant(vertex + 1), vertex_vars[vertex])))
+
+    query = ConjunctiveQuery(head=(), atoms=tuple(atoms), name="Q_3col")
+    return Theorem41Case2(graph=graph, schema=schema, access_schema=access, query=query)
+
+
+# --------------------------------------------------------------------------- #
+# Theorem 4.1, case (3): 3SAT, A = {R((A, B) -> C, 1), R'(∅ -> E, 2)}
+# --------------------------------------------------------------------------- #
+
+# Tag constants of the ternary gate relation.  A row R(tag, b, out) computes
+# the gate's output for second input b, where the tag itself encodes the gate
+# and its first input (the tag rows R('tag_or', a, 'or<a>') perform the
+# tagging, keyed on ('tag_or', a) so the FD makes the whole circuit
+# functional).
+TAG_OR, TAG_AND, TAG_NOT = "tag_or", "tag_and", "tag_not"
+
+
+def _gate_truth_rows() -> list[tuple]:
+    rows: list[tuple] = []
+    for a in (0, 1):
+        rows.append((TAG_OR, a, f"or{a}"))
+        rows.append((TAG_AND, a, f"and{a}"))
+        rows.append((TAG_NOT, a, 1 - a))
+        for b in (0, 1):
+            rows.append((f"or{a}", b, int(bool(a or b))))
+            rows.append((f"and{a}", b, int(bool(a and b))))
+    return rows
+
+
+@dataclass
+class Theorem41Case3:
+    """The ACQ 3SAT gadget: ``Q ≡_A ∅`` iff the formula is unsatisfiable."""
+
+    formula: Formula
+    schema: DatabaseSchema
+    access_schema: AccessSchema
+    query: ConjunctiveQuery
+
+    @property
+    def expected_empty(self) -> bool:
+        return not self.formula.is_satisfiable()
+
+    def witness_instance(self, assignment: Sequence[bool] | None = None) -> Database:
+        if assignment is None:
+            assignment = next(
+                (
+                    candidate
+                    for candidate in itertools.product((False, True), repeat=self.formula.num_variables)
+                    if self.formula.evaluate(candidate)
+                ),
+                None,
+            )
+            if assignment is None:
+                raise QueryError("the formula is unsatisfiable")
+        database = Database(self.schema)
+        database.add("Rp", (0,))
+        database.add("Rp", (1,))
+        for row in _gate_truth_rows():
+            database.add("R", row)
+        for index, value in enumerate(assignment):
+            database.add("R", (f"var{index}", "dot", int(value)))
+        return database
+
+
+class _GateBuilder:
+    """Accumulates gate atoms of the Theorem 4.1(3) encoding."""
+
+    def __init__(self, prefix: str) -> None:
+        self.prefix = prefix
+        self.atoms: list[RelationAtom] = []
+        self._counter = itertools.count()
+
+    def fresh(self, hint: str) -> Variable:
+        return Variable(f"{self.prefix}_{hint}{next(self._counter)}")
+
+    def apply(self, tag: str, left: Term, right: Term) -> Variable:
+        """Emit the two atoms computing ``gate(left, right)`` and return the output."""
+        tagged = self.fresh("t")
+        output = self.fresh("o")
+        self.atoms.append(RelationAtom("R", (Constant(tag), left, tagged)))
+        self.atoms.append(RelationAtom("R", (tagged, right, output)))
+        return output
+
+    def negate(self, operand: Term) -> Variable:
+        output = self.fresh("n")
+        self.atoms.append(RelationAtom("R", (Constant(TAG_NOT), operand, output)))
+        return output
+
+
+def acq_3sat_reduction(phi: Formula) -> Theorem41Case3:
+    """Build the Theorem 4.1(3) gadget: an ACQ that is A-satisfiable iff ``phi`` is."""
+    schema = schema_from_spec({"R": ("a", "b", "c"), "Rp": ("e",)})
+    access = AccessSchema(
+        (
+            AccessConstraint("R", ("a", "b"), ("c",), 1),
+            AccessConstraint("Rp", (), ("e",), 2),
+        )
+    )
+    atoms: list[RelationAtom] = []
+    equalities: list[EqualityAtom] = []
+
+    # Anchor the gate truth table and the Boolean domain.
+    for row in _gate_truth_rows():
+        atoms.append(RelationAtom("R", tuple(Constant(v) for v in row)))
+    atoms.append(RelationAtom("Rp", (Constant(0),)))
+    atoms.append(RelationAtom("Rp", (Constant(1),)))
+
+    # One master variable per propositional variable, constrained to {0, 1}.
+    master = {i: Variable(f"x{i}") for i in range(phi.num_variables)}
+    for index, variable in master.items():
+        atoms.append(RelationAtom("Rp", (variable,)))
+        atoms.append(RelationAtom("R", (Constant(f"var{index}"), Constant("dot"), variable)))
+
+    clause_outputs: list[Term] = []
+    for clause_index, clause in enumerate(phi.clauses):
+        builder = _GateBuilder(prefix=f"c{clause_index}")
+        literal_terms: list[Term] = []
+        for literal_index, literal in enumerate(clause):
+            # A per-clause copy of the variable, tied to the master through the
+            # functional constraint (both atoms share the constant key).
+            copy = Variable(f"x{literal.variable}_c{clause_index}_{literal_index}")
+            builder.atoms.append(
+                RelationAtom(
+                    "R", (Constant(f"var{literal.variable}"), Constant("dot"), copy)
+                )
+            )
+            literal_terms.append(builder.negate(copy) if literal.negated else copy)
+        current = literal_terms[0]
+        for term in literal_terms[1:]:
+            current = builder.apply(TAG_OR, current, term)
+        atoms.extend(builder.atoms)
+        clause_outputs.append(current)
+
+    conjunction_builder = _GateBuilder(prefix="and")
+    overall: Term = clause_outputs[0] if clause_outputs else Constant(1)
+    for term in clause_outputs[1:]:
+        overall = conjunction_builder.apply(TAG_AND, overall, term)
+    atoms.extend(conjunction_builder.atoms)
+    if isinstance(overall, Variable):
+        equalities.append(EqualityAtom(overall, Constant(1)))
+    elif overall != Constant(1):  # pragma: no cover - defensive
+        raise QueryError("constant formula output must be 1")
+
+    query = ConjunctiveQuery(
+        head=(), atoms=tuple(atoms), equalities=tuple(equalities), name="Q_acq3sat"
+    )
+    return Theorem41Case3(formula=phi, schema=schema, access_schema=access, query=query)
+
+
+# --------------------------------------------------------------------------- #
+# Theorem 3.11: the C^p_{2k+1} family
+# --------------------------------------------------------------------------- #
+
+RS = "Rs"
+
+
+@dataclass
+class Theorem311Instance:
+    """The Theorem 3.11 gadget: fixed R, A, M = 1 and k fixed views.
+
+    ``Q_Θ`` has a 1-bounded rewriting using the views iff the number of
+    satisfiable formulas in ``formulas`` is even (counting from ``f_0``); the
+    formulas must be *nested* — ``f_{i+1}`` satisfiable implies ``f_i``
+    satisfiable — mirroring the language inclusions ``L_0 ⊇ L_1 ⊇ ...`` of
+    the proof.
+    """
+
+    formulas: tuple[Formula, ...]
+    k: int
+    schema: DatabaseSchema
+    access_schema: AccessSchema
+    query: ConjunctiveQuery
+    views: ViewSet
+
+    @property
+    def satisfiable_count(self) -> int:
+        return sum(1 for phi in self.formulas if phi.is_satisfiable())
+
+    @property
+    def expected_rewriting(self) -> bool:
+        return self.satisfiable_count % 2 == 0
+
+    def rs_rows(self) -> list[tuple]:
+        """The ``(2k+1)(2k+2)/2`` rows of the relation ``Rs`` demanded by ``Qs``."""
+        return _rs_rows(self.k)
+
+    def canonical_database(self) -> Database:
+        """The intended gadget instance: Figure 2 relations plus the ``Rs`` rows."""
+        database = Database(self.schema)
+        for relation, rows in figure2_facts().items():
+            database.add_many(relation, rows)
+        database.add_many(RS, self.rs_rows())
+        return database
+
+
+def _rs_rows(k: int) -> list[tuple]:
+    """The prefix-flag rows of ``Rs``: one block per number of satisfiable formulas."""
+    width = 2 * k + 1
+    rows = []
+    for filled in range(1, width + 1):
+        flags = tuple(1 if position < filled else 0 for position in range(width))
+        for index in range(filled):
+            rows.append(flags + (index,))
+    return rows
+
+
+def nested_formula_family(satisfiable_count: int, k: int) -> tuple[Formula, ...]:
+    """``2k + 1`` nested formulas with exactly ``satisfiable_count`` satisfiable ones.
+
+    The first ``satisfiable_count`` formulas are trivially satisfiable
+    (``x0``), the rest trivially unsatisfiable (``x0 ∧ ¬x0``), so the nesting
+    condition holds by construction.
+    """
+    width = 2 * k + 1
+    if not 0 <= satisfiable_count <= width:
+        raise QueryError(f"satisfiable_count must lie in [0, {width}]")
+    satisfiable = formula(1, [[(0, False)]])
+    unsatisfiable = formula(1, [[(0, False)], [(0, True)]])
+    return tuple(
+        satisfiable if index < satisfiable_count else unsatisfiable
+        for index in range(width)
+    )
+
+
+def theorem311_reduction(formulas: Sequence[Formula], k: int | None = None) -> Theorem311Instance:
+    """Build the Theorem 3.11 gadget for ``2k + 1`` nested formulas."""
+    formulas = tuple(formulas)
+    if k is None:
+        if len(formulas) % 2 == 0:
+            raise QueryError("Theorem 3.11 needs an odd number of formulas (2k + 1)")
+        k = (len(formulas) - 1) // 2
+    if len(formulas) != 2 * k + 1:
+        raise QueryError(f"expected {2 * k + 1} formulas, got {len(formulas)}")
+    for earlier, later in zip(formulas, formulas[1:]):
+        if later.is_satisfiable() and not earlier.is_satisfiable():
+            raise QueryError(
+                "formulas must be nested: a satisfiable formula may not follow an "
+                "unsatisfiable one"
+            )
+
+    width = 2 * k + 1
+    rs_attributes = tuple(f"V{i}" for i in range(width)) + ("U",)
+    spec = {
+        "R01": ("A",),
+        "Ror": ("B", "A1", "A2"),
+        "Rand": ("B", "A1", "A2"),
+        "Rnot": ("A", "Abar"),
+        RS: rs_attributes,
+    }
+    schema = schema_from_spec(spec)
+
+    rs_row_count = len(_rs_rows(k))
+    access = AccessSchema(
+        (
+            AccessConstraint("R01", (), ("A",), 2),
+            AccessConstraint("Ror", (), ("B", "A1", "A2"), 4),
+            AccessConstraint("Rand", (), ("B", "A1", "A2"), 4),
+            AccessConstraint("Rnot", (), ("A", "Abar"), 2),
+            AccessConstraint(RS, (), rs_attributes, rs_row_count),
+        )
+    )
+
+    # Qc ∧ Qs: all Figure 2 tuples and all Rs rows must be present.
+    anchor_atoms: list[RelationAtom] = []
+    for relation, rows in figure2_facts().items():
+        for row in sorted(rows):
+            anchor_atoms.append(RelationAtom(relation, tuple(Constant(v) for v in row)))
+    for row in _rs_rows(k):
+        anchor_atoms.append(RelationAtom(RS, tuple(Constant(v) for v in row)))
+
+    # Q3SAT: one encoding per formula over disjoint variables, output v_i.
+    query_atoms: list[RelationAtom] = list(anchor_atoms)
+    outputs: list[Term] = []
+    for index, phi in enumerate(formulas):
+        encoding = encode_formula(phi, prefix=f"f{index}")
+        renaming: dict[Term, Term] = {
+            variable: Variable(f"f{index}_{variable.name}") for variable in encoding.variables
+        }
+        for atom in encoding.atoms:
+            query_atoms.append(atom.substitute(renaming))
+        for variable in encoding.variables:
+            query_atoms.append(RelationAtom("R01", (renaming[variable],)))
+        output = encoding.output
+        outputs.append(renaming.get(output, output))
+
+    u = Variable("u")
+    query_atoms.append(RelationAtom(RS, tuple(outputs) + (u,)))
+    query = ConjunctiveQuery(head=(u,), atoms=tuple(query_atoms), name="Q_theta")
+
+    # The k views V_i(u) = Rs(1^{2i}, 0^{...}, u) ∧ Qc ∧ Qs.
+    views = []
+    for i in range(1, k + 1):
+        flags = tuple(1 if position < 2 * i else 0 for position in range(width))
+        view_u = Variable("u")
+        view_atoms = tuple(anchor_atoms) + (
+            RelationAtom(RS, tuple(Constant(v) for v in flags) + (view_u,)),
+        )
+        views.append(
+            View(
+                f"V{i}",
+                ConjunctiveQuery(head=(view_u,), atoms=view_atoms, name=f"V{i}_def"),
+            )
+        )
+
+    return Theorem311Instance(
+        formulas=formulas,
+        k=k,
+        schema=schema,
+        access_schema=access,
+        query=query,
+        views=ViewSet(views),
+    )

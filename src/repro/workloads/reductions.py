@@ -1,0 +1,350 @@
+"""Reduction gadgets from the paper's lower-bound proofs.
+
+The hardness results of the paper are established through reductions built
+from a small family of Boolean gadgets (Figure 2).  This module implements
+
+* the Figure 2 relations (truth tables for ∨, ∧, ¬ and the Boolean domain);
+* CQ encodings of propositional formulas over those gadgets;
+* the 3SAT -> BOP reduction of Theorem 3.4 (``Q(w)`` has bounded output iff
+  the formula is unsatisfiable);
+* the 3SAT -> VBRP reduction of Proposition 4.5 for FD-only access schemas
+  (``Q`` has a 1-bounded rewriting using ``V = {Qc}`` iff the formula is
+  satisfiable).
+
+The gadgets double as correctness tests (the decision procedures must agree
+with a brute-force satisfiability check on small formulas) and as benchmark
+families exhibiting the exponential behaviour that the coNP/NP lower bounds
+predict.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from ..algebra.atoms import RelationAtom
+from ..algebra.cq import ConjunctiveQuery
+from ..algebra.schema import DatabaseSchema, schema_from_spec
+from ..algebra.terms import Constant, Term, Variable
+from ..algebra.views import View, ViewSet
+from ..core.access import AccessConstraint, AccessSchema
+from ..errors import QueryError
+from ..storage.instance import Database
+
+
+# --------------------------------------------------------------------------- #
+# Propositional formulas
+# --------------------------------------------------------------------------- #
+
+
+@dataclass(frozen=True)
+class Literal:
+    """A literal: variable index (0-based) and a negation flag."""
+
+    variable: int
+    negated: bool = False
+
+
+@dataclass(frozen=True)
+class Formula:
+    """A CNF formula with at most 3 literals per clause."""
+
+    num_variables: int
+    clauses: tuple[tuple[Literal, ...], ...]
+
+    def __post_init__(self) -> None:
+        for clause in self.clauses:
+            if not 1 <= len(clause) <= 3:
+                raise QueryError("clauses must have between 1 and 3 literals")
+            for literal in clause:
+                if not 0 <= literal.variable < self.num_variables:
+                    raise QueryError(f"literal {literal} out of range")
+
+    def is_satisfiable(self) -> bool:
+        """Brute-force satisfiability (used to validate the reductions)."""
+        for assignment in itertools.product((False, True), repeat=self.num_variables):
+            if self.evaluate(assignment):
+                return True
+        return False
+
+    def evaluate(self, assignment: Sequence[bool]) -> bool:
+        return all(
+            any(assignment[lit.variable] != lit.negated for lit in clause)
+            for clause in self.clauses
+        )
+
+
+def formula(num_variables: int, clauses: Iterable[Iterable[tuple[int, bool]]]) -> Formula:
+    """Convenience constructor: clauses as ``[(variable, negated), ...]`` lists."""
+    return Formula(
+        num_variables=num_variables,
+        clauses=tuple(
+            tuple(Literal(variable, negated) for variable, negated in clause)
+            for clause in clauses
+        ),
+    )
+
+
+# --------------------------------------------------------------------------- #
+# Figure 2: Boolean gadget relations
+# --------------------------------------------------------------------------- #
+
+R01, R_OR, R_AND, R_NOT, R_O = "R01", "Ror", "Rand", "Rnot", "Ro"
+
+
+def gadget_schema(include_output_relation: bool = True) -> DatabaseSchema:
+    """The relations of Figure 2 plus the output-bounding relation ``Ro``."""
+    spec = {
+        R01: ("A",),
+        R_OR: ("B", "A1", "A2"),
+        R_AND: ("B", "A1", "A2"),
+        R_NOT: ("A", "Abar"),
+    }
+    if include_output_relation:
+        spec[R_O] = ("I", "X")
+    return schema_from_spec(spec)
+
+
+def figure2_facts() -> dict[str, set[tuple]]:
+    """The intended instances I01, I∨, I∧, I¬ of Figure 2."""
+    return {
+        R01: {(0,), (1,)},
+        R_OR: {(0, 0, 0), (1, 0, 1), (1, 1, 0), (1, 1, 1)},
+        R_AND: {(0, 0, 0), (0, 0, 1), (0, 1, 0), (1, 1, 1)},
+        R_NOT: {(0, 1), (1, 0)},
+    }
+
+
+def figure2_database(extra_output_tuples: Iterable[tuple] = ()) -> Database:
+    """A database holding exactly the Figure 2 instances (plus optional Ro tuples)."""
+    database = Database(gadget_schema())
+    for relation, rows in figure2_facts().items():
+        database.add_many(relation, rows)
+    database.add_many(R_O, extra_output_tuples)
+    return database
+
+
+def qc_atoms() -> tuple[RelationAtom, ...]:
+    """The atoms of ``Qc``: they force all Figure 2 tuples to be present."""
+    atoms: list[RelationAtom] = []
+    for relation, rows in figure2_facts().items():
+        for row in sorted(rows):
+            atoms.append(RelationAtom(relation, tuple(Constant(v) for v in row)))
+    return tuple(atoms)
+
+
+def gadget_access_constraints() -> tuple[AccessConstraint, ...]:
+    """Cardinality constraints pinning the gadget relations to Figure 2 sizes."""
+    return (
+        AccessConstraint(R01, (), ("A",), 2),
+        AccessConstraint(R_OR, (), ("B", "A1", "A2"), 4),
+        AccessConstraint(R_AND, (), ("B", "A1", "A2"), 4),
+        AccessConstraint(R_NOT, (), ("A", "Abar"), 2),
+    )
+
+
+# --------------------------------------------------------------------------- #
+# CQ encoding of a formula over the gadgets
+# --------------------------------------------------------------------------- #
+
+
+@dataclass
+class FormulaEncoding:
+    """CQ atoms computing the truth value of a formula.
+
+    ``output`` is the term holding the formula's value under the assignment
+    encoded by ``variables``; ``atoms`` are the gate atoms.  Identical
+    literals within a clause are deduplicated, keeping the number of auxiliary
+    variables small (important for the element-query based procedures, whose
+    cost is exponential in the number of variables).
+    """
+
+    variables: tuple[Variable, ...]
+    atoms: tuple[RelationAtom, ...]
+    output: Term
+
+
+def encode_formula(phi: Formula, prefix: str = "g") -> FormulaEncoding:
+    """Encode ``phi`` as gate atoms over the Figure 2 relations."""
+    variables = tuple(Variable(f"x{i}") for i in range(phi.num_variables))
+    atoms: list[RelationAtom] = []
+    negation_of: dict[int, Variable] = {}
+    counter = itertools.count()
+
+    def literal_term(literal: Literal) -> Term:
+        if not literal.negated:
+            return variables[literal.variable]
+        if literal.variable not in negation_of:
+            negated = Variable(f"{prefix}_n{literal.variable}")
+            negation_of[literal.variable] = negated
+            atoms.append(RelationAtom(R_NOT, (variables[literal.variable], negated)))
+        return negation_of[literal.variable]
+
+    clause_outputs: list[Term] = []
+    for clause in phi.clauses:
+        distinct: list[Term] = []
+        for literal in clause:
+            term = literal_term(literal)
+            if term not in distinct:
+                distinct.append(term)
+        current = distinct[0]
+        for other in distinct[1:]:
+            gate = Variable(f"{prefix}_or{next(counter)}")
+            atoms.append(RelationAtom(R_OR, (gate, current, other)))
+            current = gate
+        clause_outputs.append(current)
+
+    if not clause_outputs:
+        output: Term = Constant(1)
+    else:
+        output = clause_outputs[0]
+        for other in clause_outputs[1:]:
+            gate = Variable(f"{prefix}_and{next(counter)}")
+            atoms.append(RelationAtom(R_AND, (gate, output, other)))
+            output = gate
+    return FormulaEncoding(variables=variables, atoms=tuple(atoms), output=output)
+
+
+# --------------------------------------------------------------------------- #
+# Theorem 3.4: 3SAT -> bounded output problem
+# --------------------------------------------------------------------------- #
+
+
+@dataclass
+class BOPReduction:
+    """Instance of the BOP reduction: bounded output iff the formula is unsatisfiable."""
+
+    formula: Formula
+    schema: DatabaseSchema
+    access_schema: AccessSchema
+    query: ConjunctiveQuery
+
+    @property
+    def expected_bounded(self) -> bool:
+        return not self.formula.is_satisfiable()
+
+
+def bop_reduction(phi: Formula) -> BOPReduction:
+    """Build the Theorem 3.4 gadget query ``Q(w)`` for a 3SAT formula."""
+    encoding = encode_formula(phi)
+    w, k = Variable("w"), Variable("k")
+    atoms = list(qc_atoms())
+    atoms.extend(RelationAtom(R01, (x,)) for x in encoding.variables)
+    atoms.extend(encoding.atoms)
+    atoms.append(RelationAtom(R01, (encoding.output,)))
+    atoms.append(RelationAtom(R_O, (k, Constant(1))))
+    atoms.append(RelationAtom(R_O, (k, encoding.output)))
+    atoms.append(RelationAtom(R_O, (k, w)))
+    query = ConjunctiveQuery(head=(w,), atoms=tuple(atoms), name="Q_bop")
+    access = AccessSchema(
+        gadget_access_constraints() + (AccessConstraint(R_O, ("I",), ("X",), 2),)
+    )
+    return BOPReduction(
+        formula=phi, schema=gadget_schema(), access_schema=access, query=query
+    )
+
+
+# --------------------------------------------------------------------------- #
+# Proposition 4.5: 3SAT -> VBRP(CQ) with FD-only access constraints
+# --------------------------------------------------------------------------- #
+
+
+@dataclass
+class Prop45Reduction:
+    """Instance of the Proposition 4.5 reduction.
+
+    ``query`` has a 1-bounded rewriting in CQ using ``views`` under the
+    FD-only ``access_schema`` iff the formula is satisfiable.
+    """
+
+    formula: Formula
+    schema: DatabaseSchema
+    access_schema: AccessSchema
+    query: ConjunctiveQuery
+    views: ViewSet
+    max_size: int = 1
+
+    @property
+    def expected_rewriting(self) -> bool:
+        return self.formula.is_satisfiable()
+
+
+def _qc_atoms_without_r01() -> tuple[RelationAtom, ...]:
+    """The Qc atoms of Proposition 4.5 (the R01 relation is not available)."""
+    return tuple(atom for atom in qc_atoms() if atom.relation != R01)
+
+
+def prop45_reduction(phi: Formula) -> Prop45Reduction:
+    """Build the Proposition 4.5 gadget: FD-only constraints, a single view Qc."""
+    schema = schema_from_spec(
+        {
+            R_OR: ("B", "A1", "A2"),
+            R_AND: ("B", "A1", "A2"),
+            R_NOT: ("A", "Abar"),
+        }
+    )
+    access = AccessSchema(
+        (
+            AccessConstraint(R_OR, ("A1", "A2"), ("B",), 1),
+            AccessConstraint(R_AND, ("A1", "A2"), ("B",), 1),
+            AccessConstraint(R_NOT, ("A",), ("Abar",), 1),
+        )
+    )
+    encoding = encode_formula(phi)
+    base_atoms = _qc_atoms_without_r01()
+    # Force every assignment variable through R¬ so its Boolean-ness follows
+    # from the gadget tuples (the proof extracts the domain from R¬).
+    domain_atoms = []
+    negation_seen = {a.terms[0] for a in encoding.atoms if a.relation == R_NOT}
+    for variable in encoding.variables:
+        if variable not in negation_seen:
+            domain_atoms.append(
+                RelationAtom(R_NOT, (variable, Variable(f"dom_{variable.name}")))
+            )
+    query_atoms = base_atoms + tuple(domain_atoms) + encoding.atoms
+    equalities = ()
+    if isinstance(encoding.output, Variable):
+        from ..algebra.atoms import EqualityAtom
+
+        equalities = (EqualityAtom(encoding.output, Constant(1)),)
+    query = ConjunctiveQuery(
+        head=(), atoms=query_atoms, equalities=equalities, name="Q_prop45"
+    )
+    view = View("Vqc", ConjunctiveQuery(head=(), atoms=base_atoms, name="Qc"))
+    return Prop45Reduction(
+        formula=phi,
+        schema=schema,
+        access_schema=access,
+        query=query,
+        views=ViewSet((view,)),
+    )
+
+
+# --------------------------------------------------------------------------- #
+# Small formula families for tests and benchmarks
+# --------------------------------------------------------------------------- #
+
+
+def satisfiable_example() -> Formula:
+    """(x0 ∨ ¬x1) ∧ (x1) — satisfiable."""
+    return formula(2, [[(0, False), (1, True)], [(1, False)]])
+
+
+def unsatisfiable_example() -> Formula:
+    """(x0) ∧ (¬x0) — unsatisfiable."""
+    return formula(1, [[(0, False)], [(0, True)]])
+
+
+def random_formula(num_variables: int, num_clauses: int, seed: int = 0) -> Formula:
+    """A random 3CNF formula (deterministic for a given seed)."""
+    import random
+
+    generator = random.Random(seed)
+    clauses = []
+    for _ in range(num_clauses):
+        clause = []
+        for _ in range(3):
+            clause.append((generator.randrange(num_variables), generator.random() < 0.5))
+        clauses.append(clause)
+    return formula(num_variables, clauses)

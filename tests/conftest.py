@@ -1,0 +1,91 @@
+"""Shared fixtures: small schemas, databases and the Example 1.1 workload."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.algebra.atoms import RelationAtom
+from repro.algebra.cq import ConjunctiveQuery
+from repro.algebra.schema import schema_from_spec
+from repro.algebra.terms import Constant, Variable
+from repro.algebra.views import View, ViewSet
+from repro.core.access import AccessConstraint, AccessSchema
+from repro.storage.instance import Database
+from repro.workloads import graph_search
+
+
+@pytest.fixture
+def rs_schema():
+    """A tiny two-relation schema R(a, b), S(b, c) used across unit tests."""
+    return schema_from_spec({"R": ("a", "b"), "S": ("b", "c")})
+
+
+@pytest.fixture
+def rs_database(rs_schema):
+    db = Database(rs_schema)
+    db.add_many("R", [(1, 10), (1, 11), (2, 20), (3, 30)])
+    db.add_many("S", [(10, "x"), (11, "y"), (20, "z"), (99, "w")])
+    return db
+
+
+@pytest.fixture
+def rs_access_schema():
+    """R(a -> b, 2) and S(b -> c, 1): satisfied by ``rs_database``."""
+    return AccessSchema(
+        (
+            AccessConstraint("R", ("a",), ("b",), 2),
+            AccessConstraint("S", ("b",), ("c",), 1),
+        )
+    )
+
+
+@pytest.fixture
+def path_query():
+    """Q(a, c) :- R(a, b), S(b, c)."""
+    a, b, c = Variable("a"), Variable("b"), Variable("c")
+    return ConjunctiveQuery(
+        head=(a, c),
+        atoms=(RelationAtom("R", (a, b)), RelationAtom("S", (b, c))),
+        name="path",
+    )
+
+
+@pytest.fixture
+def anchored_path_query():
+    """Q(c) :- R(1, b), S(b, c) — anchored by the constant, hence bounded."""
+    b, c = Variable("b"), Variable("c")
+    return ConjunctiveQuery(
+        head=(c,),
+        atoms=(RelationAtom("R", (Constant(1), b)), RelationAtom("S", (b, c))),
+        name="anchored_path",
+    )
+
+
+# --------------------------------------------------------------------------- #
+# Example 1.1 fixtures (small scale so every test stays fast)
+# --------------------------------------------------------------------------- #
+
+
+@pytest.fixture(scope="session")
+def gs_instance():
+    return graph_search.generate(num_persons=200, num_movies=120, seed=5)
+
+
+@pytest.fixture(scope="session")
+def gs_schema():
+    return graph_search.schema()
+
+
+@pytest.fixture(scope="session")
+def gs_access():
+    return graph_search.access_schema(n0=100)
+
+
+@pytest.fixture(scope="session")
+def gs_views():
+    return graph_search.views()
+
+
+@pytest.fixture(scope="session")
+def gs_q0():
+    return graph_search.query_q0()

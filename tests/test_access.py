@@ -1,0 +1,107 @@
+"""Unit tests for access constraints and access schemas."""
+
+import pytest
+
+from repro.algebra.atoms import RelationAtom
+from repro.algebra.cq import ConjunctiveQuery
+from repro.algebra.schema import schema_from_spec
+from repro.algebra.terms import Constant, Variable
+from repro.core.access import AccessConstraint, AccessSchema, access_constraint, tableau_satisfies
+from repro.errors import AccessConstraintError
+
+SCHEMA = schema_from_spec({"R": ("a", "b", "c"), "S": ("x", "y")})
+
+
+def test_constraint_construction_and_validation():
+    constraint = AccessConstraint("R", ("a",), ("b", "c"), 3)
+    constraint.validate(SCHEMA)
+    assert constraint.output_attributes == ("a", "b", "c")
+    assert not constraint.is_functional_dependency
+    assert AccessConstraint("R", ("a",), ("b",), 1).is_functional_dependency
+
+
+def test_constraint_rejects_bad_bounds_and_duplicates():
+    with pytest.raises(AccessConstraintError):
+        AccessConstraint("R", ("a",), ("b",), 0)
+    with pytest.raises(AccessConstraintError):
+        AccessConstraint("R", ("a", "a"), ("b",), 1)
+
+
+def test_constraint_validate_unknown_attribute():
+    constraint = AccessConstraint("R", ("nope",), ("b",), 1)
+    with pytest.raises(AccessConstraintError):
+        constraint.validate(SCHEMA)
+
+
+def test_covers_fetch_semantics():
+    constraint = AccessConstraint("R", ("a",), ("b",), 2)
+    assert constraint.covers_fetch(("a",), ("b",))
+    assert constraint.covers_fetch(("a",), ("a", "b"))
+    assert not constraint.covers_fetch(("a",), ("c",))
+    assert not constraint.covers_fetch(("b",), ("a",))
+    assert not constraint.covers_fetch((), ("b",))
+
+
+def test_satisfaction_over_facts():
+    constraint = AccessConstraint("R", ("a",), ("b",), 1)
+    good = {"R": {(1, 10, "u"), (2, 20, "v")}}
+    bad = {"R": {(1, 10, "u"), (1, 11, "v")}}
+    assert constraint.satisfied_by(good, SCHEMA)
+    assert not constraint.satisfied_by(bad, SCHEMA)
+    messages = list(constraint.violations(bad, SCHEMA))
+    assert len(messages) == 1 and "bound is 1" in messages[0]
+
+
+def test_empty_x_constraint_bounds_whole_relation():
+    constraint = AccessConstraint("S", (), ("x",), 2)
+    assert constraint.satisfied_by({"S": {(1, "a"), (2, "b")}}, SCHEMA)
+    assert not constraint.satisfied_by({"S": {(1, "a"), (2, "b"), (3, "c")}}, SCHEMA)
+
+
+def test_access_schema_api():
+    schema = AccessSchema(
+        (
+            AccessConstraint("R", ("a",), ("b",), 2),
+            AccessConstraint("S", ("x",), ("y",), 1),
+        )
+    )
+    assert len(schema) == 2
+    assert bool(schema)
+    assert schema.relations == {"R", "S"}
+    assert not schema.is_fd_only
+    assert schema.max_bound == 2
+    assert len(schema.for_relation("R")) == 1
+    found = schema.find_covering("S", ("x",), ("y",))
+    assert found is not None and found.bound == 1
+    assert schema.find_covering("S", ("y",), ("x",)) is None
+    extended = schema.extended_with([AccessConstraint("R", ("b",), ("c",), 4)])
+    assert len(extended) == 3
+    assert AccessSchema(()).is_fd_only  # vacuously FD-only
+    assert AccessSchema(()).max_bound == 0
+
+
+def test_access_schema_equality_and_hash():
+    one = AccessSchema((AccessConstraint("R", ("a",), ("b",), 2),))
+    two = AccessSchema((AccessConstraint("R", ("a",), ("b",), 2),))
+    assert one == two
+    assert hash(one) == hash(two)
+
+
+def test_access_constraint_helper_parses_strings():
+    constraint = access_constraint("R", "a b", "c", 7)
+    assert constraint.x == ("a", "b")
+    assert constraint.y == ("c",)
+    assert str(constraint) == "R((a, b) -> (c), 7)"
+
+
+def test_tableau_satisfaction_treats_variables_as_distinct_constants():
+    x, y1, y2 = Variable("x"), Variable("y1"), Variable("y2")
+    query = ConjunctiveQuery(
+        head=(),
+        atoms=(RelationAtom("R", (x, y1, Constant(1))), RelationAtom("R", (x, y2, Constant(2)))),
+    )
+    tableau = query.tableau()
+    tight = AccessSchema([AccessConstraint("R", ("a",), ("b",), 1)])
+    loose = AccessSchema([AccessConstraint("R", ("a",), ("b",), 2)])
+    assert not tableau_satisfies(tableau.facts(), tight, SCHEMA)
+    assert tableau_satisfies(tableau.facts(), loose, SCHEMA)

@@ -1,0 +1,108 @@
+"""Unit tests for hypergraph acyclicity (GYO) and join trees."""
+
+from repro.algebra.atoms import RelationAtom
+from repro.algebra.cq import ConjunctiveQuery
+from repro.algebra.acyclicity import (
+    hypergraph,
+    is_acyclic,
+    is_self_join_free,
+    join_tree,
+)
+from repro.algebra.terms import Constant, Variable
+
+X, Y, Z, W = Variable("x"), Variable("y"), Variable("z"), Variable("w")
+
+
+def test_single_atom_is_acyclic():
+    q = ConjunctiveQuery(head=(X,), atoms=(RelationAtom("R", (X, Y)),))
+    assert is_acyclic(q)
+
+
+def test_path_query_is_acyclic():
+    q = ConjunctiveQuery(
+        head=(X, Z),
+        atoms=(RelationAtom("R", (X, Y)), RelationAtom("S", (Y, Z))),
+    )
+    assert is_acyclic(q)
+    tree = join_tree(q)
+    assert tree is not None
+    assert len(tree.parent) == 2
+
+
+def test_triangle_is_cyclic():
+    q = ConjunctiveQuery(
+        head=(),
+        atoms=(
+            RelationAtom("E", (X, Y)),
+            RelationAtom("E", (Y, Z)),
+            RelationAtom("E", (Z, X)),
+        ),
+    )
+    assert not is_acyclic(q)
+    assert join_tree(q) is None
+
+
+def test_star_query_is_acyclic():
+    q = ConjunctiveQuery(
+        head=(X,),
+        atoms=(
+            RelationAtom("R", (X, Y)),
+            RelationAtom("S", (X, Z)),
+            RelationAtom("T", (X, W)),
+        ),
+    )
+    assert is_acyclic(q)
+
+
+def test_q0_of_example_11_is_acyclic():
+    from repro.workloads import graph_search
+
+    assert is_acyclic(graph_search.query_q0())
+
+
+def test_disconnected_query_is_acyclic():
+    q = ConjunctiveQuery(
+        head=(),
+        atoms=(RelationAtom("R", (X, Y)), RelationAtom("S", (Z, W))),
+    )
+    assert is_acyclic(q)
+
+
+def test_equalities_affect_hypergraph_via_normalisation():
+    from repro.algebra.atoms import EqualityAtom
+
+    # R(x,y), S(y,z), T(z,x) is cyclic, but equating x = y collapses it.
+    cyclic = ConjunctiveQuery(
+        head=(),
+        atoms=(
+            RelationAtom("R", (X, Y)),
+            RelationAtom("S", (Y, Z)),
+            RelationAtom("T", (Z, X)),
+        ),
+    )
+    assert not is_acyclic(cyclic)
+    collapsed = cyclic.with_extra_equalities([EqualityAtom(X, Y)])
+    assert is_acyclic(collapsed)
+
+
+def test_hypergraph_edges_and_constants():
+    q = ConjunctiveQuery(
+        head=(X,),
+        atoms=(RelationAtom("R", (X, Constant(1))), RelationAtom("S", (X, Y))),
+    )
+    edges = hypergraph(q)
+    assert edges[0].variables == {X}
+    assert edges[1].variables == {X, Y}
+
+
+def test_self_join_free_detection():
+    q = ConjunctiveQuery(
+        head=(X,),
+        atoms=(RelationAtom("R", (X, Y)), RelationAtom("S", (Y, Z))),
+    )
+    assert is_self_join_free(q)
+    q2 = ConjunctiveQuery(
+        head=(X,),
+        atoms=(RelationAtom("R", (X, Y)), RelationAtom("R", (Y, Z))),
+    )
+    assert not is_self_join_free(q2)

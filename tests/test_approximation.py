@@ -1,0 +1,136 @@
+"""Tests for approximate query answering under a resource ratio α."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.algebra.evaluation import evaluate_cq
+from repro.algebra.parser import parse_cq
+from repro.core.approximation import (
+    AccuracyPoint,
+    ResourceRatio,
+    accuracy_sweep,
+    answer_coverage,
+    answer_precision,
+    approximate_answer,
+    distance_bound,
+    normalized_hamming,
+)
+from repro.errors import EvaluationError
+from repro.workloads import cdr, graph_search as gs
+
+
+@pytest.fixture(scope="module")
+def gs_instance():
+    return gs.generate(num_persons=400, num_movies=200, seed=21)
+
+
+def test_resource_ratio_budget():
+    instance = gs.generate(num_persons=50, num_movies=30, seed=1)
+    assert ResourceRatio(0.0).budget_for(instance.database) == 0
+    assert ResourceRatio(1.0).budget_for(instance.database) == instance.database.size
+    assert 0 < ResourceRatio(0.1).budget_for(instance.database) <= instance.database.size
+
+
+def test_resource_ratio_rejects_out_of_range():
+    with pytest.raises(EvaluationError):
+        ResourceRatio(1.5)
+    with pytest.raises(EvaluationError):
+        ResourceRatio(-0.1)
+
+
+def test_alpha_one_is_exact(gs_instance):
+    query = gs.query_q0()
+    exact = evaluate_cq(query, gs_instance.database.facts)
+    answer = approximate_answer(query, gs_instance.database, gs.access_schema(), alpha=1.0)
+    assert answer.rows == exact
+    assert answer.tuples_accessed <= answer.budget
+
+
+def test_alpha_zero_accesses_nothing(gs_instance):
+    answer = approximate_answer(
+        gs.query_q0(), gs_instance.database, gs.access_schema(), alpha=0.0
+    )
+    assert answer.tuples_accessed == 0
+    assert answer.rows == frozenset()
+
+
+def test_budget_respected_and_precision_one(gs_instance):
+    query = gs.query_q0()
+    exact = evaluate_cq(query, gs_instance.database.facts)
+    for alpha in (0.05, 0.2, 0.5):
+        answer = approximate_answer(query, gs_instance.database, gs.access_schema(), alpha)
+        assert answer.tuples_accessed <= answer.budget
+        # Monotone query over a sub-instance: no false positives.
+        assert answer_precision(answer.rows, exact) == 1.0
+
+
+def test_anchored_query_needs_tiny_alpha(gs_instance):
+    """A query anchored on the access constraints gets full recall from a small α."""
+    query = parse_cq(
+        "Qa(mid) :- movie(mid, n, 'Universal', '2014'), rating(mid, 5)"
+    )
+    exact = evaluate_cq(query, gs_instance.database.facts)
+    assert exact, "generator plants Universal/2014 movies rated 5"
+    answer = approximate_answer(query, gs_instance.database, gs.access_schema(), alpha=0.05)
+    assert answer.rows == exact
+    assert answer.tuples_accessed <= answer.budget
+
+
+def test_coverage_grows_with_alpha(gs_instance):
+    points = accuracy_sweep(
+        gs.query_q0(),
+        gs_instance.database,
+        gs.access_schema(),
+        alphas=(0.02, 0.2, 1.0),
+        seed=4,
+    )
+    assert all(isinstance(p, AccuracyPoint) for p in points)
+    coverages = [p.coverage for p in points]
+    assert coverages == sorted(coverages)
+    assert coverages[-1] == 1.0
+    assert all(p.tuples_accessed <= p.budget for p in points)
+
+
+def test_coverage_and_precision_edge_cases():
+    assert answer_coverage([], []) == 1.0
+    assert answer_precision([], [(1,)]) == 1.0
+    assert answer_coverage([(1,)], [(1,), (2,)]) == 0.5
+    assert answer_precision([(1,), (3,)], [(1,)]) == 0.5
+
+
+def test_normalized_hamming():
+    assert normalized_hamming((1, 2, 3), (1, 2, 3)) == 0.0
+    assert normalized_hamming((1, 2, 3), (1, 0, 0)) == pytest.approx(2 / 3)
+    assert normalized_hamming((), ()) == 0.0
+    with pytest.raises(EvaluationError):
+        normalized_hamming((1,), (1, 2))
+
+
+def test_distance_bound_eta():
+    assert distance_bound([], []) == 0.0
+    assert distance_bound([], [(1,)]) is None
+    assert distance_bound([(1, 2)], [(1, 2)]) == 0.0
+    eta = distance_bound([(1, 2)], [(1, 2), (1, 3)])
+    assert eta == pytest.approx(0.5)
+
+
+def test_cdr_workload_approximation_shape():
+    instance = cdr.generate(num_customers=120, num_days=3, seed=8)
+    query = cdr.workload(instance, count=1, seed=5)[0]
+    exact = evaluate_cq(query, instance.database.facts)
+    answer = approximate_answer(query, instance.database, cdr.access_schema(), alpha=0.3)
+    assert answer.tuples_accessed <= answer.budget
+    assert answer_precision(answer.rows, exact) == 1.0
+
+
+@settings(max_examples=15, deadline=None)
+@given(alpha=st.floats(min_value=0.0, max_value=1.0))
+def test_property_budget_and_precision(alpha):
+    instance = gs.generate(num_persons=60, num_movies=40, seed=2)
+    query = gs.query_q0()
+    exact = evaluate_cq(query, instance.database.facts)
+    answer = approximate_answer(query, instance.database, gs.access_schema(), alpha)
+    assert answer.tuples_accessed <= answer.budget
+    assert answer.rows <= exact

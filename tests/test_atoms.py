@@ -1,0 +1,80 @@
+"""Unit tests for relation and equality atoms."""
+
+import pytest
+
+from repro.algebra.atoms import (
+    EqualityAtom,
+    RelationAtom,
+    atoms_constants,
+    atoms_variables,
+    check_equality_terms,
+)
+from repro.algebra.schema import schema_from_spec
+from repro.algebra.terms import Constant, Variable
+from repro.errors import QueryError, SchemaError
+
+X, Y = Variable("x"), Variable("y")
+
+
+def test_relation_atom_wraps_raw_values_as_constants():
+    atom = RelationAtom("R", (X, 5, "c"))
+    assert atom.terms == (X, Constant(5), Constant("c"))
+    assert atom.variables == (X,)
+    assert atom.constants == (Constant(5), Constant("c"))
+    assert atom.arity == 3
+
+
+def test_relation_atom_validate_against_schema():
+    schema = schema_from_spec({"R": ("a", "b")})
+    RelationAtom("R", (X, Y)).validate(schema)
+    with pytest.raises(SchemaError):
+        RelationAtom("R", (X,)).validate(schema)
+    with pytest.raises(SchemaError):
+        RelationAtom("T", (X,)).validate(schema)
+
+
+def test_relation_atom_substitute():
+    atom = RelationAtom("R", (X, Y))
+    substituted = atom.substitute({X: Constant(1)})
+    assert substituted.terms == (Constant(1), Y)
+    # The original atom is unchanged (immutability).
+    assert atom.terms == (X, Y)
+
+
+def test_equality_atom_basics():
+    equality = EqualityAtom(X, 3)
+    assert equality.is_equality
+    assert equality.variables == (X,)
+    assert equality.holds_for(3, 3)
+    assert not equality.holds_for(3, 4)
+
+    inequality = EqualityAtom(X, Y, negated=True)
+    assert not inequality.is_equality
+    assert inequality.holds_for(1, 2)
+    assert not inequality.holds_for(1, 1)
+
+
+def test_equality_atom_substitute_preserves_negation():
+    inequality = EqualityAtom(X, Y, negated=True)
+    substituted = inequality.substitute({Y: Constant(0)})
+    assert substituted.negated
+    assert substituted.right == Constant(0)
+
+
+def test_atoms_iterators():
+    atoms = [RelationAtom("R", (X, 1)), EqualityAtom(Y, "c")]
+    assert list(atoms_variables(atoms)) == [X, Y]
+    assert set(atoms_constants(atoms)) == {Constant(1), Constant("c")}
+
+
+def test_check_equality_terms_rejects_contradictory_inequality():
+    with pytest.raises(QueryError):
+        check_equality_terms(EqualityAtom(Constant(1), Constant(1), negated=True))
+    # Equalities between constants are allowed (used by element queries).
+    check_equality_terms(EqualityAtom(Constant(1), Constant(1)))
+    check_equality_terms(EqualityAtom(Constant(1), Constant(2), negated=True))
+
+
+def test_atom_string_rendering():
+    assert str(RelationAtom("R", (X, 1))) == "R(?x, 1)"
+    assert str(EqualityAtom(X, Y, negated=True)) == "?x != ?y"

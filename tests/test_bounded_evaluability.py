@@ -1,0 +1,102 @@
+"""Tests for bounded evaluability (the V = ∅ special case of bounded rewriting)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.algebra.parser import parse_access_schema, parse_cq
+from repro.algebra.schema import schema_from_spec
+from repro.algebra.terms import Variable
+from repro.core.bounded_evaluability import (
+    bounded_evaluability_report,
+    certify_plan_needs_no_views,
+    is_boundedly_evaluable,
+    is_effectively_bounded,
+    suggest_view_targets,
+)
+from repro.core.plans import ConstantScan, FetchNode, ProjectNode, ViewScan
+from repro.errors import UnsupportedQueryError
+from repro.workloads import graph_search as gs
+
+SCHEMA = schema_from_spec({"R": ("a", "b"), "S": ("c", "d")})
+ACCESS = parse_access_schema(
+    """
+    R(a -> b, 3)
+    S(c -> d, 2)
+    """
+)
+
+
+def test_anchored_chain_is_effectively_bounded():
+    query = parse_cq("Q(y, w) :- R(1, y), S(y, w)")
+    assert is_effectively_bounded(query, ACCESS, SCHEMA)
+
+
+def test_unanchored_query_is_not_effectively_bounded():
+    query = parse_cq("Q(x, y) :- R(x, y)")
+    report = bounded_evaluability_report(query, ACCESS, SCHEMA)
+    assert not report.effectively_bounded
+    assert Variable("x") in report.unreachable_variables
+    assert report.reasons
+
+
+def test_uncoverable_atom_reported():
+    # T has no access constraint at all.
+    schema = schema_from_spec({"R": ("a", "b"), "T": ("e", "f")})
+    query = parse_cq("Q(y) :- R(1, y), T(y, z)")
+    report = bounded_evaluability_report(query, ACCESS, schema)
+    assert not report.effectively_bounded
+    assert report.uncoverable_atoms
+
+
+def test_exact_decision_finds_plan_for_anchored_lookup():
+    query = parse_cq("Q(y) :- R(1, y)")
+    result = is_boundedly_evaluable(query, ACCESS, SCHEMA, max_size=4)
+    assert result.has_rewriting
+    assert result.plan is not None
+    assert not result.plan.uses_views()
+
+
+def test_exact_decision_rejects_full_scan_query():
+    query = parse_cq("Q(x, y) :- R(x, y)")
+    result = is_boundedly_evaluable(query, ACCESS, SCHEMA, max_size=3)
+    assert not result.has_rewriting
+
+
+def test_example_11_q0_is_not_boundedly_evaluable():
+    """Example 1.1: Q0 is not boundedly evaluable under A0 (person/like unbounded)."""
+    report = bounded_evaluability_report(gs.query_q0(), gs.access_schema(), gs.schema())
+    assert not report.effectively_bounded
+    assert Variable("xp") in report.unreachable_variables
+
+
+def test_example_11_view_targets_point_at_the_nasa_join():
+    targets = suggest_view_targets(gs.query_q0(), gs.access_schema(), gs.schema())
+    names = {v.name for v in targets}
+    # The person/like part of the query is the obstruction V1 repairs.
+    assert "xp" in names
+
+
+def test_boolean_and_unsatisfiable_disjuncts_are_fine():
+    query = parse_cq("Q() :- R(1, y)")
+    assert is_effectively_bounded(query, ACCESS, SCHEMA)
+    unsat = parse_cq("Q(x) :- R(x, y), x = 1, x = 2")
+    assert is_effectively_bounded(unsat, ACCESS, SCHEMA)
+
+
+def test_certify_plan_needs_no_views():
+    fetch_plan = ProjectNode(
+        FetchNode(ConstantScan(1, attribute="a"), "R", ("a",), ("b",)), ("b",)
+    )
+    certify_plan_needs_no_views(fetch_plan)
+    with pytest.raises(UnsupportedQueryError):
+        certify_plan_needs_no_views(ViewScan("V1", ("mid",)))
+
+
+def test_report_on_ucq_checks_every_disjunct():
+    from repro.algebra.parser import parse_ucq
+
+    union = parse_ucq("Q(y) :- R(1, y) ; Q(y) :- S(y, w)")
+    report = bounded_evaluability_report(union, ACCESS, SCHEMA)
+    assert not report.effectively_bounded
+    assert Variable("y") in report.unreachable_variables

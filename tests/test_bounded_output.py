@@ -1,0 +1,159 @@
+"""Unit tests for covered variables and the bounded output problem (Theorem 3.4)."""
+
+import pytest
+
+from repro.algebra.atoms import EqualityAtom, RelationAtom
+from repro.algebra.cq import ConjunctiveQuery
+from repro.algebra.schema import schema_from_spec
+from repro.algebra.terms import Constant, Variable
+from repro.algebra.ucq import UnionQuery
+from repro.core.access import AccessConstraint, AccessSchema
+from repro.core.bounded_output import (
+    bounded_output_witness,
+    coverage_bounds,
+    covered_variables,
+    cq_bounded_output,
+    has_bounded_output,
+    output_bound_estimate,
+)
+
+SCHEMA = schema_from_spec({"R": ("a", "b"), "S": ("b", "c"), "T": ("a", "b", "c")})
+X, Y, Z, W = Variable("x"), Variable("y"), Variable("z"), Variable("w")
+
+
+def access(*constraints):
+    return AccessSchema(constraints)
+
+
+def test_covered_variables_fixpoint_chains_through_atoms():
+    # R(1, y), S(y, z): y covered via R(a -> b), then z via S(b -> c).
+    query = ConjunctiveQuery(
+        head=(Z,),
+        atoms=(RelationAtom("R", (Constant(1), Y)), RelationAtom("S", (Y, Z))),
+    )
+    schema_a = access(
+        AccessConstraint("R", ("a",), ("b",), 3), AccessConstraint("S", ("b",), ("c",), 2)
+    )
+    covered = covered_variables(query, schema_a, SCHEMA)
+    assert covered == {Y, Z}
+
+
+def test_covered_variables_requires_anchor():
+    query = ConjunctiveQuery(
+        head=(Z,),
+        atoms=(RelationAtom("R", (X, Y)), RelationAtom("S", (Y, Z))),
+    )
+    schema_a = access(
+        AccessConstraint("R", ("a",), ("b",), 3), AccessConstraint("S", ("b",), ("c",), 2)
+    )
+    assert covered_variables(query, schema_a, SCHEMA) == set()
+
+
+def test_empty_x_constraint_covers_unconditionally():
+    query = ConjunctiveQuery(head=(X,), atoms=(RelationAtom("R", (X, Y)),))
+    schema_a = access(AccessConstraint("R", (), ("a",), 5))
+    assert X in covered_variables(query, schema_a, SCHEMA)
+
+
+def test_coverage_bounds_multiply_along_derivation():
+    query = ConjunctiveQuery(
+        head=(Z,),
+        atoms=(RelationAtom("R", (Constant(1), Y)), RelationAtom("S", (Y, Z))),
+    )
+    schema_a = access(
+        AccessConstraint("R", ("a",), ("b",), 3), AccessConstraint("S", ("b",), ("c",), 2)
+    )
+    bounds = coverage_bounds(query, schema_a, SCHEMA)
+    assert bounds[Y] == 3
+    assert bounds[Z] == 6
+
+
+def test_example_1_1_style_boundedness():
+    """Anchored lookups are bounded; unanchored scans are not."""
+    anchored = ConjunctiveQuery(
+        head=(Y,), atoms=(RelationAtom("R", (Constant("u"), Y)),)
+    )
+    unanchored = ConjunctiveQuery(head=(Y,), atoms=(RelationAtom("R", (X, Y)),))
+    schema_a = access(AccessConstraint("R", ("a",), ("b",), 100))
+    assert has_bounded_output(anchored, schema_a, SCHEMA)
+    assert not has_bounded_output(unanchored, schema_a, SCHEMA)
+    assert output_bound_estimate(anchored, schema_a, SCHEMA) == 100
+    assert output_bound_estimate(unanchored, schema_a, SCHEMA) is None
+
+
+def test_boolean_queries_always_bounded():
+    query = ConjunctiveQuery(head=(), atoms=(RelationAtom("R", (X, Y)),))
+    assert has_bounded_output(query, AccessSchema(()), SCHEMA)
+
+
+def test_head_constants_are_bounded():
+    query = ConjunctiveQuery(
+        head=(Constant(1), Y), atoms=(RelationAtom("R", (Constant(2), Y)),)
+    )
+    schema_a = access(AccessConstraint("R", ("a",), ("b",), 4))
+    assert has_bounded_output(query, schema_a, SCHEMA)
+
+
+def test_element_query_equalities_can_make_output_bounded():
+    """Boundedness that only shows up on element queries (Lemma 3.7).
+
+    Q(w) :- T(k, 1, z), T(k, w, z') with T((a) -> b, 1):  in every element
+    query w must be equated with the constant 1, so the output is bounded even
+    though cov on the original query does not cover w.
+    """
+    k = Variable("k")
+    query = ConjunctiveQuery(
+        head=(W,),
+        atoms=(
+            RelationAtom("T", (k, Constant(1), Z)),
+            RelationAtom("T", (k, W, Variable("z2"))),
+        ),
+    )
+    schema_a = access(AccessConstraint("T", ("a",), ("b",), 1))
+    assert covered_variables(query, schema_a, SCHEMA) == set()
+    assert has_bounded_output(query, schema_a, SCHEMA)
+
+
+def test_witness_contains_counterexample_element_query():
+    query = ConjunctiveQuery(head=(Y,), atoms=(RelationAtom("R", (X, Y)),))
+    schema_a = access(AccessConstraint("R", ("a",), ("b",), 2))
+    witness = bounded_output_witness(query, schema_a, SCHEMA)
+    assert not witness.bounded
+    assert witness.counterexample is not None
+    assert witness.uncovered
+
+
+def test_unsatisfiable_query_is_trivially_bounded():
+    query = ConjunctiveQuery(
+        head=(X,),
+        atoms=(RelationAtom("R", (X, Y)),),
+        equalities=(EqualityAtom(X, Constant(1)), EqualityAtom(X, Constant(2))),
+    )
+    witness = cq_bounded_output(query, AccessSchema(()), SCHEMA)
+    assert witness.bounded and witness.output_bound == 0
+
+
+def test_ucq_bounded_iff_every_disjunct_bounded():
+    bounded = ConjunctiveQuery(head=(Y,), atoms=(RelationAtom("R", (Constant(1), Y)),))
+    unbounded = ConjunctiveQuery(head=(Y,), atoms=(RelationAtom("S", (Y, Z)),))
+    schema_a = access(AccessConstraint("R", ("a",), ("b",), 2))
+    assert has_bounded_output(UnionQuery((bounded,)), schema_a, SCHEMA)
+    assert not has_bounded_output(UnionQuery((bounded, unbounded)), schema_a, SCHEMA)
+
+
+def test_fd_chase_helps_the_quick_check():
+    # R(1, y), R(1, z), S(z, w) head w with R FD: y = z forced, then w covered
+    # through S(b -> c) only if z is covered; z is covered via R(a -> b, 1).
+    query = ConjunctiveQuery(
+        head=(W,),
+        atoms=(
+            RelationAtom("R", (Constant(1), Y)),
+            RelationAtom("R", (Constant(1), Z)),
+            RelationAtom("S", (Z, W)),
+        ),
+    )
+    schema_a = access(
+        AccessConstraint("R", ("a",), ("b",), 1), AccessConstraint("S", ("b",), ("c",), 3)
+    )
+    assert has_bounded_output(query, schema_a, SCHEMA)
+    assert output_bound_estimate(query, schema_a, SCHEMA) == 3

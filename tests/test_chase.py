@@ -1,0 +1,106 @@
+"""Unit tests for the FD chase of tableaux (Corollary 4.4 / Proposition 4.5)."""
+
+import pytest
+
+from repro.algebra.atoms import RelationAtom
+from repro.algebra.cq import ConjunctiveQuery
+from repro.algebra.schema import schema_from_spec
+from repro.algebra.terms import Constant, Variable
+from repro.core.access import AccessConstraint, AccessSchema
+from repro.core.chase import chase_applying_fds, chase_with_fds
+from repro.errors import UnsupportedQueryError
+
+SCHEMA = schema_from_spec({"R": ("a", "b"), "S": ("a", "b", "c")})
+X, Y, Z = Variable("x"), Variable("y"), Variable("z")
+
+FDS = AccessSchema([AccessConstraint("R", ("a",), ("b",), 1)])
+
+
+def test_chase_unifies_variables_with_same_key():
+    query = ConjunctiveQuery(
+        head=(Y, Z),
+        atoms=(RelationAtom("R", (X, Y)), RelationAtom("R", (X, Z))),
+    )
+    chased = chase_with_fds(query, FDS, SCHEMA)
+    assert chased is not None
+    assert chased.head[0] == chased.head[1]
+    assert len(set(chased.atoms)) == 1
+
+
+def test_chase_propagates_constants():
+    query = ConjunctiveQuery(
+        head=(Y,),
+        atoms=(RelationAtom("R", (X, Constant(5))), RelationAtom("R", (X, Y))),
+    )
+    chased = chase_with_fds(query, FDS, SCHEMA)
+    assert chased is not None
+    assert chased.head == (Constant(5),)
+
+
+def test_chase_detects_a_unsatisfiability():
+    query = ConjunctiveQuery(
+        head=(),
+        atoms=(
+            RelationAtom("R", (Constant(1), Constant("u"))),
+            RelationAtom("R", (Constant(1), Constant("v"))),
+        ),
+    )
+    assert chase_with_fds(query, FDS, SCHEMA) is None
+
+
+def test_chase_result_tableau_satisfies_fds():
+    query = ConjunctiveQuery(
+        head=(Y, Z),
+        atoms=(RelationAtom("R", (X, Y)), RelationAtom("R", (X, Z))),
+    )
+    chased = chase_with_fds(query, FDS, SCHEMA)
+    assert chased is not None
+    assert FDS.satisfied_by(chased.tableau().facts(), SCHEMA)
+
+
+def test_chase_with_fds_requires_fd_only_schema():
+    mixed = AccessSchema(
+        [
+            AccessConstraint("R", ("a",), ("b",), 1),
+            AccessConstraint("S", ("a",), ("b",), 5),
+        ]
+    )
+    query = ConjunctiveQuery(head=(X,), atoms=(RelationAtom("R", (X, Y)),))
+    with pytest.raises(UnsupportedQueryError):
+        chase_with_fds(query, mixed, SCHEMA)
+    # chase_applying_fds accepts mixed schemas and just uses the FDs.
+    assert chase_applying_fds(query, mixed, SCHEMA) is not None
+
+
+def test_chase_cascades_across_constraints():
+    # S((a,b) -> c, 1): two S atoms sharing (a, b) force their c terms equal,
+    # which then triggers the R FD.
+    schema_a = AccessSchema(
+        [
+            AccessConstraint("S", ("a", "b"), ("c",), 1),
+            AccessConstraint("R", ("a",), ("b",), 1),
+        ]
+    )
+    w = Variable("w")
+    query = ConjunctiveQuery(
+        head=(Z, w),
+        atoms=(
+            RelationAtom("S", (Constant(1), Constant(2), X)),
+            RelationAtom("S", (Constant(1), Constant(2), Y)),
+            RelationAtom("R", (X, Z)),
+            RelationAtom("R", (Y, w)),
+        ),
+    )
+    chased = chase_with_fds(query, schema_a, SCHEMA)
+    assert chased is not None
+    assert chased.head[0] == chased.head[1]
+
+
+def test_chase_is_idempotent():
+    query = ConjunctiveQuery(
+        head=(Y, Z),
+        atoms=(RelationAtom("R", (X, Y)), RelationAtom("R", (X, Z))),
+    )
+    once = chase_with_fds(query, FDS, SCHEMA)
+    twice = chase_with_fds(once, FDS, SCHEMA)
+    assert once.tableau().atoms == twice.tableau().atoms

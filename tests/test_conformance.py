@@ -1,0 +1,118 @@
+"""Unit tests for plan conformance to access schemas (Lemma 3.8)."""
+
+from repro.algebra.atoms import RelationAtom
+from repro.algebra.cq import ConjunctiveQuery
+from repro.algebra.schema import schema_from_spec
+from repro.algebra.terms import Constant, Variable
+from repro.algebra.views import View, ViewSet
+from repro.core.access import AccessConstraint, AccessSchema
+from repro.core.conformance import conforms_to
+from repro.core.plans import (
+    ConstantScan,
+    FetchNode,
+    ProjectNode,
+    ViewScan,
+    join_on_shared_attributes,
+)
+from repro.workloads import graph_search
+
+SCHEMA = schema_from_spec({"R": ("a", "b"), "S": ("b", "c")})
+ACCESS = AccessSchema(
+    (
+        AccessConstraint("R", ("a",), ("b",), 2),
+        AccessConstraint("S", ("b",), ("c",), 1),
+    )
+)
+X, Y = Variable("x"), Variable("y")
+
+UNBOUNDED_VIEW = ViewSet(
+    [View("VR", ConjunctiveQuery(head=(Y,), atoms=(RelationAtom("R", (X, Y)),)))]
+)
+BOUNDED_VIEW = ViewSet(
+    [
+        View(
+            "VA",
+            ConjunctiveQuery(head=(Y,), atoms=(RelationAtom("R", (Constant(1), Y)),)),
+        )
+    ]
+)
+
+
+def test_plan_without_fetches_conforms_trivially():
+    report = conforms_to(ConstantScan(1, "a"), ACCESS, SCHEMA)
+    assert report.conforms and not report.reasons
+
+
+def test_fetch_anchored_by_constant_conforms():
+    plan = FetchNode(ConstantScan(1, attribute="a"), "R", ("a",), ("b",))
+    report = conforms_to(plan, ACCESS, SCHEMA, compute_bound=True)
+    assert report.conforms
+    assert report.fetch_bound == 2
+
+
+def test_fetch_without_covering_constraint_fails():
+    plan = FetchNode(ConstantScan(10, attribute="b"), "R", ("b",), ("a",))
+    report = conforms_to(plan, ACCESS, SCHEMA)
+    assert not report.conforms
+    assert "no access constraint" in report.reasons[0]
+
+
+def test_chained_fetches_conform_and_accumulate_bound():
+    first = FetchNode(ConstantScan(1, attribute="a"), "R", ("a",), ("b",))
+    second = FetchNode(ProjectNode(first, ("b",)), "S", ("b",), ("c",))
+    report = conforms_to(second, ACCESS, SCHEMA, compute_bound=True)
+    assert report.conforms
+    # 2 tuples from R plus at most 2 keys x bound 1 from S.
+    assert report.fetch_bound == 4
+
+
+def test_fetch_fed_by_unbounded_view_fails():
+    # The view exposes all b-values of R: its output is unbounded under A.
+    # Attribute names must match the constraint's X ("b"), so rename first.
+    from repro.core.plans import RenameNode
+
+    scan = ProjectNode(ViewScan("VR", ("y",)), ("y",))
+    fetch = FetchNode(RenameNode(scan, {"y": "b"}), "S", ("b",), ("c",))
+    report = conforms_to(fetch, ACCESS, SCHEMA, views=UNBOUNDED_VIEW)
+    assert not report.conforms
+    assert "bounded output" in report.reasons[0]
+
+
+def test_fetch_fed_by_bounded_view_conforms():
+    from repro.core.plans import RenameNode
+
+    scan = ProjectNode(ViewScan("VA", ("y",)), ("y",))
+    fetch = FetchNode(RenameNode(scan, {"y": "b"}), "S", ("b",), ("c",))
+    report = conforms_to(fetch, ACCESS, SCHEMA, views=BOUNDED_VIEW)
+    assert report.conforms
+
+
+def test_empty_key_fetch_conforms_with_relation_bound():
+    access = AccessSchema((AccessConstraint("S", (), ("b", "c"), 7),))
+    plan = FetchNode(None, "S", (), ("b", "c"))
+    report = conforms_to(plan, access, SCHEMA, compute_bound=True)
+    assert report.conforms
+    assert report.fetch_bound == 7
+
+
+def test_figure1_plan_conforms_to_a0():
+    """Example 2.2: ξ0 conforms to A0 and fetches at most 2·N0 tuples."""
+    plan = graph_search.figure1_plan()
+    report = conforms_to(
+        plan,
+        graph_search.access_schema(n0=100),
+        graph_search.schema(),
+        graph_search.views(),
+        compute_bound=True,
+    )
+    assert report.conforms
+    assert report.fetch_bound == 200  # 2 * N0, exactly the paper's bound
+
+
+def test_view_fed_fetch_unverifiable_without_viewset():
+    from repro.core.plans import RenameNode
+
+    scan = ProjectNode(ViewScan("VA", ("y",)), ("y",))
+    fetch = FetchNode(RenameNode(scan, {"y": "b"}), "S", ("b",), ("c",))
+    report = conforms_to(fetch, ACCESS, SCHEMA, views=None)
+    assert not report.conforms

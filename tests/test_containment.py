@@ -1,0 +1,114 @@
+"""Unit tests for classical CQ/UCQ containment and equivalence."""
+
+import pytest
+
+from repro.algebra.atoms import RelationAtom
+from repro.algebra.containment import (
+    acyclic_contained_in,
+    cq_contained_in,
+    cq_contained_in_ucq,
+    contained_in,
+    equivalent,
+    is_satisfiable,
+    minimal_disjuncts,
+)
+from repro.algebra.cq import ConjunctiveQuery
+from repro.algebra.terms import Constant, Variable
+from repro.algebra.ucq import UnionQuery
+from repro.errors import QueryError
+
+X, Y, Z, W = Variable("x"), Variable("y"), Variable("z"), Variable("w")
+
+
+def q_edge():
+    return ConjunctiveQuery(head=(X, Y), atoms=(RelationAtom("E", (X, Y)),), name="edge")
+
+
+def q_path2():
+    return ConjunctiveQuery(
+        head=(X, Z),
+        atoms=(RelationAtom("E", (X, Y)), RelationAtom("E", (Y, Z))),
+        name="path2",
+    )
+
+
+def q_triangle():
+    return ConjunctiveQuery(
+        head=(),
+        atoms=(
+            RelationAtom("E", (X, Y)),
+            RelationAtom("E", (Y, Z)),
+            RelationAtom("E", (Z, X)),
+        ),
+        name="triangle",
+    )
+
+
+def q_self_loop():
+    return ConjunctiveQuery(head=(), atoms=(RelationAtom("E", (X, X)),), name="loop")
+
+
+def test_more_specific_query_is_contained():
+    specific = ConjunctiveQuery(
+        head=(X,), atoms=(RelationAtom("E", (X, Constant(1))),), name="to_one"
+    )
+    general = ConjunctiveQuery(head=(X,), atoms=(RelationAtom("E", (X, Y)),), name="to_any")
+    assert cq_contained_in(specific, general)
+    assert not cq_contained_in(general, specific)
+
+
+def test_classical_triangle_loop_containment():
+    # A self loop contains a triangle homomorphically: loop ⊆ triangle.
+    assert cq_contained_in(q_self_loop(), q_triangle())
+    # But a triangle pattern does not imply a self loop.
+    assert not cq_contained_in(q_triangle(), q_self_loop())
+
+
+def test_containment_requires_same_arity():
+    with pytest.raises(QueryError):
+        contained_in(q_edge(), q_triangle())
+
+
+def test_cq_in_ucq_containment():
+    union = UnionQuery((q_edge(), ConjunctiveQuery(head=(X, Y), atoms=(RelationAtom("F", (X, Y)),))))
+    assert cq_contained_in_ucq(q_edge(), union)
+    assert contained_in(union, union)
+
+
+def test_equivalence_up_to_variable_renaming():
+    renamed = ConjunctiveQuery(head=(Z, W), atoms=(RelationAtom("E", (Z, W)),))
+    assert equivalent(q_edge(), renamed)
+
+
+def test_unsatisfiable_contained_in_everything():
+    from repro.algebra.atoms import EqualityAtom
+
+    unsat = ConjunctiveQuery(
+        head=(X, Y),
+        atoms=(RelationAtom("E", (X, Y)),),
+        equalities=(EqualityAtom(X, Constant(1)), EqualityAtom(X, Constant(2))),
+    )
+    assert cq_contained_in(unsat, q_edge())
+    assert not is_satisfiable(unsat)
+    assert is_satisfiable(q_edge())
+
+
+def test_acyclic_containment_matches_generic_one():
+    assert acyclic_contained_in(q_path2(), q_edge()) == cq_contained_in(q_path2(), q_edge())
+    # path2 is contained in edge?  No: edge(x, z) needs a direct edge.
+    assert not acyclic_contained_in(q_path2(), q_edge())
+    # edge ⊆ path2 does not hold either (path2 needs two steps).
+    assert not acyclic_contained_in(q_edge(), q_path2())
+    with pytest.raises(QueryError):
+        acyclic_contained_in(q_edge(), q_triangle())  # triangle is cyclic
+
+
+def test_minimal_disjuncts_removes_subsumed():
+    specific = ConjunctiveQuery(
+        head=(X,), atoms=(RelationAtom("E", (X, Constant(1))),), name="specific"
+    )
+    general = ConjunctiveQuery(head=(X,), atoms=(RelationAtom("E", (X, Y)),), name="general")
+    union = UnionQuery((specific, general))
+    minimal = minimal_disjuncts(union)
+    assert len(minimal.disjuncts) == 1
+    assert minimal.disjuncts[0].name == "general"

@@ -1,0 +1,159 @@
+"""Unit tests for conjunctive queries and their tableau representation."""
+
+import pytest
+
+from repro.algebra.atoms import EqualityAtom, RelationAtom
+from repro.algebra.cq import ConjunctiveQuery, check_same_arity
+from repro.algebra.schema import schema_from_spec
+from repro.algebra.terms import Constant, FreshVariableFactory, Variable
+from repro.errors import QueryError
+
+
+X, Y, Z = Variable("x"), Variable("y"), Variable("z")
+
+
+def simple_query():
+    return ConjunctiveQuery(
+        head=(X,),
+        atoms=(RelationAtom("R", (X, Y)), RelationAtom("S", (Y, Z))),
+        name="Q",
+    )
+
+
+def test_variable_partitions():
+    q = simple_query()
+    assert q.variables == {X, Y, Z}
+    assert q.head_variables == {X}
+    assert q.existential_variables == {Y, Z}
+    assert not q.is_boolean
+    assert q.head_arity == 1
+
+
+def test_constants_collects_all_positions():
+    q = ConjunctiveQuery(
+        head=(Constant("a"),),
+        atoms=(RelationAtom("R", (X, Constant(1))),),
+        equalities=(EqualityAtom(X, Constant(2)),),
+    )
+    assert q.constants == {Constant("a"), Constant(1), Constant(2)}
+
+
+def test_normalize_folds_equalities():
+    q = ConjunctiveQuery(
+        head=(X, Y),
+        atoms=(RelationAtom("R", (X, Y)),),
+        equalities=(EqualityAtom(Y, Constant(5)),),
+    )
+    normalized = q.normalize()
+    assert normalized.equalities == ()
+    assert normalized.head == (X, Constant(5))
+    assert normalized.atoms[0].terms == (X, Constant(5))
+
+
+def test_normalize_transitive_equalities():
+    q = ConjunctiveQuery(
+        head=(X,),
+        atoms=(RelationAtom("R", (X, Y, Z)),),
+        equalities=(EqualityAtom(X, Y), EqualityAtom(Y, Z)),
+    )
+    normalized = q.normalize()
+    terms = set(normalized.atoms[0].terms)
+    assert len(terms) == 1  # all three variables merged
+
+
+def test_unsatisfiable_when_constants_equated():
+    q = ConjunctiveQuery(
+        head=(),
+        atoms=(RelationAtom("R", (X,)),),
+        equalities=(EqualityAtom(X, Constant(1)), EqualityAtom(X, Constant(2))),
+    )
+    assert not q.is_satisfiable()
+    with pytest.raises(QueryError):
+        q.normalize()
+
+
+def test_tableau_facts_and_summary():
+    q = ConjunctiveQuery(
+        head=(X,),
+        atoms=(RelationAtom("R", (X, Constant("c"))),),
+    )
+    tableau = q.tableau()
+    assert tableau.facts() == {"R": {(X, "c")}}
+    assert tableau.summary_values() == (X,)
+    assert tableau.variables == {X}
+
+
+def test_equality_atoms_in_cq_must_not_be_negated():
+    with pytest.raises(QueryError):
+        ConjunctiveQuery(
+            head=(X,),
+            atoms=(RelationAtom("R", (X,)),),
+            equalities=(EqualityAtom(X, Constant(1), negated=True),),
+        )
+
+
+def test_substitute_replaces_terms_everywhere():
+    q = simple_query()
+    substituted = q.substitute({Y: Constant(7)})
+    assert substituted.atoms[0].terms == (X, Constant(7))
+    assert substituted.atoms[1].terms == (Constant(7), Z)
+
+
+def test_rename_apart_keeps_selected_variables():
+    q = simple_query()
+    factory = FreshVariableFactory(used=["x", "y", "z"])
+    renamed, mapping = q.rename_apart(factory, keep=[X])
+    assert X in renamed.variables
+    assert Y not in renamed.variables
+    assert mapping[Y] != Y
+
+
+def test_project_head_and_conjoin():
+    q = simple_query()
+    projected = q.project_head([0])
+    assert projected.head == (X,)
+    with pytest.raises(QueryError):
+        q.project_head([3])
+    other = ConjunctiveQuery(head=(Z,), atoms=(RelationAtom("T", (Z,)),), name="O")
+    combined = q.conjoin(other)
+    assert combined.head == (X, Z)
+    assert len(combined.atoms) == 3
+
+
+def test_validate_checks_arity_and_safety():
+    schema = schema_from_spec({"R": ("a", "b"), "S": ("b", "c")})
+    simple_query().validate(schema)
+
+    bad_arity = ConjunctiveQuery(head=(X,), atoms=(RelationAtom("R", (X,)),))
+    with pytest.raises(Exception):
+        bad_arity.validate(schema)
+
+    unsafe = ConjunctiveQuery(head=(Z,), atoms=(RelationAtom("R", (X, Y)),))
+    with pytest.raises(QueryError):
+        unsafe.validate(schema)
+
+    # A head variable equated to a constant is safe.
+    safe_by_equality = ConjunctiveQuery(
+        head=(Z,),
+        atoms=(RelationAtom("R", (X, Y)),),
+        equalities=(EqualityAtom(Z, Constant(1)),),
+    )
+    safe_by_equality.validate(schema)
+
+
+def test_check_same_arity():
+    q1 = simple_query()
+    q2 = ConjunctiveQuery(head=(Y,), atoms=(RelationAtom("R", (Y, Z)),))
+    assert check_same_arity([q1, q2]) == 1
+    boolean = ConjunctiveQuery(head=(), atoms=(RelationAtom("R", (X, Y)),))
+    with pytest.raises(QueryError):
+        check_same_arity([q1, boolean])
+    with pytest.raises(QueryError):
+        check_same_arity([])
+
+
+def test_cq_is_hashable_and_str():
+    q = simple_query()
+    assert q in {q}
+    text = str(q)
+    assert "R(" in text and "Q(" in text

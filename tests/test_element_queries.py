@@ -1,0 +1,129 @@
+"""Unit tests for element queries (Section 3.1)."""
+
+import pytest
+
+from repro.algebra.atoms import RelationAtom
+from repro.algebra.containment import cq_contained_in
+from repro.algebra.cq import ConjunctiveQuery
+from repro.algebra.schema import schema_from_spec
+from repro.algebra.terms import Constant, Variable
+from repro.core.access import AccessConstraint, AccessSchema
+from repro.core.element_queries import (
+    ElementQueryBudget,
+    element_queries,
+    has_element_query,
+    iter_element_queries,
+)
+from repro.errors import BudgetExceededError
+
+SCHEMA = schema_from_spec({"R": ("a", "b")})
+X, Y, Z = Variable("x"), Variable("y"), Variable("z")
+
+
+def test_no_constraints_identity_partition_is_element_query():
+    query = ConjunctiveQuery(head=(X,), atoms=(RelationAtom("R", (X, Y)),))
+    results = element_queries(query, AccessSchema(()), SCHEMA)
+    # Every partition satisfies the empty access schema; they are all element
+    # queries, and the identity one (x, y distinct) is among them.
+    assert any(len(e.variables) == 2 for e in results)
+    assert len(results) == 2  # {x}{y} and {x=y}
+
+
+def test_element_queries_are_contained_in_the_query():
+    query = ConjunctiveQuery(
+        head=(X,), atoms=(RelationAtom("R", (X, Y)), RelationAtom("R", (Y, Z)))
+    )
+    access = AccessSchema([AccessConstraint("R", ("a",), ("b",), 1)])
+    for element in element_queries(query, access, SCHEMA):
+        assert cq_contained_in(element, query)
+
+
+def test_constraint_filters_partitions():
+    # R(x, y) ∧ R(x, z) with R(a -> b, 1): y and z must be equated.
+    query = ConjunctiveQuery(
+        head=(Y, Z), atoms=(RelationAtom("R", (X, Y)), RelationAtom("R", (X, Z)))
+    )
+    access = AccessSchema([AccessConstraint("R", ("a",), ("b",), 1)])
+    results = element_queries(query, access, SCHEMA)
+    assert results
+    for element in results:
+        tableau = element.tableau()
+        summary = tableau.summary_values()
+        assert summary[0] == summary[1]
+
+
+def test_paper_example_element_queries():
+    """The running example of Section 3.1 (query over R(X, Y) with N = 2)."""
+    x, x1, x2, x3, y = (Variable("x"), Variable("x1"), Variable("x2"), Variable("x3"), Variable("y"))
+    from repro.algebra.atoms import EqualityAtom
+
+    query = ConjunctiveQuery(
+        head=(x,),
+        atoms=(
+            RelationAtom("R", (y, x1)),
+            RelationAtom("R", (y, x2)),
+            RelationAtom("R", (y, x3)),
+            RelationAtom("R", (x3, x)),
+        ),
+        equalities=(
+            EqualityAtom(x1, Constant(1)),
+            EqualityAtom(x2, Constant(2)),
+            EqualityAtom(y, Constant("k")),
+        ),
+    )
+    access = AccessSchema([AccessConstraint("R", ("a",), ("b",), 2)])
+    results = element_queries(query, access, SCHEMA)
+    assert results, "the query has satisfiable element queries under A"
+    # In every element query, x3 is equated with one of the constants 1 / 2
+    # (the paper's Q2 and Q3), since the key 'k' admits only two B-values.
+    for element in results:
+        facts = element.tableau().facts()["R"]
+        values_for_k = {b for (a, b) in facts if a == "k"}
+        assert len(values_for_k) <= 2
+
+
+def test_unsatisfiable_query_has_no_element_queries():
+    from repro.algebra.atoms import EqualityAtom
+
+    query = ConjunctiveQuery(
+        head=(),
+        atoms=(RelationAtom("R", (X, Y)),),
+        equalities=(EqualityAtom(X, Constant(1)), EqualityAtom(X, Constant(2))),
+    )
+    assert element_queries(query, AccessSchema(()), SCHEMA) == []
+    assert not has_element_query(query, AccessSchema(()), SCHEMA)
+
+
+def test_has_element_query_detects_a_unsatisfiability():
+    # R(1, x) ∧ R(1, y) ∧ R(1, z) with all of x, y, z pairwise... under
+    # R(a -> b, 1) they must all merge, which is fine -> satisfiable.
+    query = ConjunctiveQuery(
+        head=(),
+        atoms=(
+            RelationAtom("R", (Constant(1), Constant("p"))),
+            RelationAtom("R", (Constant(1), Constant("q"))),
+        ),
+    )
+    access = AccessSchema([AccessConstraint("R", ("a",), ("b",), 1)])
+    # Two distinct constants under an FD with bound 1: no instance satisfying
+    # A can contain both tuples, so there is no element query.
+    assert not has_element_query(query, access, SCHEMA)
+    relaxed = AccessSchema([AccessConstraint("R", ("a",), ("b",), 2)])
+    assert has_element_query(query, relaxed, SCHEMA)
+
+
+def test_budget_is_enforced():
+    variables = [Variable(f"v{i}") for i in range(8)]
+    atoms = tuple(RelationAtom("R", (variables[i], variables[i + 1])) for i in range(7))
+    query = ConjunctiveQuery(head=(variables[0],), atoms=atoms)
+    tiny = ElementQueryBudget(max_partitions=10)
+    with pytest.raises(BudgetExceededError):
+        element_queries(query, AccessSchema(()), SCHEMA, tiny)
+
+
+def test_deduplication_by_tableau():
+    # Both "merge y into x" and "merge x into y" yield the same tableau.
+    query = ConjunctiveQuery(head=(), atoms=(RelationAtom("R", (X, Y)),))
+    results = element_queries(query, AccessSchema(()), SCHEMA)
+    tableaux = {(e.tableau().atoms, e.tableau().summary) for e in results}
+    assert len(tableaux) == len(results)

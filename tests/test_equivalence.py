@@ -1,0 +1,134 @@
+"""Unit tests for A-containment and A-equivalence (Lemma 3.2)."""
+
+from repro.algebra.atoms import EqualityAtom, RelationAtom
+from repro.algebra.cq import ConjunctiveQuery
+from repro.algebra.schema import schema_from_spec
+from repro.algebra.terms import Constant, Variable
+from repro.algebra.ucq import UnionQuery
+from repro.core.access import AccessConstraint, AccessSchema
+from repro.core.equivalence import (
+    a_contained_in,
+    a_equivalent,
+    a_equivalent_to_empty,
+    is_a_satisfiable,
+)
+
+SCHEMA = schema_from_spec({"R": ("a", "b"), "S": ("a", "b")})
+X, Y, Z = Variable("x"), Variable("y"), Variable("z")
+
+
+def test_classical_containment_implies_a_containment():
+    specific = ConjunctiveQuery(head=(X,), atoms=(RelationAtom("R", (X, Constant(1))),))
+    general = ConjunctiveQuery(head=(X,), atoms=(RelationAtom("R", (X, Y)),))
+    access = AccessSchema([AccessConstraint("R", ("a",), ("b",), 3)])
+    assert a_contained_in(specific, general, access, SCHEMA)
+    assert not a_contained_in(general, specific, access, SCHEMA)
+
+
+def test_without_constraints_a_equivalence_is_classical():
+    q1 = ConjunctiveQuery(head=(X,), atoms=(RelationAtom("R", (X, Y)),))
+    q2 = ConjunctiveQuery(head=(Z,), atoms=(RelationAtom("R", (Z, Variable("w"))),))
+    assert a_equivalent(q1, q2, AccessSchema(()), SCHEMA)
+
+
+def test_fd_makes_queries_a_equivalent_but_not_classically():
+    """R(x, y) ∧ R(x, z) ≡_A R(x, y) when R(a -> b, 1), but not classically."""
+    two_atoms = ConjunctiveQuery(
+        head=(X, Y, Z),
+        atoms=(RelationAtom("R", (X, Y)), RelationAtom("R", (X, Z))),
+    )
+    collapsed = ConjunctiveQuery(
+        head=(X, Y, Y), atoms=(RelationAtom("R", (X, Y)),)
+    )
+    fd = AccessSchema([AccessConstraint("R", ("a",), ("b",), 1)])
+    from repro.algebra.containment import equivalent
+
+    assert not equivalent(two_atoms, collapsed)
+    assert a_equivalent(two_atoms, collapsed, fd, SCHEMA)
+    # With a looser bound the equivalence breaks again.
+    loose = AccessSchema([AccessConstraint("R", ("a",), ("b",), 2)])
+    assert not a_equivalent(two_atoms, collapsed, loose, SCHEMA)
+
+
+def test_a_containment_via_element_queries_with_cardinality_constraint():
+    """R(c, y) ∧ R(c, z) ∧ y ≠-freeness under R(a -> b, 1): y = z forced.
+
+    The left query is A-contained in the right one (which asks for a single
+    tuple R(c, y) with its b-value used twice in S), only because the access
+    constraint forces y and z to coincide.
+    """
+    left = ConjunctiveQuery(
+        head=(Y, Z),
+        atoms=(RelationAtom("R", (Constant("c"), Y)), RelationAtom("R", (Constant("c"), Z))),
+    )
+    right = ConjunctiveQuery(head=(Y, Y), atoms=(RelationAtom("R", (Constant("c"), Y)),))
+    constrained = AccessSchema([AccessConstraint("R", ("a",), ("b",), 1)])
+    unconstrained = AccessSchema(())
+    assert a_contained_in(left, right, constrained, SCHEMA)
+    assert not a_contained_in(left, right, unconstrained, SCHEMA)
+
+
+def test_a_containment_with_non_fd_bound_via_element_queries():
+    """A bound of 2 forces the three b-values of a shared key to collide."""
+    y1, y2, y3 = Variable("y1"), Variable("y2"), Variable("y3")
+    left = ConjunctiveQuery(
+        head=(y1, y2, y3),
+        atoms=(
+            RelationAtom("R", (Constant("k"), y1)),
+            RelationAtom("R", (Constant("k"), y2)),
+            RelationAtom("R", (Constant("k"), y3)),
+        ),
+    )
+    # Right query: some two of the key's values coincide — expressed as a UCQ.
+    def pair(i, j):
+        names = {1: Variable("y1"), 2: Variable("y2"), 3: Variable("y3")}
+        return ConjunctiveQuery(
+            head=(names[1], names[2], names[3]),
+            atoms=(
+                RelationAtom("R", (Constant("k"), names[1])),
+                RelationAtom("R", (Constant("k"), names[2])),
+                RelationAtom("R", (Constant("k"), names[3])),
+            ),
+            equalities=(EqualityAtom(names[i], names[j]),),
+        )
+
+    right = UnionQuery((pair(1, 2), pair(1, 3), pair(2, 3)))
+    bound2 = AccessSchema([AccessConstraint("R", ("a",), ("b",), 2)])
+    bound3 = AccessSchema([AccessConstraint("R", ("a",), ("b",), 3)])
+    assert a_contained_in(left, right, bound2, SCHEMA)
+    assert not a_contained_in(left, right, bound3, SCHEMA)
+
+
+def test_a_satisfiability_and_empty_equivalence():
+    impossible = ConjunctiveQuery(
+        head=(),
+        atoms=(
+            RelationAtom("R", (Constant(1), Constant("u"))),
+            RelationAtom("R", (Constant(1), Constant("v"))),
+        ),
+    )
+    fd = AccessSchema([AccessConstraint("R", ("a",), ("b",), 1)])
+    assert not is_a_satisfiable(impossible, fd, SCHEMA)
+    assert a_equivalent_to_empty(impossible, fd, SCHEMA)
+    loose = AccessSchema([AccessConstraint("R", ("a",), ("b",), 2)])
+    assert is_a_satisfiable(impossible, loose, SCHEMA)
+    assert not a_equivalent_to_empty(impossible, loose, SCHEMA)
+
+
+def test_a_satisfiability_without_constraints_is_plain_satisfiability():
+    query = ConjunctiveQuery(
+        head=(),
+        atoms=(RelationAtom("R", (X, Y)),),
+        equalities=(EqualityAtom(X, Constant(1)), EqualityAtom(X, Constant(2))),
+    )
+    assert not is_a_satisfiable(query, AccessSchema(()), SCHEMA)
+
+
+def test_a_equivalence_of_ucq_queries():
+    q1 = ConjunctiveQuery(head=(X,), atoms=(RelationAtom("R", (X, Constant(1))),))
+    q2 = ConjunctiveQuery(head=(X,), atoms=(RelationAtom("R", (X, Constant(2))),))
+    union = UnionQuery((q1, q2))
+    flipped = UnionQuery((q2, q1))
+    access = AccessSchema([AccessConstraint("R", ("a",), ("b",), 2)])
+    assert a_equivalent(union, flipped, access, SCHEMA)
+    assert not a_equivalent(union, UnionQuery((q1,)), access, SCHEMA)

@@ -1,0 +1,148 @@
+"""Unit tests for the FO AST, conversions and active-domain evaluation."""
+
+import pytest
+
+from repro.algebra.cq import ConjunctiveQuery
+from repro.algebra.atoms import RelationAtom
+from repro.algebra.fo import (
+    FOAnd,
+    FOAtom,
+    FOEquality,
+    FOExists,
+    FOForAll,
+    FONot,
+    FOOr,
+    FOTrue,
+    atom,
+    classify_language,
+    conj,
+    disj,
+    eq,
+    evaluate_fo,
+    exists,
+    forall,
+    from_cq,
+    is_disjunction_free,
+    is_positive_existential,
+    neg,
+    neq,
+    rectify,
+    to_ucq,
+)
+from repro.algebra.terms import Constant, Variable
+from repro.algebra.evaluation import evaluate_ucq
+from repro.errors import QueryError, UnsupportedQueryError
+
+X, Y, Z = Variable("x"), Variable("y"), Variable("z")
+
+FACTS = {
+    "R": {(1, 10), (2, 20)},
+    "S": {(10,), (99,)},
+}
+
+
+def test_free_variables():
+    q = exists([Y], conj(atom("R", X, Y), atom("S", Y)))
+    assert q.free_variables == {X}
+    assert forall([X], q).free_variables == set()
+    assert neg(atom("R", X, Y)).free_variables == {X, Y}
+    assert FOTrue().free_variables == set()
+
+
+def test_size_counts_atoms():
+    q = conj(atom("R", X, Y), eq(X, 1), neg(atom("S", X)))
+    assert q.size() == 3
+    assert FOTrue().size() == 0
+
+
+def test_language_classification():
+    cq_like = exists([Y], conj(atom("R", X, Y), eq(X, 1)))
+    assert classify_language(cq_like) == "CQ"
+    ucq_like = exists([Y], disj(atom("R", X, Y), atom("R", Y, X)))
+    assert classify_language(ucq_like) in ("UCQ", "EFO+")
+    efo = exists([Y], conj(atom("S", Y), disj(atom("R", X, Y), atom("R", Y, X))))
+    assert classify_language(efo) == "EFO+"
+    fo = conj(atom("S", X), neg(atom("R", X, X)))
+    assert classify_language(fo) == "FO"
+    assert is_positive_existential(cq_like)
+    assert not is_positive_existential(fo)
+    assert is_disjunction_free(cq_like)
+    assert not is_disjunction_free(ucq_like)
+
+
+def test_negated_equality_is_not_positive():
+    assert not is_positive_existential(neq(X, Y))
+
+
+def test_conj_drops_tautologies_and_flattens_singletons():
+    assert conj(FOTrue(), atom("S", X)) == atom("S", X)
+    assert isinstance(conj(), FOTrue)
+    assert isinstance(conj(atom("S", X), atom("S", Y)), FOAnd)
+
+
+def test_substitute_respects_binding():
+    q = exists([Y], conj(atom("R", X, Y), eq(Y, 3)))
+    substituted = q.substitute({X: Constant(7), Y: Constant(9)})
+    # The bound variable Y must not be substituted.
+    assert Constant(9) not in substituted.constants
+    assert Constant(7) in substituted.constants
+
+
+def test_rectify_renames_clashing_bound_variables():
+    inner = exists([X], atom("S", X))
+    q = conj(atom("R", X, Y), inner)
+    rectified = rectify(q)
+    # The free occurrence of x must stay free; the bound one must be renamed.
+    assert X in rectified.free_variables
+
+
+def test_to_ucq_round_trip_against_fo_evaluation():
+    q = exists([Y], conj(atom("R", X, Y), atom("S", Y)))
+    ucq = to_ucq(q, head=(X,))
+    assert evaluate_ucq(ucq, FACTS) == evaluate_fo(q, FACTS, head=(X,)) == {(1,)}
+
+
+def test_to_ucq_distributes_disjunction():
+    q = conj(
+        disj(atom("R", X, Y), atom("R", Y, X)),
+        disj(atom("S", X), atom("S", Y)),
+    )
+    ucq = to_ucq(q, head=(X, Y))
+    assert len(ucq.disjuncts) == 4
+
+
+def test_to_ucq_rejects_negation():
+    with pytest.raises(UnsupportedQueryError):
+        to_ucq(neg(atom("S", X)), head=(X,))
+
+
+def test_from_cq_and_back():
+    cq = ConjunctiveQuery(
+        head=(X,), atoms=(RelationAtom("R", (X, Y)), RelationAtom("S", (Y,)))
+    )
+    fo = from_cq(cq)
+    assert fo.free_variables == {X}
+    assert evaluate_fo(fo, FACTS, head=(X,)) == {(1,)}
+
+
+def test_evaluate_fo_with_negation_and_universal():
+    # Values x with an R-edge to some y that is NOT in S.
+    q = exists([Y], conj(atom("R", X, Y), neg(atom("S", Y))))
+    assert evaluate_fo(q, FACTS, head=(X,)) == {(2,)}
+    # For all y: R(x, y) implies S(y)  ==  ¬∃y (R(x,y) ∧ ¬S(y))
+    q_all = forall([Y], disj(neg(atom("R", X, Y)), atom("S", Y)))
+    answers = evaluate_fo(q_all, FACTS, head=(X,))
+    assert (1,) in answers and (2,) not in answers
+
+
+def test_evaluate_fo_requires_head_covering_free_variables():
+    q = atom("R", X, Y)
+    with pytest.raises(QueryError):
+        evaluate_fo(q, FACTS, head=(X,))
+
+
+def test_boolean_fo_evaluation():
+    q = exists([X, Y], conj(atom("R", X, Y), atom("S", Y)))
+    assert evaluate_fo(q, FACTS) == {()}
+    q_false = exists([X], conj(atom("S", X), eq(X, 1)))
+    assert evaluate_fo(q_false, FACTS) == set()

@@ -1,0 +1,129 @@
+"""End-to-end tests reproducing Examples 1.1, 2.2, 2.3 and 3.3 of the paper."""
+
+import pytest
+
+from repro.algebra.atoms import RelationAtom
+from repro.algebra.cq import ConjunctiveQuery
+from repro.algebra.terms import Constant, Variable
+from repro.algebra.views import ViewSet
+from repro.core.bounded_output import has_bounded_output
+from repro.core.conformance import conforms_to
+from repro.core.equivalence import a_equivalent
+from repro.core.plan_eval import PlanExecutor
+from repro.core.rewriting import plan_to_ucq, unfold_view_atoms
+from repro.engine.session import BoundedEngine
+from repro.storage.indexes import IndexSet
+from repro.workloads import graph_search as gs
+
+
+def test_generated_data_satisfies_a0(gs_instance, gs_access):
+    assert gs_instance.database.satisfies(gs_access)
+    assert gs_instance.database.satisfies(gs.access_schema(with_like_key=True))
+
+
+def test_q0_is_not_boundedly_evaluable_without_views(gs_q0, gs_access, gs_schema):
+    """Example 1.1: under A0 alone, Q0 has no bounded plan (person/like are free)."""
+    from repro.engine.optimizer import build_bounded_plan
+
+    outcome = build_bounded_plan(gs_q0, ViewSet(()), gs_access, gs_schema)
+    assert not outcome.found
+
+
+def test_v1_does_not_have_bounded_output(gs_access, gs_schema, gs_views):
+    """V1 itself is not boundedly evaluable / has unbounded output under A0."""
+    v1 = gs_views.view("V1")
+    assert not has_bounded_output(v1.as_ucq(), gs_access, gs_schema)
+
+
+def test_figure1_plan_is_an_11_bounded_rewriting(gs_q0, gs_access, gs_schema, gs_views):
+    """Example 2.2: ξ0 conforms to A0, answers Q0 and fetches at most 2·N0 tuples."""
+    plan = gs.figure1_plan()
+    assert plan.size() <= 13  # 11 in the paper's counting, +2 explicit renames here
+    report = conforms_to(plan, gs_access, gs_schema, gs_views, compute_bound=True)
+    assert report.conforms
+    assert report.fetch_bound == 2 * 100
+
+
+def test_figure1_plan_expresses_example_23_rewriting(gs_q0, gs_access, gs_schema, gs_views):
+    """Example 2.3: ξ0 expresses Qξ(mid) = movie(mid,·,U,2014) ∧ V1(mid) ∧ rating(mid,5),
+    which is a CQ rewriting of Q0 using V1, A-equivalent to Q0 under A0."""
+    plan = gs.figure1_plan()
+    expressed = plan_to_ucq(plan, gs_schema, gs_views, unfold_views=True)
+    assert a_equivalent(expressed, gs_q0, gs_access, gs_schema)
+
+    # The rewriting written over the view relation, as in the paper.
+    mid, ym = Variable("mid"), Variable("ym")
+    q_xi = ConjunctiveQuery(
+        head=(mid,),
+        atoms=(
+            RelationAtom("movie", (mid, ym, Constant("Universal"), Constant("2014"))),
+            RelationAtom("V1", (mid,)),
+            RelationAtom("rating", (mid, Constant(5))),
+        ),
+        name="Q_xi",
+    )
+    unfolded = unfold_view_atoms(q_xi, gs_views)
+    assert a_equivalent(unfolded, gs_q0, gs_access, gs_schema)
+
+
+def test_figure1_plan_answers_match_direct_evaluation(gs_instance, gs_q0, gs_access, gs_schema, gs_views):
+    engine = BoundedEngine(gs_instance.database, gs_access, gs_views)
+    plan_rows, stats = engine.execute_plan(gs.figure1_plan())
+    baseline = engine.baseline(gs_q0)
+    assert plan_rows == baseline.rows
+    assert len(plan_rows) >= 3  # planted answers
+    assert stats.tuples_fetched <= 2 * gs_instance.n0
+    assert stats.tuples_fetched < baseline.tuples_scanned
+
+
+def test_engine_finds_bounded_plan_for_q0(gs_instance, gs_q0, gs_access, gs_views):
+    engine = BoundedEngine(gs_instance.database, gs_access, gs_views)
+    answer = engine.answer(gs_q0)
+    assert answer.used_bounded_plan
+    assert answer.rows == engine.baseline(gs_q0).rows
+    assert answer.tuples_scanned == 0
+
+
+def test_io_gap_grows_with_data():
+    """The scale-independence claim: fetched I/O stays flat, scans grow."""
+    small = gs.generate(num_persons=150, num_movies=100, seed=3)
+    large = gs.generate(num_persons=600, num_movies=400, seed=3)
+    q0 = gs.query_q0()
+    access, views = gs.access_schema(), gs.views()
+    small_engine = BoundedEngine(small.database, access, views)
+    large_engine = BoundedEngine(large.database, access, views)
+    small_answer = small_engine.answer(q0)
+    large_answer = large_engine.answer(q0)
+    assert small_answer.used_bounded_plan and large_answer.used_bounded_plan
+    assert large_answer.tuples_fetched <= 2 * large.n0
+    assert large_engine.baseline(q0).tuples_scanned > small_engine.baseline(q0).tuples_scanned
+
+
+def test_example_33_v2_bounded_output_depends_on_constraints(gs_schema, gs_views):
+    """Example 3.3(a): the rewriting via V2 needs V2 to have bounded output,
+    i.e. a constraint bounding the number of NASA employees."""
+    v2 = gs_views.view("V2")
+    base = gs.access_schema(with_like_key=True)
+    assert not has_bounded_output(v2.as_ucq(), base, gs_schema)
+    from repro.core.access import AccessConstraint
+
+    with_cap = base.extended_with(
+        [AccessConstraint("person", ("affiliation",), ("pid",), 50)]
+    )
+    assert has_bounded_output(v2.as_ucq(), with_cap, gs_schema)
+
+
+def test_example_33_rewriting_with_v2_under_extended_schema(gs_instance, gs_q0, gs_schema):
+    """Example 3.3(a): with A1 plus a cap on NASA employees, Q0 can be
+    answered through V2 as well; the engine's plan stays correct."""
+    from repro.core.access import AccessConstraint
+
+    access = gs.access_schema(with_like_key=True).extended_with(
+        [AccessConstraint("person", ("affiliation",), ("pid", "name"), 50)]
+    )
+    if not gs_instance.database.satisfies(access):
+        pytest.skip("generated instance has more than 50 NASA employees")
+    views = ViewSet((gs.view_v2(),))
+    engine = BoundedEngine(gs_instance.database, access, views)
+    answer = engine.answer(gs_q0)
+    assert answer.rows == engine.baseline(gs_q0).rows

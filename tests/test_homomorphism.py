@@ -1,0 +1,100 @@
+"""Unit tests for homomorphism search."""
+
+import pytest
+
+from repro.algebra.atoms import EqualityAtom, RelationAtom
+from repro.algebra.cq import ConjunctiveQuery
+from repro.algebra.homomorphism import (
+    find_homomorphism,
+    has_homomorphism,
+    homomorphism_between,
+    iter_homomorphisms,
+)
+from repro.algebra.terms import Constant, Variable
+from repro.errors import QueryError
+
+X, Y, Z = Variable("x"), Variable("y"), Variable("z")
+
+FACTS = {
+    "R": {(1, 2), (2, 3), (3, 3)},
+    "S": {(3, "a")},
+}
+
+
+def test_find_homomorphism_simple_join():
+    q = ConjunctiveQuery(
+        head=(X,),
+        atoms=(RelationAtom("R", (X, Y)), RelationAtom("S", (Y, Z))),
+    )
+    assignment = find_homomorphism(q, FACTS)
+    assert assignment is not None
+    assert assignment[Y] == 3
+    assert assignment[X] in {2, 3}
+
+
+def test_iter_homomorphisms_enumerates_all():
+    q = ConjunctiveQuery(head=(X,), atoms=(RelationAtom("R", (X, Y)),))
+    results = list(iter_homomorphisms(q, FACTS))
+    assert len(results) == 3
+
+
+def test_head_values_restrict_search():
+    q = ConjunctiveQuery(head=(X,), atoms=(RelationAtom("R", (X, Y)),))
+    assert find_homomorphism(q, FACTS, head_values=(2,)) is not None
+    assert find_homomorphism(q, FACTS, head_values=(9,)) is None
+    with pytest.raises(QueryError):
+        find_homomorphism(q, FACTS, head_values=(1, 2))
+
+
+def test_constants_must_match_exactly():
+    q = ConjunctiveQuery(head=(), atoms=(RelationAtom("S", (Constant(3), Constant("a"))),))
+    assert has_homomorphism(q, FACTS)
+    q_bad = ConjunctiveQuery(head=(), atoms=(RelationAtom("S", (Constant(3), Constant("b"))),))
+    assert not has_homomorphism(q_bad, FACTS)
+
+
+def test_equalities_are_honoured():
+    q = ConjunctiveQuery(
+        head=(),
+        atoms=(RelationAtom("R", (X, Y)),),
+        equalities=(EqualityAtom(X, Y),),
+    )
+    # Only (3, 3) satisfies x = y.  The query is normalised first, so the
+    # assignment binds the representative of the merged {x, y} class.
+    results = list(iter_homomorphisms(q, FACTS))
+    assert len(results) == 1
+    assert set(results[0].values()) == {3}
+
+
+def test_unsatisfiable_query_has_no_homomorphism():
+    q = ConjunctiveQuery(
+        head=(),
+        atoms=(RelationAtom("R", (X, Y)),),
+        equalities=(EqualityAtom(X, Constant(1)), EqualityAtom(X, Constant(2))),
+    )
+    assert find_homomorphism(q, FACTS) is None
+
+
+def test_homomorphism_between_witnesses_containment():
+    # target: Q1(x) :- R(x, y), S(y, z); source: Q2(x) :- R(x, y)
+    target = ConjunctiveQuery(
+        head=(X,), atoms=(RelationAtom("R", (X, Y)), RelationAtom("S", (Y, Z)))
+    )
+    source = ConjunctiveQuery(head=(X,), atoms=(RelationAtom("R", (X, Y)),))
+    # Q1 ⊆ Q2: homomorphism from Q2 into Q1's tableau.
+    assert homomorphism_between(source, target) is not None
+    # Q2 ⊄ Q1 (R alone does not imply the S atom).
+    assert homomorphism_between(target, source) is None
+
+
+def test_homomorphism_between_arity_mismatch():
+    q1 = ConjunctiveQuery(head=(X,), atoms=(RelationAtom("R", (X, Y)),))
+    q2 = ConjunctiveQuery(head=(), atoms=(RelationAtom("R", (X, Y)),))
+    with pytest.raises(QueryError):
+        homomorphism_between(q1, q2)
+
+
+def test_repeated_variables_in_atom():
+    q = ConjunctiveQuery(head=(X,), atoms=(RelationAtom("R", (X, X)),))
+    assignment = find_homomorphism(q, FACTS)
+    assert assignment == {X: 3}

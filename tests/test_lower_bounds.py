@@ -1,0 +1,251 @@
+"""Tests for the Theorem 4.1 and Theorem 3.11 lower-bound gadgets.
+
+The gadgets are validated at three levels:
+
+* *structural* — the constructions use exactly the fixed schemas and access
+  constraints the theorems require, and the case-(1)/(2) queries are acyclic;
+* *positive direction* — for satisfiable / colorable sources, the witness
+  instance of the proof satisfies ``A`` and makes the gadget query true;
+* *negative direction* — where the exact ``Q ≡_A ∅`` test is feasible
+  (case (1) on tiny graphs) it is run in full; for the larger gadgets the
+  intended-instance family is swept instead (the exact sweep being infeasible
+  is precisely what the lower bounds assert).
+"""
+
+from __future__ import annotations
+
+import itertools
+
+import pytest
+
+from repro.algebra.acyclicity import is_acyclic
+from repro.algebra.evaluation import evaluate_cq
+from repro.core.equivalence import a_equivalent_to_empty, is_a_satisfiable
+from repro.errors import QueryError
+from repro.storage.instance import Database
+from repro.workloads import lower_bounds as lb
+from repro.workloads.reductions import formula
+
+
+# --------------------------------------------------------------------------- #
+# Graphs
+# --------------------------------------------------------------------------- #
+
+
+def test_graph_normalisation_and_queries():
+    graph = lb.Graph(3, [(1, 0), (1, 2), (0, 1)])
+    assert graph.edges == ((0, 1), (1, 2))
+    assert graph.degree(1) == 2
+    assert graph.leaves() == (0, 2)
+
+
+def test_graph_rejects_self_loops_and_bad_edges():
+    with pytest.raises(QueryError):
+        lb.Graph(2, [(0, 0)])
+    with pytest.raises(QueryError):
+        lb.Graph(2, [(0, 5)])
+
+
+def test_three_colorability_brute_force():
+    assert lb.cycle_graph(3).is_three_colorable()
+    assert lb.path_graph(4).is_three_colorable()
+    assert not lb.complete_graph(4).is_three_colorable()
+
+
+def test_precoloring_extendability_brute_force():
+    edge = lb.path_graph(1)
+    assert edge.precoloring_extendable({0: "r"})
+    assert edge.precoloring_extendable({0: "r", 1: "g"})
+    assert not edge.precoloring_extendable({0: "r", 1: "r"})
+
+
+# --------------------------------------------------------------------------- #
+# Theorem 4.1 case (1): precoloring extension
+# --------------------------------------------------------------------------- #
+
+
+def test_case1_structure_is_fixed_and_acyclic():
+    instance = lb.precoloring_reduction(lb.path_graph(2), {0: "r", 2: "g"})
+    assert set(instance.schema.names) == {"R"}
+    constraints = instance.access_schema.constraints
+    assert len(constraints) == 1 and constraints[0].bound == 2
+    assert is_acyclic(instance.query)
+    assert instance.query.is_boolean
+
+
+def test_case1_rejects_non_leaf_precoloring():
+    with pytest.raises(QueryError):
+        lb.precoloring_reduction(lb.path_graph(2), {1: "r"})
+    with pytest.raises(QueryError):
+        lb.precoloring_reduction(lb.path_graph(1), {0: "purple"})
+
+
+def test_case1_witness_instance_positive_direction():
+    instance = lb.precoloring_reduction(lb.path_graph(2), {0: "r", 2: "g"})
+    assert not instance.expected_empty
+    witness = instance.witness_instance()
+    assert witness.satisfies(instance.access_schema)
+    assert evaluate_cq(instance.query, witness.facts)
+
+
+def test_case1_exact_emptiness_matches_extendability():
+    """Full biconditional on single-edge graphs (small enough for the exact sweep)."""
+    edge = lb.path_graph(1)
+    extendable = lb.precoloring_reduction(edge, {0: "r", 1: "g"})
+    assert not extendable.expected_empty
+    assert is_a_satisfiable(
+        extendable.query, extendable.access_schema, extendable.schema
+    )
+
+    blocked = lb.precoloring_reduction(edge, {0: "r", 1: "r"})
+    assert blocked.expected_empty
+    assert a_equivalent_to_empty(blocked.query, blocked.access_schema, blocked.schema)
+
+
+def test_case1_witness_raises_when_not_extendable():
+    blocked = lb.precoloring_reduction(lb.path_graph(1), {0: "b", 1: "b"})
+    with pytest.raises(QueryError):
+        blocked.witness_instance()
+
+
+# --------------------------------------------------------------------------- #
+# Theorem 4.1 case (2): 3-colorability
+# --------------------------------------------------------------------------- #
+
+
+def test_case2_structure_is_fixed_and_acyclic():
+    instance = lb.three_colorability_reduction(lb.cycle_graph(3))
+    assert set(instance.schema.names) == {"R", "Rp"}
+    bounds = {c.relation: c.bound for c in instance.access_schema}
+    assert bounds == {"R": 1, "Rp": 6}
+    assert is_acyclic(instance.query)
+
+
+def test_case2_witness_instance_for_colorable_graph():
+    instance = lb.three_colorability_reduction(lb.cycle_graph(3))
+    assert not instance.expected_empty
+    witness = instance.witness_instance()
+    assert witness.satisfies(instance.access_schema)
+    assert evaluate_cq(instance.query, witness.facts)
+
+
+def test_case2_non_colorable_graph_has_no_intended_witness():
+    instance = lb.three_colorability_reduction(lb.complete_graph(4))
+    assert instance.expected_empty
+    with pytest.raises(QueryError):
+        instance.witness_instance()
+    # Sweep the intended-instance family: no vertex-to-color assignment makes
+    # the gadget query true on an instance satisfying A.
+    graph = instance.graph
+    for coloring in graph.colorings():
+        database = Database(instance.schema)
+        for left, right in itertools.permutations(lb.COLORS, 2):
+            database.add("Rp", (left, right))
+        for vertex in graph.vertices:
+            database.add("R", (vertex + 1, coloring[vertex]))
+        assert database.satisfies(instance.access_schema)
+        assert not evaluate_cq(instance.query, database.facts)
+
+
+# --------------------------------------------------------------------------- #
+# Theorem 4.1 case (3): 3SAT as an ACQ
+# --------------------------------------------------------------------------- #
+
+
+def test_case3_structure_is_fixed():
+    instance = lb.acq_3sat_reduction(formula(2, [[(0, False), (1, True)]]))
+    bounds = {c.relation: (c.x, c.bound) for c in instance.access_schema}
+    assert bounds["R"] == (("a", "b"), 1)
+    assert bounds["Rp"] == ((), 2)
+    assert instance.query.is_boolean
+
+
+def test_case3_satisfiable_formula_witness():
+    phi = formula(2, [[(0, False), (1, True)], [(1, False)]])
+    instance = lb.acq_3sat_reduction(phi)
+    assert not instance.expected_empty
+    witness = instance.witness_instance()
+    assert witness.satisfies(instance.access_schema)
+    assert evaluate_cq(instance.query, witness.facts)
+
+
+def test_case3_unsatisfiable_formula_intended_instances_empty():
+    phi = formula(1, [[(0, False)], [(0, True)]])
+    instance = lb.acq_3sat_reduction(phi)
+    assert instance.expected_empty
+    with pytest.raises(QueryError):
+        instance.witness_instance()
+    # Sweep the intended-instance family (every Boolean assignment).
+    for assignment in itertools.product((False, True), repeat=phi.num_variables):
+        database = Database(instance.schema)
+        database.add("Rp", (0,))
+        database.add("Rp", (1,))
+        for row in lb._gate_truth_rows():
+            database.add("R", row)
+        for index, value in enumerate(assignment):
+            database.add("R", (f"var{index}", "dot", int(value)))
+        assert database.satisfies(instance.access_schema)
+        assert not evaluate_cq(instance.query, database.facts)
+
+
+def test_case3_three_literal_clause_round_trip():
+    phi = formula(3, [[(0, False), (1, False), (2, False)], [(0, True), (1, True), (2, True)]])
+    instance = lb.acq_3sat_reduction(phi)
+    assert not instance.expected_empty
+    witness = instance.witness_instance()
+    assert evaluate_cq(instance.query, witness.facts)
+
+
+# --------------------------------------------------------------------------- #
+# Theorem 3.11
+# --------------------------------------------------------------------------- #
+
+
+def test_nested_family_construction():
+    family = lb.nested_formula_family(2, k=1)
+    assert len(family) == 3
+    assert [phi.is_satisfiable() for phi in family] == [True, True, False]
+    with pytest.raises(QueryError):
+        lb.nested_formula_family(5, k=1)
+
+
+def test_theorem311_rejects_non_nested_families():
+    sat = formula(1, [[(0, False)]])
+    unsat = formula(1, [[(0, False)], [(0, True)]])
+    with pytest.raises(QueryError):
+        lb.theorem311_reduction((unsat, sat, sat))
+    with pytest.raises(QueryError):
+        lb.theorem311_reduction((sat, sat))
+
+
+def test_theorem311_structure():
+    instance = lb.theorem311_reduction(lb.nested_formula_family(1, k=1))
+    assert len(instance.views) == 1
+    assert instance.query.head_arity == 1
+    rs = instance.schema.relation("Rs")
+    assert rs.arity == 4  # V0, V1, V2, U
+    assert len(instance.rs_rows()) == 6
+    assert instance.canonical_database().satisfies(instance.access_schema)
+
+
+@pytest.mark.parametrize("satisfiable_count", [0, 1, 2, 3])
+def test_theorem311_parity_characterisation_on_canonical_instance(satisfiable_count):
+    """Q_Θ(Ds) equals ∅ or some V_i(Ds) exactly when the satisfiable count is even."""
+    instance = lb.theorem311_reduction(
+        lb.nested_formula_family(satisfiable_count, k=1)
+    )
+    assert instance.satisfiable_count == satisfiable_count
+    database = instance.canonical_database()
+    query_rows = evaluate_cq(instance.query, database.facts)
+
+    # Q_Θ(Ds) = {0, ..., l} where l is the largest satisfiable index.
+    expected_rows = {(u,) for u in range(satisfiable_count)}
+    assert query_rows == expected_rows
+
+    matches_some_view = False
+    for view in instance.views:
+        view_rows = evaluate_cq(view.definition, database.facts)
+        if view_rows == query_rows:
+            matches_some_view = True
+    rewriting_witnessed = (not query_rows) or matches_some_view
+    assert rewriting_witnessed == instance.expected_rewriting

@@ -1,0 +1,121 @@
+"""Tests for CQ / UCQ minimisation (cores)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.algebra.containment import equivalent
+from repro.algebra.cq import ConjunctiveQuery
+from repro.algebra.parser import parse_cq, parse_ucq
+from repro.algebra.schema import schema_from_spec
+from repro.core.access import AccessConstraint, AccessSchema
+from repro.core.minimization import (
+    is_minimal,
+    minimize_cq,
+    minimize_ucq,
+    minimize_under_fds,
+)
+from repro.errors import QueryError
+
+
+def test_redundant_atom_removed():
+    query = parse_cq("Q(x) :- R(x, y), R(x, z)")
+    minimized = minimize_cq(query)
+    assert len(minimized.atoms) == 1
+    assert equivalent(minimized, query)
+
+
+def test_non_redundant_join_kept():
+    query = parse_cq("Q(x, z) :- R(x, y), R(y, z)")
+    minimized = minimize_cq(query)
+    assert len(minimized.atoms) == 2
+
+
+def test_constants_block_folding():
+    query = parse_cq("Q(x) :- R(x, 1), R(x, 2)")
+    minimized = minimize_cq(query)
+    assert len(minimized.atoms) == 2
+
+
+def test_triangle_with_redundant_path():
+    # R(x,y), R(y,z), R(x,z), R(x,w) — the last atom folds onto R(x,y)/R(x,z).
+    query = parse_cq("Q(x) :- R(x, y), R(y, z), R(x, z), R(x, w)")
+    minimized = minimize_cq(query)
+    assert len(minimized.atoms) == 3
+    assert equivalent(minimized, query)
+
+
+def test_head_variables_never_dropped():
+    query = parse_cq("Q(x, y) :- R(x, y), R(x, z)")
+    minimized = minimize_cq(query)
+    assert {v.name for v in minimized.head_variables} == {"x", "y"}
+    assert equivalent(minimized, query)
+
+
+def test_is_minimal():
+    assert is_minimal(parse_cq("Q(x, z) :- R(x, y), R(y, z)"))
+    assert not is_minimal(parse_cq("Q(x) :- R(x, y), R(x, z)"))
+
+
+def test_unsatisfiable_query_returned_unchanged():
+    query = parse_cq("Q(x) :- R(x, y), y = 1, y = 2")
+    assert minimize_cq(query) is query
+
+
+def test_minimize_ucq_drops_subsumed_disjunct():
+    union = parse_ucq("Q(x) :- R(x, y) ; Q(x) :- R(x, 1)")
+    minimized = minimize_ucq(union)
+    # R(x,1) is contained in R(x,y): only the general disjunct survives.
+    assert len(minimized.disjuncts) == 1
+    assert equivalent(minimized, union)
+
+
+def test_minimize_ucq_keeps_incomparable_disjuncts():
+    union = parse_ucq("Q(x) :- R(x, 1) ; Q(x) :- S(x, 2)")
+    assert len(minimize_ucq(union).disjuncts) == 2
+
+
+def test_minimize_ucq_equivalent_disjuncts_keep_one():
+    union = parse_ucq("Q(x) :- R(x, y) ; Q(x) :- R(x, z)")
+    assert len(minimize_ucq(union).disjuncts) == 1
+
+
+def test_minimize_under_fds():
+    schema = schema_from_spec({"R": ("a", "b")})
+    fds = AccessSchema((AccessConstraint("R", ("a",), ("b",), 1),))
+    # The FD a -> b equates y and z, making the second atom redundant.
+    query = parse_cq("Q(x) :- R(x, y), R(x, z)")
+    minimized = minimize_under_fds(query, fds, schema)
+    assert len(minimized.atoms) == 1
+
+
+def test_minimize_under_fds_unsatisfiable_raises():
+    schema = schema_from_spec({"R": ("a", "b")})
+    fds = AccessSchema((AccessConstraint("R", ("a",), ("b",), 1),))
+    query = parse_cq("Q() :- R(1, 1), R(1, 2)")
+    with pytest.raises(QueryError):
+        minimize_under_fds(query, fds, schema)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    atoms=st.lists(
+        st.tuples(st.integers(min_value=0, max_value=3), st.integers(min_value=0, max_value=3)),
+        min_size=1,
+        max_size=4,
+    )
+)
+def test_minimization_preserves_equivalence(atoms):
+    """Property: the minimised query is always classically equivalent."""
+    from repro.algebra.atoms import RelationAtom
+    from repro.algebra.terms import Variable
+
+    relation_atoms = tuple(
+        RelationAtom("E", (Variable(f"v{a}"), Variable(f"v{b}"))) for a, b in atoms
+    )
+    head_variable = relation_atoms[0].terms[0]
+    query = ConjunctiveQuery(head=(head_variable,), atoms=relation_atoms, name="Qp")
+    minimized = minimize_cq(query)
+    assert len(minimized.atoms) <= len(set(relation_atoms))
+    assert equivalent(minimized, query)

@@ -1,0 +1,121 @@
+"""Tests for the heuristic bounded-plan builder (the engine's practical path)."""
+
+import pytest
+
+from repro.algebra.atoms import RelationAtom
+from repro.algebra.cq import ConjunctiveQuery
+from repro.algebra.schema import schema_from_spec
+from repro.algebra.terms import Constant, Variable
+from repro.algebra.ucq import UnionQuery
+from repro.algebra.views import View, ViewSet
+from repro.core.access import AccessConstraint, AccessSchema
+from repro.core.conformance import conforms_to
+from repro.core.equivalence import a_equivalent
+from repro.core.rewriting import plan_to_ucq
+from repro.engine.optimizer import build_bounded_plan, build_bounded_plan_ucq
+from repro.errors import UnsupportedQueryError
+
+SCHEMA = schema_from_spec({"R": ("a", "b"), "S": ("b", "c"), "U": ("u", "v")})
+ACCESS = AccessSchema(
+    (
+        AccessConstraint("R", ("a",), ("b",), 2),
+        AccessConstraint("S", ("b",), ("c",), 1),
+    )
+)
+NO_VIEWS = ViewSet(())
+X, Y, Z = Variable("x"), Variable("y"), Variable("z")
+
+
+def test_builds_plan_for_anchored_chain_and_it_is_equivalent():
+    query = ConjunctiveQuery(
+        head=(Z,),
+        atoms=(RelationAtom("R", (Constant(1), Y)), RelationAtom("S", (Y, Z))),
+        name="chain",
+    )
+    outcome = build_bounded_plan(query, NO_VIEWS, ACCESS, SCHEMA)
+    assert outcome.found
+    plan = outcome.plan
+    assert conforms_to(plan, ACCESS, SCHEMA, NO_VIEWS).conforms
+    expressed = plan_to_ucq(plan, SCHEMA, NO_VIEWS)
+    assert a_equivalent(expressed, query, ACCESS, SCHEMA)
+
+
+def test_reports_unfetchable_atoms():
+    query = ConjunctiveQuery(
+        head=(Variable("v"),),
+        atoms=(RelationAtom("U", (Variable("u"), Variable("v"))),),
+        name="nocover",
+    )
+    outcome = build_bounded_plan(query, NO_VIEWS, ACCESS, SCHEMA)
+    assert not outcome.found
+    assert "cannot be fetched" in outcome.reason
+
+
+def test_view_enables_plan_by_covering_atoms(gs_schema, gs_access, gs_views, gs_q0):
+    """Example 1.1: Q0 needs V1 to cover the person/like atoms."""
+    no_views_outcome = build_bounded_plan(gs_q0, ViewSet(()), gs_access, gs_schema)
+    assert not no_views_outcome.found
+    with_views = build_bounded_plan(gs_q0, gs_views, gs_access, gs_schema)
+    assert with_views.found
+    assert "V1" in with_views.plan.view_names()
+    expressed = plan_to_ucq(with_views.plan, gs_schema, gs_views)
+    assert a_equivalent(expressed, gs_q0, gs_access, gs_schema)
+
+
+def test_view_as_pure_filter_keeps_equivalence():
+    """A view that cannot replace atoms may still be joined in as a filter
+    (Example 3.3(b)); the plan stays equivalent to the query."""
+    view = View(
+        "VS",
+        ConjunctiveQuery(head=(Y,), atoms=(RelationAtom("S", (Y, Z)),), name="vs_def"),
+    )
+    query = ConjunctiveQuery(
+        head=(Y,),
+        atoms=(RelationAtom("R", (Constant(1), Y)), RelationAtom("S", (Y, Constant("c1")))),
+        name="filtered",
+    )
+    outcome = build_bounded_plan(query, ViewSet((view,)), ACCESS, SCHEMA)
+    assert outcome.found
+    expressed = plan_to_ucq(outcome.plan, SCHEMA, ViewSet((view,)))
+    assert a_equivalent(expressed, query, ACCESS, SCHEMA)
+
+
+def test_max_size_limits_plan():
+    query = ConjunctiveQuery(
+        head=(Y,), atoms=(RelationAtom("R", (Constant(1), Y)),), name="small"
+    )
+    outcome = build_bounded_plan(query, NO_VIEWS, ACCESS, SCHEMA, max_size=1)
+    assert not outcome.found and "nodes > M" in outcome.reason
+    assert build_bounded_plan(query, NO_VIEWS, ACCESS, SCHEMA, max_size=10).found
+
+
+def test_duplicate_head_variables_rejected():
+    query = ConjunctiveQuery(
+        head=(Y, Y), atoms=(RelationAtom("R", (Constant(1), Y)),)
+    )
+    with pytest.raises(UnsupportedQueryError):
+        build_bounded_plan(query, NO_VIEWS, ACCESS, SCHEMA)
+
+
+def test_constant_head_positions_are_supported():
+    query = ConjunctiveQuery(
+        head=(Constant("tag"), Y),
+        atoms=(RelationAtom("R", (Constant(1), Y)),),
+    )
+    outcome = build_bounded_plan(query, NO_VIEWS, ACCESS, SCHEMA)
+    assert outcome.found
+    assert len(outcome.plan.attributes) == 2
+
+
+def test_ucq_plans_are_unions_of_disjunct_plans():
+    q1 = ConjunctiveQuery(head=(Y,), atoms=(RelationAtom("R", (Constant(1), Y)),))
+    q2 = ConjunctiveQuery(head=(Z,), atoms=(RelationAtom("R", (Constant(2), Z)),))
+    union = UnionQuery((q1, q2), name="u")
+    outcome = build_bounded_plan_ucq(union, NO_VIEWS, ACCESS, SCHEMA)
+    assert outcome.found
+    assert outcome.plan.language() in ("UCQ", "CQ")
+
+    bad = UnionQuery(
+        (q1, ConjunctiveQuery(head=(Variable("v"),), atoms=(RelationAtom("U", (Variable("u"), Variable("v"))),))),
+    )
+    assert not build_bounded_plan_ucq(bad, NO_VIEWS, ACCESS, SCHEMA).found

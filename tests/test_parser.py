@@ -1,0 +1,132 @@
+"""Tests for the textual CQ / UCQ / access-constraint parser."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.algebra.cq import ConjunctiveQuery
+from repro.algebra.parser import (
+    parse_access_constraint,
+    parse_access_schema,
+    parse_cq,
+    parse_ucq,
+)
+from repro.algebra.terms import Constant, Variable
+from repro.algebra.evaluation import evaluate_cq
+from repro.errors import QueryError
+from repro.workloads import graph_search as gs
+
+
+def test_parse_simple_cq():
+    query = parse_cq("Q(x, y) :- R(x, y)")
+    assert query.name == "Q"
+    assert query.head == (Variable("x"), Variable("y"))
+    assert len(query.atoms) == 1
+    assert query.atoms[0].relation == "R"
+
+
+def test_parse_constants_strings_and_numbers():
+    query = parse_cq("Q(x) :- movie(x, y, 'Universal', '2014'), rating(x, 5)")
+    movie_atom = query.atoms[0]
+    assert movie_atom.terms[2] == Constant("Universal")
+    assert movie_atom.terms[3] == Constant("2014")
+    assert query.atoms[1].terms[1] == Constant(5)
+
+
+def test_parse_negative_and_float_numbers():
+    query = parse_cq("Q(x) :- R(x, -3), S(x, 2.5)")
+    assert query.atoms[0].terms[1] == Constant(-3)
+    assert query.atoms[1].terms[1] == Constant(2.5)
+
+
+def test_parse_equality_conditions():
+    query = parse_cq("Q(x) :- R(x, y), x = y, y = 'a'")
+    assert len(query.equalities) == 2
+    normalized = query.normalize()
+    # x and y collapse onto the constant 'a'.
+    assert normalized.head == (Constant("a"),)
+
+
+def test_parse_boolean_query_and_empty_body():
+    query = parse_cq("Q() :- R(1, 2)")
+    assert query.is_boolean
+    constant_query = parse_cq("Q(1)")
+    assert constant_query.head == (Constant(1),)
+    assert constant_query.atoms == ()
+
+
+def test_parse_alternative_arrow():
+    query = parse_cq("Q(x) <- R(x, y)")
+    assert len(query.atoms) == 1
+
+
+def test_parsed_query_matches_handwritten_q0():
+    """The parsed Example 1.1 query evaluates identically to the module's Q0."""
+    parsed = parse_cq(
+        "Q0(mid) :- person(xp, xpn, 'NASA'), movie(mid, ym, 'Universal', '2014'), "
+        "like(xp, mid, 'movie'), rating(mid, 5)"
+    )
+    instance = gs.generate(num_persons=200, num_movies=120, seed=3)
+    expected = evaluate_cq(gs.query_q0(), instance.database.facts)
+    assert evaluate_cq(parsed, instance.database.facts) == expected
+
+
+def test_parse_ucq_multiple_disjuncts():
+    union = parse_ucq("Q(x) :- R(x, 1) ; Q(x) :- S(x, 2) ; Q(x) :- T(x, 3)")
+    assert len(union.disjuncts) == 3
+    assert all(isinstance(d, ConjunctiveQuery) for d in union.disjuncts)
+
+
+def test_parse_ucq_single_rule():
+    union = parse_ucq("Q(x) :- R(x, y)")
+    assert len(union.disjuncts) == 1
+
+
+def test_parse_ucq_arity_mismatch_rejected():
+    with pytest.raises(QueryError):
+        parse_ucq("Q(x) :- R(x, y) ; Q(x, y) :- S(x, y)")
+
+
+def test_parse_errors_report_position():
+    with pytest.raises(QueryError):
+        parse_cq("Q(x) :- R(x,")
+    with pytest.raises(QueryError):
+        parse_cq("Q(x) :- R(x) extra")
+    with pytest.raises(QueryError):
+        parse_cq("Q(x) :- ???")
+
+
+def test_parse_access_constraint_basic():
+    constraint = parse_access_constraint("movie(studio, release -> mid, 100)")
+    assert constraint.relation == "movie"
+    assert constraint.x == ("studio", "release")
+    assert constraint.y == ("mid",)
+    assert constraint.bound == 100
+
+
+def test_parse_access_constraint_empty_x():
+    constraint = parse_access_constraint("Ror(-> B, A1, A2, 4)")
+    assert constraint.x == ()
+    assert constraint.y == ("B", "A1", "A2")
+    assert constraint.bound == 4
+
+
+def test_parse_access_constraint_missing_bound():
+    with pytest.raises(QueryError):
+        parse_access_constraint("movie(studio -> mid)")
+
+
+def test_parse_access_schema_multiline_matches_example():
+    parsed = parse_access_schema(
+        """
+        movie(studio, release -> mid, 100)
+        rating(mid -> rank, 1)
+        """
+    )
+    assert parsed == gs.access_schema()
+
+
+def test_parse_access_schema_from_list():
+    parsed = parse_access_schema(["rating(mid -> rank, 1)"])
+    assert len(parsed) == 1
+    assert parsed.is_fd_only

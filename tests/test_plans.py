@@ -1,0 +1,164 @@
+"""Unit tests for query plan trees: structure, size, language, validation."""
+
+import pytest
+
+from repro.algebra.schema import schema_from_spec
+from repro.core.access import AccessConstraint, AccessSchema
+from repro.core.plans import (
+    AttributeEqualsAttribute,
+    AttributeEqualsConstant,
+    ConstantScan,
+    DifferenceNode,
+    FetchNode,
+    ProductNode,
+    ProjectNode,
+    RenameNode,
+    SelectNode,
+    UnionNode,
+    ViewScan,
+    empty_plan,
+    join_on_shared_attributes,
+    language_leq,
+)
+from repro.errors import PlanError
+from repro.workloads import graph_search
+
+SCHEMA = schema_from_spec({"R": ("a", "b"), "S": ("b", "c")})
+ACCESS = AccessSchema(
+    (
+        AccessConstraint("R", ("a",), ("b",), 2),
+        AccessConstraint("S", (), ("b", "c"), 5),
+    )
+)
+
+
+def small_plan():
+    scan = ConstantScan(1, attribute="a")
+    fetch = FetchNode(scan, "R", ("a",), ("b",))
+    return ProjectNode(fetch, ("b",))
+
+
+def test_plan_size_counts_nodes():
+    assert small_plan().size() == 3
+    assert ConstantScan(0).size() == 1
+
+
+def test_attributes_propagate_through_operators():
+    plan = small_plan()
+    assert plan.attributes == ("b",)
+    fetch = plan.children[0]
+    assert fetch.attributes == ("a", "b")
+
+
+def test_fetch_leaf_with_empty_key():
+    fetch = FetchNode(None, "S", (), ("b", "c"))
+    assert fetch.size() == 1
+    assert fetch.attributes == ("b", "c")
+    with pytest.raises(PlanError):
+        FetchNode(None, "R", ("a",), ("b",))
+
+
+def test_fetch_child_attributes_must_match_keys():
+    scan = ConstantScan(1, attribute="wrong")
+    with pytest.raises(PlanError):
+        FetchNode(scan, "R", ("a",), ("b",))
+
+
+def test_project_select_rename_validation():
+    scan = ConstantScan(1, attribute="a")
+    with pytest.raises(PlanError):
+        ProjectNode(scan, ("zzz",))
+    with pytest.raises(PlanError):
+        SelectNode(scan, ())
+    with pytest.raises(PlanError):
+        SelectNode(scan, (AttributeEqualsConstant("zzz", 1),))
+    with pytest.raises(PlanError):
+        RenameNode(scan, {"zzz": "y"})
+    renamed = RenameNode(scan, {"a": "key"})
+    assert renamed.attributes == ("key",)
+
+
+def test_binary_node_attribute_discipline():
+    left = ConstantScan(1, attribute="a")
+    right = ConstantScan(2, attribute="a")
+    with pytest.raises(PlanError):
+        ProductNode(left, right)
+    with pytest.raises(PlanError):
+        UnionNode(left, ConstantScan(2, attribute="b"))
+    union = UnionNode(left, right)
+    assert union.attributes == ("a",)
+    difference = DifferenceNode(left, right)
+    assert difference.attributes == ("a",)
+
+
+def test_language_classification_of_plans():
+    assert small_plan().language() == "CQ"
+    cq_plan = small_plan()
+    union_top = UnionNode(cq_plan, small_plan())
+    assert union_top.language() == "UCQ"
+    # A union *below* a projection is ∃FO+ but not UCQ.
+    nested = ProjectNode(union_top, ("b",))
+    assert nested.language() == "EFO+"
+    diff = DifferenceNode(cq_plan, small_plan())
+    assert diff.language() == "FO"
+    assert language_leq("CQ", "FO")
+    assert not language_leq("FO", "UCQ")
+
+
+def test_validate_against_schema_views_and_access():
+    plan = small_plan()
+    plan.validate(SCHEMA, views=None, access_schema=ACCESS)
+    bad_fetch = FetchNode(ConstantScan(1, attribute="b"), "R", ("b",), ("a",))
+    with pytest.raises(PlanError):
+        bad_fetch.validate(SCHEMA, access_schema=ACCESS)
+
+
+def test_validate_view_scan_against_viewset():
+    views = graph_search.views()
+    scan = ViewScan("V1", ("mid",))
+    scan.validate(graph_search.schema(), views=views)
+    with pytest.raises(PlanError):
+        ViewScan("V1", ("mid", "extra")).validate(graph_search.schema(), views=views)
+    with pytest.raises(PlanError):
+        ViewScan("NoSuchView", ("x",)).validate(graph_search.schema(), views=views)
+
+
+def test_join_helper_builds_product_select_project():
+    left = FetchNode(ConstantScan(1, attribute="a"), "R", ("a",), ("b",))
+    right = FetchNode(None, "S", (), ("b", "c"))
+    joined = join_on_shared_attributes(left, right)
+    assert set(joined.attributes) == {"a", "b", "c"}
+    # Disjoint attributes degenerate to a plain product.
+    disjoint = join_on_shared_attributes(ConstantScan(1, "p"), ConstantScan(2, "q"))
+    assert isinstance(disjoint, ProductNode)
+
+
+def test_fetch_nodes_and_view_names_traversal():
+    plan = join_on_shared_attributes(small_plan(), ViewScan("V1", ("b",)))
+    assert len(plan.fetch_nodes()) == 1
+    assert plan.view_names() == {"V1"}
+    assert plan.uses_views()
+    assert len(list(plan.iter_nodes())) == plan.size()
+
+
+def test_empty_plan_shapes():
+    boolean = empty_plan()
+    assert boolean.attributes == ()
+    unary = empty_plan(("mid",))
+    assert unary.attributes == ("mid",)
+    assert unary.size() >= 2
+
+
+def test_figure1_plan_structure():
+    plan = graph_search.figure1_plan()
+    plan.validate(graph_search.schema(), graph_search.views(), graph_search.access_schema())
+    assert plan.language() == "CQ"
+    assert plan.attributes == ("mid",)
+    assert len(plan.fetch_nodes()) == 2
+    assert plan.view_names() == {"V1"}
+    assert plan.size() <= 13
+
+
+def test_pretty_rendering_contains_operators():
+    text = small_plan().pretty()
+    assert "fetch" in text and "π" in text and "const" in text

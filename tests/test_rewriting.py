@@ -1,0 +1,164 @@
+"""Unit tests for plan -> query conversions and view unfolding."""
+
+import pytest
+
+from repro.algebra.atoms import RelationAtom
+from repro.algebra.cq import ConjunctiveQuery
+from repro.algebra.evaluation import evaluate_cq, evaluate_ucq
+from repro.algebra.fo import evaluate_fo
+from repro.algebra.schema import schema_from_spec
+from repro.algebra.terms import Constant, Variable
+from repro.algebra.views import View, ViewSet
+from repro.core.plans import (
+    AttributeEqualsAttribute,
+    AttributeEqualsConstant,
+    ConstantScan,
+    DifferenceNode,
+    FetchNode,
+    ProductNode,
+    ProjectNode,
+    RenameNode,
+    SelectNode,
+    UnionNode,
+    ViewScan,
+)
+from repro.core.rewriting import plan_to_cq, plan_to_fo, plan_to_ucq, unfold_view_atoms
+from repro.errors import UnsupportedQueryError
+
+SCHEMA = schema_from_spec({"R": ("a", "b"), "S": ("b", "c")})
+X, Y, Z = Variable("x"), Variable("y"), Variable("z")
+
+FACTS = {
+    "R": {(1, 10), (1, 11), (2, 20)},
+    "S": {(10, "p"), (20, "q"), (30, "r")},
+}
+
+VIEWS = ViewSet(
+    [
+        View(
+            "V",
+            ConjunctiveQuery(
+                head=(X,), atoms=(RelationAtom("R", (X, Y)), RelationAtom("S", (Y, Z)))
+            ),
+        )
+    ]
+)
+
+
+def fetch_r():
+    return FetchNode(ConstantScan(1, attribute="a"), "R", ("a",), ("b",))
+
+
+def test_constant_scan_expresses_constant_query():
+    ucq = plan_to_ucq(ConstantScan(7, "c"), SCHEMA)
+    assert evaluate_ucq(ucq, FACTS) == {(7,)}
+
+
+def test_fetch_plan_expresses_anchored_atom():
+    cq = plan_to_cq(fetch_r(), SCHEMA)
+    assert evaluate_cq(cq, FACTS) == {(1, 10), (1, 11)}
+
+
+def test_project_select_rename_pipeline():
+    plan = ProjectNode(
+        SelectNode(RenameNode(fetch_r(), {"b": "bb"}), (AttributeEqualsConstant("bb", 10),)),
+        ("bb",),
+    )
+    cq = plan_to_cq(plan, SCHEMA)
+    assert evaluate_cq(cq, FACTS) == {(10,)}
+
+
+def test_empty_key_fetch_plan():
+    plan = FetchNode(None, "S", (), ("b", "c"))
+    cq = plan_to_cq(plan, SCHEMA)
+    assert evaluate_cq(cq, FACTS) == FACTS["S"]
+
+
+def test_product_and_attribute_selection():
+    left = ProjectNode(fetch_r(), ("b",))
+    right = RenameNode(FetchNode(None, "S", (), ("b", "c")), {"b": "b2", "c": "c2"})
+    plan = SelectNode(ProductNode(left, right), (AttributeEqualsAttribute("b", "b2"),))
+    cq = plan_to_cq(plan, SCHEMA)
+    assert evaluate_cq(cq, FACTS) == {(10, 10, "p")}
+
+
+def test_union_plan_yields_ucq():
+    one = ProjectNode(fetch_r(), ("b",))
+    other = ProjectNode(
+        FetchNode(ConstantScan(2, attribute="a"), "R", ("a",), ("b",)), ("b",)
+    )
+    plan = UnionNode(one, other)
+    ucq = plan_to_ucq(plan, SCHEMA)
+    assert len(ucq.disjuncts) == 2
+    assert evaluate_ucq(ucq, FACTS) == {(10,), (11,), (20,)}
+    with pytest.raises(UnsupportedQueryError):
+        plan_to_cq(plan, SCHEMA)
+
+
+def test_view_scan_unfolded_and_not_unfolded():
+    scan = ViewScan("V", ("x",))
+    unfolded = plan_to_ucq(scan, SCHEMA, VIEWS, unfold_views=True)
+    assert unfolded.relation_names == {"R", "S"}
+    assert evaluate_ucq(unfolded, FACTS) == {(1,), (2,)}
+    folded = plan_to_ucq(scan, SCHEMA, VIEWS, unfold_views=False)
+    assert folded.relation_names == {"V"}
+
+
+def test_difference_requires_fo_conversion():
+    left = ProjectNode(fetch_r(), ("b",))
+    right = ProjectNode(
+        SelectNode(fetch_r(), (AttributeEqualsConstant("b", 11),)), ("b",)
+    )
+    plan = DifferenceNode(left, right)
+    with pytest.raises(UnsupportedQueryError):
+        plan_to_ucq(plan, SCHEMA)
+    formula, head = plan_to_fo(plan, SCHEMA)
+    head_vars = [t for t in head]
+    answers = evaluate_fo(formula, FACTS, head=head_vars)
+    assert answers == {(10,)}
+
+
+def test_plan_to_fo_agrees_with_plan_to_ucq_on_positive_plans():
+    plan = ProjectNode(fetch_r(), ("b",))
+    ucq = plan_to_ucq(plan, SCHEMA)
+    formula, head = plan_to_fo(plan, SCHEMA)
+    assert evaluate_fo(formula, FACTS, head=list(head)) == evaluate_ucq(ucq, FACTS)
+
+
+def test_plan_to_fo_unfolds_views():
+    scan = ViewScan("V", ("x",))
+    formula, head = plan_to_fo(scan, SCHEMA, VIEWS, unfold_views=True)
+    assert formula.relation_names == {"R", "S"}
+    assert evaluate_fo(formula, FACTS, head=list(head)) == {(1,), (2,)}
+
+
+def test_negated_selection_only_in_fo():
+    plan = SelectNode(fetch_r(), (AttributeEqualsConstant("b", 10, negated=True),))
+    with pytest.raises(UnsupportedQueryError):
+        plan_to_ucq(plan, SCHEMA)
+    formula, head = plan_to_fo(plan, SCHEMA)
+    # The first output term is the constant 1 (from the constant scan); only
+    # variable output terms are enumerated by the active-domain evaluation.
+    assert head[0] == Constant(1)
+    variable_head = [t for t in head if isinstance(t, Variable)]
+    assert evaluate_fo(formula, FACTS, head=variable_head) == {(11,)}
+
+
+def test_unfold_view_atoms_in_queries():
+    # Q(x) :- V(x), S(y0, 'p') over the extended schema.
+    query = ConjunctiveQuery(
+        head=(X,),
+        atoms=(RelationAtom("V", (X,)), RelationAtom("S", (Y, Constant("p")))),
+        name="QV",
+    )
+    unfolded = unfold_view_atoms(query, VIEWS)
+    assert unfolded.relation_names == {"R", "S"}
+    assert evaluate_ucq(unfolded, FACTS) == {(1,), (2,)}
+
+
+def test_unfold_view_atoms_with_constant_argument():
+    query = ConjunctiveQuery(head=(), atoms=(RelationAtom("V", (Constant(2),)),))
+    unfolded = unfold_view_atoms(query, VIEWS)
+    assert evaluate_ucq(unfolded, FACTS) == {()}
+    query_miss = ConjunctiveQuery(head=(), atoms=(RelationAtom("V", (Constant(9),)),))
+    assert evaluate_ucq(unfold_view_atoms(query_miss, VIEWS), FACTS) == set()

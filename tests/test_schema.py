@@ -1,0 +1,64 @@
+"""Unit tests for relation and database schemas."""
+
+import pytest
+
+from repro.algebra.schema import DatabaseSchema, RelationSchema, schema_from_spec
+from repro.errors import SchemaError
+
+
+def test_relation_schema_positions():
+    movie = RelationSchema("movie", ("mid", "mname", "studio", "release"))
+    assert movie.arity == 4
+    assert movie.position("studio") == 2
+    assert movie.positions(("release", "mid")) == (3, 0)
+
+
+def test_relation_schema_rejects_duplicate_attributes():
+    with pytest.raises(SchemaError):
+        RelationSchema("r", ("a", "a"))
+
+
+def test_relation_schema_unknown_attribute():
+    r = RelationSchema("r", ("a", "b"))
+    with pytest.raises(SchemaError):
+        r.position("c")
+    assert not r.has_attributes(("a", "c"))
+    assert r.has_attributes(("b",))
+
+
+def test_database_schema_lookup_and_iteration():
+    schema = schema_from_spec({"R": ("a", "b"), "S": ("b", "c")})
+    assert "R" in schema
+    assert "T" not in schema
+    assert schema.names == ("R", "S")
+    assert len(schema) == 2
+    assert {r.name for r in schema} == {"R", "S"}
+
+
+def test_database_schema_unknown_relation():
+    schema = schema_from_spec({"R": ("a",)})
+    with pytest.raises(SchemaError):
+        schema.relation("S")
+
+
+def test_database_schema_conflicting_redefinition():
+    schema = DatabaseSchema([RelationSchema("R", ("a", "b"))])
+    schema.add(RelationSchema("R", ("a", "b")))  # identical re-add is fine
+    with pytest.raises(SchemaError):
+        schema.add(RelationSchema("R", ("a", "c")))
+
+
+def test_schema_restriction_and_merge():
+    schema = schema_from_spec({"R": ("a",), "S": ("b",), "T": ("c",)})
+    restricted = schema.restricted_to(["R", "T"])
+    assert restricted.names == ("R", "T")
+    other = schema_from_spec({"U": ("d",)})
+    merged = restricted.merged_with(other)
+    assert set(merged.names) == {"R", "T", "U"}
+
+
+def test_schema_equality():
+    one = schema_from_spec({"R": ("a", "b")})
+    two = schema_from_spec({"R": ("a", "b")})
+    assert one == two
+    assert one != schema_from_spec({"R": ("a",)})

@@ -1,0 +1,87 @@
+"""Tests for the size-bounded effective syntax (Theorem 5.2)."""
+
+import pytest
+
+from repro.algebra.fo import atom, conj, eq, evaluate_fo, exists
+from repro.algebra.terms import Variable
+from repro.core.size_bounded import (
+    is_size_bounded,
+    make_size_bounded,
+    match_size_bounded,
+    size_bound_of,
+    size_bounded_guard,
+)
+from repro.errors import QueryError
+
+X, Y = Variable("x"), Variable("y")
+
+# Kept deliberately tiny: the active-domain evaluation of the universally
+# quantified guard is exponential in (bound + 1) * |head|.
+FACTS_SMALL = {"R": {(1, 10), (2, 20)}}
+FACTS_BIG = {"R": {(1, 10), (2, 20), (3, 30), (4, 40)}}
+
+
+def inner_query():
+    """Q'(x) = ∃y R(x, y)."""
+    return exists([Y], atom("R", X, Y))
+
+
+def test_constructor_checks_head_covers_free_variables():
+    with pytest.raises(QueryError):
+        make_size_bounded(atom("R", X, Y), head=(X,), bound=2)
+    with pytest.raises(QueryError):
+        make_size_bounded(inner_query(), head=(X,), bound=-1)
+
+
+def test_recogniser_accepts_constructed_queries():
+    bounded = make_size_bounded(inner_query(), head=(X,), bound=3)
+    assert is_size_bounded(bounded, head=(X,))
+    assert size_bound_of(bounded, head=(X,)) == 3
+    match = match_size_bounded(bounded, head=(X,))
+    assert match is not None and match.inner == inner_query()
+
+
+def test_recogniser_rejects_other_shapes():
+    assert not is_size_bounded(inner_query(), head=(X,))
+    assert not is_size_bounded(conj(inner_query(), eq(X, 1)), head=(X,))
+    assert size_bound_of(atom("R", X, Y), head=(X, Y)) is None
+    # A guard for a different inner query must not be accepted.
+    other_guard = size_bounded_guard(atom("R", X, X), (X,), 3)
+    franken = conj(inner_query(), other_guard)
+    assert not is_size_bounded(franken, head=(X,))
+
+
+def test_semantics_when_output_within_bound():
+    bounded = make_size_bounded(inner_query(), head=(X,), bound=3)
+    assert evaluate_fo(bounded, FACTS_SMALL, head=(X,)) == {(1,), (2,)}
+
+
+def test_semantics_when_output_exceeds_bound():
+    """When |Q'| > K the guard fails and the query returns the empty set —
+    so the size-bounded query always has output at most K (Theorem 5.2(b))."""
+    bounded = make_size_bounded(inner_query(), head=(X,), bound=2)
+    assert evaluate_fo(bounded, FACTS_BIG, head=(X,)) == set()
+    generous = make_size_bounded(inner_query(), head=(X,), bound=2)
+    assert evaluate_fo(generous, FACTS_SMALL, head=(X,)) == {(1,), (2,)}
+
+
+def test_bound_zero_means_always_empty_or_trivial():
+    bounded = make_size_bounded(inner_query(), head=(X,), bound=0)
+    assert evaluate_fo(bounded, FACTS_SMALL, head=(X,)) == set()
+    assert size_bound_of(bounded, head=(X,)) == 0
+
+
+def test_different_bounds_are_recognised():
+    for bound in (1, 2, 4):
+        q = make_size_bounded(inner_query(), head=(X,), bound=bound)
+        assert size_bound_of(q, head=(X,)) == bound
+
+
+def test_multi_variable_head():
+    inner = atom("R", X, Y)
+    bounded = make_size_bounded(inner, head=(X, Y), bound=2)
+    assert is_size_bounded(bounded, head=(X, Y))
+    assert size_bound_of(bounded, head=(X, Y)) == 2
+    assert evaluate_fo(bounded, FACTS_SMALL, head=(X, Y)) == FACTS_SMALL["R"]
+    # The recogniser rejects the same query read with a different head order.
+    assert not is_size_bounded(bounded, head=(Y, X))

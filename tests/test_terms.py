@@ -1,0 +1,77 @@
+"""Unit tests for terms (variables, constants, fresh-variable factory)."""
+
+import pytest
+
+from repro.algebra.terms import (
+    Constant,
+    FreshVariableFactory,
+    Variable,
+    as_term,
+    is_constant,
+    is_variable,
+    term_names,
+    variables,
+)
+
+
+def test_variable_equality_by_name():
+    assert Variable("x") == Variable("x")
+    assert Variable("x") != Variable("y")
+    assert len({Variable("x"), Variable("x"), Variable("y")}) == 2
+
+
+def test_variable_never_equals_constant():
+    assert Variable("x") != Constant("x")
+    assert Constant("x") != Variable("x")
+
+
+def test_constant_equality_by_value():
+    assert Constant(1) == Constant(1)
+    assert Constant(1) != Constant("1")
+
+
+def test_is_variable_and_is_constant():
+    assert is_variable(Variable("x"))
+    assert not is_variable(Constant(3))
+    assert is_constant(Constant(3))
+    assert not is_constant("raw string")
+
+
+def test_as_term_wraps_values_but_keeps_terms():
+    assert as_term(5) == Constant(5)
+    assert as_term("NASA") == Constant("NASA")
+    x = Variable("x")
+    assert as_term(x) is x
+    c = Constant(2)
+    assert as_term(c) is c
+
+
+def test_variables_helper_splits_names():
+    xs = variables("x y z")
+    assert xs == (Variable("x"), Variable("y"), Variable("z"))
+    assert variables(["a", "b"]) == (Variable("a"), Variable("b"))
+
+
+def test_fresh_factory_avoids_used_names():
+    factory = FreshVariableFactory(used=["x", "y"])
+    fresh = factory.fresh("x")
+    assert fresh.name not in {"x", "y"}
+    again = factory.fresh("x")
+    assert again != fresh
+
+
+def test_fresh_factory_reserve_and_many():
+    factory = FreshVariableFactory()
+    factory.reserve(["v0"])
+    batch = factory.fresh_many(3, hint="v0")
+    assert len(set(batch)) == 3
+    assert all(v.name != "v0" for v in batch)
+
+
+def test_term_names_yields_only_variables():
+    terms = [Variable("x"), Constant(1), Variable("y")]
+    assert list(term_names(terms)) == ["x", "y"]
+
+
+def test_variables_are_ordered_for_sorting():
+    assert sorted([Variable("b"), Variable("a")]) == [Variable("a"), Variable("b")]

@@ -1,0 +1,72 @@
+"""Unit tests for unions of conjunctive queries."""
+
+import pytest
+
+from repro.algebra.atoms import EqualityAtom, RelationAtom
+from repro.algebra.cq import ConjunctiveQuery
+from repro.algebra.terms import Constant, Variable
+from repro.algebra.ucq import UnionQuery, as_union, union_of
+from repro.errors import QueryError
+
+X, Y = Variable("x"), Variable("y")
+
+
+def cq_r(name="Q1"):
+    return ConjunctiveQuery(head=(X,), atoms=(RelationAtom("R", (X, Y)),), name=name)
+
+
+def cq_s(name="Q2"):
+    return ConjunctiveQuery(head=(X,), atoms=(RelationAtom("S", (X, Y)),), name=name)
+
+
+def test_union_requires_same_arity():
+    boolean = ConjunctiveQuery(head=(), atoms=(RelationAtom("R", (X, Y)),))
+    with pytest.raises(QueryError):
+        UnionQuery((cq_r(), boolean))
+
+
+def test_union_accessors():
+    union = UnionQuery((cq_r(), cq_s()), name="U")
+    assert union.head_arity == 1
+    assert not union.is_boolean
+    assert not union.is_single_cq
+    assert union.relation_names == {"R", "S"}
+    assert union.variables == {X, Y}
+    assert len(union) == 2
+    assert list(union) == list(union.disjuncts)
+
+
+def test_as_union_coerces_cq():
+    single = as_union(cq_r())
+    assert isinstance(single, UnionQuery)
+    assert single.is_single_cq
+    already = UnionQuery((cq_r(),))
+    assert as_union(already) is already
+    with pytest.raises(QueryError):
+        as_union("not a query")
+
+
+def test_union_of_flattens():
+    nested = union_of([cq_r(), UnionQuery((cq_s(),))], name="flat")
+    assert len(nested) == 2
+    assert nested.name == "flat"
+
+
+def test_satisfiable_disjuncts_drops_contradictions():
+    contradictory = ConjunctiveQuery(
+        head=(X,),
+        atoms=(RelationAtom("R", (X, Y)),),
+        equalities=(EqualityAtom(X, Constant(1)), EqualityAtom(X, Constant(2))),
+    )
+    union = UnionQuery((cq_r(), contradictory))
+    kept = union.satisfiable_disjuncts()
+    assert len(kept) == 1
+    assert kept[0].name == "Q1"
+
+
+def test_union_constants():
+    with_constant = ConjunctiveQuery(
+        head=(X,), atoms=(RelationAtom("R", (X, Constant(9))),)
+    )
+    union = UnionQuery((cq_r(), with_constant))
+    assert Constant(9) in union.constants

@@ -1,0 +1,113 @@
+"""Tests for update batches and their generators."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.algebra.schema import schema_from_spec
+from repro.core.access import AccessConstraint, AccessSchema
+from repro.errors import SchemaError
+from repro.storage.instance import Database
+from repro.storage.updates import (
+    Deletion,
+    Insertion,
+    UpdateBatch,
+    delete_row,
+    random_update_batch,
+)
+from repro.workloads import cdr, graph_search as gs
+
+
+@pytest.fixture()
+def small_db():
+    schema = schema_from_spec({"R": ("a", "b"), "S": ("c",)})
+    return Database(schema, {"R": {(1, 2), (3, 4), (5, 6)}, "S": {(7,), (8,)}})
+
+
+def test_insertion_and_deletion_basics():
+    insertion = Insertion("R", [1, 2])
+    deletion = Deletion("R", (1, 2))
+    assert insertion.is_insertion and not deletion.is_insertion
+    assert insertion.row == (1, 2) == deletion.row
+    assert str(insertion).startswith("+R") and str(deletion).startswith("-R")
+
+
+def test_batch_grouping_and_counts(small_db):
+    batch = UpdateBatch(
+        [Insertion("R", (9, 9)), Deletion("R", (1, 2)), Insertion("S", (10,))]
+    )
+    assert len(batch) == 3
+    assert batch.relations == {"R", "S"}
+    assert len(batch.insertions) == 2 and len(batch.deletions) == 1
+    assert set(batch.per_relation()) == {"R", "S"}
+
+
+def test_apply_to_is_set_semantics(small_db):
+    batch = UpdateBatch(
+        [
+            Insertion("R", (9, 9)),
+            Insertion("R", (9, 9)),     # duplicate: no-op
+            Deletion("R", (1, 2)),
+            Deletion("R", (100, 100)),  # absent: no-op
+        ]
+    )
+    inserted, deleted = batch.apply_to(small_db)
+    assert (inserted, deleted) == (1, 1)
+    assert (9, 9) in small_db.relation("R")
+    assert (1, 2) not in small_db.relation("R")
+
+
+def test_validate_rejects_bad_arity(small_db):
+    batch = UpdateBatch([Insertion("R", (1, 2, 3))])
+    with pytest.raises(SchemaError):
+        batch.validate(small_db)
+
+
+def test_inverted_batch_round_trips(small_db):
+    before = {name: set(rows) for name, rows in small_db.facts.items()}
+    batch = UpdateBatch([Insertion("R", (9, 9)), Deletion("S", (7,))])
+    batch.apply_to(small_db)
+    batch.inverted().apply_to(small_db)
+    assert {name: set(rows) for name, rows in small_db.facts.items()} == before
+
+
+def test_delete_row_helper(small_db):
+    assert delete_row(small_db, "R", (1, 2))
+    assert not delete_row(small_db, "R", (1, 2))
+
+
+def test_random_batch_is_reproducible():
+    instance = gs.generate(num_persons=100, num_movies=60, seed=1)
+    first = random_update_batch(instance.database, size=30, seed=5)
+    second = random_update_batch(instance.database, size=30, seed=5)
+    assert first.updates == second.updates
+    assert len(first) == 30
+
+
+def test_random_batch_deletions_exist_and_insertions_are_new():
+    instance = gs.generate(num_persons=100, num_movies=60, seed=1)
+    batch = random_update_batch(instance.database, size=40, seed=9)
+    for deletion in batch.deletions:
+        # Deletions reference rows present at generation time (before earlier
+        # deletions of the same batch removed them).
+        assert len(deletion.row) == instance.database.schema.relation(deletion.relation).arity
+    for insertion in batch.insertions:
+        assert len(insertion.row) == instance.database.schema.relation(insertion.relation).arity
+
+
+def test_random_batch_respects_access_schema():
+    instance = cdr.generate(num_customers=60, num_days=3, seed=2)
+    access = cdr.access_schema()
+    batch = random_update_batch(
+        instance.database, size=60, seed=3, access_schema=access
+    )
+    working = instance.database.copy()
+    batch.apply_to(working)
+    assert working.satisfies(access)
+
+
+def test_random_batch_requires_populated_relations():
+    schema = schema_from_spec({"R": ("a",)})
+    empty = Database(schema)
+    with pytest.raises(SchemaError):
+        random_update_batch(empty, size=5)

@@ -1,0 +1,106 @@
+"""Unit tests for views and view sets."""
+
+import pytest
+
+from repro.algebra.atoms import RelationAtom
+from repro.algebra.cq import ConjunctiveQuery
+from repro.algebra.fo import atom, conj, exists, neg
+from repro.algebra.schema import schema_from_spec
+from repro.algebra.terms import Constant, Variable
+from repro.algebra.ucq import UnionQuery
+from repro.algebra.views import View, ViewSet, views_from_mapping
+from repro.errors import QueryError, SchemaError, UnsupportedQueryError
+
+X, Y = Variable("x"), Variable("y")
+
+
+def cq_view_definition():
+    return ConjunctiveQuery(
+        head=(X,), atoms=(RelationAtom("R", (X, Y)),), name="def"
+    )
+
+
+def test_cq_view_defaults():
+    view = View("V", cq_view_definition())
+    assert view.arity == 1
+    assert view.language == "CQ"
+    assert view.attributes == ("x",)
+    assert view.relation_schema().name == "V"
+    assert view.as_ucq().is_single_cq
+    assert view.head_variables == (X,)
+
+
+def test_ucq_view_language():
+    union = UnionQuery((cq_view_definition(), cq_view_definition()))
+    view = View("V", union)
+    assert view.language == "UCQ"
+    assert len(view.as_ucq().disjuncts) == 2
+
+
+def test_fo_view_requires_head_and_has_no_ucq_form():
+    definition = conj(atom("R", X, Y), neg(atom("S", X)))
+    with pytest.raises(QueryError):
+        View("V", definition)
+    view = View("V", definition, head=(X, Y))
+    assert view.language == "FO"
+    with pytest.raises(UnsupportedQueryError):
+        view.as_ucq()
+    assert view.as_fo() is definition
+
+
+def test_fo_view_head_must_cover_free_variables():
+    definition = atom("R", X, Y)
+    with pytest.raises(QueryError):
+        View("V", definition, head=(X,))
+
+
+def test_view_head_arity_must_match_definition():
+    with pytest.raises(QueryError):
+        View("V", cq_view_definition(), head=(X, Y))
+
+
+def test_view_attributes_for_constant_head_positions():
+    definition = ConjunctiveQuery(
+        head=(X, Constant(1)), atoms=(RelationAtom("R", (X, Y)),)
+    )
+    view = View("V", definition)
+    assert view.attributes[0] == "x"
+    assert view.attributes[1].startswith("V_a")
+
+
+def test_view_as_fo_of_cq_definition_evaluates_identically():
+    from repro.algebra.evaluation import evaluate_cq
+    from repro.algebra.fo import evaluate_fo
+
+    facts = {"R": {(1, 2), (3, 4)}}
+    view = View("V", cq_view_definition())
+    assert evaluate_fo(view.as_fo(), facts, head=(X,)) == evaluate_cq(
+        cq_view_definition(), facts
+    )
+
+
+def test_viewset_lookup_and_extended_schema():
+    views = ViewSet([View("V1", cq_view_definition())])
+    assert "V1" in views
+    assert "V2" not in views
+    assert views.view("V1").name == "V1"
+    with pytest.raises(SchemaError):
+        views.view("V2")
+    base = schema_from_spec({"R": ("a", "b"), "S": ("a",)})
+    extended = views.extended_schema(base)
+    assert "V1" in extended
+    assert extended.relation("V1").attributes == ("x",)
+    assert views.languages() == {"CQ"}
+
+
+def test_viewset_rejects_conflicting_redefinition():
+    views = ViewSet([View("V1", cq_view_definition())])
+    views.add(View("V1", cq_view_definition()))  # identical
+    other = ConjunctiveQuery(head=(Y,), atoms=(RelationAtom("S", (Y,)),))
+    with pytest.raises(SchemaError):
+        views.add(View("V1", other))
+
+
+def test_views_from_mapping():
+    views = views_from_mapping({"A": cq_view_definition()})
+    assert views.names == ("A",)
