@@ -16,22 +16,39 @@ The package is organised as follows:
   output, A-equivalence, query plans with ``fetch``, conformance, the VBRP
   decision procedures, the effective syntax (topped and size-bounded
   queries) and cross-language rewriting;
-* :mod:`repro.engine` — a practical engine answering queries with cached
-  views plus constant-size fetches, and the naive full-scan baseline;
+* :mod:`repro.engine` — the serving layer built around
+  :class:`~repro.engine.service.QueryService`: one entry point for
+  CQ/UCQ/FO/string queries, a pluggable planner chain (heuristic builder,
+  exact VBRP, topped-FO), an LRU plan cache with prepared queries, and
+  selectable execution backends (in-memory plan executor or SQLite via SQL
+  translation), plus incremental view/index maintenance;
 * :mod:`repro.workloads` — Example 1.1's Graph Search workload, a synthetic
   CDR workload, random CQ generation and the reduction gadgets used in the
   lower-bound proofs.
 
 Quickstart (Example 1.1)::
 
-    from repro import BoundedEngine
+    from repro import QueryService
     from repro.workloads import graph_search as gs
 
     data = gs.generate(num_persons=10_000, num_movies=2_000)
-    engine = BoundedEngine(data.database, gs.access_schema(), gs.views())
-    answer = engine.answer(gs.query_q0())
+    service = QueryService(data.database, gs.access_schema(), gs.views())
+    answer = service.query(gs.query_q0())
     assert answer.used_bounded_plan
     print(len(answer.rows), "movies,", answer.tuples_fetched, "tuples fetched")
+
+    # Same query again: planned once, served from the plan cache.
+    assert service.query(gs.query_q0()).cache_hit
+
+    # Prepared queries re-bind constants without re-planning.
+    prepared = service.prepare(
+        "Q0(mid) :- person(xp, name, 'NASA'), like(xp, mid, 'movie'), "
+        "movie(mid, ym, :studio, '2014'), rating(mid, 5)"
+    )
+    rows = prepared.execute(studio="Universal").rows
+
+``BoundedEngine`` (the per-language facade of earlier releases) remains
+available as a deprecated shim over ``QueryService``.
 """
 
 from .algebra import (
@@ -40,6 +57,7 @@ from .algebra import (
     DatabaseSchema,
     EqualityAtom,
     FOQuery,
+    Param,
     RelationAtom,
     RelationSchema,
     UnionQuery,
@@ -48,6 +66,7 @@ from .algebra import (
     ViewSet,
     parse_access_schema,
     parse_cq,
+    parse_query,
     parse_ucq,
     schema_from_spec,
     variables,
@@ -85,11 +104,20 @@ from .core import (
     topped_plan,
 )
 from .engine import (
+    Answer,
     BoundedEngine,
+    ExactVBRPPlanner,
+    HeuristicPlanner,
     MaintainedEngine,
     NaiveEngine,
+    PreparedQuery,
+    QueryService,
+    ServiceStats,
+    ToppedFOPlanner,
+    available_planners,
     build_bounded_plan,
     plan_to_sql,
+    register_planner,
 )
 from .storage import (
     Database,
@@ -101,11 +129,12 @@ from .storage import (
     random_update_batch,
 )
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "AccessConstraint",
     "AccessSchema",
+    "Answer",
     "BoundedEngine",
     "ConjunctiveQuery",
     "Constant",
@@ -113,13 +142,20 @@ __all__ = [
     "DatabaseSchema",
     "Deletion",
     "EqualityAtom",
+    "ExactVBRPPlanner",
     "FOQuery",
+    "HeuristicPlanner",
     "IndexSet",
     "Insertion",
     "MaintainedEngine",
     "NaiveEngine",
+    "Param",
+    "PreparedQuery",
+    "QueryService",
     "RelationAtom",
     "RelationSchema",
+    "ServiceStats",
+    "ToppedFOPlanner",
     "UnionQuery",
     "UpdateBatch",
     "Variable",
@@ -134,6 +170,7 @@ __all__ = [
     "alg_mp",
     "analyze_topped",
     "approximate_answer",
+    "available_planners",
     "build_bounded_plan",
     "conforms_to",
     "covered_variables",
@@ -153,12 +190,14 @@ __all__ = [
     "output_bound_estimate",
     "parse_access_schema",
     "parse_cq",
+    "parse_query",
     "parse_ucq",
     "plan_to_cq",
     "plan_to_fo",
     "plan_to_sql",
     "plan_to_ucq",
     "random_update_batch",
+    "register_planner",
     "schema_from_spec",
     "top_k_diversified",
     "topped_plan",

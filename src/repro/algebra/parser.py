@@ -9,7 +9,9 @@ Datalog-like notation.  This module parses
       Q(x, y) :- R(x, 'a'), S(y, x), x = y
 
   Lower-case bare identifiers are variables; quoted strings and numbers are
-  constants.  Equality conditions may appear among the body conjuncts.
+  constants; ``:name`` is a named parameter (a constant bound at execution
+  time through a prepared query).  Equality conditions may appear among the
+  body conjuncts.
 
 * unions of conjunctive queries — several rules with the same head name and
   arity, separated by ``;`` or given as separate strings;
@@ -34,14 +36,15 @@ from ..core.access import AccessConstraint, AccessSchema
 from ..errors import QueryError
 from .atoms import EqualityAtom, RelationAtom
 from .cq import ConjunctiveQuery
-from .terms import Constant, Term, Variable
-from .ucq import UnionQuery
+from .terms import Constant, Param, Term, Variable
+from .ucq import QueryLike, UnionQuery
 
 
 _TOKEN_PATTERN = re.compile(
     r"""
     (?P<ws>\s+)
   | (?P<arrow>:-|<-)
+  | (?P<param>:[A-Za-z_][A-Za-z_0-9]*)
   | (?P<implies>->)
   | (?P<string>'[^']*'|"[^"]*")
   | (?P<number>-?\d+(?:\.\d+)?)
@@ -146,6 +149,8 @@ def _parse_term(stream: _TokenStream, variable_names: set[str]) -> Term:
         return Variable(token.text)
     if token.kind in ("string", "number"):
         return Constant(_constant_value(token))
+    if token.kind == "param":
+        return Constant(Param(token.text[1:]))
     raise QueryError(
         f"expected a term at position {token.position}, found {token.text!r}"
     )
@@ -251,6 +256,24 @@ def parse_ucq(source: str) -> UnionQuery:
             f"trailing input at position {token.position} in {source!r}: {token.text!r}"
         )
     return UnionQuery(tuple(disjuncts), name=disjuncts[0].name)
+
+
+def parse_query(source: str) -> QueryLike:
+    """Parse a query string, returning a CQ or a UCQ as appropriate.
+
+    A single rule yields a :class:`ConjunctiveQuery`; several rules separated
+    by ``;`` yield a :class:`UnionQuery`.  This is the dispatcher behind the
+    string form of :meth:`repro.engine.service.QueryService.query`.
+
+    >>> type(parse_query("Q(x) :- R(x, 1)")).__name__
+    'ConjunctiveQuery'
+    >>> type(parse_query("Q(x) :- R(x, 1) ; Q(x) :- S(x, 2)")).__name__
+    'UnionQuery'
+    """
+    union = parse_ucq(source)
+    if len(union.disjuncts) == 1:
+        return union.disjuncts[0]
+    return union
 
 
 def parse_access_constraint(source: str) -> AccessConstraint:

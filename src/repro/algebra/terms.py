@@ -47,7 +47,37 @@ class Constant:
         return repr(self.value)
 
 
+@dataclass(frozen=True, order=True)
+class Param:
+    """A named placeholder for a constant bound at execution time.
+
+    Parameters appear *inside* constants — ``Constant(Param("studio"))`` — so
+    the whole planning stack (homomorphisms, conformance, SQL rendering of
+    plan shape) treats them as opaque constant values.  The prepared-query
+    machinery (:meth:`repro.engine.service.QueryService.prepare`) substitutes
+    the actual value into the finished plan, which is what lets one planned
+    query be re-executed with different constants without re-planning.
+
+    In the textual syntax a parameter is written ``:name``::
+
+        Q(y) :- R(:key, y)
+    """
+
+    name: str
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f":{self.name}"
+
+    def __str__(self) -> str:
+        return f":{self.name}"
+
+
 Term = Union[Variable, Constant]
+
+
+def is_parameter(term: object) -> bool:
+    """Return ``True`` for a :class:`Constant` wrapping a :class:`Param`."""
+    return isinstance(term, Constant) and isinstance(term.value, Param)
 
 
 def is_variable(term: object) -> bool:

@@ -17,6 +17,7 @@ from dataclasses import dataclass, field
 from typing import Collection, Mapping, Protocol, Sequence
 
 from ..algebra.schema import DatabaseSchema
+from ..algebra.terms import Param
 from ..errors import PlanError
 from .access import AccessConstraint, AccessSchema
 from .plans import (
@@ -104,12 +105,21 @@ class PlanExecutor:
         self.schema = schema
         self.access_schema = access_schema
         self.provider = provider
-        self.view_cache = {name: frozenset(map(tuple, rows)) for name, rows in (view_cache or {}).items()}
+        self.view_cache = {
+            name: rows if isinstance(rows, frozenset) else frozenset(map(tuple, rows))
+            for name, rows in (view_cache or {}).items()
+        }
 
     # ------------------------------------------------------------------ #
 
     def execute(self, plan: PlanNode) -> ExecutionResult:
-        """Execute ``plan`` bottom-up, recording the fetched bag ``Dξ``."""
+        """Execute ``plan`` bottom-up, recording the fetched bag ``Dξ``.
+
+        Plans containing unbound :class:`~repro.algebra.terms.Param`
+        placeholders are rejected at the node that carries them (no eager
+        whole-tree walk on the hot path); bind them with :func:`bind_plan`
+        or execute through a ``PreparedQuery``.
+        """
         stats = FetchStats()
         rows = self._evaluate(plan, stats)
         return ExecutionResult(attributes=plan.attributes, rows=frozenset(rows), stats=stats)
@@ -118,6 +128,8 @@ class PlanExecutor:
 
     def _evaluate(self, node: PlanNode, stats: FetchStats) -> set[tuple]:
         if isinstance(node, ConstantScan):
+            if isinstance(node.value, Param):  # defense for direct _evaluate users
+                raise PlanError(f"plan contains the unbound parameter {node.value}")
             return {(node.value,)}
 
         if isinstance(node, ViewScan):
@@ -138,6 +150,9 @@ class PlanExecutor:
             return {tuple(row[p] for p in positions) for row in child_rows}
 
         if isinstance(node, SelectNode):
+            self._guard_predicates(node.predicates)
+            if isinstance(node.child, ProductNode):
+                return self._evaluate_join(node, stats)
             child_rows = self._evaluate(node.child, stats)
             attributes = node.child.attributes
             return {row for row in child_rows if self._passes(row, attributes, node)}
@@ -157,6 +172,57 @@ class PlanExecutor:
             return self._evaluate(node.left, stats) - self._evaluate(node.right, stats)
 
         raise PlanError(f"unknown plan node type {type(node).__name__}")
+
+    def _evaluate_join(self, node: SelectNode, stats: FetchStats) -> set[tuple]:
+        """Selection over a product, evaluated as a hash join when possible.
+
+        Plans built by :func:`repro.core.plans.join_on_shared_attributes` have
+        the shape ``σ[l = r](left × right)``; materialising the full product
+        first is quadratic where a hash join is linear.  Predicates that do
+        not equate a left attribute with a right attribute (and the negated
+        ones) are applied as a residual filter, so the result is identical to
+        the naive evaluation.
+        """
+        product = node.child
+        assert isinstance(product, ProductNode)
+        left_attrs = product.left.attributes
+        right_attrs = product.right.attributes
+        join_pairs: list[tuple[int, int]] = []
+        residual: list = []
+        for predicate in node.predicates:
+            if isinstance(predicate, AttributeEqualsAttribute) and not predicate.negated:
+                if predicate.left in left_attrs and predicate.right in right_attrs:
+                    join_pairs.append(
+                        (left_attrs.index(predicate.left), right_attrs.index(predicate.right))
+                    )
+                    continue
+                if predicate.right in left_attrs and predicate.left in right_attrs:
+                    join_pairs.append(
+                        (left_attrs.index(predicate.right), right_attrs.index(predicate.left))
+                    )
+                    continue
+            residual.append(predicate)
+
+        left_rows = self._evaluate(product.left, stats)
+        right_rows = self._evaluate(product.right, stats)
+        if not join_pairs:
+            joined = (l + r for l in left_rows for r in right_rows)
+        else:
+            left_positions = [p for p, _ in join_pairs]
+            right_positions = [p for _, p in join_pairs]
+            buckets: dict[tuple, list[tuple]] = {}
+            for row in right_rows:
+                buckets.setdefault(tuple(row[p] for p in right_positions), []).append(row)
+            joined = (
+                l + r
+                for l in left_rows
+                for r in buckets.get(tuple(l[p] for p in left_positions), ())
+            )
+        if not residual:
+            return set(joined)
+        attributes = product.attributes
+        filtered = SelectNode(product, tuple(residual))
+        return {row for row in joined if self._passes(row, attributes, filtered)}
 
     def _evaluate_fetch(self, node: FetchNode, stats: FetchStats) -> set[tuple]:
         constraint = node.covering_constraint(self.access_schema)
@@ -188,6 +254,15 @@ class PlanExecutor:
         return result
 
     @staticmethod
+    def _guard_predicates(predicates) -> None:
+        """Reject unbound parameters once per node, not once per row."""
+        for predicate in predicates:
+            if isinstance(predicate, AttributeEqualsConstant) and isinstance(
+                predicate.value, Param
+            ):
+                raise PlanError(f"plan contains the unbound parameter {predicate.value}")
+
+    @staticmethod
     def _passes(row: tuple, attributes: tuple[str, ...], node: SelectNode) -> bool:
         for predicate in node.predicates:
             if isinstance(predicate, AttributeEqualsConstant):
@@ -214,3 +289,85 @@ def execute_plan(
     """One-shot convenience wrapper around :class:`PlanExecutor`."""
     executor = PlanExecutor(schema, access_schema, provider, view_cache)
     return executor.execute(plan)
+
+
+# --------------------------------------------------------------------------- #
+# Prepared-query support: named parameters inside plans
+# --------------------------------------------------------------------------- #
+
+
+def plan_parameters(plan: PlanNode) -> frozenset[str]:
+    """The names of all :class:`~repro.algebra.terms.Param` placeholders in a plan.
+
+    Parameters can only occur where the plan carries constant values: in
+    :class:`ConstantScan` leaves and in ``attribute = constant`` selection
+    predicates.
+    """
+    names: set[str] = set()
+    for node in plan.iter_nodes():
+        if isinstance(node, ConstantScan) and isinstance(node.value, Param):
+            names.add(node.value.name)
+        elif isinstance(node, SelectNode):
+            for predicate in node.predicates:
+                if isinstance(predicate, AttributeEqualsConstant) and isinstance(
+                    predicate.value, Param
+                ):
+                    names.add(predicate.value.name)
+    return frozenset(names)
+
+
+def bind_plan(plan: PlanNode, params: Mapping[str, object]) -> PlanNode:
+    """Substitute concrete values for the named parameters of a plan.
+
+    Returns a structurally identical plan with every
+    :class:`~repro.algebra.terms.Param` occurrence replaced by
+    ``params[name]``; nodes without parameters are reused as-is.  Raises
+    :class:`~repro.errors.PlanError` when a parameter is missing from
+    ``params`` — executing a half-bound plan would silently return no rows.
+    """
+    missing = sorted(plan_parameters(plan) - set(params))
+    if missing:
+        raise PlanError(f"plan parameters {missing} are unbound")
+
+    def value_of(value: object) -> object:
+        return params[value.name] if isinstance(value, Param) else value
+
+    def rebuild(node: PlanNode) -> PlanNode:
+        if isinstance(node, ConstantScan):
+            if isinstance(node.value, Param):
+                return ConstantScan(value_of(node.value), attribute=node.attribute)
+            return node
+        if isinstance(node, ViewScan):
+            return node
+        if isinstance(node, FetchNode):
+            if node.child is None:
+                return node
+            child = rebuild(node.child)
+            if child is node.child:
+                return node
+            return FetchNode(child, node.relation, node.x_attrs, node.y_attrs)
+        if isinstance(node, SelectNode):
+            child = rebuild(node.child)
+            predicates = tuple(
+                AttributeEqualsConstant(p.attribute, value_of(p.value), p.negated)
+                if isinstance(p, AttributeEqualsConstant) and isinstance(p.value, Param)
+                else p
+                for p in node.predicates
+            )
+            if child is node.child and predicates == node.predicates:
+                return node
+            return SelectNode(child, predicates)
+        if isinstance(node, ProjectNode):
+            child = rebuild(node.child)
+            return node if child is node.child else ProjectNode(child, node.kept)
+        if isinstance(node, RenameNode):
+            child = rebuild(node.child)
+            return node if child is node.child else RenameNode(child, dict(node.mapping))
+        if isinstance(node, (ProductNode, UnionNode, DifferenceNode)):
+            left, right = rebuild(node.left), rebuild(node.right)
+            if left is node.left and right is node.right:
+                return node
+            return type(node)(left, right)
+        raise PlanError(f"unknown plan node type {type(node).__name__}")
+
+    return rebuild(plan)

@@ -1,4 +1,9 @@
-"""Engine layer: bounded-plan construction, execution, maintenance, SQL and the baseline."""
+"""Engine layer: the unified query service, planners, backends, maintenance.
+
+The public serving API is :class:`~repro.engine.service.QueryService` (see
+:mod:`repro.engine.service`).  :class:`BoundedEngine` and
+:class:`MaintainedEngine` remain as compatibility shims delegating to it.
+"""
 
 from .baseline import BaselineResult, NaiveEngine
 from .maintenance import (
@@ -9,6 +14,26 @@ from .maintenance import (
     MaintenanceStats,
 )
 from .optimizer import PlanSearchOutcome, build_bounded_plan, build_bounded_plan_ucq
+from .service import (
+    Answer,
+    ExactVBRPPlanner,
+    ExecutionBackend,
+    HeuristicPlanner,
+    InMemoryBackend,
+    LRUPlanCache,
+    Planner,
+    PlanningContext,
+    PlanningResult,
+    PreparedQuery,
+    QueryService,
+    ServiceStats,
+    SQLiteBackend,
+    StatsSnapshot,
+    ToppedFOPlanner,
+    available_planners,
+    canonical_query_key,
+    register_planner,
+)
 from .session import BoundedEngine, EngineAnswer
 from .sql import (
     SQLTranslation,
@@ -22,24 +47,42 @@ from .sql import (
 )
 
 __all__ = [
+    "Answer",
     "BaselineResult",
     "BoundedEngine",
     "EngineAnswer",
+    "ExactVBRPPlanner",
+    "ExecutionBackend",
+    "HeuristicPlanner",
     "IncrementalViewCache",
+    "InMemoryBackend",
+    "LRUPlanCache",
     "MaintainedEngine",
     "MaintainedIndexSet",
     "MaintenanceReport",
     "MaintenanceStats",
     "NaiveEngine",
+    "Planner",
+    "PlanningContext",
+    "PlanningResult",
     "PlanSearchOutcome",
+    "PreparedQuery",
+    "QueryService",
     "SQLTranslation",
+    "SQLiteBackend",
+    "ServiceStats",
+    "StatsSnapshot",
+    "ToppedFOPlanner",
+    "available_planners",
     "build_bounded_plan",
     "build_bounded_plan_ucq",
+    "canonical_query_key",
     "cq_to_sql",
     "create_index_statements",
     "create_table_statements",
     "insert_statements",
     "materialize_view_statements",
     "plan_to_sql",
+    "register_planner",
     "ucq_to_sql",
 ]

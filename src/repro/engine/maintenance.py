@@ -14,7 +14,7 @@ implements the machinery for single-tuple insertions and deletions:
   new tuple; a deletion over-deletes the rows whose derivations may use the
   removed tuple and re-derives the survivors with anchored support checks
   (the classic DRed scheme specialised to single tuples);
-* :class:`MaintainedEngine` — a :class:`repro.engine.session.BoundedEngine`
+* :class:`MaintainedEngine` — a :class:`repro.engine.service.QueryService`
   whose view cache and indices are maintained across :meth:`apply` calls
   instead of being recomputed, together with an admissibility check that
   inspects only the index buckets an update touches (so checking ``D ⊕ ΔD |=
@@ -39,7 +39,8 @@ from ..core.access import AccessConstraint, AccessSchema
 from ..errors import EvaluationError, UnsupportedQueryError
 from ..storage.instance import Database
 from ..storage.updates import Deletion, Insertion, Update, UpdateBatch
-from .session import BoundedEngine, EngineAnswer
+from .service import QueryService
+from .session import EngineAnswer
 
 
 # --------------------------------------------------------------------------- #
@@ -391,9 +392,10 @@ class MaintainedEngine:
     """A bounded-rewriting engine whose caches survive updates to the data.
 
     Construction materialises the views and builds the indices once (exactly
-    like :class:`BoundedEngine`); afterwards :meth:`apply` keeps the database,
-    the indices and the view cache in sync incrementally, and :meth:`answer`
-    keeps serving queries from the maintained state.
+    like :class:`~repro.engine.service.QueryService`); afterwards
+    :meth:`apply` keeps the database, the indices and the view cache in sync
+    incrementally, and :meth:`answer` keeps serving queries from the
+    maintained state through the service.
     """
 
     def __init__(
@@ -410,7 +412,7 @@ class MaintainedEngine:
             raise EvaluationError("database does not satisfy the access schema")
         self.index_set = MaintainedIndexSet(database, access_schema)
         self.view_cache = IncrementalViewCache(self.views, database)
-        self._engine = BoundedEngine(
+        self.service = QueryService(
             database, access_schema, self.views, check_constraints=False
         )
         self._sync_engine()
@@ -418,8 +420,11 @@ class MaintainedEngine:
     # ------------------------------------------------------------------ #
 
     def _sync_engine(self) -> None:
-        self._engine.view_cache = self.view_cache.snapshot()
-        self._engine.indexes = self.index_set  # fetch-provider protocol
+        # Maintained buckets implement the fetch-provider protocol, so the
+        # service executes plans against them directly — no rebuild.
+        self.service.refresh_data(
+            provider=self.index_set, view_cache=self.view_cache.snapshot()
+        )
 
     def apply(self, batch: UpdateBatch | Iterable[Update], enforce_admissible: bool = True) -> MaintenanceReport:
         """Apply a batch of updates, maintaining indices and cached views.
@@ -464,11 +469,13 @@ class MaintainedEngine:
     # ------------------------------------------------------------------ #
 
     def answer(self, query: QueryLike, max_size: int | None = None) -> EngineAnswer:
-        """Answer a CQ/UCQ from the maintained caches (see :class:`BoundedEngine`)."""
-        return self._engine.answer(as_union(query), max_size)
+        """Answer a CQ/UCQ from the maintained caches through the service."""
+        return EngineAnswer.from_answer(
+            self.service.query(query, max_size=max_size, backend="memory")
+        )
 
     def baseline(self, query: QueryLike):
-        return self._engine.baseline(query)
+        return self.service.baseline(query, backend="memory")
 
     @property
     def view_cache_size(self) -> int:

@@ -1,0 +1,57 @@
+"""Unified query-serving subsystem: one entry point, pluggable everything.
+
+:class:`QueryService` is the public API of the library's serving layer — see
+:mod:`.service` for the full story.  The submodules are independently
+reusable:
+
+* :mod:`.planners` — planner strategies and the registry behind the
+  configurable fallback chain;
+* :mod:`.cache` — canonical query keys and the LRU plan cache;
+* :mod:`.backends` — in-memory and SQLite execution backends;
+* :mod:`.stats` — thread-safe serving statistics with latency percentiles.
+"""
+
+from .backends import ExecutionBackend, InMemoryBackend, SQLiteBackend, make_backend
+from .cache import CachedPlan, CacheStats, LRUPlanCache, canonical_query_key
+from .planners import (
+    DEFAULT_PLANNER_CHAIN,
+    ExactVBRPPlanner,
+    HeuristicPlanner,
+    Planner,
+    PlanningContext,
+    PlanningResult,
+    ToppedFOPlanner,
+    available_planners,
+    planner_signature,
+    register_planner,
+    resolve_planners,
+)
+from .service import Answer, PreparedQuery, QueryService
+from .stats import ServiceStats, StatsSnapshot
+
+__all__ = [
+    "Answer",
+    "CachedPlan",
+    "CacheStats",
+    "DEFAULT_PLANNER_CHAIN",
+    "ExactVBRPPlanner",
+    "ExecutionBackend",
+    "HeuristicPlanner",
+    "InMemoryBackend",
+    "LRUPlanCache",
+    "Planner",
+    "PlanningContext",
+    "PlanningResult",
+    "PreparedQuery",
+    "QueryService",
+    "SQLiteBackend",
+    "ServiceStats",
+    "StatsSnapshot",
+    "ToppedFOPlanner",
+    "available_planners",
+    "canonical_query_key",
+    "make_backend",
+    "planner_signature",
+    "register_planner",
+    "resolve_planners",
+]

@@ -1,0 +1,150 @@
+"""Canonical query keys and the LRU plan cache.
+
+Planning is the expensive part of serving a bounded query — homomorphism
+search, equivalence checks, conformance verification — while the plans
+themselves are immutable and independent of the data.  The service therefore
+caches planning outcomes keyed by a *canonical form* of the query, so that
+the same query (even written with different variable names, or re-parsed
+from text) is planned exactly once.
+
+Canonicalisation renames variables by first occurrence over the head and the
+body, which makes alpha-equivalent queries collide on purpose.  It does not
+attempt full CQ-isomorphism (atom order still matters): a missed collision
+costs one extra planning run, never a wrong answer.
+
+Negative outcomes ("no bounded plan, here is why") are cached too — repeated
+unboundable queries would otherwise re-run the whole planner chain on every
+call just to fall back again.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+
+from ...algebra.cq import ConjunctiveQuery
+from ...algebra.fo import FOQuery
+from ...algebra.terms import Constant, Variable
+from ...algebra.ucq import UnionQuery
+from ...core.plans import PlanNode
+
+
+def _canonical_cq(query: ConjunctiveQuery) -> tuple:
+    normalized = query.normalize()
+    names: dict[Variable, str] = {}
+
+    def term_key(term) -> tuple:
+        if isinstance(term, Constant):
+            return ("c", repr(term.value))
+        if term not in names:
+            names[term] = f"v{len(names)}"
+        return ("v", names[term])
+
+    head = tuple(term_key(t) for t in normalized.head)
+    atoms = tuple(
+        (atom.relation, tuple(term_key(t) for t in atom.terms))
+        for atom in normalized.atoms
+    )
+    return (head, atoms)
+
+
+def canonical_query_key(query: ConjunctiveQuery | UnionQuery | FOQuery) -> tuple:
+    """A hashable canonical form of a CQ/UCQ/FO query.
+
+    Two queries with the same key are alpha-equivalent (CQ/UCQ) or textually
+    identical (FO); queries with different keys may still be semantically
+    equivalent — the cache then simply plans both.
+    """
+    if isinstance(query, ConjunctiveQuery):
+        return ("CQ", _canonical_cq(query))
+    if isinstance(query, UnionQuery):
+        return ("UCQ", tuple(sorted(_canonical_cq(d) for d in query.disjuncts)))
+    if isinstance(query, FOQuery):
+        return ("FO", str(query))
+    raise TypeError(f"cannot canonicalise a query of type {type(query).__name__}")
+
+
+@dataclass
+class CachedPlan:
+    """One planning outcome: either a plan plus its producer, or a failure.
+
+    ``parameters`` is the plan's set of named placeholders, computed once at
+    planning time so the serving hot path does not re-walk the plan tree on
+    every (cache-hit) execution.
+    """
+
+    plan: PlanNode | None
+    planner: str | None
+    reason: str = ""
+    parameters: frozenset[str] = frozenset()
+
+    @property
+    def found(self) -> bool:
+        return self.plan is not None
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss/eviction counters of one :class:`LRUPlanCache`.
+
+    Mutated only under the owning cache's lock — not independently
+    thread-safe.
+    """
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+class LRUPlanCache:
+    """A bounded, thread-safe LRU mapping of canonical query keys to plans.
+
+    ``capacity <= 0`` disables caching entirely (every lookup is a miss and
+    nothing is stored), which the throughput benchmark uses as its baseline.
+    """
+
+    def __init__(self, capacity: int = 128) -> None:
+        self.capacity = capacity
+        self.stats = CacheStats()
+        self._lock = threading.Lock()
+        self._entries: OrderedDict[tuple, CachedPlan] = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: tuple) -> bool:
+        with self._lock:
+            return key in self._entries
+
+    def get(self, key: tuple) -> CachedPlan | None:
+        """Look up a planning outcome, refreshing its recency on a hit."""
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self.stats.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self.stats.hits += 1
+            return entry
+
+    def put(self, key: tuple, entry: CachedPlan) -> None:
+        """Insert a planning outcome, evicting the least recently used entry."""
+        if self.capacity <= 0:
+            return
+        with self._lock:
+            if key in self._entries:
+                self._entries.move_to_end(key)
+            self._entries[key] = entry
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+                self.stats.evictions += 1
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()

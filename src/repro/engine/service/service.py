@@ -1,0 +1,667 @@
+"""The unified serving surface: :class:`QueryService`.
+
+One object, one entry point.  ``QueryService.query`` accepts a CQ, a UCQ, an
+FO query or a Datalog-style source string, plans it through a configurable
+planner chain (see :mod:`.planners`), caches the planning outcome in an LRU
+plan cache keyed by the query's canonical form (see :mod:`.cache`), executes
+the plan on a selectable backend (see :mod:`.backends`) and falls back to the
+full-scan baseline when no bounded plan exists — always reporting which path
+was taken and how much data it touched.
+
+Prepared queries (:meth:`QueryService.prepare` → :class:`PreparedQuery`)
+support named constants (``:name`` in the textual syntax,
+``Constant(Param("name"))`` programmatically): the query is planned once and
+re-executed with different constant bindings without ever re-planning.
+
+::
+
+    service = QueryService(database, access_schema, views)
+    answer = service.query("Q(m) :- movie(m, t, 'Universal', '2014')")
+    prepared = service.prepare("Q(m) :- movie(m, t, :studio, '2014')")
+    rows = prepared.execute(studio="Universal").rows
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+from types import MappingProxyType
+from typing import Collection, Iterable, Mapping, Sequence
+
+from ...algebra.cq import ConjunctiveQuery
+from ...algebra.evaluation import evaluate_ucq
+from ...algebra.fo import FOQuery, evaluate_fo
+from ...algebra.parser import parse_query
+from ...algebra.terms import Constant, Param, Variable, is_parameter
+from ...algebra.ucq import UnionQuery
+from ...algebra.views import View, ViewSet
+from ...core.access import AccessSchema
+from ...core.element_queries import ElementQueryBudget
+from ...core.plan_eval import FetchProvider, bind_plan, plan_parameters
+from ...core.plans import PlanNode
+from ...errors import EvaluationError, QueryError
+from ...storage.indexes import IndexSet
+from ...storage.instance import Database
+from .backends import ExecutionBackend, InMemoryBackend, SQLiteBackend, make_backend
+from .cache import CachedPlan, LRUPlanCache, canonical_query_key
+from .planners import (
+    Planner,
+    PlanningContext,
+    Query,
+    planner_signature,
+    resolve_planners,
+)
+from .stats import ServiceStats
+
+QueryInput = str | ConjunctiveQuery | UnionQuery | FOQuery
+
+
+@dataclass
+class Answer:
+    """Answer of :class:`QueryService.query` with full provenance.
+
+    ``planner`` names the strategy that produced the plan (``None`` on the
+    fallback path); ``backend`` names where the query ran; ``cache_hit`` is
+    true when planning was skipped — served from the plan cache or from an
+    already-planned :class:`PreparedQuery`; ``reason`` explains the outcome
+    in either case — it is never silently empty.
+    """
+
+    rows: frozenset[tuple]
+    used_bounded_plan: bool
+    plan: PlanNode | None
+    planner: str | None
+    backend: str
+    cache_hit: bool
+    tuples_fetched: int
+    tuples_scanned: int
+    view_tuples_scanned: int
+    elapsed_seconds: float
+    reason: str = ""
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    @property
+    def data_accessed(self) -> int:
+        """Tuples read from the underlying database (fetched or scanned)."""
+        return self.tuples_fetched + self.tuples_scanned
+
+
+def _query_parameter_names(query: Query) -> frozenset[str]:
+    """Names of the :class:`Param` placeholders appearing in a query."""
+    return frozenset(c.value.name for c in query.constants if is_parameter(c))
+
+
+def _validate_bindings(
+    declared: frozenset[str], given: Mapping[str, object], what: str
+) -> None:
+    """Reject missing or unknown parameter bindings with a uniform message."""
+    missing = sorted(declared - set(given))
+    if missing:
+        raise QueryError(f"{what} is missing bindings for parameters {missing}")
+    unknown = sorted(set(given) - declared)
+    if unknown:
+        raise QueryError(
+            f"{what} has no parameters named {unknown}; declared parameters "
+            f"are {sorted(declared)}"
+        )
+
+
+def _bind_query(query: Query, params: Mapping[str, object]) -> Query:
+    """Substitute concrete values for the parameters of a query."""
+    mapping = {Constant(Param(name)): Constant(value) for name, value in params.items()}
+    if isinstance(query, UnionQuery):
+        return UnionQuery(
+            tuple(d.substitute(mapping) for d in query.disjuncts), name=query.name
+        )
+    return query.substitute(mapping)
+
+
+@dataclass
+class PreparedQuery:
+    """A query planned once, executable many times with different constants.
+
+    Obtained from :meth:`QueryService.prepare`.  ``parameters`` lists the
+    named placeholders that must be bound on every :meth:`execute` call; a
+    query without parameters simply re-executes its cached plan.
+    """
+
+    service: "QueryService"
+    query: Query
+    head: tuple[Variable, ...] | None
+    entry: CachedPlan
+    backend: str | None
+    parameters: frozenset[str]
+    planned_from_cache: bool = False
+    _executed: bool = False
+
+    @property
+    def plan(self) -> PlanNode | None:
+        return self.entry.plan
+
+    @property
+    def is_bounded(self) -> bool:
+        return self.entry.found
+
+    def execute(
+        self,
+        backend: str | None = None,
+        *,
+        params: Mapping[str, object] | None = None,
+        **kwargs: object,
+    ) -> Answer:
+        """Execute the prepared plan with values bound to its placeholders.
+
+        Bindings are given as keyword arguments (``prepared.execute(studio=
+        "Universal")``) or — for parameter names that collide with this
+        method's own keywords, such as ``backend`` — through the explicit
+        ``params`` mapping.  The two may be mixed but not overlap.
+        """
+        bindings = dict(params or {})
+        overlap = sorted(set(bindings) & set(kwargs))
+        if overlap:
+            raise QueryError(f"parameters {overlap} bound both in params= and as keywords")
+        bindings.update(kwargs)
+        _validate_bindings(self.parameters, bindings, "prepared query")
+        # The first execution inherits the prepare-time cache outcome (the
+        # planning work happened then); every later one genuinely skips
+        # planning, so the stats report it as a hit.
+        cache_hit = self.planned_from_cache or self._executed
+        self._executed = True
+        return self.service._execute(
+            self.query,
+            self.head,
+            self.entry,
+            cache_hit=cache_hit,
+            backend_name=backend or self.backend,
+            started=time.perf_counter(),
+            params=bindings or None,
+        )
+
+
+class QueryService:
+    """One entry point for answering queries over a database with views.
+
+    Construction materialises the views, builds the access-constraint indices
+    and sets up the planner chain, the plan cache and the execution backends;
+    afterwards :meth:`query`, :meth:`prepare` and :meth:`query_many` serve
+    any mix of CQ/UCQ/FO/string queries.
+
+    Parameters
+    ----------
+    planners:
+        The fallback chain — planner names (``"heuristic"``, ``"exact"``,
+        ``"topped"`` or anything registered via
+        :func:`~repro.engine.service.planners.register_planner`) and/or
+        ready strategy objects, tried in order.  Defaults to
+        ``("heuristic", "topped")``.
+    backend:
+        Default execution backend, ``"memory"`` or ``"sqlite"``; overridable
+        per call.
+    plan_cache_size:
+        Capacity of the LRU plan cache; ``0`` disables plan caching.
+    """
+
+    def __init__(
+        self,
+        database: Database,
+        access_schema: AccessSchema,
+        views: ViewSet | Sequence[View] = (),
+        *,
+        planners: Sequence[str | Planner] | None = None,
+        backend: str = "memory",
+        plan_cache_size: int = 128,
+        check_constraints: bool = True,
+        budget: ElementQueryBudget | None = None,
+        inner_size_cutoff: int = 2,
+    ) -> None:
+        self.database = database
+        self.access_schema = access_schema
+        self.views = views if isinstance(views, ViewSet) else ViewSet(views)
+        self._budget = budget
+        self.inner_size_cutoff = inner_size_cutoff
+        access_schema.validate(database.schema)
+        if check_constraints and not database.satisfies(access_schema):
+            violations = database.violations(access_schema)
+            raise EvaluationError(
+                "database does not satisfy the access schema: " + "; ".join(violations[:5])
+            )
+        self._indexes: FetchProvider = IndexSet(database, access_schema)
+        self._known_relations = frozenset(r.name for r in database.schema)
+        self._view_cache = self._materialise_views()
+        self.planners = resolve_planners(planners)
+        self.plan_cache = LRUPlanCache(plan_cache_size)
+        self.stats = ServiceStats()
+        self.default_backend = backend
+        self._backends: dict[str, ExecutionBackend] = {}
+        self._backend_lock = threading.Lock()
+        self._backend(backend)  # fail fast on unknown names
+
+    # ------------------------------------------------------------------ #
+    # State: views, indices, backends
+    # ------------------------------------------------------------------ #
+
+    def _materialise_views(self) -> dict[str, frozenset[tuple]]:
+        cache: dict[str, frozenset[tuple]] = {}
+        for view in self.views:
+            if view.language in ("CQ", "UCQ"):
+                rows = evaluate_ucq(view.as_ucq(), self.database.facts)
+            else:
+                head = [t for t in view.head if isinstance(t, Variable)]
+                rows = evaluate_fo(view.as_fo(), self.database.facts, head)
+            cache[view.name] = frozenset(rows)
+        return cache
+
+    @property
+    def context(self) -> PlanningContext:
+        """The planning context, rebuilt from the current settings on each read.
+
+        ``budget`` and ``inner_size_cutoff`` stay live: mutating them affects
+        the next planning run (matching the v1.0 engine, which read them per
+        call) instead of being frozen at construction.
+        """
+        return PlanningContext(
+            schema=self.database.schema,
+            views=self.views,
+            access_schema=self.access_schema,
+            budget=self._budget,
+            inner_size_cutoff=self.inner_size_cutoff,
+        )
+
+    @property
+    def budget(self) -> ElementQueryBudget | None:
+        """Planning budget; assignment clears the plan cache (cached outcomes
+        may depend on the budget under which they were planned)."""
+        return self._budget
+
+    @budget.setter
+    def budget(self, budget: ElementQueryBudget | None) -> None:
+        self._budget = budget
+        self.plan_cache.clear()
+
+    @property
+    def view_cache(self) -> Mapping[str, frozenset[tuple]]:
+        """The materialised view rows, keyed by view name (read-only mapping).
+
+        Execution backends hold their own reference to these rows, so
+        in-place mutation could silently serve stale results — the returned
+        proxy therefore rejects item assignment.  To swap in new rows, assign
+        a whole mapping (routed through :meth:`refresh_data`) or call
+        :meth:`refresh_data` directly.
+        """
+        return MappingProxyType(self._view_cache)
+
+    @view_cache.setter
+    def view_cache(self, cache: Mapping[str, Collection[tuple]]) -> None:
+        self.refresh_data(view_cache=cache)
+
+    @property
+    def indexes(self) -> FetchProvider:
+        """The fetch provider serving index lookups for access constraints.
+
+        Assignment routes through :meth:`refresh_data` so the execution
+        backends pick the new provider up.
+        """
+        return self._indexes
+
+    @indexes.setter
+    def indexes(self, provider: FetchProvider) -> None:
+        self.refresh_data(provider=provider)
+
+    @property
+    def view_cache_size(self) -> int:
+        """Total number of cached view tuples (|V(D)|)."""
+        return sum(len(rows) for rows in self._view_cache.values())
+
+    def _backend(self, name: str | None) -> ExecutionBackend:
+        name = name or self.default_backend
+        with self._backend_lock:
+            backend = self._backends.get(name)
+            if backend is None:
+                backend = make_backend(
+                    name,
+                    self.database,
+                    self.access_schema,
+                    self.views,
+                    self._indexes,
+                    self._view_cache,
+                )
+                self._backends[name] = backend
+        return backend
+
+    def refresh_data(
+        self,
+        provider: FetchProvider | None = None,
+        view_cache: Mapping[str, Collection[tuple]] | None = None,
+    ) -> None:
+        """Tell the service the underlying data (or its caches) changed.
+
+        The incremental-maintenance layer calls this after applying updates:
+        ``provider`` swaps in maintained indices, ``view_cache`` swaps in the
+        maintained view rows.  Plans stay cached (they depend only on the
+        schema, views and access schema, never on the data); backends are
+        refreshed or invalidated.
+        """
+        # Ordering invariant vs. lazy backend creation: the new state is
+        # published to self._indexes/_view_cache BEFORE the backend list is
+        # snapshotted under _backend_lock, and _backend() reads that state
+        # and inserts under the same lock — so a concurrently created
+        # backend is either in the snapshot (and refreshed below) or was
+        # built from the already-published new state.  Keep this order.
+        if provider is not None:
+            self._indexes = provider
+        if view_cache is not None:
+            # Maintenance snapshots arrive executor-ready (frozensets of
+            # tuples); avoid re-copying them on every update batch.
+            self._view_cache = {
+                name: rows if isinstance(rows, frozenset) else frozenset(map(tuple, rows))
+                for name, rows in view_cache.items()
+            }
+        with self._backend_lock:
+            backends = list(self._backends.values())
+        for backend in backends:
+            if isinstance(backend, InMemoryBackend):
+                backend.refresh(provider=self._indexes, view_cache=self._view_cache)
+            elif isinstance(backend, SQLiteBackend):
+                backend.invalidate(view_cache=self._view_cache)
+
+    # ------------------------------------------------------------------ #
+    # Planning
+    # ------------------------------------------------------------------ #
+
+    @staticmethod
+    def _resolve(query: QueryInput) -> Query:
+        if isinstance(query, str):
+            return parse_query(query)
+        if not isinstance(query, (ConjunctiveQuery, UnionQuery, FOQuery)):
+            raise QueryError(
+                f"cannot answer a query of type {type(query).__name__}; expected "
+                "a CQ, UCQ, FO query or a source string"
+            )
+        return query
+
+    def plan(
+        self,
+        query: QueryInput,
+        *,
+        head: Sequence[Variable] | None = None,
+        max_size: int | None = None,
+        planners: Sequence[str | Planner] | None = None,
+        use_cache: bool = True,
+    ) -> tuple[CachedPlan, bool]:
+        """Plan a query through the chain; returns (outcome, was_cache_hit)."""
+        resolved = self._resolve(query)
+        unknown = sorted(resolved.relation_names - self._known_relations)
+        if unknown:
+            hint = ""
+            if any(name in self.views for name in unknown):
+                hint = (
+                    "; views are scanned by plans automatically and cannot be "
+                    "queried as atoms — write the query over the base relations"
+                )
+            raise QueryError(
+                f"query references unknown relations {unknown}{hint}"
+            )
+        chain = self.planners if planners is None else resolve_planners(planners)
+        key = (
+            canonical_query_key(resolved),
+            tuple(planner_signature(p) for p in chain),
+            tuple(v.name for v in head) if head is not None else None,
+            max_size,
+            self.inner_size_cutoff,
+        )
+        if use_cache:
+            cached = self.plan_cache.get(key)
+            if cached is not None:
+                return cached, True
+        reasons: list[str] = []
+        entry: CachedPlan | None = None
+        applicable = False
+        for planner in chain:
+            if not planner.can_plan(resolved):
+                continue
+            applicable = True
+            result = planner.plan(resolved, head, max_size, self.context)
+            if result.found:
+                entry = CachedPlan(
+                    plan=result.plan,
+                    planner=result.planner,
+                    reason=f"bounded plan produced by planner {result.planner!r}",
+                    parameters=plan_parameters(result.plan),
+                )
+                break
+            reasons.append(f"{planner.name}: {result.reason or 'no bounded plan found'}")
+        if entry is None:
+            if not applicable:
+                reasons.append(
+                    "no planner in the chain "
+                    f"({', '.join(p.name for p in chain) or 'empty'}) accepts "
+                    f"{type(resolved).__name__} queries"
+                )
+            entry = CachedPlan(plan=None, planner=None, reason="; ".join(reasons))
+        if use_cache:
+            self.plan_cache.put(key, entry)
+        return entry, False
+
+    def explain(
+        self,
+        query: QueryInput,
+        *,
+        head: Sequence[Variable] | None = None,
+        max_size: int | None = None,
+        planners: Sequence[str | Planner] | None = None,
+    ) -> PlanNode | None:
+        """Return a bounded plan for the query, or ``None`` if none was found."""
+        entry, _ = self.plan(query, head=head, max_size=max_size, planners=planners)
+        return entry.plan
+
+    # ------------------------------------------------------------------ #
+    # Serving
+    # ------------------------------------------------------------------ #
+
+    def query(
+        self,
+        query: QueryInput,
+        *,
+        head: Sequence[Variable] | None = None,
+        max_size: int | None = None,
+        backend: str | None = None,
+        planners: Sequence[str | Planner] | None = None,
+        use_cache: bool = True,
+        params: Mapping[str, object] | None = None,
+    ) -> Answer:
+        """Answer any query through the planner chain, cache and backend.
+
+        ``query`` may be a :class:`ConjunctiveQuery`, a :class:`UnionQuery`,
+        an :class:`FOQuery` or a source string (parsed with
+        :func:`repro.algebra.parser.parse_query`).  ``head`` fixes the output
+        attributes of FO queries (defaults to the free variables sorted by
+        name).  ``params`` binds named :class:`Param` placeholders for this
+        call; queries with unbound parameters are rejected — prepare them
+        instead.
+        """
+        started = time.perf_counter()
+        resolved = self._resolve(query)
+        _validate_bindings(
+            _query_parameter_names(resolved),
+            params or {},
+            "query (pass params= or use prepare() for repeated execution)",
+        )
+        entry, hit = self.plan(
+            resolved, head=head, max_size=max_size, planners=planners, use_cache=use_cache
+        )
+        return self._execute(
+            resolved,
+            tuple(head) if head is not None else None,
+            entry,
+            cache_hit=hit,
+            backend_name=backend,
+            started=started,
+            params=dict(params) if params else None,
+        )
+
+    def prepare(
+        self,
+        query: QueryInput,
+        *,
+        head: Sequence[Variable] | None = None,
+        max_size: int | None = None,
+        backend: str | None = None,
+        planners: Sequence[str | Planner] | None = None,
+    ) -> PreparedQuery:
+        """Plan a (possibly parameterised) query once for repeated execution."""
+        resolved = self._resolve(query)
+        entry, hit = self.plan(
+            resolved, head=head, max_size=max_size, planners=planners
+        )
+        return PreparedQuery(
+            service=self,
+            query=resolved,
+            head=tuple(head) if head is not None else None,
+            entry=entry,
+            backend=backend,
+            parameters=_query_parameter_names(resolved),
+            planned_from_cache=hit,
+        )
+
+    def query_many(
+        self,
+        queries: Iterable[QueryInput],
+        *,
+        max_workers: int = 4,
+        backend: str | None = None,
+        planners: Sequence[str | Planner] | None = None,
+        use_cache: bool = True,
+    ) -> list[Answer]:
+        """Answer a batch of queries over a thread pool, preserving order.
+
+        All answers are folded into :attr:`stats`; per-query provenance is in
+        the returned list.  The plan cache and the statistics are
+        thread-safe; the SQLite backend serialises statement execution behind
+        a lock.
+        """
+        items = list(queries)
+        if not items:
+            return []
+        workers = max(1, min(max_workers, len(items)))
+
+        def run(item: QueryInput) -> Answer:
+            return self.query(
+                item, backend=backend, planners=planners, use_cache=use_cache
+            )
+
+        if workers == 1:
+            return [run(item) for item in items]
+        with ThreadPoolExecutor(max_workers=workers) as pool:
+            return list(pool.map(run, items))
+
+    # ------------------------------------------------------------------ #
+    # Direct execution (hand-built plans, baseline comparisons)
+    # ------------------------------------------------------------------ #
+
+    def execute_plan(
+        self,
+        plan: PlanNode,
+        *,
+        backend: str | None = None,
+        params: Mapping[str, object] | None = None,
+    ):
+        """Execute a (possibly hand-built) plan directly on a backend.
+
+        Returns the backend's :class:`~repro.core.plan_eval.ExecutionResult`
+        (rows, attributes, fetch statistics).  ``params`` binds any named
+        :class:`Param` placeholders the plan contains; a plan with unbound
+        parameters is rejected (it could only return wrong, empty results).
+        """
+        if params:
+            plan = bind_plan(plan, dict(params))
+        unbound = plan_parameters(plan)
+        if unbound:
+            raise QueryError(f"plan has unbound parameters {sorted(unbound)}")
+        return self._backend(backend).execute_plan(plan)
+
+    def baseline(self, query: QueryInput, *, backend: str | None = None):
+        """Answer a CQ/UCQ by full scan, bypassing planning entirely.
+
+        Returns the backend's :class:`~repro.engine.baseline.BaselineResult`
+        — the comparison point for the paper's scale-independence claims.
+        """
+        resolved = self._resolve(query)
+        if isinstance(resolved, FOQuery):
+            raise QueryError(
+                "baseline() answers CQ/UCQ; for FO queries use query(..., planners=())"
+            )
+        unbound = sorted(_query_parameter_names(resolved))
+        if unbound:
+            raise QueryError(
+                f"baseline query has unbound parameters {unbound}; bind them "
+                "through prepare()/query(params=...) instead"
+            )
+        return self._backend(backend).execute_baseline(resolved)
+
+    # ------------------------------------------------------------------ #
+
+    def _execute(
+        self,
+        resolved: Query,
+        head: tuple[Variable, ...] | None,
+        entry: CachedPlan,
+        *,
+        cache_hit: bool,
+        backend_name: str | None,
+        started: float,
+        params: dict[str, object] | None,
+    ) -> Answer:
+        backend = self._backend(backend_name)
+        if entry.found:
+            plan = entry.plan
+            assert plan is not None
+            if params:
+                plan = bind_plan(plan, params)
+            elif entry.parameters:
+                raise QueryError(
+                    f"plan has unbound parameters {sorted(entry.parameters)}"
+                )
+            result = backend.execute_plan(plan)
+            answer = Answer(
+                rows=result.rows,
+                used_bounded_plan=True,
+                plan=plan,  # the bound plan that actually executed
+                planner=entry.planner,
+                backend=backend.name,
+                cache_hit=cache_hit,
+                tuples_fetched=result.stats.tuples_fetched,
+                tuples_scanned=0,
+                view_tuples_scanned=result.stats.view_tuples_scanned,
+                elapsed_seconds=time.perf_counter() - started,
+                reason=entry.reason or f"bounded plan produced by planner {entry.planner!r}",
+            )
+        else:
+            bound = _bind_query(resolved, params) if params else resolved
+            if isinstance(bound, FOQuery):
+                fo_head = (
+                    head
+                    if head is not None
+                    else tuple(sorted(bound.free_variables, key=lambda v: v.name))
+                )
+                base = backend.execute_baseline_fo(bound, fo_head)
+            else:
+                base = backend.execute_baseline(bound)
+            answer = Answer(
+                rows=base.rows,
+                used_bounded_plan=False,
+                plan=None,
+                planner=None,
+                backend=backend.name,
+                cache_hit=cache_hit,
+                tuples_fetched=0,
+                tuples_scanned=base.tuples_scanned,
+                view_tuples_scanned=0,
+                elapsed_seconds=time.perf_counter() - started,
+                reason=entry.reason or "no bounded plan found",
+            )
+        self.stats.record(answer)
+        return answer

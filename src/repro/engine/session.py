@@ -1,42 +1,44 @@
-"""High-level engine: answer queries using cached views plus bounded fetches.
+"""Deprecated engine facade: :class:`BoundedEngine` over :class:`QueryService`.
 
-:class:`BoundedEngine` ties the pieces together the way the paper's
-"practical use" section (5.1) describes:
+.. deprecated::
+    :class:`BoundedEngine` is kept as a thin compatibility shim over
+    :class:`repro.engine.service.QueryService`, which is the unified serving
+    API (one entry point for CQ/UCQ/FO/string queries, pluggable planners and
+    backends, prepared queries, a plan cache and aggregated statistics).  New
+    code should construct a ``QueryService`` directly::
 
-1. an application fixes a database schema, an access schema (discovered from
-   the data) and a set of views (selected and materialised up front);
-2. given a query, the engine tries to build a bounded plan (heuristically for
-   CQ/UCQ, through the topped-query effective syntax for FO);
-3. when a bounded plan exists the query is answered by scanning cached views
-   and fetching a constant-size fragment of the database through the
-   indices; otherwise the engine falls back to the naive full-scan baseline.
+        from repro import QueryService
+        service = QueryService(database, access_schema, views)
+        answer = service.query(query)
 
-Every answer carries the I/O accounting needed to reproduce the paper's
-scale-independence claims (tuples fetched vs. tuples scanned).
+The shim preserves the original per-language surface — :meth:`answer` for
+CQ/UCQ, :meth:`answer_fo` for FO, :meth:`baseline` for the full-scan
+comparison — and the original :class:`EngineAnswer` result type, while
+delegating all planning and execution to the service (so the shim benefits
+from the plan cache and the build-once executor for free).
+
+Two deliberate hardenings differ from v1.0: queries referencing unknown
+relations raise :class:`~repro.errors.QueryError` instead of silently
+returning an empty answer, and in-place mutation of :attr:`view_cache`
+raises ``TypeError`` instead of being silently ignored (assign a whole
+mapping instead).
 """
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass
-from typing import Sequence
+from typing import Collection, Mapping, Sequence
 
-from ..algebra.cq import ConjunctiveQuery
-from ..algebra.evaluation import evaluate_ucq
-from ..algebra.fo import FOQuery, evaluate_fo
+from ..algebra.fo import FOQuery
 from ..algebra.terms import Variable
-from ..algebra.ucq import QueryLike, as_union
+from ..algebra.ucq import QueryLike
 from ..algebra.views import View, ViewSet
 from ..core.access import AccessSchema
 from ..core.element_queries import ElementQueryBudget
-from ..core.plan_eval import FetchStats, PlanExecutor
+from ..core.plan_eval import FetchProvider, FetchStats
 from ..core.plans import PlanNode
-from ..core.topped import topped_plan
-from ..errors import EvaluationError
-from ..storage.indexes import IndexSet
 from ..storage.instance import Database
-from .baseline import NaiveEngine
-from .optimizer import build_bounded_plan_ucq
+from .service import Answer, QueryService
 
 
 @dataclass
@@ -60,9 +62,26 @@ class EngineAnswer:
         """Tuples read from the underlying database (fetched or scanned)."""
         return self.tuples_fetched + self.tuples_scanned
 
+    @classmethod
+    def from_answer(cls, answer: Answer) -> "EngineAnswer":
+        """Downgrade a service :class:`Answer` to the legacy result type."""
+        return cls(
+            rows=answer.rows,
+            used_bounded_plan=answer.used_bounded_plan,
+            plan=answer.plan,
+            tuples_fetched=answer.tuples_fetched,
+            tuples_scanned=answer.tuples_scanned,
+            view_tuples_scanned=answer.view_tuples_scanned,
+            elapsed_seconds=answer.elapsed_seconds,
+            reason=answer.reason,
+        )
+
 
 class BoundedEngine:
-    """Answers queries over one database using views and access constraints."""
+    """Answers queries over one database using views and access constraints.
+
+    .. deprecated:: use :class:`repro.engine.service.QueryService`.
+    """
 
     def __init__(
         self,
@@ -73,126 +92,98 @@ class BoundedEngine:
         budget: ElementQueryBudget | None = None,
         inner_size_cutoff: int = 2,
     ) -> None:
+        self.service = QueryService(
+            database,
+            access_schema,
+            views,
+            check_constraints=check_constraints,
+            budget=budget,
+            inner_size_cutoff=inner_size_cutoff,
+        )
         self.database = database
         self.access_schema = access_schema
-        self.views = views if isinstance(views, ViewSet) else ViewSet(views)
-        self.budget = budget
-        # The K cut-off of the topped-query syntax (Section 5.2); the paper
-        # notes K = 1 preserves expressive power, larger values let the
-        # analysis accept more queries as written.
-        self.inner_size_cutoff = inner_size_cutoff
-        access_schema.validate(database.schema)
-        if check_constraints and not database.satisfies(access_schema):
-            violations = database.violations(access_schema)
-            raise EvaluationError(
-                "database does not satisfy the access schema: " + "; ".join(violations[:5])
-            )
-        self.indexes = IndexSet(database, access_schema)
-        self.view_cache = self._materialise_views()
-        self._baseline = NaiveEngine(database)
+        self.views = self.service.views
 
     # ------------------------------------------------------------------ #
+    # Live settings — delegated so post-construction mutation still takes
+    # effect on the next answer() call, as it did in v1.0.
+    # ------------------------------------------------------------------ #
 
-    def _materialise_views(self) -> dict[str, frozenset[tuple]]:
-        cache: dict[str, frozenset[tuple]] = {}
-        for view in self.views:
-            if view.language in ("CQ", "UCQ"):
-                rows = evaluate_ucq(view.as_ucq(), self.database.facts)
-            else:
-                head = [t for t in view.head if isinstance(t, Variable)]
-                rows = evaluate_fo(view.as_fo(), self.database.facts, head)
-            cache[view.name] = frozenset(rows)
-        return cache
+    @property
+    def budget(self) -> ElementQueryBudget | None:
+        return self.service.budget
+
+    @budget.setter
+    def budget(self, budget: ElementQueryBudget | None) -> None:
+        self.service.budget = budget
+
+    @property
+    def inner_size_cutoff(self) -> int:
+        return self.service.inner_size_cutoff
+
+    @inner_size_cutoff.setter
+    def inner_size_cutoff(self, cutoff: int) -> None:
+        self.service.inner_size_cutoff = cutoff
+
+    # ------------------------------------------------------------------ #
+    # Cache surface (the maintenance layer swaps these after updates)
+    # ------------------------------------------------------------------ #
+
+    @property
+    def indexes(self) -> FetchProvider:
+        return self.service.indexes
+
+    @indexes.setter
+    def indexes(self, provider: FetchProvider) -> None:
+        self.service.refresh_data(provider=provider)
+
+    @property
+    def view_cache(self) -> Mapping[str, frozenset[tuple]]:
+        """The materialised view rows, keyed by view name (read-only mapping).
+
+        Unlike v1.0's plain attribute, in-place mutation cannot reach the
+        (build-once) executor, so the mapping rejects item assignment —
+        assign a whole mapping instead, which routes through
+        :meth:`QueryService.refresh_data`.
+        """
+        return self.service.view_cache
+
+    @view_cache.setter
+    def view_cache(self, cache: Mapping[str, Collection[tuple]]) -> None:
+        self.service.refresh_data(view_cache=cache)
 
     @property
     def view_cache_size(self) -> int:
         """Total number of cached view tuples (|V(D)|)."""
-        return sum(len(rows) for rows in self.view_cache.values())
+        return self.service.view_cache_size
 
     # ------------------------------------------------------------------ #
 
     def explain(self, query: QueryLike, max_size: int | None = None) -> PlanNode | None:
         """Return a bounded plan for the query, or ``None`` if none was found."""
-        outcome = build_bounded_plan_ucq(
-            query, self.views, self.access_schema, self.database.schema, max_size, self.budget
-        )
-        return outcome.plan
+        return self.service.explain(query, max_size=max_size)
 
     def execute_plan(self, plan: PlanNode) -> tuple[frozenset[tuple], FetchStats]:
-        executor = PlanExecutor(
-            self.database.schema, self.access_schema, self.indexes, self.view_cache
-        )
-        result = executor.execute(plan)
+        """Execute a plan on the (build-once) in-memory executor."""
+        result = self.service.execute_plan(plan, backend="memory")
         return result.rows, result.stats
 
     def answer(self, query: QueryLike, max_size: int | None = None) -> EngineAnswer:
         """Answer a CQ/UCQ, using a bounded plan whenever one is found."""
-        started = time.perf_counter()
-        outcome = build_bounded_plan_ucq(
-            query, self.views, self.access_schema, self.database.schema, max_size, self.budget
-        )
-        if outcome.found:
-            rows, stats = self.execute_plan(outcome.plan)  # type: ignore[arg-type]
-            return EngineAnswer(
-                rows=rows,
-                used_bounded_plan=True,
-                plan=outcome.plan,
-                tuples_fetched=stats.tuples_fetched,
-                tuples_scanned=0,
-                view_tuples_scanned=stats.view_tuples_scanned,
-                elapsed_seconds=time.perf_counter() - started,
-            )
-        baseline = self._baseline.answer(query)
-        return EngineAnswer(
-            rows=baseline.rows,
-            used_bounded_plan=False,
-            plan=None,
-            tuples_fetched=0,
-            tuples_scanned=baseline.tuples_scanned,
-            view_tuples_scanned=0,
-            elapsed_seconds=time.perf_counter() - started,
-            reason=outcome.reason,
+        return EngineAnswer.from_answer(
+            self.service.query(query, max_size=max_size, backend="memory")
         )
 
     def answer_fo(
         self, query: FOQuery, head: Sequence[Variable], max_size: int | None = None
     ) -> EngineAnswer:
-        """Answer an FO query via the topped-query effective syntax (Section 5).
-
-        Falls back to active-domain evaluation when the query is not topped —
-        which is only feasible on small instances, exactly the situation the
-        effective syntax is designed to avoid.
-        """
-        started = time.perf_counter()
-        plan = topped_plan(
-            query, head, self.database.schema, self.views, self.access_schema,
-            inner_size_cutoff=self.inner_size_cutoff, budget=self.budget,
-        )
-        if plan is not None and (max_size is None or plan.size() <= max_size):
-            rows, stats = self.execute_plan(plan)
-            return EngineAnswer(
-                rows=rows,
-                used_bounded_plan=True,
-                plan=plan,
-                tuples_fetched=stats.tuples_fetched,
-                tuples_scanned=0,
-                view_tuples_scanned=stats.view_tuples_scanned,
-                elapsed_seconds=time.perf_counter() - started,
-            )
-        baseline = self._baseline.answer_fo(query, head)
-        return EngineAnswer(
-            rows=baseline.rows,
-            used_bounded_plan=False,
-            plan=None,
-            tuples_fetched=0,
-            tuples_scanned=baseline.tuples_scanned,
-            view_tuples_scanned=0,
-            elapsed_seconds=time.perf_counter() - started,
-            reason="query is not topped by (R, V, A, M)",
+        """Answer an FO query via the topped-query effective syntax (Section 5)."""
+        return EngineAnswer.from_answer(
+            self.service.query(query, head=head, max_size=max_size, backend="memory")
         )
 
     # ------------------------------------------------------------------ #
 
     def baseline(self, query: QueryLike):
         """Expose the naive baseline for speed-up comparisons."""
-        return self._baseline.answer(query)
+        return self.service.baseline(query, backend="memory")

@@ -1,0 +1,463 @@
+"""Tests for the unified QueryService: dispatch, planner chain, plan cache,
+prepared queries and batch execution."""
+
+import pytest
+
+from repro.algebra.atoms import RelationAtom
+from repro.algebra.cq import ConjunctiveQuery
+from repro.algebra.fo import atom, conj, eq, exists, neg
+from repro.algebra.parser import parse_cq, parse_query, parse_ucq
+from repro.algebra.schema import schema_from_spec
+from repro.algebra.terms import Constant, Param, Variable
+from repro.algebra.ucq import UnionQuery
+from repro.core.access import AccessConstraint, AccessSchema
+from repro.core.plan_eval import bind_plan, plan_parameters
+from repro.engine.service import (
+    PlanningResult,
+    QueryService,
+    canonical_query_key,
+    register_planner,
+    resolve_planners,
+)
+from repro.errors import PlanError, QueryError
+
+X, Y, Z = Variable("x"), Variable("y"), Variable("z")
+
+SCHEMA = schema_from_spec({"R": ("a", "b"), "S": ("b", "c")})
+ACCESS = AccessSchema(
+    (
+        AccessConstraint("R", ("a",), ("b",), 2),
+        AccessConstraint("S", ("b",), ("c",), 1),
+    )
+)
+
+
+@pytest.fixture
+def service(rs_database):
+    return QueryService(rs_database, ACCESS)
+
+
+def anchored_chain(constant=1, name="chain"):
+    return ConjunctiveQuery(
+        head=(Z,),
+        atoms=(RelationAtom("R", (Constant(constant), Y)), RelationAtom("S", (Y, Z))),
+        name=name,
+    )
+
+
+def open_scan():
+    return ConjunctiveQuery(
+        head=(Y, Z), atoms=(RelationAtom("S", (Y, Z)),), name="scan_all"
+    )
+
+
+# --------------------------------------------------------------------------- #
+# One entry point: CQ / UCQ / FO / string dispatch
+# --------------------------------------------------------------------------- #
+
+
+def test_query_answers_cq_through_heuristic_planner(service):
+    answer = service.query(anchored_chain())
+    assert answer.used_bounded_plan
+    assert answer.planner == "heuristic"
+    assert answer.rows == {("x",), ("y",)}
+    assert answer.reason  # never silently empty, bounded or not
+
+
+def test_query_answers_ucq(service):
+    union = UnionQuery((anchored_chain(1), anchored_chain(2)), name="u")
+    answer = service.query(union)
+    assert answer.used_bounded_plan
+    assert answer.planner == "heuristic"
+    assert answer.rows == {("x",), ("y",), ("z",)}
+
+
+def test_query_answers_fo_through_topped_planner(service):
+    query = conj(
+        atom("R", Constant(1), Y), neg(exists([Z], conj(atom("S", Y, Z), eq(Z, "x"))))
+    )
+    answer = service.query(query, head=(Y,))
+    assert answer.used_bounded_plan
+    assert answer.planner == "topped"
+    assert answer.rows == {(11,)}
+
+
+def test_query_answers_string_form(service):
+    answer = service.query("Q(z) :- R(1, y), S(y, z)")
+    assert answer.used_bounded_plan
+    assert answer.rows == {("x",), ("y",)}
+    union = service.query("Q(z) :- R(1, y), S(y, z) ; Q(z) :- R(2, y), S(y, z)")
+    assert union.rows == {("x",), ("y",), ("z",)}
+
+
+def test_query_rejects_unknown_input_type(service):
+    with pytest.raises(QueryError):
+        service.query(42)
+
+
+def test_query_rejects_unknown_relations_loudly(rs_database):
+    from repro.algebra.views import View
+    from repro.algebra.parser import parse_cq as _parse
+
+    view = View("V1", _parse("V1(b) :- R(1, b)"))
+    service = QueryService(rs_database, ACCESS, (view,))
+    with pytest.raises(QueryError, match="unknown relations"):
+        service.query("Q(x) :- T(x, y)")
+    # A view used as a query atom is a silent-empty trap: reject with a hint.
+    with pytest.raises(QueryError, match="cannot be queried as atoms"):
+        service.query("Q(b) :- V1(b), S(b, c)")
+
+
+def test_fallback_to_baseline_keeps_reason(service):
+    answer = service.query(open_scan())
+    assert not answer.used_bounded_plan
+    assert answer.planner is None
+    assert answer.rows == {(10, "x"), (11, "y"), (20, "z"), (99, "w")}
+    assert "heuristic" in answer.reason
+
+
+def test_forced_fallback_with_empty_chain(service):
+    answer = service.query(anchored_chain(), planners=())
+    assert not answer.used_bounded_plan
+    assert answer.tuples_scanned > 0
+    assert "empty" in answer.reason
+
+
+# --------------------------------------------------------------------------- #
+# Planner chain: ordering, registry, pluggability
+# --------------------------------------------------------------------------- #
+
+
+class _RefusingPlanner:
+    name = "refuser"
+
+    def can_plan(self, query):
+        return True
+
+    def plan(self, query, head, max_size, context):
+        return PlanningResult(plan=None, planner=self.name, reason="refuses everything")
+
+
+def test_fallback_chain_tries_planners_in_order(service):
+    answer = service.query(
+        anchored_chain(), planners=(_RefusingPlanner(), "heuristic"), use_cache=False
+    )
+    assert answer.used_bounded_plan
+    assert answer.planner == "heuristic"
+
+
+def test_fallback_chain_collects_all_refusal_reasons(service):
+    answer = service.query(
+        open_scan(), planners=(_RefusingPlanner(), "heuristic"), use_cache=False
+    )
+    assert not answer.used_bounded_plan
+    assert "refuser: refuses everything" in answer.reason
+    assert "heuristic:" in answer.reason
+
+
+def test_register_planner_makes_name_resolvable(service):
+    register_planner("test_refuser", _RefusingPlanner)
+    try:
+        (planner,) = resolve_planners(["test_refuser"])
+        assert planner.name == "refuser"
+        answer = service.query(anchored_chain(), planners=("test_refuser",), use_cache=False)
+        assert not answer.used_bounded_plan
+    finally:
+        from repro.engine.service import planners as planners_module
+
+        planners_module._PLANNER_FACTORIES.pop("test_refuser", None)
+
+
+def test_unknown_planner_name_raises(service):
+    with pytest.raises(QueryError):
+        service.query(anchored_chain(), planners=("nonexistent",))
+
+
+def test_exact_planner_finds_plan(service):
+    answer = service.query(
+        parse_cq("Q(b) :- R(1, b)"), planners=("exact",), use_cache=False
+    )
+    assert answer.used_bounded_plan
+    assert answer.planner == "exact"
+    assert answer.rows == {(10,), (11,)}
+
+
+# --------------------------------------------------------------------------- #
+# Plan cache
+# --------------------------------------------------------------------------- #
+
+
+def test_cache_hit_returns_identical_plan_without_replanning(service):
+    first = service.query(anchored_chain())
+    second = service.query(anchored_chain())
+    assert not first.cache_hit
+    assert second.cache_hit
+    assert second.plan is first.plan  # the very same object: no re-planning
+    assert second.rows == first.rows
+    assert service.plan_cache.stats.hits == 1
+    assert service.stats.cache_hits == 1
+
+
+def test_cache_hits_across_alpha_equivalent_queries(service):
+    service.query(anchored_chain())
+    renamed = ConjunctiveQuery(
+        head=(Variable("w"),),
+        atoms=(
+            RelationAtom("R", (Constant(1), Variable("v"))),
+            RelationAtom("S", (Variable("v"), Variable("w"))),
+        ),
+        name="other_name",
+    )
+    answer = service.query(renamed)
+    assert answer.cache_hit
+
+
+def test_cache_canonical_key_distinguishes_constants():
+    assert canonical_query_key(anchored_chain(1)) != canonical_query_key(anchored_chain(2))
+    assert canonical_query_key(anchored_chain(1)) == canonical_query_key(
+        anchored_chain(1, name="x")
+    )
+
+
+def test_cache_eviction_at_capacity(rs_database):
+    service = QueryService(rs_database, ACCESS, plan_cache_size=2)
+    q1, q2, q3 = anchored_chain(1), anchored_chain(2), anchored_chain(3)
+    service.query(q1)
+    service.query(q2)
+    service.query(q3)  # evicts q1 (LRU)
+    assert service.plan_cache.stats.evictions == 1
+    assert len(service.plan_cache) == 2
+    assert not service.query(q1).cache_hit  # q1 was evicted: re-planned
+    assert service.query(q3).cache_hit
+
+
+def test_cache_disabled_with_zero_capacity(rs_database):
+    service = QueryService(rs_database, ACCESS, plan_cache_size=0)
+    service.query(anchored_chain())
+    answer = service.query(anchored_chain())
+    assert not answer.cache_hit
+    assert len(service.plan_cache) == 0
+
+
+def test_negative_outcomes_are_cached_too(service):
+    service.query(open_scan())
+    answer = service.query(open_scan())
+    assert answer.cache_hit
+    assert not answer.used_bounded_plan
+
+
+def test_cache_distinguishes_planner_configurations(service):
+    from repro.engine.service import ExactVBRPPlanner
+
+    query = parse_cq("Q(b) :- R(1, b)")
+    tiny = service.query(query, planners=(ExactVBRPPlanner(default_max_size=1),))
+    assert not tiny.used_bounded_plan  # M=1 cannot express the fetch
+    bigger = service.query(query, planners=(ExactVBRPPlanner(default_max_size=4),))
+    assert not bigger.cache_hit  # different configuration: not the M=1 outcome
+    assert bigger.used_bounded_plan
+
+
+def test_exact_planner_budget_exhaustion_falls_back(service):
+    from repro.engine.service import ExactVBRPPlanner
+
+    answer = service.query(
+        anchored_chain(),
+        planners=(ExactVBRPPlanner(default_max_size=8), "heuristic"),
+        use_cache=False,
+    )
+    # The exact planner blows its enumeration budget at M=8; the chain must
+    # fall through to the heuristic instead of crashing the request.
+    assert answer.used_bounded_plan
+    assert answer.planner == "heuristic"
+
+
+def test_fo_and_cq_do_not_collide_in_cache(service):
+    service.query(anchored_chain())
+    fo = conj(atom("R", Constant(1), Y), neg(exists([Z], conj(atom("S", Y, Z), eq(Z, "x")))))
+    answer = service.query(fo, head=(Y,))
+    assert not answer.cache_hit
+    assert answer.planner == "topped"
+
+
+# --------------------------------------------------------------------------- #
+# Prepared queries and parameters
+# --------------------------------------------------------------------------- #
+
+
+def test_prepared_query_rebinds_constants_without_replanning(service):
+    prepared = service.prepare("Q(z) :- R(:key, y), S(y, z)")
+    assert prepared.is_bounded
+    assert prepared.parameters == {"key"}
+    one = prepared.execute(key=1)
+    two = prepared.execute(key=2)
+    assert one.rows == {("x",), ("y",)}
+    assert two.rows == {("z",)}
+    # prepare() planned fresh (a miss); every later execution skips planning.
+    assert not one.cache_hit
+    assert two.cache_hit
+    assert service.plan_cache.stats.misses == 1
+
+
+def test_prepared_query_missing_and_unknown_params_raise(service):
+    prepared = service.prepare("Q(z) :- R(:key, y), S(y, z)")
+    with pytest.raises(QueryError):
+        prepared.execute()
+    with pytest.raises(QueryError):
+        prepared.execute(key=1, extra=2)
+
+
+def test_prepared_query_fallback_path_binds_query(service):
+    prepared = service.prepare("Q(b) :- R(a, b), S(b, :c)")  # unanchored: no plan
+    assert not prepared.is_bounded
+    answer = prepared.execute(c="x")
+    assert not answer.used_bounded_plan
+    assert answer.rows == {(10,)}
+
+
+def test_query_with_unbound_parameters_is_rejected(service):
+    with pytest.raises(QueryError):
+        service.query("Q(z) :- R(:key, y), S(y, z)")
+    with pytest.raises(QueryError):
+        # baseline() must not silently evaluate Param placeholders to empty
+        service.baseline("Q(z) :- R(:key, y), S(y, z)")
+
+
+def test_query_with_inline_params(service):
+    answer = service.query("Q(z) :- R(:key, y), S(y, z)", params={"key": 2})
+    assert answer.rows == {("z",)}
+
+
+def test_query_rejects_unknown_inline_params(service):
+    with pytest.raises(QueryError):
+        service.query("Q(z) :- R(:key, y), S(y, z)", params={"key": 2, "keyy": 3})
+
+
+def test_parser_parses_parameters():
+    query = parse_cq("Q(y) :- R(:k, y)")
+    assert Constant(Param("k")) in query.constants
+    assert isinstance(parse_query("Q(y) :- R(:k, y)"), ConjunctiveQuery)
+    assert isinstance(parse_ucq("Q(y) :- R(:k, y) ; Q(y) :- S(y, :k)"), UnionQuery)
+
+
+def test_prepared_params_mapping_avoids_keyword_collision(service):
+    # A parameter literally named "backend" collides with execute()'s own
+    # keyword; the explicit params= mapping must still reach it.
+    prepared = service.prepare("Q(z) :- R(:backend, y), S(y, z)")
+    answer = prepared.execute(params={"backend": 1})
+    assert answer.rows == {("x",), ("y",)}
+    other = service.prepare("Q(z) :- R(:key, y), S(y, z)")
+    with pytest.raises(QueryError):
+        other.execute(params={"key": 1}, key=2)  # bound twice
+
+
+def test_unbound_param_in_select_predicate_is_rejected(service):
+    # A Param inside a selection predicate must raise, not silently filter
+    # every row away.
+    from repro.core.plans import (
+        AttributeEqualsConstant,
+        ConstantScan,
+        FetchNode,
+        SelectNode,
+    )
+
+    fetch = FetchNode(ConstantScan(10, attribute="b"), "S", ("b",), ("c",))
+    plan = SelectNode(fetch, (AttributeEqualsConstant("c", Param("wanted")),))
+    with pytest.raises(QueryError):
+        service.execute_plan(plan)
+    bound = service.execute_plan(plan, params={"wanted": "x"})
+    assert bound.rows == {(10, "x")}
+    assert service.execute_plan(plan, params={"wanted": "nope"}).rows == frozenset()
+
+
+def test_bind_plan_validates_and_substitutes(service):
+    prepared = service.prepare("Q(z) :- R(:key, y), S(y, z)")
+    assert plan_parameters(prepared.plan) == {"key"}
+    bound = bind_plan(prepared.plan, {"key": 1})
+    assert plan_parameters(bound) == frozenset()
+    with pytest.raises(PlanError):
+        bind_plan(prepared.plan, {})
+    with pytest.raises(QueryError):
+        service.execute_plan(prepared.plan)  # unbound Param
+    with pytest.raises(PlanError):
+        # the executor itself also refuses a half-bound plan
+        service._backend("memory").execute_plan(prepared.plan)
+
+
+# --------------------------------------------------------------------------- #
+# Batch execution and statistics
+# --------------------------------------------------------------------------- #
+
+
+def test_query_many_preserves_order_and_aggregates_stats(service):
+    queries = [anchored_chain(1), anchored_chain(2), anchored_chain(1), open_scan()]
+    answers = service.query_many(queries, max_workers=4)
+    assert len(answers) == 4
+    assert answers[0].rows == answers[2].rows == {("x",), ("y",)}
+    assert answers[1].rows == {("z",)}
+    assert not answers[3].used_bounded_plan
+    snapshot = service.stats.snapshot()
+    assert snapshot.queries == 4
+    assert snapshot.cache_hits == 1  # the repeated anchored_chain(1)
+    assert snapshot.bounded_answers == 3
+    assert snapshot.fallback_answers == 1
+    assert snapshot.planner_uses == {"heuristic": 3}
+    assert snapshot.tuples_fetched > 0 and snapshot.tuples_scanned > 0
+    assert snapshot.latency_p95 >= snapshot.latency_p50 >= 0.0
+
+
+def test_query_many_single_worker(service):
+    answers = service.query_many([anchored_chain()], max_workers=1)
+    assert len(answers) == 1 and answers[0].used_bounded_plan
+
+
+def test_stats_reset(service):
+    service.query(anchored_chain())
+    service.stats.reset()
+    assert service.stats.snapshot().queries == 0
+
+
+# --------------------------------------------------------------------------- #
+# Legacy shims
+# --------------------------------------------------------------------------- #
+
+
+def test_view_cache_assignment_propagates_and_mutation_is_rejected(rs_database):
+    from repro.algebra.parser import parse_cq as _parse
+    from repro.algebra.views import View
+
+    view = View("V1", _parse("V1(b) :- R(1, b)"))
+    service = QueryService(rs_database, ACCESS, (view,))
+
+    # In-place mutation would silently miss the build-once backends: rejected.
+    with pytest.raises(TypeError):
+        service.view_cache["V1"] = frozenset()
+
+    # Whole-mapping assignment routes through refresh_data and reaches the
+    # executor: the view-covered query serves the swapped rows (this is the
+    # mechanism incremental maintenance relies on).
+    bound_query = "Q(b) :- R(1, b)"
+    assert service.query(bound_query).rows == {(10,), (11,)}
+    service.view_cache = {"V1": frozenset({(999,)})}
+    assert service.view_cache["V1"] == frozenset({(999,)})
+    assert service.query(bound_query).rows == {(999,)}
+
+
+def test_bounded_engine_reason_populated_on_bounded_path(rs_database):
+    from repro.engine.session import BoundedEngine
+
+    engine = BoundedEngine(rs_database, ACCESS)
+    answer = engine.answer(anchored_chain())
+    assert answer.used_bounded_plan
+    assert answer.reason  # satellite fix: no longer silently empty
+    assert "heuristic" in answer.reason
+
+
+def test_bounded_engine_executor_is_reused(rs_database):
+    from repro.engine.session import BoundedEngine
+
+    engine = BoundedEngine(rs_database, ACCESS)
+    backend = engine.service._backend("memory")
+    executor_before = backend._executor
+    engine.answer(anchored_chain())
+    engine.answer(anchored_chain(2))
+    assert backend._executor is executor_before  # built once, reused

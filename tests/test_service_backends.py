@@ -1,0 +1,84 @@
+"""Cross-validation of the execution backends: the SQLite backend must be
+row-identical to the in-memory executor on the paper's workloads."""
+
+import pytest
+
+from repro.engine.service import QueryService
+from repro.workloads import cdr, graph_search as gs
+
+
+@pytest.fixture(scope="module")
+def gs_service():
+    data = gs.generate(num_persons=1_500, num_movies=400, seed=5)
+    return QueryService(data.database, gs.access_schema(n0=data.n0), gs.views())
+
+
+@pytest.fixture(scope="module")
+def cdr_service():
+    instance = cdr.generate(num_customers=120, num_days=4, seed=9)
+    return QueryService(instance.database, cdr.access_schema(), cdr.views()), instance
+
+
+def test_graph_search_q0_row_identical(gs_service):
+    memory = gs_service.query(gs.query_q0(), backend="memory")
+    sqlite = gs_service.query(gs.query_q0(), backend="sqlite")
+    assert memory.used_bounded_plan and sqlite.used_bounded_plan
+    assert sqlite.rows == memory.rows
+    assert sqlite.backend == "sqlite" and memory.backend == "memory"
+
+
+def test_graph_search_figure1_plan_row_identical(gs_service):
+    plan = gs.figure1_plan()
+    memory = gs_service.execute_plan(plan, backend="memory")
+    sqlite = gs_service.execute_plan(plan, backend="sqlite")
+    assert sqlite.rows == memory.rows
+
+
+def test_graph_search_baseline_row_identical(gs_service):
+    memory = gs_service.query(gs.query_q0(), backend="memory", planners=())
+    sqlite = gs_service.query(gs.query_q0(), backend="sqlite", planners=())
+    assert not memory.used_bounded_plan and not sqlite.used_bounded_plan
+    assert sqlite.rows == memory.rows
+
+
+def test_cdr_workload_row_identical_across_backends(cdr_service):
+    service, instance = cdr_service
+    for query in cdr.workload(instance, count=8, seed=21):
+        memory = service.query(query, backend="memory")
+        sqlite = service.query(query, backend="sqlite")
+        assert sqlite.rows == memory.rows, f"backend mismatch on {query.name}"
+        assert sqlite.used_bounded_plan == memory.used_bounded_plan
+
+
+def test_backend_per_service_default(gs_service):
+    data = gs.generate(num_persons=300, num_movies=100, seed=6)
+    service = QueryService(
+        data.database, gs.access_schema(n0=data.n0), gs.views(), backend="sqlite"
+    )
+    answer = service.query(gs.query_q0())
+    assert answer.backend == "sqlite"
+    reference = service.query(gs.query_q0(), backend="memory")
+    assert reference.rows == answer.rows
+
+
+def test_unknown_backend_raises(gs_service):
+    from repro.errors import UnsupportedQueryError
+
+    with pytest.raises(UnsupportedQueryError):
+        gs_service.query(gs.query_q0(), backend="oracle")
+
+
+def test_sqlite_backend_boolean_query(gs_service):
+    boolean = "Q() :- movie(mid, t, 'Universal', '2014')"
+    memory = gs_service.query(boolean, backend="memory")
+    sqlite = gs_service.query(boolean, backend="sqlite")
+    assert sqlite.rows == memory.rows
+
+
+def test_sqlite_backend_prepared_param(gs_service):
+    prepared = gs_service.prepare(
+        "Q(mid) :- movie(mid, t, :studio, '2014'), rating(mid, 5)"
+    )
+    memory = prepared.execute(studio="Universal", backend="memory")
+    sqlite = prepared.execute(studio="Universal", backend="sqlite")
+    assert sqlite.rows == memory.rows
