@@ -2,16 +2,25 @@
 
 This module provides the evaluation substrate used everywhere in the library:
 
-* :func:`evaluate_cq` — hash-join style evaluation of a conjunctive query;
+* :func:`evaluate_cq` — conjunctive-query evaluation;
 * :func:`evaluate_ucq` — union of the disjuncts' answers;
 * :func:`evaluate_cq_yannakakis` — Yannakakis' algorithm for *acyclic* CQs
   (full reducer via semi-joins along a join tree, then join);
 * :func:`evaluate_fo` — active-domain evaluation of full first-order queries
-  (used by tests and by the FO examples; exponential in quantifier rank, as
+  (lives in :mod:`repro.algebra.fo`; exponential in quantifier rank, as
   expected for FO over the active domain).
 
+Since the kernel refactor, the evaluators here are thin *compilers*: a query
+is translated (:mod:`repro.exec.cq_compiler`) into a tree of iterator-based
+physical operators (:mod:`repro.exec.operators`) — the same kernel the
+bounded-plan executor runs on — and the tree is drained into the answer set.
+
 A *fact set* is a mapping ``relation name -> collection of value tuples``;
-:class:`repro.storage.instance.Database` exposes exactly this shape.
+:class:`repro.storage.instance.Database` exposes exactly this shape through
+``.facts`` — but the evaluators also accept the :class:`Database` itself, in
+which case joins probe the relations' cached secondary hash indexes and the
+greedy join order consults the maintained cardinality/distinct statistics
+instead of raw relation sizes.
 """
 
 from __future__ import annotations
@@ -19,7 +28,13 @@ from __future__ import annotations
 from typing import Collection, Iterable, Mapping, Sequence
 
 from ..errors import EvaluationError, QueryError
-from .atoms import EqualityAtom, RelationAtom
+from ..exec.cq_compiler import (
+    FactsSource,
+    atom_scan,
+    cq_pipeline,
+    head_projection,
+)
+from ..exec.operators import HashJoin, Operator, Project, Scan, SemiJoin
 from .acyclicity import join_tree
 from .cq import ConjunctiveQuery
 from .terms import Constant, Term, Variable
@@ -28,86 +43,17 @@ from .ucq import UnionQuery
 FactSet = Mapping[str, Collection[tuple]]
 Binding = dict[Variable, object]
 
+#: Inputs the evaluators accept: a fact mapping or a whole Database.
+FactsLike = FactSet  # plus repro.storage.instance.Database (duck-typed)
+
 
 # --------------------------------------------------------------------------- #
 # Conjunctive query evaluation
 # --------------------------------------------------------------------------- #
 
 
-def _atom_order(atoms: Sequence[RelationAtom], facts: FactSet) -> list[RelationAtom]:
-    """Greedy join order: selective atoms first, then stay connected."""
-    remaining = list(atoms)
-    ordered: list[RelationAtom] = []
-    bound: set[Variable] = set()
-
-    def score(atom: RelationAtom) -> tuple:
-        size = len(facts.get(atom.relation, ()))
-        bound_count = sum(1 for t in atom.terms if isinstance(t, Constant) or t in bound)
-        return (-bound_count, size)
-
-    while remaining:
-        best = min(remaining, key=score)
-        remaining.remove(best)
-        ordered.append(best)
-        bound.update(best.variables)
-    return ordered
-
-
-def _build_index(
-    facts: FactSet, relation: str, positions: tuple[int, ...]
-) -> dict[tuple, list[tuple]]:
-    """Index the tuples of ``relation`` by the values at ``positions``."""
-    index: dict[tuple, list[tuple]] = {}
-    for fact in facts.get(relation, ()):
-        key = tuple(fact[p] for p in positions)
-        index.setdefault(key, []).append(fact)
-    return index
-
-
-def _join_atom(
-    bindings: list[Binding],
-    atom: RelationAtom,
-    facts: FactSet,
-) -> list[Binding]:
-    """Extend each binding with all matches of ``atom``."""
-    if not bindings:
-        return []
-    # Positions whose term is a constant or a variable bound in *all* bindings
-    # (bindings produced by previous atoms share the same variable set).
-    sample = bindings[0]
-    bound_positions: list[int] = []
-    free_positions: list[int] = []
-    for position, term in enumerate(atom.terms):
-        if isinstance(term, Constant) or term in sample:
-            bound_positions.append(position)
-        else:
-            free_positions.append(position)
-    index = _build_index(facts, atom.relation, tuple(bound_positions))
-
-    result: list[Binding] = []
-    for binding in bindings:
-        key = []
-        for position in bound_positions:
-            term = atom.terms[position]
-            key.append(term.value if isinstance(term, Constant) else binding[term])
-        for fact in index.get(tuple(key), ()):
-            if len(fact) != len(atom.terms):
-                continue
-            extended = dict(binding)
-            ok = True
-            for position in free_positions:
-                term = atom.terms[position]
-                value = fact[position]
-                if term in extended and extended[term] != value:
-                    ok = False
-                    break
-                extended[term] = value  # type: ignore[index]
-            if ok:
-                result.append(extended)
-    return result
-
-
 def _project_head(head: Sequence[Term], bindings: Iterable[Binding]) -> set[tuple]:
+    """Project explicit bindings onto the head (the empty-body code path)."""
     answers: set[tuple] = set()
     for binding in bindings:
         row = []
@@ -122,8 +68,8 @@ def _project_head(head: Sequence[Term], bindings: Iterable[Binding]) -> set[tupl
     return answers
 
 
-def evaluate_cq(query: ConjunctiveQuery, facts: FactSet) -> set[tuple]:
-    """Evaluate a conjunctive query over a fact set.
+def evaluate_cq(query: ConjunctiveQuery, facts: FactsLike) -> set[tuple]:
+    """Evaluate a conjunctive query over a fact set (or a ``Database``).
 
     Returns the set of answer tuples (set semantics).  An unsatisfiable query
     yields the empty set; a query with an empty body yields its head tuple
@@ -133,16 +79,15 @@ def evaluate_cq(query: ConjunctiveQuery, facts: FactSet) -> set[tuple]:
     if not query.is_satisfiable():
         return set()
     normalized = query.normalize()
-    bindings: list[Binding] = [{}]
-    for atom in _atom_order(normalized.atoms, facts):
-        bindings = _join_atom(bindings, atom, facts)
-        if not bindings:
-            return set()
-    return _project_head(normalized.head, bindings)
+    if not normalized.atoms:
+        return _project_head(normalized.head, [{}])
+    source = FactsSource(facts)
+    operator, schema = cq_pipeline(normalized, source)
+    return set(head_projection(operator, schema, normalized.head).rows())
 
 
-def evaluate_ucq(query: UnionQuery | ConjunctiveQuery, facts: FactSet) -> set[tuple]:
-    """Evaluate a UCQ (or CQ) over a fact set."""
+def evaluate_ucq(query: UnionQuery | ConjunctiveQuery, facts: FactsLike) -> set[tuple]:
+    """Evaluate a UCQ (or CQ) over a fact set (or a ``Database``)."""
     if isinstance(query, ConjunctiveQuery):
         return evaluate_cq(query, facts)
     answers: set[tuple] = set()
@@ -156,53 +101,24 @@ def evaluate_ucq(query: UnionQuery | ConjunctiveQuery, facts: FactSet) -> set[tu
 # --------------------------------------------------------------------------- #
 
 
-def _semi_join(
-    left: set[tuple],
-    left_vars: tuple[Variable, ...],
-    right: set[tuple],
-    right_vars: tuple[Variable, ...],
-) -> set[tuple]:
-    """Keep the left tuples that join with at least one right tuple."""
-    shared = [v for v in left_vars if v in right_vars]
-    if not shared:
-        return left if right else set()
-    left_positions = [left_vars.index(v) for v in shared]
-    right_positions = [right_vars.index(v) for v in shared]
-    right_keys = {tuple(t[p] for p in right_positions) for t in right}
-    return {t for t in left if tuple(t[p] for p in left_positions) in right_keys}
+def _shared_positions(
+    left: tuple[Variable, ...], right: tuple[Variable, ...]
+) -> tuple[list[int], list[int]]:
+    shared = [variable for variable in left if variable in right]
+    return (
+        [left.index(variable) for variable in shared],
+        [right.index(variable) for variable in shared],
+    )
 
 
-def _atom_tuples(atom: RelationAtom, facts: FactSet) -> tuple[tuple[Variable, ...], set[tuple]]:
-    """Materialise an atom as (variable schema, matching sub-tuples)."""
-    variables: list[Variable] = []
-    for term in atom.terms:
-        if isinstance(term, Variable) and term not in variables:
-            variables.append(term)
-    matches: set[tuple] = set()
-    for fact in facts.get(atom.relation, ()):
-        if len(fact) != len(atom.terms):
-            continue
-        binding: Binding = {}
-        ok = True
-        for term, value in zip(atom.terms, fact):
-            if isinstance(term, Constant):
-                if term.value != value:
-                    ok = False
-                    break
-            else:
-                if term in binding and binding[term] != value:
-                    ok = False
-                    break
-                binding[term] = value
-        if ok:
-            matches.add(tuple(binding[v] for v in variables))
-    return tuple(variables), matches
-
-
-def evaluate_cq_yannakakis(query: ConjunctiveQuery, facts: FactSet) -> set[tuple]:
+def evaluate_cq_yannakakis(query: ConjunctiveQuery, facts: FactsLike) -> set[tuple]:
     """Evaluate an acyclic CQ with Yannakakis' semi-join programme.
 
-    Raises :class:`QueryError` when the query is not acyclic.
+    Each atom is materialised (projected onto its variables), parents are
+    reduced by their children and children by their reduced parents with
+    :class:`~repro.exec.operators.SemiJoin` along the join tree, and the
+    fully reduced relations are hash-joined.  Raises :class:`QueryError`
+    when the query is not acyclic.
     """
     if not query.is_satisfiable():
         return set()
@@ -213,47 +129,49 @@ def evaluate_cq_yannakakis(query: ConjunctiveQuery, facts: FactSet) -> set[tuple
     if not normalized.atoms:
         return _project_head(normalized.head, [{}])
 
+    source = FactsSource(facts)
     schemas: dict[int, tuple[Variable, ...]] = {}
-    relations: dict[int, set[tuple]] = {}
+    relations: dict[int, list[tuple]] = {}
     for index, atom in enumerate(normalized.atoms):
-        schemas[index], relations[index] = _atom_tuples(atom, facts)
+        operator, schemas[index] = atom_scan(atom, source)
+        relations[index] = list(operator.rows())
+
+    def reduce(target: int, by: int) -> None:
+        left_key, right_key = _shared_positions(schemas[target], schemas[by])
+        relations[target] = list(
+            SemiJoin(
+                Scan(relations[target]), Scan(relations[by]), left_key, right_key
+            ).rows()
+        )
 
     # Upward pass: reduce each parent by its children (post-order).
     order = tree.post_order()
     for node in order:
         parent = tree.parent.get(node)
         if parent is not None:
-            relations[parent] = _semi_join(
-                relations[parent], schemas[parent], relations[node], schemas[node]
-            )
+            reduce(parent, node)
     # Downward pass: reduce children by their (already reduced) parents.
     for node in reversed(order):
         parent = tree.parent.get(node)
         if parent is not None:
-            relations[node] = _semi_join(
-                relations[node], schemas[node], relations[parent], schemas[parent]
-            )
+            reduce(node, parent)
 
     # Final join over the fully reduced relations (now safe to join directly).
-    bindings: list[Binding] = [{}]
-    for index in order:
-        variables, tuples = schemas[index], relations[index]
-        new_bindings: list[Binding] = []
-        for binding in bindings:
-            for row in tuples:
-                extended = dict(binding)
-                ok = True
-                for variable, value in zip(variables, row):
-                    if variable in extended and extended[variable] != value:
-                        ok = False
-                        break
-                    extended[variable] = value
-                if ok:
-                    new_bindings.append(extended)
-        bindings = new_bindings
-        if not bindings:
-            return set()
-    return _project_head(normalized.head, bindings)
+    current: Operator = Scan(relations[order[0]])
+    schema = schemas[order[0]]
+    for index in order[1:]:
+        right_schema = schemas[index]
+        left_key, right_key = _shared_positions(schema, right_schema)
+        joined: Operator = HashJoin(current, Scan(relations[index]), left_key, right_key)
+        fresh = [
+            position
+            for position, variable in enumerate(right_schema)
+            if variable not in schema
+        ]
+        kept = tuple(range(len(schema))) + tuple(len(schema) + p for p in fresh)
+        current = Project(joined, kept)
+        schema = schema + tuple(right_schema[p] for p in fresh)
+    return set(head_projection(current, schema, normalized.head).rows())
 
 
 # --------------------------------------------------------------------------- #

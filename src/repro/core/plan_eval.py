@@ -1,10 +1,19 @@
 """Execution of query plans with I/O accounting.
 
-The executor realises the operational semantics of Section 2: intermediate
-relations are computed bottom-up; ``fetch`` nodes retrieve data from the
-underlying database *only* through the index of a covering access constraint,
-and the executor records the bag ``Dξ`` of tuples so fetched.  Scanning cached
-views is free — that is precisely the point of bounded rewriting using views.
+The executor realises the operational semantics of Section 2: ``fetch`` nodes
+retrieve data from the underlying database *only* through the index of a
+covering access constraint, and the execution records the bag ``Dξ`` of
+tuples so fetched.  Scanning cached views is free — that is precisely the
+point of bounded rewriting using views.
+
+Since the kernel refactor, :class:`PlanExecutor` is a thin *compiler*: a plan
+tree is translated (:mod:`repro.exec.plan_compiler`) into a tree of
+iterator-based physical operators (:mod:`repro.exec.operators`) — the same
+kernel the CQ evaluators and the in-memory service backend run on — and the
+operator tree is drained into the result set.  The ``Dξ`` accounting is
+bit-identical to the historical bottom-up evaluator's: index lookups are
+keyed on distinct ``X``-values and charged per returned tuple, view scans
+are counted once per plan occurrence.
 
 The executor is deliberately decoupled from the storage layer: any *fetch
 provider* exposing ``fetch(constraint, key) -> frozenset[tuple]`` works
@@ -13,15 +22,17 @@ provider* exposing ``fetch(constraint, key) -> frozenset[tuple]`` works
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Collection, Mapping, Protocol, Sequence
 
 from ..algebra.schema import DatabaseSchema
 from ..algebra.terms import Param
 from ..errors import PlanError
+from ..exec.iometer import IOMeter
+from ..exec.operators import Operator
+from ..exec.plan_compiler import compile_plan
 from .access import AccessConstraint, AccessSchema
 from .plans import (
-    AttributeEqualsAttribute,
     AttributeEqualsConstant,
     ConstantScan,
     DifferenceNode,
@@ -44,40 +55,8 @@ class FetchProvider(Protocol):
         ...
 
 
-@dataclass
-class FetchStats:
-    """Accounting of the data fetched from the underlying database (``Dξ``).
-
-    ``tuples_fetched`` counts every tuple returned by every index lookup (bag
-    semantics, as in the paper's definition of ``Dξ``); ``fetch_calls`` counts
-    the index lookups themselves; ``per_relation`` breaks the tuple count down
-    by base relation.  View scans contribute ``view_tuples_scanned`` but no
-    I/O.
-    """
-
-    fetch_calls: int = 0
-    tuples_fetched: int = 0
-    per_relation: dict[str, int] = field(default_factory=dict)
-    view_tuples_scanned: int = 0
-
-    def record_fetch(self, relation: str, count: int) -> None:
-        self.fetch_calls += 1
-        self.tuples_fetched += count
-        self.per_relation[relation] = self.per_relation.get(relation, 0) + count
-
-    def record_view_scan(self, count: int) -> None:
-        self.view_tuples_scanned += count
-
-    def merged_with(self, other: "FetchStats") -> "FetchStats":
-        merged = FetchStats(
-            fetch_calls=self.fetch_calls + other.fetch_calls,
-            tuples_fetched=self.tuples_fetched + other.tuples_fetched,
-            per_relation=dict(self.per_relation),
-            view_tuples_scanned=self.view_tuples_scanned + other.view_tuples_scanned,
-        )
-        for relation, count in other.per_relation.items():
-            merged.per_relation[relation] = merged.per_relation.get(relation, 0) + count
-        return merged
+#: The plan executor's historical accounting class is the kernel's meter.
+FetchStats = IOMeter
 
 
 @dataclass
@@ -112,171 +91,31 @@ class PlanExecutor:
 
     # ------------------------------------------------------------------ #
 
+    def compile(self, plan: PlanNode, meter: FetchStats | None = None) -> Operator:
+        """Compile ``plan`` into a physical operator tree charging ``meter``.
+
+        Exposed for tooling and tests; :meth:`execute` is compile-and-drain.
+        """
+        return compile_plan(
+            plan,
+            self.access_schema,
+            self.provider,
+            self.view_cache,
+            meter if meter is not None else FetchStats(),
+        )
+
     def execute(self, plan: PlanNode) -> ExecutionResult:
-        """Execute ``plan`` bottom-up, recording the fetched bag ``Dξ``.
+        """Compile ``plan`` to operators and drain them, recording ``Dξ``.
 
         Plans containing unbound :class:`~repro.algebra.terms.Param`
-        placeholders are rejected at the node that carries them (no eager
-        whole-tree walk on the hot path); bind them with :func:`bind_plan`
-        or execute through a ``PreparedQuery``.
+        placeholders are rejected at compile time, before any data is
+        touched; bind them with :func:`bind_plan` or execute through a
+        ``PreparedQuery``.
         """
         stats = FetchStats()
-        rows = self._evaluate(plan, stats)
-        return ExecutionResult(attributes=plan.attributes, rows=frozenset(rows), stats=stats)
-
-    # ------------------------------------------------------------------ #
-
-    def _evaluate(self, node: PlanNode, stats: FetchStats) -> set[tuple]:
-        if isinstance(node, ConstantScan):
-            if isinstance(node.value, Param):  # defense for direct _evaluate users
-                raise PlanError(f"plan contains the unbound parameter {node.value}")
-            return {(node.value,)}
-
-        if isinstance(node, ViewScan):
-            if node.view_name not in self.view_cache:
-                raise PlanError(
-                    f"view {node.view_name!r} is not materialised in the view cache"
-                )
-            rows = set(self.view_cache[node.view_name])
-            stats.record_view_scan(len(rows))
-            return rows
-
-        if isinstance(node, FetchNode):
-            return self._evaluate_fetch(node, stats)
-
-        if isinstance(node, ProjectNode):
-            child_rows = self._evaluate(node.child, stats)
-            positions = [node.child.attributes.index(a) for a in node.kept]
-            return {tuple(row[p] for p in positions) for row in child_rows}
-
-        if isinstance(node, SelectNode):
-            self._guard_predicates(node.predicates)
-            if isinstance(node.child, ProductNode):
-                return self._evaluate_join(node, stats)
-            child_rows = self._evaluate(node.child, stats)
-            attributes = node.child.attributes
-            return {row for row in child_rows if self._passes(row, attributes, node)}
-
-        if isinstance(node, RenameNode):
-            return self._evaluate(node.child, stats)
-
-        if isinstance(node, ProductNode):
-            left_rows = self._evaluate(node.left, stats)
-            right_rows = self._evaluate(node.right, stats)
-            return {left + right for left in left_rows for right in right_rows}
-
-        if isinstance(node, UnionNode):
-            return self._evaluate(node.left, stats) | self._evaluate(node.right, stats)
-
-        if isinstance(node, DifferenceNode):
-            return self._evaluate(node.left, stats) - self._evaluate(node.right, stats)
-
-        raise PlanError(f"unknown plan node type {type(node).__name__}")
-
-    def _evaluate_join(self, node: SelectNode, stats: FetchStats) -> set[tuple]:
-        """Selection over a product, evaluated as a hash join when possible.
-
-        Plans built by :func:`repro.core.plans.join_on_shared_attributes` have
-        the shape ``σ[l = r](left × right)``; materialising the full product
-        first is quadratic where a hash join is linear.  Predicates that do
-        not equate a left attribute with a right attribute (and the negated
-        ones) are applied as a residual filter, so the result is identical to
-        the naive evaluation.
-        """
-        product = node.child
-        assert isinstance(product, ProductNode)
-        left_attrs = product.left.attributes
-        right_attrs = product.right.attributes
-        join_pairs: list[tuple[int, int]] = []
-        residual: list = []
-        for predicate in node.predicates:
-            if isinstance(predicate, AttributeEqualsAttribute) and not predicate.negated:
-                if predicate.left in left_attrs and predicate.right in right_attrs:
-                    join_pairs.append(
-                        (left_attrs.index(predicate.left), right_attrs.index(predicate.right))
-                    )
-                    continue
-                if predicate.right in left_attrs and predicate.left in right_attrs:
-                    join_pairs.append(
-                        (left_attrs.index(predicate.right), right_attrs.index(predicate.left))
-                    )
-                    continue
-            residual.append(predicate)
-
-        left_rows = self._evaluate(product.left, stats)
-        right_rows = self._evaluate(product.right, stats)
-        if not join_pairs:
-            joined = (l + r for l in left_rows for r in right_rows)
-        else:
-            left_positions = [p for p, _ in join_pairs]
-            right_positions = [p for _, p in join_pairs]
-            buckets: dict[tuple, list[tuple]] = {}
-            for row in right_rows:
-                buckets.setdefault(tuple(row[p] for p in right_positions), []).append(row)
-            joined = (
-                l + r
-                for l in left_rows
-                for r in buckets.get(tuple(l[p] for p in left_positions), ())
-            )
-        if not residual:
-            return set(joined)
-        attributes = product.attributes
-        filtered = SelectNode(product, tuple(residual))
-        return {row for row in joined if self._passes(row, attributes, filtered)}
-
-    def _evaluate_fetch(self, node: FetchNode, stats: FetchStats) -> set[tuple]:
-        constraint = node.covering_constraint(self.access_schema)
-        if constraint is None:
-            raise PlanError(
-                f"fetch on {node.relation!r} has no covering access constraint; "
-                "the plan does not conform to the access schema"
-            )
-        if node.child is None:
-            keys: set[tuple] = {()}
-        else:
-            child_rows = self._evaluate(node.child, stats)
-            child_attributes = node.child.attributes
-            # Distinct X-values drive the index lookups (S_j has set semantics).
-            key_positions = [child_attributes.index(a) for a in constraint.x]
-            keys = {tuple(row[p] for p in key_positions) for row in child_rows}
-
-        # Returned tuples are over constraint.x + constraint-only-y attributes;
-        # project them onto the fetch node's output attributes.
-        provider_attributes = constraint.output_attributes
-        output_positions = [provider_attributes.index(a) for a in node.attributes]
-
-        result: set[tuple] = set()
-        for key in keys:
-            fetched = self.provider.fetch(constraint, key)
-            stats.record_fetch(node.relation, len(fetched))
-            for row in fetched:
-                result.add(tuple(row[p] for p in output_positions))
-        return result
-
-    @staticmethod
-    def _guard_predicates(predicates) -> None:
-        """Reject unbound parameters once per node, not once per row."""
-        for predicate in predicates:
-            if isinstance(predicate, AttributeEqualsConstant) and isinstance(
-                predicate.value, Param
-            ):
-                raise PlanError(f"plan contains the unbound parameter {predicate.value}")
-
-    @staticmethod
-    def _passes(row: tuple, attributes: tuple[str, ...], node: SelectNode) -> bool:
-        for predicate in node.predicates:
-            if isinstance(predicate, AttributeEqualsConstant):
-                value = row[attributes.index(predicate.attribute)]
-                if (value == predicate.value) == predicate.negated:
-                    return False
-            elif isinstance(predicate, AttributeEqualsAttribute):
-                left = row[attributes.index(predicate.left)]
-                right = row[attributes.index(predicate.right)]
-                if (left == right) == predicate.negated:
-                    return False
-            else:  # pragma: no cover - defensive
-                raise PlanError(f"unknown predicate type {type(predicate).__name__}")
-        return True
+        operator = self.compile(plan, stats)
+        rows = frozenset(operator.rows())
+        return ExecutionResult(attributes=plan.attributes, rows=rows, stats=stats)
 
 
 def execute_plan(

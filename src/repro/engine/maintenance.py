@@ -234,9 +234,7 @@ class IncrementalViewCache:
                 )
             disjuncts = tuple(d.normalize() for d in view.as_ucq().disjuncts)
             self._definitions[view.name] = disjuncts
-            self._rows[view.name] = set(
-                evaluate_ucq(view.as_ucq(), database.facts)
-            )
+            self._rows[view.name] = set(evaluate_ucq(view.as_ucq(), database))
 
     # ------------------------------------------------------------------ #
 
@@ -295,7 +293,7 @@ class IncrementalViewCache:
                 if specialized is None:
                     continue
                 stats.delta_queries += 1
-                for row in evaluate_cq(specialized, self.database.facts):
+                for row in evaluate_cq(specialized, self.database):
                     if row not in current:
                         added.add(row)
         current.update(added)
@@ -352,7 +350,7 @@ class IncrementalViewCache:
             support = _bind_head_to_row(disjunct, row)
             if support is None:
                 continue
-            if evaluate_cq(support, self.database.facts):
+            if evaluate_cq(support, self.database):
                 return True
         return False
 
@@ -361,7 +359,7 @@ class IncrementalViewCache:
     def recompute(self) -> dict[str, frozenset[tuple]]:
         """Recompute every view from scratch (the baseline the benchmarks compare to)."""
         return {
-            view.name: frozenset(evaluate_ucq(view.as_ucq(), self.database.facts))
+            view.name: frozenset(evaluate_ucq(view.as_ucq(), self.database))
             for view in self.views
         }
 
@@ -449,9 +447,8 @@ class MaintainedEngine:
                 self.database.add(update.relation, update.row)
                 inserted += 1
             else:
-                if update.row not in relation:
+                if not relation.discard(update.row):
                     continue
-                relation._tuples.discard(update.row)  # noqa: SLF001 - storage-internal
                 deleted += 1
             applied += 1
             self.index_set.apply(update)

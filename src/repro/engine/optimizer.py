@@ -20,7 +20,7 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass, field
-from typing import Iterable, Sequence
+from typing import TYPE_CHECKING, Iterable, Mapping, Sequence
 
 from ..algebra.containment import equivalent
 from ..algebra.cq import ConjunctiveQuery
@@ -46,6 +46,9 @@ from ..core.plans import (
     join_on_shared_attributes,
 )
 from ..errors import UnsupportedQueryError
+
+if TYPE_CHECKING:
+    from ..storage.statistics import RelationStatistics
 
 
 @dataclass
@@ -321,6 +324,31 @@ def _x_is_constant(atom, x_positions: Sequence[int]) -> bool:
     return all(isinstance(atom.terms[p], Constant) for p in x_positions)
 
 
+def _ordered_constraints(
+    candidates: Sequence[AccessConstraint],
+    relation_name: str,
+    schema: DatabaseSchema,
+    statistics: "Mapping[str, RelationStatistics] | None",
+) -> Sequence[AccessConstraint]:
+    """Order candidate access paths by measured cost, cheapest first.
+
+    The per-key cost of fetching through ``R(X -> Y, N)`` is the expected
+    bucket size — cardinality scaled by the distinct counts of the key
+    columns.  Without statistics the schema order is kept unchanged (the
+    historical behaviour); the sort is stable, so equally priced constraints
+    also keep it.
+    """
+    stats = statistics.get(relation_name) if statistics is not None else None
+    if stats is None or len(candidates) <= 1:
+        return candidates
+    relation = schema.relation(relation_name)
+
+    def cost(constraint: AccessConstraint) -> float:
+        return stats.estimated_matches(relation.positions(constraint.x))
+
+    return sorted(candidates, key=cost)
+
+
 def _needed_positions(query: ConjunctiveQuery, atom_index: int) -> set[int]:
     atom = query.atoms[atom_index]
     other_variables: set[Variable] = set(query.head_variables)
@@ -350,13 +378,16 @@ def build_bounded_plan(
     max_size: int | None = None,
     budget: ElementQueryBudget | None = None,
     verify_conformance: bool = True,
+    statistics: "Mapping[str, RelationStatistics] | None" = None,
 ) -> PlanSearchOutcome:
     """Construct a bounded plan for a CQ, or report why none was found.
 
     The returned plan (when found) is equivalent to the query by construction
     — every atom is enforced by a fetch, views only add implied filters — and
     is checked for conformance to the access schema unless
-    ``verify_conformance`` is disabled.
+    ``verify_conformance`` is disabled.  ``statistics`` (per-relation
+    cardinality/distinct counts from the storage layer) lets the greedy
+    fetch step try the cheapest covering access path first.
     """
     normalized = query.normalize()
     head_variables = [t for t in normalized.head if isinstance(t, Variable)]
@@ -423,8 +454,12 @@ def build_bounded_plan(
     while uncovered and progress:
         progress = False
         for atom_index in sorted(uncovered):
-            for constraint in access_schema.for_relation(
-                normalized.atoms[atom_index].relation
+            relation_name = normalized.atoms[atom_index].relation
+            for constraint in _ordered_constraints(
+                access_schema.for_relation(relation_name),
+                relation_name,
+                schema,
+                statistics,
             ):
                 fragment = _atom_fetch(
                     atom_index, normalized, constraint, schema, bound, current
@@ -497,13 +532,15 @@ def build_bounded_plan_ucq(
     schema: DatabaseSchema,
     max_size: int | None = None,
     budget: ElementQueryBudget | None = None,
+    statistics: "Mapping[str, RelationStatistics] | None" = None,
 ) -> PlanSearchOutcome:
     """Construct a bounded plan for a UCQ (one sub-plan per disjunct, unioned)."""
     union = as_union(query)
     sub_plans: list[PlanNode] = []
     for disjunct in union.disjuncts:
         outcome = build_bounded_plan(
-            disjunct, views, access_schema, schema, max_size, budget
+            disjunct, views, access_schema, schema, max_size, budget,
+            statistics=statistics,
         )
         if not outcome.found:
             return PlanSearchOutcome(

@@ -7,7 +7,9 @@ behind one :class:`ExecutionBackend` protocol:
 
 * :class:`InMemoryBackend` — the plan executor of
   :mod:`repro.core.plan_eval` over hash indices and the cached views, with
-  exact per-fetch I/O accounting;
+  exact per-fetch I/O accounting.  Both the plan path and the full-scan
+  baseline compile to the shared execution kernel (:mod:`repro.exec`), so
+  the memory backend and the CQ evaluators share one join/fetch semantics;
 * :class:`SQLiteBackend` — plans rendered through
   :func:`repro.engine.sql.plan_to_sql` and executed on an in-memory SQLite
   database loaded with the relations, the access-constraint indices and the

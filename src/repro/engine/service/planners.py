@@ -26,7 +26,7 @@ addressable by name in ``QueryService(planners=...)``.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Protocol, Sequence, runtime_checkable
+from typing import TYPE_CHECKING, Callable, Mapping, Protocol, Sequence, runtime_checkable
 
 from ...algebra.cq import ConjunctiveQuery
 from ...algebra.fo import FOQuery
@@ -42,18 +42,30 @@ from ...core.vbrp import decide_vbrp
 from ...errors import BudgetExceededError, QueryError
 from ..optimizer import build_bounded_plan_ucq
 
+if TYPE_CHECKING:
+    from ...storage.statistics import RelationStatistics
+
 Query = ConjunctiveQuery | UnionQuery | FOQuery
 
 
 @dataclass(frozen=True)
 class PlanningContext:
-    """Everything a planner may consult besides the query itself."""
+    """Everything a planner may consult besides the query itself.
+
+    ``statistics`` carries the storage layer's per-relation cardinality /
+    distinct counts (:meth:`repro.storage.instance.Database.statistics`);
+    cost-based planners use them to order otherwise equivalent access paths.
+    Plans chosen from statistics are data-dependent, which is why
+    :meth:`~repro.engine.service.QueryService.refresh_data` drops the plan
+    cache.
+    """
 
     schema: DatabaseSchema
     views: ViewSet
     access_schema: AccessSchema
     budget: ElementQueryBudget | None = None
     inner_size_cutoff: int = 2
+    statistics: Mapping[str, "RelationStatistics"] | None = None
 
 
 @dataclass
@@ -136,6 +148,7 @@ class HeuristicPlanner:
             context.schema,
             max_size,
             context.budget,
+            statistics=context.statistics,
         )
         return PlanningResult(plan=outcome.plan, planner=self.name, reason=outcome.reason)
 

@@ -248,7 +248,7 @@ class QueryService:
         cache: dict[str, frozenset[tuple]] = {}
         for view in self.views:
             if view.language in ("CQ", "UCQ"):
-                rows = evaluate_ucq(view.as_ucq(), self.database.facts)
+                rows = evaluate_ucq(view.as_ucq(), self.database)
             else:
                 head = [t for t in view.head if isinstance(t, Variable)]
                 rows = evaluate_fo(view.as_fo(), self.database.facts, head)
@@ -261,7 +261,9 @@ class QueryService:
 
         ``budget`` and ``inner_size_cutoff`` stay live: mutating them affects
         the next planning run (matching the v1.0 engine, which read them per
-        call) instead of being frozen at construction.
+        call) instead of being frozen at construction.  ``statistics`` reads
+        the storage layer's cached per-relation statistics, so cost-based
+        planner decisions track the current data.
         """
         return PlanningContext(
             schema=self.database.schema,
@@ -269,6 +271,7 @@ class QueryService:
             access_schema=self.access_schema,
             budget=self._budget,
             inner_size_cutoff=self.inner_size_cutoff,
+            statistics=self.database.statistics(),
         )
 
     @property
@@ -341,10 +344,12 @@ class QueryService:
 
         The incremental-maintenance layer calls this after applying updates:
         ``provider`` swaps in maintained indices, ``view_cache`` swaps in the
-        maintained view rows.  Plans stay cached (they depend only on the
-        schema, views and access schema, never on the data); backends are
-        refreshed or invalidated.
+        maintained view rows.  The plan cache is dropped: planning consults
+        the storage statistics, so a cached choice of access path may no
+        longer be the cheapest (re-planning is cheap; serving stale plans is
+        silent).  Backends are refreshed or invalidated.
         """
+        self.plan_cache.clear()
         # Ordering invariant vs. lazy backend creation: the new state is
         # published to self._indexes/_view_cache BEFORE the backend list is
         # snapshotted under _backend_lock, and _backend() reads that state

@@ -1,0 +1,55 @@
+"""The execution kernel: iterator-based physical operators with I/O accounting.
+
+Every evaluation path of the library — the bounded-plan executor
+(:mod:`repro.core.plan_eval`), the CQ/UCQ evaluators
+(:mod:`repro.algebra.evaluation`) and the in-memory service backend
+(:mod:`repro.engine.service.backends`) — compiles down to the same small set
+of Volcano-style physical operators defined here.  Operators follow a shared
+``open()`` / ``next()`` / ``close()`` protocol and report every tuple that
+crosses the storage boundary to a single :class:`IOMeter`, which preserves
+the paper's exact ``Dξ`` accounting (``tuples_fetched`` for index fetches,
+``view_tuples_scanned`` for free scans of cached views).
+
+Layout:
+
+* :mod:`.iometer` — the shared I/O accounting object;
+* :mod:`.operators` — the physical operators (IndexLookup, Scan, HashJoin,
+  LookupJoin, SemiJoin, Project, Select, Union, Distinct, Materialize);
+* :mod:`.plan_compiler` — bounded :class:`~repro.core.plans.PlanNode` trees
+  → operator trees (used by :class:`repro.core.plan_eval.PlanExecutor`);
+* :mod:`.cq_compiler` — conjunctive queries → operator trees (used by
+  :func:`repro.algebra.evaluation.evaluate_cq` and friends).
+
+The compilers are imported directly by their consumers (not re-exported
+here) to keep package initialisation free of import cycles.
+"""
+
+from .iometer import IOMeter
+from .operators import (
+    Distinct,
+    HashJoin,
+    IndexLookup,
+    LookupJoin,
+    Materialize,
+    Operator,
+    Project,
+    Scan,
+    Select,
+    SemiJoin,
+    Union,
+)
+
+__all__ = [
+    "IOMeter",
+    "Operator",
+    "Scan",
+    "IndexLookup",
+    "LookupJoin",
+    "HashJoin",
+    "SemiJoin",
+    "Project",
+    "Select",
+    "Union",
+    "Distinct",
+    "Materialize",
+]

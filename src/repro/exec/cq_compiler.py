@@ -1,0 +1,316 @@
+"""Compile conjunctive queries to operator trees over a facts source.
+
+The CQ evaluators of :mod:`repro.algebra.evaluation` are thin front ends
+over this module: a (normalised) conjunctive query becomes a left-deep chain
+of :class:`~repro.exec.operators.LookupJoin` operators whose intermediate
+rows are assignments to the query's variables, in a fixed column order (the
+*variable schema*).
+
+The facts source abstracts over the two shapes evaluation accepts:
+
+* a plain fact mapping ``relation name -> collection of tuples`` (tableaux,
+  canonical databases, test fixtures) — per-atom hash indexes are built on
+  the fly, exactly like the previous binding-based evaluator did;
+* a :class:`repro.storage.instance.Database` (duck-typed, no storage import)
+  — joins probe the relation's *cached* secondary hash indexes
+  (:meth:`~repro.storage.instance.Relation.index_on`), and the greedy join
+  order consults per-relation cardinality/distinct statistics instead of raw
+  relation sizes.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Collection, Mapping, Sequence
+
+from ..algebra.atoms import RelationAtom
+from ..algebra.cq import ConjunctiveQuery
+from ..algebra.terms import Constant, Term, Variable
+from ..errors import EvaluationError, SchemaError
+from .operators import Distinct, LookupJoin, Operator, Project, Scan, Select
+
+_EMPTY_LOOKUP: Callable[[tuple], Sequence[tuple]] = lambda key: ()  # noqa: E731
+
+
+class FactsSource:
+    """Uniform rows / index / statistics access over a database or fact map."""
+
+    def __init__(self, facts: object) -> None:
+        if hasattr(facts, "relation") and hasattr(facts, "schema"):
+            self._database = facts
+            self._mapping: Mapping[str, Collection[tuple]] | None = None
+        else:
+            self._database = None
+            self._mapping = facts  # type: ignore[assignment]
+
+    # ------------------------------------------------------------------ #
+
+    def _relation(self, name: str):
+        """The stored relation behind ``name``, or ``None`` when absent."""
+        if self._database is None:
+            return None
+        try:
+            return self._database.relation(name)  # type: ignore[union-attr]
+        except (SchemaError, KeyError):  # unknown relation: same as a missing key
+            return None
+
+    def rows(self, name: str) -> Collection[tuple]:
+        if self._database is not None:
+            relation = self._relation(name)
+            return relation if relation is not None else ()
+        return self._mapping.get(name, ())  # type: ignore[union-attr]
+
+    def size(self, name: str) -> int:
+        return len(self.rows(name))  # type: ignore[arg-type]
+
+    def statistics(self, name: str):
+        """Per-relation statistics, when the source maintains them."""
+        relation = self._relation(name)
+        if relation is None:
+            return None
+        statistics = getattr(relation, "statistics", None)
+        return statistics() if callable(statistics) else None
+
+    def lookup(
+        self, name: str, positions: Sequence[int], arity: int
+    ) -> Callable[[tuple], Sequence[tuple]]:
+        """A key -> matching-rows probe for ``name`` keyed on ``positions``.
+
+        Database-backed sources serve the relation's cached secondary hash
+        index (built lazily, maintained incrementally under updates); plain
+        mappings build an ephemeral index per call — the same cost the
+        previous evaluator paid per join.  Rows whose arity differs from the
+        atom's are excluded, as before.
+        """
+        relation = self._relation(name)
+        if relation is not None:
+            if relation.schema.arity != arity:
+                return _EMPTY_LOOKUP
+            index = relation.index_on(positions)
+            return lambda key: index.get(key, ())
+        index_map: dict[tuple, list[tuple]] = {}
+        key_positions = tuple(positions)
+        for row in self.rows(name):
+            if len(row) != arity:
+                continue
+            index_map.setdefault(tuple(row[p] for p in key_positions), []).append(row)
+        return lambda key: index_map.get(key, ())
+
+
+# --------------------------------------------------------------------------- #
+# Greedy join ordering (statistics-aware)
+# --------------------------------------------------------------------------- #
+
+
+def order_atoms(
+    atoms: Sequence[RelationAtom], source: FactsSource
+) -> list[RelationAtom]:
+    """Greedy join order: selective atoms first, then stay connected.
+
+    The historical score preferred atoms with many bound terms, breaking
+    ties by raw relation size.  Over a statistics-maintaining source the tie
+    break uses the *estimated* number of matching rows instead — cardinality
+    scaled by the distinct counts of the bound columns — so a huge relation
+    probed on a near-key column sorts before a smaller one probed on a
+    low-selectivity column.
+    """
+    remaining = list(atoms)
+    ordered: list[RelationAtom] = []
+    bound: set[Variable] = set()
+
+    def score(atom: RelationAtom) -> tuple:
+        size = source.size(atom.relation)
+        bound_positions = [
+            position
+            for position, term in enumerate(atom.terms)
+            if isinstance(term, Constant) or term in bound
+        ]
+        statistics = source.statistics(atom.relation)
+        if statistics is None:
+            estimate = float(size)
+        else:
+            estimate = statistics.estimated_matches(bound_positions)
+        return (-len(bound_positions), estimate, size)
+
+    while remaining:
+        best = min(remaining, key=score)
+        remaining.remove(best)
+        ordered.append(best)
+        bound.update(best.variables)
+    return ordered
+
+
+# --------------------------------------------------------------------------- #
+# Atom access paths
+# --------------------------------------------------------------------------- #
+
+
+def atom_scan(
+    atom: RelationAtom, source: FactsSource
+) -> tuple[Operator, tuple[Variable, ...]]:
+    """Scan one atom: matching rows projected onto its (distinct) variables.
+
+    Constant positions are checked (served from a secondary index when the
+    source has one), repeated variables are enforced, and the output columns
+    are the atom's variables in first-occurrence order.
+    """
+    arity = len(atom.terms)
+    constant_positions: list[tuple[int, object]] = []
+    first_occurrence: dict[Variable, int] = {}
+    duplicate_pairs: list[tuple[int, int]] = []
+    for position, term in enumerate(atom.terms):
+        if isinstance(term, Constant):
+            constant_positions.append((position, term.value))
+        elif term in first_occurrence:
+            duplicate_pairs.append((first_occurrence[term], position))
+        else:
+            first_occurrence[term] = position
+    variables = tuple(first_occurrence)
+
+    stored = source._relation(atom.relation)
+    base: Operator
+    constants = tuple(constant_positions)
+    need_arity_check = stored is None
+    if stored is not None and stored.schema.arity != arity:
+        base = Scan(())
+        constants = ()
+    elif constants and stored is not None:
+        # Serve the constant selection from the relation's secondary index.
+        lookup = source.lookup(atom.relation, tuple(p for p, _ in constants), arity)
+        base = Scan(lookup(tuple(v for _, v in constants)))
+        constants = ()  # already enforced by the index key
+    else:
+        base = Scan(source.rows(atom.relation))
+
+    if constants or duplicate_pairs or need_arity_check:
+
+        def predicate(
+            row: tuple,
+            arity=arity,
+            constants=constants,
+            checks=tuple(duplicate_pairs),
+            check_arity=need_arity_check,
+        ) -> bool:
+            if check_arity and len(row) != arity:
+                return False
+            for position, value in constants:
+                if row[position] != value:
+                    return False
+            for first, later in checks:
+                if row[first] != row[later]:
+                    return False
+            return True
+
+        base = Select(base, predicate)
+    return Project(base, tuple(first_occurrence.values())), variables
+
+
+def join_atom(
+    current: Operator,
+    schema: tuple[Variable, ...],
+    atom: RelationAtom,
+    source: FactsSource,
+) -> tuple[Operator, tuple[Variable, ...]]:
+    """Extend the variable rows of ``current`` with the matches of ``atom``.
+
+    Probes an index keyed on the atom's bound positions (constants and
+    variables already in ``schema``), enforces repeated fresh variables, and
+    appends the fresh variables to the schema.
+    """
+    arity = len(atom.terms)
+    width = len(schema)
+    position_of = {variable: index for index, variable in enumerate(schema)}
+
+    bound_positions: list[int] = []
+    key_spec: list[tuple[int | None, object]] = []  # (schema position, constant)
+    fresh_first: dict[Variable, int] = {}
+    duplicate_pairs: list[tuple[int, int]] = []
+    for position, term in enumerate(atom.terms):
+        if isinstance(term, Constant):
+            bound_positions.append(position)
+            key_spec.append((None, term.value))
+        elif term in position_of:
+            bound_positions.append(position)
+            key_spec.append((position_of[term], None))
+        elif term in fresh_first:
+            duplicate_pairs.append((fresh_first[term], position))
+        else:
+            fresh_first[term] = position
+
+    lookup = source.lookup(atom.relation, tuple(bound_positions), arity)
+    spec = tuple(key_spec)
+
+    def key(row: tuple, spec=spec) -> tuple:
+        return tuple(row[i] if i is not None else v for i, v in spec)
+
+    joined: Operator = LookupJoin(current, lookup, key)
+    if duplicate_pairs:
+
+        def predicate(row: tuple, pairs=tuple(duplicate_pairs), width=width) -> bool:
+            return all(row[width + first] == row[width + later] for first, later in pairs)
+
+        joined = Select(joined, predicate)
+    kept = tuple(range(width)) + tuple(width + p for p in fresh_first.values())
+    return Project(joined, kept), schema + tuple(fresh_first)
+
+
+# --------------------------------------------------------------------------- #
+# Whole-query pipelines
+# --------------------------------------------------------------------------- #
+
+
+def cq_pipeline(
+    normalized: ConjunctiveQuery, source: FactsSource
+) -> tuple[Operator, tuple[Variable, ...]]:
+    """A left-deep join pipeline for a normalised CQ with at least one atom.
+
+    The output rows assign values to the returned variable schema; head
+    projection (and its set semantics) is layered on by
+    :func:`head_projection`.
+    """
+    operator: Operator | None = None
+    schema: tuple[Variable, ...] = ()
+    for atom in order_atoms(normalized.atoms, source):
+        if operator is None:
+            operator, schema = atom_scan(atom, source)
+        else:
+            operator, schema = join_atom(operator, schema, atom, source)
+    assert operator is not None
+    return operator, schema
+
+
+def head_projection(
+    operator: Operator, schema: tuple[Variable, ...], head: Sequence[Term]
+) -> Operator:
+    """Project variable rows onto the query head (set semantics).
+
+    Head constants become literal columns.  A head variable with no column
+    in the schema is *unsafe*; mirroring the historical evaluator, the error
+    is raised only when a row actually reaches the projection — a query with
+    an empty answer never trips it.
+    """
+    spec: list[tuple[int | None, object]] = []
+    unsafe: Term | None = None
+    position_of = {variable: index for index, variable in enumerate(schema)}
+    for term in head:
+        if isinstance(term, Constant):
+            spec.append((None, term.value))
+        elif term in position_of:
+            spec.append((position_of[term], None))
+        else:
+            unsafe = term
+            break
+
+    if unsafe is not None:
+        term = unsafe
+
+        def fail(row: tuple) -> tuple:
+            raise EvaluationError(f"unsafe head variable {term} has no binding")
+
+        return Project(operator, mapper=fail)
+
+    frozen = tuple(spec)
+
+    def mapper(row: tuple, spec=frozen) -> tuple:
+        return tuple(row[i] if i is not None else v for i, v in spec)
+
+    return Distinct(Project(operator, mapper=mapper))

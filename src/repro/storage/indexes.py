@@ -6,15 +6,25 @@ given an ``X``-value ``ā``, returns the ``XY``-projections
 implementing exactly that contract; :class:`IndexSet` bundles the indices for
 a whole access schema over one database and is the *fetch provider* used by
 the bounded-plan executor.
+
+The indices are maintained **incrementally**: every :class:`AccessIndex`
+registers itself as an observer of its relation, so single-tuple updates
+(e.g. :meth:`repro.storage.updates.UpdateBatch.apply_to`) touch exactly one
+bucket per index instead of forcing a rebuild of the whole
+:class:`IndexSet`.  Deletions are O(1) through per-projection support
+counts: a projection disappears exactly when its last supporting base tuple
+does.
 """
 
 from __future__ import annotations
 
-from typing import Iterable, Mapping, Sequence
+from typing import Mapping, Sequence
 
 from ..core.access import AccessConstraint, AccessSchema
 from ..errors import AccessConstraintError
 from .instance import Database
+
+_EMPTY: frozenset[tuple] = frozenset()
 
 
 class AccessIndex:
@@ -28,17 +38,57 @@ class AccessIndex:
         out_attrs = constraint.output_attributes
         self._out_positions = schema.positions(out_attrs)
         self.output_attributes = out_attrs
-        self._buckets: dict[tuple, frozenset[tuple]] = {}
-        buckets: dict[tuple, set[tuple]] = {}
+        # Per key: projection -> number of supporting base tuples.
+        self._buckets: dict[tuple, dict[tuple, int]] = {}
+        # Frozen per-key views handed out by lookup(), invalidated per key.
+        self._frozen: dict[tuple, frozenset[tuple]] = {}
         for row in relation:
-            key = tuple(row[p] for p in self._x_positions)
-            value = tuple(row[p] for p in self._out_positions)
-            buckets.setdefault(key, set()).add(value)
-        self._buckets = {key: frozenset(values) for key, values in buckets.items()}
+            self.on_insert(row)
+        relation.register_observer(self)
+
+    # ------------------------------------------------------------------ #
+    # Maintenance hooks (driven by the relation on every mutation)
+    # ------------------------------------------------------------------ #
+
+    def on_insert(self, row: tuple) -> None:
+        key = tuple(row[p] for p in self._x_positions)
+        value = tuple(row[p] for p in self._out_positions)
+        counts = self._buckets.setdefault(key, {})
+        counts[value] = counts.get(value, 0) + 1
+        self._frozen.pop(key, None)
+
+    def on_delete(self, row: tuple) -> None:
+        key = tuple(row[p] for p in self._x_positions)
+        counts = self._buckets.get(key)
+        if counts is None:
+            return
+        value = tuple(row[p] for p in self._out_positions)
+        remaining = counts.get(value)
+        if remaining is None:
+            return
+        if remaining <= 1:
+            del counts[value]
+            if not counts:
+                del self._buckets[key]
+        else:
+            counts[value] = remaining - 1
+        self._frozen.pop(key, None)
+
+    # ------------------------------------------------------------------ #
 
     def lookup(self, key: Sequence[object]) -> frozenset[tuple]:
         """Return ``D_{R:XY}(X = key)`` — the XY-projections for this key."""
-        return self._buckets.get(tuple(key), frozenset())
+        key = tuple(key)
+        frozen = self._frozen.get(key)
+        if frozen is None:
+            bucket = self._buckets.get(key)
+            if bucket is None:
+                # Do NOT memoise misses: probe keys come from arbitrary plan
+                # rows, and caching every absent key would grow without bound.
+                return _EMPTY
+            frozen = frozenset(bucket)
+            self._frozen[key] = frozen
+        return frozen
 
     @property
     def keys(self) -> frozenset[tuple]:
@@ -56,7 +106,9 @@ class IndexSet:
     """All indices of an access schema over one database.
 
     The executor charges I/O only for tuples retrieved through these indices
-    (the bag ``Dξ`` of the paper); scans of cached views are free.
+    (the bag ``Dξ`` of the paper); scans of cached views are free.  The set
+    stays consistent under updates applied through the storage layer (see
+    the module docstring) — rebuilding it after a delta is never required.
     """
 
     def __init__(self, database: Database, access_schema: AccessSchema) -> None:

@@ -4,15 +4,114 @@ A :class:`Database` is a set-semantics instance of a
 :class:`repro.algebra.schema.DatabaseSchema`.  It exposes the ``facts``
 mapping consumed by every evaluation and decision procedure in the library,
 and implements ``D |= A`` satisfaction of access schemas.
+
+Relations are more than plain tuple sets: each one lazily builds secondary
+hash indexes (:meth:`Relation.index_on` — the probe side of the execution
+kernel's joins) and per-relation cardinality/distinct statistics
+(:meth:`Relation.statistics` — consumed by the greedy join orderers and the
+service planners), both kept consistent under single-tuple mutations.
+Access-constraint indexes (:class:`repro.storage.indexes.AccessIndex`)
+register themselves as observers and are maintained incrementally too, so
+applying an update batch never forces a full index rebuild.
 """
 
 from __future__ import annotations
 
-from typing import Collection, Iterable, Iterator, Mapping
+import threading
+import weakref
+from typing import Iterable, Iterator, Mapping, Sequence
 
 from ..algebra.schema import DatabaseSchema, RelationSchema
 from ..core.access import AccessSchema
 from ..errors import SchemaError
+from .statistics import RelationStatistics
+
+#: Upper bound on cached secondary indexes per relation (FIFO eviction).
+#: Compiled query pipelines resolve their indexes per execution, so evicting
+#: a cold index only costs a rebuild on its next use.
+_MAX_CACHED_INDEXES = 8
+
+
+class _TrackedSet(set):
+    """The tuple set of a :class:`Relation`; mutations notify the owner.
+
+    Storage-internal code (and a few long-standing tests) mutate
+    ``relation._tuples`` directly; routing the set's own mutators through
+    the relation keeps the cached frozen view, the secondary indexes, the
+    statistics and every registered access-constraint index consistent no
+    matter how a tuple enters or leaves the relation.
+    """
+
+    __slots__ = ("_relation",)
+
+    def __init__(self, relation: "Relation") -> None:
+        super().__init__()
+        self._relation = relation
+
+    def add(self, row: tuple) -> None:
+        if row in self:
+            return
+        super().add(row)
+        self._relation._after_insert(row)
+
+    def discard(self, row: tuple) -> None:
+        if row not in self:
+            return
+        super().discard(row)
+        self._relation._after_delete(row)
+
+    def remove(self, row: tuple) -> None:
+        if row not in self:
+            raise KeyError(row)
+        self.discard(row)
+
+    def pop(self) -> tuple:
+        row = super().pop()
+        self._relation._after_delete(row)
+        return row
+
+    def clear(self) -> None:
+        for row in list(self):
+            self.discard(row)
+
+    def update(self, *iterables: Iterable[tuple]) -> None:
+        for iterable in iterables:
+            for row in iterable:
+                self.add(row)
+
+    def difference_update(self, *iterables: Iterable[tuple]) -> None:
+        for iterable in iterables:
+            for row in iterable:
+                self.discard(row)
+
+    def intersection_update(self, *iterables: Iterable[tuple]) -> None:
+        keep = set.intersection(*(set(i) for i in iterables)) if iterables else set(self)
+        for row in list(self):
+            if row not in keep:
+                self.discard(row)
+
+    def symmetric_difference_update(self, iterable: Iterable[tuple]) -> None:
+        for row in set(iterable):
+            if row in self:
+                self.discard(row)
+            else:
+                self.add(row)
+
+    def __ior__(self, other):  # noqa: ANN001 - mirrors set's signature
+        self.update(other)
+        return self
+
+    def __isub__(self, other):  # noqa: ANN001
+        self.difference_update(other)
+        return self
+
+    def __iand__(self, other):  # noqa: ANN001
+        self.intersection_update(other)
+        return self
+
+    def __ixor__(self, other):  # noqa: ANN001
+        self.symmetric_difference_update(other)
+        return self
 
 
 class Relation:
@@ -20,9 +119,25 @@ class Relation:
 
     def __init__(self, schema: RelationSchema, tuples: Iterable[tuple] = ()) -> None:
         self.schema = schema
-        self._tuples: set[tuple] = set()
+        self._tuples: _TrackedSet = _TrackedSet(self)
+        self._frozen: frozenset[tuple] | None = None
+        self._indexes: dict[tuple[int, ...], dict[tuple, list[tuple]]] = {}
+        self._statistics: RelationStatistics | None = None
+        # Per-position value -> count multiset backing statistics(); built
+        # lazily, then maintained in place so statistics stay O(arity) to
+        # refresh after a delta instead of O(|relation|).
+        self._value_counts: list[dict[object, int]] | None = None
+        self._observers: list[weakref.ref] = []
+        # Serialises lazy index/statistics builds: concurrent *read-only*
+        # queries (query_many's thread pool) may race to build the same
+        # cache.  Mutations remain single-writer, as before.
+        self._build_lock = threading.Lock()
         for row in tuples:
             self.add(row)
+
+    # ------------------------------------------------------------------ #
+    # Mutation
+    # ------------------------------------------------------------------ #
 
     def add(self, row: Iterable[object]) -> None:
         row = tuple(row)
@@ -37,13 +152,140 @@ class Relation:
         for row in rows:
             self.add(row)
 
+    def discard(self, row: Iterable[object]) -> bool:
+        """Remove one tuple; returns whether it was present."""
+        row = tuple(row)
+        if row in self._tuples:
+            self._tuples.discard(row)
+            return True
+        return False
+
+    # ------------------------------------------------------------------ #
+    # Reading
+    # ------------------------------------------------------------------ #
+
     @property
     def tuples(self) -> frozenset[tuple]:
-        return frozenset(self._tuples)
+        """The relation as a frozen set (cached; invalidated on mutation)."""
+        if self._frozen is None:
+            self._frozen = frozenset(self._tuples)
+        return self._frozen
 
     def project(self, attributes: Iterable[str]) -> set[tuple]:
         positions = self.schema.positions(attributes)
         return {tuple(row[p] for p in positions) for row in self._tuples}
+
+    def index_on(self, positions: Sequence[int]) -> Mapping[tuple, Sequence[tuple]]:
+        """Secondary hash index keyed on the values at ``positions``.
+
+        Built lazily on first use, cached (at most ``_MAX_CACHED_INDEXES``
+        per relation) and maintained incrementally under mutations — the
+        execution kernel's joins probe these instead of re-hashing the
+        relation on every query.
+        """
+        key = tuple(positions)
+        index = self._indexes.get(key)
+        if index is None:
+            with self._build_lock:
+                index = self._indexes.get(key)
+                if index is None:
+                    index = {}
+                    for row in self._tuples:
+                        index.setdefault(tuple(row[p] for p in key), []).append(row)
+                    while len(self._indexes) >= _MAX_CACHED_INDEXES:
+                        self._indexes.pop(next(iter(self._indexes)), None)
+                    self._indexes[key] = index
+        return index
+
+    def statistics(self) -> RelationStatistics:
+        """Cardinality and per-attribute distinct counts (cached).
+
+        The backing per-position value counts are built once and maintained
+        under mutations, so refreshing the statistics after a delta costs
+        O(arity), not a relation scan.
+        """
+        statistics = self._statistics
+        if statistics is None:
+            counts = self._value_counts
+            if counts is None:
+                with self._build_lock:
+                    counts = self._value_counts
+                    if counts is None:
+                        counts = [{} for _ in range(self.schema.arity)]
+                        for row in self._tuples:
+                            for position, per_value in enumerate(counts):
+                                value = row[position]
+                                per_value[value] = per_value.get(value, 0) + 1
+                        self._value_counts = counts
+            statistics = RelationStatistics(
+                cardinality=len(self._tuples),
+                distinct=tuple(len(per_value) for per_value in counts),
+            )
+            self._statistics = statistics
+        return statistics
+
+    # ------------------------------------------------------------------ #
+    # Change propagation
+    # ------------------------------------------------------------------ #
+
+    def register_observer(self, observer: object) -> None:
+        """Register an object with ``on_insert(row)``/``on_delete(row)`` hooks.
+
+        Observers are held weakly: an access-constraint index that goes out
+        of scope stops being maintained without explicit deregistration.
+        """
+        self._observers.append(weakref.ref(observer))
+
+    def _after_insert(self, row: tuple) -> None:
+        self._frozen = None
+        self._statistics = None
+        counts = self._value_counts
+        if counts is not None:
+            for position, per_value in enumerate(counts):
+                value = row[position]
+                per_value[value] = per_value.get(value, 0) + 1
+        for positions, index in list(self._indexes.items()):
+            index.setdefault(tuple(row[p] for p in positions), []).append(row)
+        self._notify("on_insert", row)
+
+    def _after_delete(self, row: tuple) -> None:
+        self._frozen = None
+        self._statistics = None
+        counts = self._value_counts
+        if counts is not None:
+            for position, per_value in enumerate(counts):
+                value = row[position]
+                remaining = per_value.get(value, 0) - 1
+                if remaining <= 0:
+                    per_value.pop(value, None)
+                else:
+                    per_value[value] = remaining
+        for positions, index in list(self._indexes.items()):
+            key = tuple(row[p] for p in positions)
+            bucket = index.get(key)
+            if bucket is not None:
+                try:
+                    bucket.remove(row)
+                except ValueError:  # pragma: no cover - defensive
+                    pass
+                if not bucket:
+                    del index[key]
+        self._notify("on_delete", row)
+
+    def _notify(self, hook: str, row: tuple) -> None:
+        if not self._observers:
+            return
+        alive: list[weakref.ref] = []
+        for reference in self._observers:
+            observer = reference()
+            if observer is None:
+                continue
+            getattr(observer, hook)(row)
+            alive.append(reference)
+        if len(alive) != len(self._observers):
+            self._observers = alive
+
+    # ------------------------------------------------------------------ #
 
     def __len__(self) -> int:
         return len(self._tuples)
@@ -119,6 +361,10 @@ class Database:
 
     def relation_sizes(self) -> dict[str, int]:
         return {name: len(relation) for name, relation in self._relations.items()}
+
+    def statistics(self) -> dict[str, RelationStatistics]:
+        """Per-relation statistics (each cached on its relation)."""
+        return {name: relation.statistics() for name, relation in self._relations.items()}
 
     def active_domain(self) -> set[object]:
         domain: set[object] = set()

@@ -121,7 +121,9 @@ class UpdateBatch:
         """Apply the batch in order; returns ``(inserted, deleted)`` counts.
 
         Inserting an existing tuple or deleting an absent one is a no-op (set
-        semantics), and is not counted.
+        semantics), and is not counted.  Each applied update incrementally
+        maintains the relation's cached views, secondary indexes, statistics
+        and any registered access-constraint indexes — no rebuilds.
         """
         inserted = 0
         deleted = 0
@@ -132,8 +134,7 @@ class UpdateBatch:
                     database.add(update.relation, update.row)
                     inserted += 1
             else:
-                if update.row in relation:
-                    relation._tuples.discard(update.row)  # noqa: SLF001 - storage-internal
+                if relation.discard(update.row):
                     deleted += 1
         return inserted, deleted
 
@@ -150,12 +151,7 @@ class UpdateBatch:
 
 def delete_row(database: Database, relation: str, row: Sequence[object]) -> bool:
     """Remove one tuple from a database relation (returns whether it was present)."""
-    rel = database.relation(relation)
-    row = tuple(row)
-    if row in rel:
-        rel._tuples.discard(row)  # noqa: SLF001 - storage-internal
-        return True
-    return False
+    return database.relation(relation).discard(row)
 
 
 def random_update_batch(

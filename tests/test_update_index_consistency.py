@@ -1,0 +1,181 @@
+"""Property-style tests: deltas keep every derived structure consistent.
+
+After applying a random update batch through the storage layer, the
+incrementally maintained structures must agree with from-scratch rebuilds:
+
+* ``AccessIndex.lookup`` (maintained through relation observers) vs. a fresh
+  :class:`IndexSet` over the post-update database;
+* the relations' cached secondary hash indexes vs. freshly built ones;
+* the cached ``Relation.tuples`` frozen view and per-relation statistics vs.
+  recomputation.
+"""
+
+import pytest
+
+from repro.storage.indexes import IndexSet
+from repro.storage.instance import Database
+from repro.storage.statistics import (
+    discover_access_constraints,
+    relation_statistics,
+)
+from repro.storage.updates import UpdateBatch, random_update_batch
+from repro.workloads import graph_search as gs
+
+
+def _fresh_copy(database: Database) -> Database:
+    return Database.from_facts(database.schema, database.facts)
+
+
+def _assert_index_sets_agree(maintained: IndexSet, rebuilt: IndexSet) -> None:
+    for constraint in maintained.access_schema:
+        left = maintained.index_for(constraint)
+        right = rebuilt.index_for(constraint)
+        assert left.keys == right.keys, constraint
+        for key in left.keys | right.keys:
+            assert left.lookup(key) == right.lookup(key), (constraint, key)
+        assert left.max_group_size() == right.max_group_size(), constraint
+
+
+@pytest.mark.parametrize("seed", [0, 1, 7])
+def test_access_indexes_track_applied_deltas(seed):
+    instance = gs.generate(num_persons=120, num_movies=80, seed=seed)
+    database = instance.database
+    access = gs.access_schema(n0=instance.n0, with_like_key=True)
+    indexes = IndexSet(database, access)  # built BEFORE the updates
+
+    batch = random_update_batch(
+        database, size=60, seed=seed, access_schema=access, insert_ratio=0.6
+    )
+    inserted, deleted = batch.apply_to(database)
+    assert inserted + deleted > 0
+
+    _assert_index_sets_agree(indexes, IndexSet(database, access))
+
+    # Undo the batch: the maintained indexes must roll back too.
+    batch.inverted().apply_to(database)
+    _assert_index_sets_agree(indexes, IndexSet(database, access))
+
+
+@pytest.mark.parametrize("seed", [2, 5])
+def test_secondary_indexes_and_statistics_survive_deltas(seed):
+    instance = gs.generate(num_persons=100, num_movies=60, seed=seed)
+    database = instance.database
+
+    # Warm a secondary index and the statistics on every relation.
+    warmed = {
+        name: database.relation(name).index_on((0,))
+        for name in database.schema.names
+    }
+    for name in database.schema.names:
+        database.relation(name).statistics()
+
+    batch = random_update_batch(database, size=40, seed=seed)
+    batch.apply_to(database)
+
+    for name in database.schema.names:
+        relation = database.relation(name)
+        # Cached frozen view matches the live tuple set.
+        assert relation.tuples == frozenset(iter(relation))
+        # The warmed index was maintained in place, not rebuilt.
+        assert database.relation(name).index_on((0,)) is warmed[name]
+        fresh = {}
+        for row in relation:
+            fresh.setdefault((row[0],), set()).add(row)
+        assert {k: set(v) for k, v in warmed[name].items()} == fresh
+        # Statistics agree with a from-scratch single-pass recomputation.
+        assert relation.statistics() == relation_statistics(
+            _fresh_copy(database).relation(name)
+        )
+
+
+def test_discovered_constraints_stay_indexable_under_updates():
+    instance = gs.generate(num_persons=60, num_movies=40, seed=9)
+    database = instance.database
+    mined = discover_access_constraints(
+        database, max_x_size=1, max_bound=200, relations=("rating", "movie")
+    )
+    assert len(tuple(mined)) > 0
+    indexes = IndexSet(database, mined)
+    batch = random_update_batch(database, size=30, seed=9, access_schema=mined)
+    batch.apply_to(database)
+    _assert_index_sets_agree(indexes, IndexSet(database, mined))
+
+
+def test_access_index_does_not_memoise_missing_keys():
+    from repro.algebra.schema import schema_from_spec
+    from repro.core.access import AccessConstraint, AccessSchema
+
+    schema = schema_from_spec({"R": ("a", "b")})
+    database = Database(schema, {"R": [(1, 10)]})
+    constraint = AccessConstraint("R", ("a",), ("b",), 5)
+    indexes = IndexSet(database, AccessSchema([constraint]))
+    index = indexes.index_for(constraint)
+    for miss in range(1000):
+        assert index.lookup((f"absent-{miss}",)) == frozenset()
+    assert len(index._frozen) <= 1  # noqa: SLF001 - misses are not cached
+    # A hit still memoises its frozen view.
+    assert index.lookup((1,)) == {(1, 10)}
+    assert (1,) in index._frozen  # noqa: SLF001
+
+
+def test_inplace_set_operators_keep_caches_consistent():
+    from repro.algebra.schema import schema_from_spec
+    from repro.core.access import AccessConstraint, AccessSchema
+
+    schema = schema_from_spec({"R": ("a", "b")})
+    database = Database(schema, {"R": [(1, 10), (2, 20), (3, 30)]})
+    relation = database.relation("R")
+    constraint = AccessConstraint("R", ("a",), ("b",), 5)
+    indexes = IndexSet(database, AccessSchema([constraint]))
+    relation.index_on((0,))
+    relation.statistics()
+
+    relation._tuples -= {(2, 20)}  # noqa: SLF001 - in-place mutator bypass
+    relation._tuples |= {(4, 40)}  # noqa: SLF001
+    relation._tuples ^= {(4, 40), (5, 50)}  # noqa: SLF001 - drops 4, adds 5
+
+    assert relation.tuples == {(1, 10), (3, 30), (5, 50)}
+    assert indexes.fetch(constraint, (2,)) == frozenset()
+    assert indexes.fetch(constraint, (5,)) == {(5, 50)}
+    assert dict(relation.index_on((0,))) == {(1,): [(1, 10)], (3,): [(3, 30)], (5,): [(5, 50)]}
+    assert relation.statistics() == relation_statistics(
+        _fresh_copy(database).relation("R")
+    )
+
+
+def test_concurrent_queries_share_lazy_index_builds():
+    """query_many-style read-only concurrency must not corrupt index caches."""
+    from concurrent.futures import ThreadPoolExecutor
+
+    from repro.algebra.evaluation import evaluate_cq
+    from repro.algebra.parser import parse_cq
+
+    instance = gs.generate(num_persons=300, num_movies=150, seed=4)
+    database = instance.database
+    queries = [
+        parse_cq("Q(mid) :- movie(mid, t, 'Universal', '2014'), rating(mid, 5)"),
+        parse_cq("Q(mid) :- movie(mid, t, 'Sony', '2013'), rating(mid, 4)"),
+        parse_cq("Q(p) :- person(p, n, 'NASA'), like(p, m, 'movie')"),
+    ] * 8
+    with ThreadPoolExecutor(max_workers=8) as pool:
+        results = list(pool.map(lambda q: evaluate_cq(q, database), queries))
+    for query, rows in zip(queries, results):
+        assert rows == evaluate_cq(query, database.facts), query.name
+
+
+def test_deletion_keeps_projection_while_supported():
+    """A projection disappears only when its last supporting tuple does."""
+    from repro.algebra.schema import schema_from_spec
+    from repro.core.access import AccessConstraint, AccessSchema
+    from repro.storage.updates import Deletion
+
+    schema = schema_from_spec({"R": ("a", "b", "c")})
+    database = Database(schema, {"R": [(1, 10, "u"), (1, 10, "v")]})
+    constraint = AccessConstraint("R", ("a",), ("b",), 5)
+    indexes = IndexSet(database, AccessSchema([constraint]))
+    assert indexes.fetch(constraint, (1,)) == {(1, 10)}
+    # Two base tuples support the projection (1, 10): deleting one keeps it.
+    UpdateBatch([Deletion("R", (1, 10, "u"))]).apply_to(database)
+    assert indexes.fetch(constraint, (1,)) == {(1, 10)}
+    UpdateBatch([Deletion("R", (1, 10, "v"))]).apply_to(database)
+    assert indexes.fetch(constraint, (1,)) == frozenset()
