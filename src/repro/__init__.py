@@ -119,9 +119,11 @@ from .engine import (
     plan_to_sql,
     register_planner,
 )
+from .engine.service import MaintenanceReport, ViewMaintainer
 from .storage import (
     Database,
     Deletion,
+    DeltaStream,
     IndexSet,
     Insertion,
     UpdateBatch,
@@ -141,6 +143,7 @@ __all__ = [
     "Database",
     "DatabaseSchema",
     "Deletion",
+    "DeltaStream",
     "EqualityAtom",
     "ExactVBRPPlanner",
     "FOQuery",
@@ -148,6 +151,7 @@ __all__ = [
     "IndexSet",
     "Insertion",
     "MaintainedEngine",
+    "MaintenanceReport",
     "NaiveEngine",
     "Param",
     "PreparedQuery",
@@ -160,6 +164,7 @@ __all__ = [
     "UpdateBatch",
     "Variable",
     "View",
+    "ViewMaintainer",
     "ViewSet",
     "__version__",
     "a_contained_in",

@@ -12,6 +12,7 @@ from .maintenance import (
     MaintainedIndexSet,
     MaintenanceReport,
     MaintenanceStats,
+    ViewDelta,
 )
 from .optimizer import PlanSearchOutcome, build_bounded_plan, build_bounded_plan_ucq
 from .service import (
@@ -30,6 +31,7 @@ from .service import (
     SQLiteBackend,
     StatsSnapshot,
     ToppedFOPlanner,
+    ViewMaintainer,
     available_planners,
     canonical_query_key,
     register_planner,
@@ -73,6 +75,8 @@ __all__ = [
     "ServiceStats",
     "StatsSnapshot",
     "ToppedFOPlanner",
+    "ViewDelta",
+    "ViewMaintainer",
     "available_planners",
     "build_bounded_plan",
     "build_bounded_plan_ucq",

@@ -1,275 +1,173 @@
-"""Bounded incremental maintenance of cached views and access indices.
+"""Deprecated maintenance facade over the first-class write path.
 
-The paper lists *bounded view maintenance* as follow-up work: keep the cached
-``V(D)`` and the indices of the access schema up to date "by accessing a
-bounded amount of data in D, in response to changes to D".  This module
-implements the machinery for single-tuple insertions and deletions:
+.. deprecated::
+    Updates are a first-class subsystem of the service now.  The machinery
+    that used to live here moved into the layers it belongs to:
 
-* :class:`MaintainedIndexSet` — the hash indices of an access schema kept
-  incrementally: each update touches exactly one bucket per constraint on the
-  updated relation (O(1) work per constraint), and the set doubles as the
-  executor's fetch provider;
-* :class:`IncrementalViewCache` — cached CQ/UCQ view results maintained with
-  per-tuple delta queries: an insertion adds the rows derivable *through* the
-  new tuple; a deletion over-deletes the rows whose derivations may use the
-  removed tuple and re-derives the survivors with anchored support checks
-  (the classic DRed scheme specialised to single tuples);
-* :class:`MaintainedEngine` — a :class:`repro.engine.service.QueryService`
-  whose view cache and indices are maintained across :meth:`apply` calls
-  instead of being recomputed, together with an admissibility check that
-  inspects only the index buckets an update touches (so checking ``D ⊕ ΔD |=
-  A`` is itself bounded).
+    * the **delta-stream protocol** (one netted
+      :class:`~repro.storage.deltas.DeltaStream` per transaction, observable
+      by indexes, views, caches and backends) lives in
+      :mod:`repro.storage.deltas` and
+      :meth:`repro.storage.instance.Database.apply`;
+    * the **compiled delta plans** (each view compiled once into per-relation
+      delta rules, counting-based multiset maintenance where sound, DRed as
+      the fallback) live in :mod:`repro.exec.delta_compiler`;
+    * the **maintenance kernel** wiring both to the serving layer lives in
+      :mod:`repro.engine.service.maintenance`
+      (:class:`~repro.engine.service.maintenance.ViewMaintainer`);
+    * the **write API** is :meth:`repro.engine.service.QueryService.apply`.
 
-The benchmark ``benchmarks/bench_maintenance.py`` measures the incremental
-path against full recomputation.
+    New code should call ``QueryService.apply(batch)`` directly::
+
+        from repro import QueryService
+        service = QueryService(database, access_schema, views)
+        report = service.apply(batch)
+
+The classes below are kept as thin compatibility shims with the historical
+surface: :class:`MaintainedEngine` delegates to ``QueryService.apply``;
+:class:`IncrementalViewCache` preserves the caller-driven per-update API on
+top of the :class:`~repro.engine.service.maintenance.ViewMaintainer`;
+:class:`MaintainedIndexSet` no longer owns bucket logic at all — the
+observer-maintained :class:`repro.storage.indexes.AccessIndex` is the single
+implementation of incremental index maintenance, and the shim merely routes
+the old method names to it.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Iterable, Mapping, Sequence
+from typing import Iterable, Sequence
 
-from ..algebra.atoms import EqualityAtom
-from ..algebra.cq import ConjunctiveQuery
-from ..algebra.evaluation import evaluate_cq, evaluate_ucq
-from ..algebra.terms import Constant, Variable
-from ..algebra.ucq import QueryLike, as_union
+from ..algebra.ucq import QueryLike
 from ..algebra.views import View, ViewSet
-from ..core.access import AccessConstraint, AccessSchema
+from ..core.access import AccessSchema
 from ..errors import EvaluationError, UnsupportedQueryError
+from ..storage.deltas import DeltaStream
+from ..storage.indexes import IndexSet
 from ..storage.instance import Database
-from ..storage.updates import Deletion, Insertion, Update, UpdateBatch
+from ..storage.updates import Insertion, Update, UpdateBatch
 from .service import QueryService
+from .service.maintenance import (
+    MaintenanceReport,
+    MaintenanceStats,
+    ViewDelta,
+    ViewMaintainer,
+)
 from .session import EngineAnswer
+
+__all__ = [
+    "IncrementalViewCache",
+    "MaintainedEngine",
+    "MaintainedIndexSet",
+    "MaintenanceReport",
+    "MaintenanceStats",
+    "ViewDelta",
+]
 
 
 # --------------------------------------------------------------------------- #
-# Incrementally maintained indices
+# Index maintenance: one implementation, in storage
 # --------------------------------------------------------------------------- #
 
 
 class MaintainedIndexSet:
-    """Hash indices for an access schema, maintained under single-tuple updates.
+    """Deprecated alias surface over :class:`repro.storage.indexes.IndexSet`.
 
-    Implements the executor's fetch-provider protocol
-    (``fetch(constraint, key) -> frozenset``), so it can be swapped in for
-    :class:`repro.storage.indexes.IndexSet` without rebuilding anything after
-    every batch.
+    .. deprecated:: the per-bucket maintenance logic this class used to
+        duplicate lives solely in :class:`repro.storage.indexes.AccessIndex`,
+        which registers as a relation observer — any mutation applied through
+        the storage layer maintains the buckets; there is nothing left to
+        ``apply`` by hand.
     """
 
     def __init__(self, database: Database, access_schema: AccessSchema) -> None:
-        access_schema.validate(database.schema)
         self.database = database
         self.access_schema = access_schema
-        self._positions: dict[AccessConstraint, tuple[tuple[int, ...], tuple[int, ...]]] = {}
-        # Per constraint: key -> {projection -> support count}.  Counting the
-        # base tuples behind every projection makes deletions O(1): a
-        # projection disappears exactly when its count reaches zero, without
-        # rescanning the relation.
-        self._buckets: dict[AccessConstraint, dict[tuple, dict[tuple, int]]] = {}
-        for constraint in access_schema:
-            relation = database.schema.relation(constraint.relation)
-            x_positions = relation.positions(constraint.x)
-            out_positions = relation.positions(constraint.output_attributes)
-            self._positions[constraint] = (x_positions, out_positions)
-            buckets: dict[tuple, dict[tuple, int]] = {}
-            for row in database.relation(constraint.relation):
-                key = tuple(row[p] for p in x_positions)
-                value = tuple(row[p] for p in out_positions)
-                counts = buckets.setdefault(key, {})
-                counts[value] = counts.get(value, 0) + 1
-            self._buckets[constraint] = buckets
+        self._indexes = IndexSet(database, access_schema)
 
-    # ------------------------------------------------------------------ #
+    def fetch(self, constraint, key) -> frozenset[tuple]:
+        """Return ``D_{R:XY}(X = key)`` from the observer-maintained buckets."""
+        return self._indexes.fetch(constraint, key)
 
-    def fetch(self, constraint: AccessConstraint, key: Sequence[object]) -> frozenset[tuple]:
-        """Return ``D_{R:XY}(X = key)`` from the maintained buckets."""
-        return frozenset(self._buckets[constraint].get(tuple(key), {}))
-
-    def bucket_size(self, constraint: AccessConstraint, key: Sequence[object]) -> int:
-        return len(self._buckets[constraint].get(tuple(key), ()))
-
-    # ------------------------------------------------------------------ #
+    def bucket_size(self, constraint, key) -> int:
+        return len(self._indexes.fetch(constraint, key))
 
     def admissible(self, update: Update) -> bool:
-        """Would applying ``update`` keep every constraint satisfied?
-
-        Only the buckets the update touches are inspected — the check reads a
-        bounded number of index entries, never the whole relation.  Deletions
-        are always admissible.
-        """
-        if isinstance(update, Deletion):
-            return True
-        relation = self.database.schema.relation(update.relation)
-        for constraint in self.access_schema.for_relation(update.relation):
-            x_positions, _ = self._positions[constraint]
-            y_positions = relation.positions(constraint.y)
-            key = tuple(update.row[p] for p in x_positions)
-            existing = {
-                tuple(value[constraint.output_attributes.index(a)] for a in constraint.y)
-                for value in self._buckets[constraint].get(key, {})
-            }
-            existing.add(tuple(update.row[p] for p in y_positions))
-            if len(existing) > constraint.bound:
-                return False
-        return True
+        """Bucket-local ``D ⊕ ΔD |= A`` check (bounded work per update)."""
+        return self._indexes.admissible(update)
 
     def apply(self, update: Update) -> None:
-        """Maintain the buckets of every constraint on the updated relation.
+        """Apply ``update`` to the database; the buckets follow via observers.
 
-        Work per update: one bucket entry per constraint on the relation —
-        independent of the size of the database, as bounded maintenance
-        requires.
+        The historical contract mutated only the index; callers always paired
+        it with the matching database mutation, so the shim applies the
+        update through the storage layer (idempotent under set semantics) and
+        lets the observer protocol do the maintenance — exactly once.
         """
-        for constraint in self.access_schema.for_relation(update.relation):
-            x_positions, out_positions = self._positions[constraint]
-            key = tuple(update.row[p] for p in x_positions)
-            value = tuple(update.row[p] for p in out_positions)
-            buckets = self._buckets[constraint]
-            if isinstance(update, Insertion):
-                counts = buckets.setdefault(key, {})
-                counts[value] = counts.get(value, 0) + 1
-            else:
-                counts = buckets.get(key)
-                if counts is None or value not in counts:
-                    continue
-                counts[value] -= 1
-                if counts[value] <= 0:
-                    del counts[value]
-                if not counts:
-                    del buckets[key]
+        relation = self.database.relation(update.relation)
+        row = tuple(update.row)
+        if isinstance(update, Insertion):
+            if row not in relation:
+                relation.add(row)
+        else:
+            relation.discard(row)
 
 
 # --------------------------------------------------------------------------- #
-# Incrementally maintained view cache
+# View cache: caller-driven shim over the ViewMaintainer
 # --------------------------------------------------------------------------- #
-
-
-@dataclass
-class ViewDelta:
-    """Rows added to / removed from one view by a single update."""
-
-    view: str
-    added: frozenset[tuple] = frozenset()
-    removed: frozenset[tuple] = frozenset()
-
-    @property
-    def is_empty(self) -> bool:
-        return not self.added and not self.removed
-
-
-@dataclass
-class MaintenanceStats:
-    """Work accounting of an :meth:`IncrementalViewCache.apply` run.
-
-    ``delta_queries`` counts the anchored delta evaluations, ``support_checks``
-    the per-row re-derivation probes after deletions; both stay small when the
-    views are selective — the quantity bounded view maintenance is about.
-    """
-
-    updates: int = 0
-    delta_queries: int = 0
-    support_checks: int = 0
-    rows_added: int = 0
-    rows_removed: int = 0
-
-    def merged_with(self, other: "MaintenanceStats") -> "MaintenanceStats":
-        return MaintenanceStats(
-            updates=self.updates + other.updates,
-            delta_queries=self.delta_queries + other.delta_queries,
-            support_checks=self.support_checks + other.support_checks,
-            rows_added=self.rows_added + other.rows_added,
-            rows_removed=self.rows_removed + other.rows_removed,
-        )
-
-
-def _bind_atom_to_tuple(
-    disjunct: ConjunctiveQuery, atom_index: int, row: tuple
-) -> ConjunctiveQuery | None:
-    """Specialise a disjunct by forcing one atom to match a concrete tuple.
-
-    Returns ``None`` when the atom's constants clash with the tuple (no
-    derivation can use the tuple through this atom).
-    """
-    atom = disjunct.atoms[atom_index]
-    if len(atom.terms) != len(row):
-        return None
-    equalities: list[EqualityAtom] = []
-    for term, value in zip(atom.terms, row):
-        if isinstance(term, Constant):
-            if term.value != value:
-                return None
-        else:
-            equalities.append(EqualityAtom(term, Constant(value)))
-    return disjunct.with_extra_equalities(equalities, name=f"{disjunct.name}_delta")
-
-
-def _bind_head_to_row(disjunct: ConjunctiveQuery, row: tuple) -> ConjunctiveQuery | None:
-    """Specialise a disjunct by fixing its head to a concrete output row."""
-    if len(disjunct.head) != len(row):
-        return None
-    equalities: list[EqualityAtom] = []
-    for term, value in zip(disjunct.head, row):
-        if isinstance(term, Constant):
-            if term.value != value:
-                return None
-        else:
-            equalities.append(EqualityAtom(term, Constant(value)))
-    return disjunct.with_extra_equalities(equalities, name=f"{disjunct.name}_support")
 
 
 class IncrementalViewCache:
-    """Materialised CQ/UCQ view results maintained under single-tuple updates."""
+    """Deprecated caller-driven facade over
+    :class:`~repro.engine.service.maintenance.ViewMaintainer`.
+
+    .. deprecated:: subscribe a service to the database's delta stream (or
+        just use :meth:`QueryService.apply`) instead of pushing single
+        updates by hand.  The shim keeps the historical contract: the caller
+        applies each update to the database first, then calls :meth:`apply`
+        with it; FO views are rejected, as before.
+    """
 
     def __init__(self, views: ViewSet | Sequence[View], database: Database) -> None:
         self.views = views if isinstance(views, ViewSet) else ViewSet(views)
-        self.database = database
-        self._definitions: dict[str, tuple[ConjunctiveQuery, ...]] = {}
-        self._rows: dict[str, set[tuple]] = {}
         for view in self.views:
             if view.language not in ("CQ", "UCQ"):
                 raise UnsupportedQueryError(
                     f"view {view.name!r} is defined in {view.language}; incremental "
                     "maintenance supports CQ and UCQ views"
                 )
-            disjuncts = tuple(d.normalize() for d in view.as_ucq().disjuncts)
-            self._definitions[view.name] = disjuncts
-            self._rows[view.name] = set(evaluate_ucq(view.as_ucq(), database))
+        self.database = database
+        # Counting maintenance needs effective-only streams; this shim's
+        # streams are synthesised from whatever the caller claims happened,
+        # so it stays on idempotent DRed — the historical semantics exactly.
+        self._maintainer = ViewMaintainer(self.views, database, allow_counting=False)
 
-    # ------------------------------------------------------------------ #
+    @property
+    def maintainer(self) -> ViewMaintainer:
+        return self._maintainer
 
     def rows(self, view_name: str) -> frozenset[tuple]:
-        return frozenset(self._rows[view_name])
+        return self._maintainer.rows(view_name)
 
     def snapshot(self) -> dict[str, frozenset[tuple]]:
         """The cache in the shape expected by the plan executor."""
-        return {name: frozenset(rows) for name, rows in self._rows.items()}
+        return self._maintainer.snapshot()
 
     @property
     def total_rows(self) -> int:
-        return sum(len(rows) for rows in self._rows.values())
+        return self._maintainer.total_rows
 
-    # ------------------------------------------------------------------ #
-
-    def apply(self, update: Update, stats: MaintenanceStats | None = None) -> list[ViewDelta]:
-        """Maintain every view for one update *already applied* to the database.
-
-        The caller applies the update to ``self.database`` first (see
-        :class:`MaintainedEngine.apply`); insertions are processed against the
-        post-update state, deletions re-derive against the post-update state as
-        well, which is exactly what the delta rules require.
-        """
-        stats = stats if stats is not None else MaintenanceStats()
-        stats.updates += 1
-        deltas: list[ViewDelta] = []
-        for view in self.views:
-            if isinstance(update, Insertion):
-                delta = self._apply_insertion(view, update, stats)
-            else:
-                delta = self._apply_deletion(view, update, stats)
-            if not delta.is_empty:
-                deltas.append(delta)
-        return deltas
+    def apply(
+        self, update: Update, stats: MaintenanceStats | None = None
+    ) -> list[ViewDelta]:
+        """Maintain every view for one update *already applied* to the database."""
+        stream = DeltaStream()
+        row = tuple(update.row)
+        if isinstance(update, Insertion):
+            stream.record_insert(update.relation, row)
+        else:
+            stream.record_delete(update.relation, row)
+        return self._maintainer.apply_stream(stream, stats)
 
     def apply_batch(self, batch: UpdateBatch | Iterable[Update]) -> MaintenanceStats:
         """Maintain the views for a whole batch (already applied to the database)."""
@@ -278,122 +176,26 @@ class IncrementalViewCache:
             self.apply(update, stats)
         return stats
 
-    # ------------------------------------------------------------------ #
-
-    def _apply_insertion(
-        self, view: View, update: Insertion, stats: MaintenanceStats
-    ) -> ViewDelta:
-        added: set[tuple] = set()
-        current = self._rows[view.name]
-        for disjunct in self._definitions[view.name]:
-            for index, atom in enumerate(disjunct.atoms):
-                if atom.relation != update.relation:
-                    continue
-                specialized = _bind_atom_to_tuple(disjunct, index, update.row)
-                if specialized is None:
-                    continue
-                stats.delta_queries += 1
-                for row in evaluate_cq(specialized, self.database):
-                    if row not in current:
-                        added.add(row)
-        current.update(added)
-        stats.rows_added += len(added)
-        return ViewDelta(view=view.name, added=frozenset(added))
-
-    def _apply_deletion(
-        self, view: View, update: Deletion, stats: MaintenanceStats
-    ) -> ViewDelta:
-        current = self._rows[view.name]
-        affected: set[tuple] = set()
-        for disjunct in self._definitions[view.name]:
-            for index, atom in enumerate(disjunct.atoms):
-                if atom.relation != update.relation:
-                    continue
-                specialized = _bind_atom_to_tuple(disjunct, index, update.row)
-                if specialized is None:
-                    continue
-                stats.delta_queries += 1
-                # Rows whose derivations may have used the deleted tuple: the
-                # delta query evaluated over the *old* state is approximated by
-                # intersecting the specialised query over the new state with
-                # the currently cached rows, plus an explicit support check.
-                affected.update(
-                    row for row in current if self._row_matches(specialized, row)
-                )
-        removed: set[tuple] = set()
-        for row in affected:
-            stats.support_checks += 1
-            if not self._has_support(view, row):
-                removed.add(row)
-        current.difference_update(removed)
-        stats.rows_removed += len(removed)
-        return ViewDelta(view=view.name, removed=frozenset(removed))
-
-    def _row_matches(self, specialized: ConjunctiveQuery, row: tuple) -> bool:
-        """Could ``row`` be an output of the specialised (tuple-bound) disjunct?
-
-        A cheap necessary condition: the head positions holding constants after
-        binding must agree with the row.  Rows passing the filter go through
-        the exact support check.
-        """
-        normalized = specialized.normalize() if specialized.is_satisfiable() else None
-        if normalized is None:
-            return False
-        for term, value in zip(normalized.head, row):
-            if isinstance(term, Constant) and term.value != value:
-                return False
-        return True
-
-    def _has_support(self, view: View, row: tuple) -> bool:
-        """Does ``row`` still have a derivation in the current database state?"""
-        for disjunct in self._definitions[view.name]:
-            support = _bind_head_to_row(disjunct, row)
-            if support is None:
-                continue
-            if evaluate_cq(support, self.database):
-                return True
-        return False
-
-    # ------------------------------------------------------------------ #
-
     def recompute(self) -> dict[str, frozenset[tuple]]:
-        """Recompute every view from scratch (the baseline the benchmarks compare to)."""
-        return {
-            view.name: frozenset(evaluate_ucq(view.as_ucq(), self.database))
-            for view in self.views
-        }
+        """Recompute every view from scratch (the benchmarks' baseline)."""
+        return self._maintainer.recompute()
 
     def verify(self) -> bool:
         """Check the maintained cache against a full recomputation (for tests)."""
-        fresh = self.recompute()
-        return all(frozenset(self._rows[name]) == rows for name, rows in fresh.items())
+        return self._maintainer.verify()
 
 
 # --------------------------------------------------------------------------- #
-# A BoundedEngine that stays fresh under updates
+# MaintainedEngine: a QueryService with the write path spelled the old way
 # --------------------------------------------------------------------------- #
-
-
-@dataclass
-class MaintenanceReport:
-    """Outcome of applying one batch through :class:`MaintainedEngine.apply`."""
-
-    applied: int
-    skipped_inadmissible: int
-    inserted: int
-    deleted: int
-    stats: MaintenanceStats
-    view_deltas: list[ViewDelta] = field(default_factory=list)
 
 
 class MaintainedEngine:
-    """A bounded-rewriting engine whose caches survive updates to the data.
+    """Deprecated facade: a :class:`QueryService` whose caches survive updates.
 
-    Construction materialises the views and builds the indices once (exactly
-    like :class:`~repro.engine.service.QueryService`); afterwards
-    :meth:`apply` keeps the database, the indices and the view cache in sync
-    incrementally, and :meth:`answer` keeps serving queries from the
-    maintained state through the service.
+    .. deprecated:: ``QueryService`` maintains its views, indices, plan cache
+        and backends on every :meth:`QueryService.apply` already; this class
+        only preserves the historical constructor and result types.
     """
 
     def __init__(
@@ -405,63 +207,36 @@ class MaintainedEngine:
     ) -> None:
         self.database = database
         self.access_schema = access_schema
-        self.views = views if isinstance(views, ViewSet) else ViewSet(views)
         if check_constraints and not database.satisfies(access_schema):
             raise EvaluationError("database does not satisfy the access schema")
-        self.index_set = MaintainedIndexSet(database, access_schema)
-        self.view_cache = IncrementalViewCache(self.views, database)
         self.service = QueryService(
-            database, access_schema, self.views, check_constraints=False
+            database, access_schema, views, check_constraints=False
         )
-        self._sync_engine()
+        self.views = self.service.views
 
     # ------------------------------------------------------------------ #
 
-    def _sync_engine(self) -> None:
-        # Maintained buckets implement the fetch-provider protocol, so the
-        # service executes plans against them directly — no rebuild.
-        self.service.refresh_data(
-            provider=self.index_set, view_cache=self.view_cache.snapshot()
-        )
+    @property
+    def view_cache(self) -> ViewMaintainer:
+        """The maintained views (exposes ``rows``/``recompute``/``verify``)."""
+        return self.service.maintainer
 
-    def apply(self, batch: UpdateBatch | Iterable[Update], enforce_admissible: bool = True) -> MaintenanceReport:
-        """Apply a batch of updates, maintaining indices and cached views.
+    @property
+    def index_set(self) -> object:
+        """The fetch provider serving (observer-maintained) index lookups."""
+        return self.service.indexes
 
-        With ``enforce_admissible`` (the default) insertions that would break
-        an access constraint are skipped and counted in the report — keeping
-        the invariant ``D |= A`` that every bounded plan relies on.
-        """
-        updates = batch if isinstance(batch, UpdateBatch) else UpdateBatch(batch)
-        updates.validate(self.database)
-        stats = MaintenanceStats()
-        deltas: list[ViewDelta] = []
-        applied = skipped = inserted = deleted = 0
-        for update in updates:
-            if enforce_admissible and not self.index_set.admissible(update):
-                skipped += 1
-                continue
-            relation = self.database.relation(update.relation)
-            if isinstance(update, Insertion):
-                if update.row in relation:
-                    continue
-                self.database.add(update.relation, update.row)
-                inserted += 1
-            else:
-                if not relation.discard(update.row):
-                    continue
-                deleted += 1
-            applied += 1
-            self.index_set.apply(update)
-            deltas.extend(self.view_cache.apply(update, stats))
-        self._sync_engine()
-        return MaintenanceReport(
-            applied=applied,
-            skipped_inadmissible=skipped,
-            inserted=inserted,
-            deleted=deleted,
-            stats=stats,
-            view_deltas=deltas,
-        )
+    @property
+    def view_cache_size(self) -> int:
+        return self.service.maintainer.total_rows
+
+    def apply(
+        self,
+        batch: UpdateBatch | Iterable[Update],
+        enforce_admissible: bool = True,
+    ) -> MaintenanceReport:
+        """Apply a batch of updates, maintaining indices and cached views."""
+        return self.service.apply(batch, enforce_admissible=enforce_admissible)
 
     # ------------------------------------------------------------------ #
 
@@ -474,16 +249,20 @@ class MaintainedEngine:
     def baseline(self, query: QueryLike):
         return self.service.baseline(query, backend="memory")
 
-    @property
-    def view_cache_size(self) -> int:
-        return self.view_cache.total_rows
-
     def verify_caches(self) -> bool:
         """Cross-check the maintained views and indices against recomputation."""
-        if not self.view_cache.verify():
+        if not self.service.maintainer.verify():
             return False
-        rebuilt = MaintainedIndexSet(self.database, self.access_schema)
+        maintained = self.service.indexes
+        if not isinstance(maintained, IndexSet):
+            return True  # custom provider: nothing to rebuild against
+        rebuilt = IndexSet(self.database, self.access_schema)
         for constraint in self.access_schema:
-            if rebuilt._buckets[constraint] != self.index_set._buckets[constraint]:  # noqa: SLF001
+            left = maintained.index_for(constraint)
+            right = rebuilt.index_for(constraint)
+            if left.keys != right.keys:
                 return False
+            for key in left.keys:
+                if left.lookup(key) != right.lookup(key):
+                    return False
         return True

@@ -13,6 +13,12 @@ reusable:
 
 from .backends import ExecutionBackend, InMemoryBackend, SQLiteBackend, make_backend
 from .cache import CachedPlan, CacheStats, LRUPlanCache, canonical_query_key
+from .maintenance import (
+    MaintenanceReport,
+    MaintenanceStats,
+    ViewDelta,
+    ViewMaintainer,
+)
 from .planners import (
     DEFAULT_PLANNER_CHAIN,
     ExactVBRPPlanner,
@@ -39,6 +45,8 @@ __all__ = [
     "HeuristicPlanner",
     "InMemoryBackend",
     "LRUPlanCache",
+    "MaintenanceReport",
+    "MaintenanceStats",
     "Planner",
     "PlanningContext",
     "PlanningResult",
@@ -48,6 +56,8 @@ __all__ = [
     "ServiceStats",
     "StatsSnapshot",
     "ToppedFOPlanner",
+    "ViewDelta",
+    "ViewMaintainer",
     "available_planners",
     "canonical_query_key",
     "make_backend",

@@ -44,7 +44,9 @@ from ..sql import (
     insert_statements,
     materialize_view_statements,
     plan_to_sql,
+    quote_identifier,
     ucq_to_sql,
+    view_table_name,
 )
 
 
@@ -194,6 +196,67 @@ class SQLiteBackend:
             if self._connection is not None:
                 self._connection.close()
                 self._connection = None
+
+    def apply_delta(self, stream, view_deltas: Collection = ()) -> None:
+        """Fold a committed transaction into the loaded SQLite database.
+
+        The incremental write path: instead of dropping the connection (a
+        full reload of every relation, index and materialised view on the
+        next query), net row changes are applied with parameterised
+        ``DELETE``/``INSERT`` statements, and ``mv_*`` tables are patched
+        from the per-view deltas.  ``stream`` is a
+        :class:`~repro.storage.deltas.DeltaStream`; ``view_deltas`` the
+        :class:`~repro.engine.service.maintenance.ViewDelta` list of the same
+        transaction.  A backend that has not loaded yet only refreshes its
+        view-row snapshot — the lazy load will read the new state anyway.
+        """
+        with self._lock:
+            for delta in view_deltas:
+                rows = self._view_cache.get(delta.view, frozenset())
+                self._view_cache[delta.view] = (rows - delta.removed) | delta.added
+            connection = self._connection
+            if connection is None:
+                return
+            cursor = connection.cursor()
+            for relation in stream.relations:
+                schema = self.database.schema.relation(relation)
+                table = quote_identifier(relation)
+                deleted = stream.deleted(relation)
+                if deleted:
+                    # "IS ?" (not "= ?"): null-safe equality, so rows holding
+                    # None are removable from the mirror too.
+                    where = " AND ".join(
+                        f"{quote_identifier(a)} IS ?" for a in schema.attributes
+                    )
+                    cursor.executemany(
+                        f"DELETE FROM {table} WHERE {where}", [tuple(r) for r in deleted]
+                    )
+                inserted = stream.inserted(relation)
+                if inserted:
+                    placeholders = ", ".join("?" for _ in schema.attributes)
+                    cursor.executemany(
+                        f"INSERT INTO {table} VALUES ({placeholders})",
+                        [tuple(r) for r in inserted],
+                    )
+            for delta in view_deltas:
+                if delta.is_empty or delta.view not in self.views:
+                    continue
+                view = self.views.view(delta.view)
+                table = quote_identifier(view_table_name(delta.view))
+                attributes = view.attributes if view.arity else ("__exists",)
+                if delta.removed:
+                    where = " AND ".join(f"{quote_identifier(a)} IS ?" for a in attributes)
+                    cursor.executemany(
+                        f"DELETE FROM {table} WHERE {where}",
+                        [tuple(r) if r else (1,) for r in delta.removed],
+                    )
+                if delta.added:
+                    placeholders = ", ".join("?" for _ in attributes)
+                    cursor.executemany(
+                        f"INSERT INTO {table} VALUES ({placeholders})",
+                        [tuple(r) if r else (1,) for r in delta.added],
+                    )
+            connection.commit()
 
     def close(self) -> None:
         self.invalidate()

@@ -22,6 +22,7 @@ from __future__ import annotations
 import threading
 from collections import OrderedDict
 from dataclasses import dataclass
+from typing import Iterable
 
 from ...algebra.cq import ConjunctiveQuery
 from ...algebra.fo import FOQuery
@@ -71,13 +72,20 @@ class CachedPlan:
 
     ``parameters`` is the plan's set of named placeholders, computed once at
     planning time so the serving hot path does not re-walk the plan tree on
-    every (cache-hit) execution.
+    every (cache-hit) execution.  ``dependencies`` names the relations and
+    views the outcome depends on — the relations the query mentions, the
+    relations the plan fetches, and the views it scans together with their
+    base relations.  A write transaction evicts exactly the entries whose
+    dependencies it touches (:meth:`LRUPlanCache.invalidate`); an entry with
+    an empty dependency set predates dependency tracking and is treated as
+    depending on everything.
     """
 
     plan: PlanNode | None
     planner: str | None
     reason: str = ""
     parameters: frozenset[str] = frozenset()
+    dependencies: frozenset[str] = frozenset()
 
     @property
     def found(self) -> bool:
@@ -95,6 +103,7 @@ class CacheStats:
     hits: int = 0
     misses: int = 0
     evictions: int = 0
+    invalidations: int = 0
 
     @property
     def hit_rate(self) -> float:
@@ -144,6 +153,30 @@ class LRUPlanCache:
             while len(self._entries) > self.capacity:
                 self._entries.popitem(last=False)
                 self.stats.evictions += 1
+
+    def invalidate(self, touched: Iterable[str]) -> int:
+        """Evict the entries that depend on any of the ``touched`` names.
+
+        ``touched`` mixes relation and view names — exactly what a write
+        transaction changed.  Entries whose recorded dependencies are
+        disjoint from it survive, so a repeated query over untouched
+        relations keeps hitting the cache across writes.  Entries without
+        recorded dependencies are evicted conservatively.  Returns the
+        number of evicted entries.
+        """
+        touched = set(touched)
+        with self._lock:
+            if not touched:
+                return 0
+            stale = [
+                key
+                for key, entry in self._entries.items()
+                if not entry.dependencies or entry.dependencies & touched
+            ]
+            for key in stale:
+                del self._entries[key]
+            self.stats.invalidations += len(stale)
+            return len(stale)
 
     def clear(self) -> None:
         with self._lock:

@@ -31,8 +31,7 @@ from types import MappingProxyType
 from typing import Collection, Iterable, Mapping, Sequence
 
 from ...algebra.cq import ConjunctiveQuery
-from ...algebra.evaluation import evaluate_ucq
-from ...algebra.fo import FOQuery, evaluate_fo
+from ...algebra.fo import FOQuery
 from ...algebra.parser import parse_query
 from ...algebra.terms import Constant, Param, Variable, is_parameter
 from ...algebra.ucq import UnionQuery
@@ -40,12 +39,20 @@ from ...algebra.views import View, ViewSet
 from ...core.access import AccessSchema
 from ...core.element_queries import ElementQueryBudget
 from ...core.plan_eval import FetchProvider, bind_plan, plan_parameters
-from ...core.plans import PlanNode
+from ...core.plans import FetchNode, PlanNode, ViewScan
 from ...errors import EvaluationError, QueryError
+from ...storage.deltas import DeltaStream
 from ...storage.indexes import IndexSet
 from ...storage.instance import Database
+from ...storage.updates import Update, UpdateBatch
 from .backends import ExecutionBackend, InMemoryBackend, SQLiteBackend, make_backend
 from .cache import CachedPlan, LRUPlanCache, canonical_query_key
+from .maintenance import (
+    MaintenanceReport,
+    MaintenanceStats,
+    ViewDelta,
+    ViewMaintainer,
+)
 from .planners import (
     Planner,
     PlanningContext,
@@ -188,7 +195,11 @@ class QueryService:
     Construction materialises the views, builds the access-constraint indices
     and sets up the planner chain, the plan cache and the execution backends;
     afterwards :meth:`query`, :meth:`prepare` and :meth:`query_many` serve
-    any mix of CQ/UCQ/FO/string queries.
+    any mix of CQ/UCQ/FO/string queries, and :meth:`apply` is the matching
+    write path: the service subscribes to the database's delta stream, so
+    every committed transaction incrementally maintains the views (compiled
+    delta plans), evicts exactly the dependent plan-cache entries and feeds
+    the same delta to the backends.
 
     Parameters
     ----------
@@ -231,7 +242,8 @@ class QueryService:
             )
         self._indexes: FetchProvider = IndexSet(database, access_schema)
         self._known_relations = frozenset(r.name for r in database.schema)
-        self._view_cache = self._materialise_views()
+        self.maintainer = ViewMaintainer(self.views, database)
+        self._view_cache = self.maintainer.snapshot()
         self.planners = resolve_planners(planners)
         self.plan_cache = LRUPlanCache(plan_cache_size)
         self.stats = ServiceStats()
@@ -239,21 +251,18 @@ class QueryService:
         self._backends: dict[str, ExecutionBackend] = {}
         self._backend_lock = threading.Lock()
         self._backend(backend)  # fail fast on unknown names
+        # Maintenance accounting of the most recent delta notification,
+        # consumed by apply() to build its report.
+        self._last_maintenance: tuple[MaintenanceStats, list[ViewDelta]] | None = None
+        # The service is a transaction-level delta observer: ANY writer that
+        # goes through Database.apply (QueryService.apply, UpdateBatch.apply_to,
+        # another service on the same database) keeps this service's views,
+        # plan cache and backends fresh.
+        database.subscribe(self)
 
     # ------------------------------------------------------------------ #
     # State: views, indices, backends
     # ------------------------------------------------------------------ #
-
-    def _materialise_views(self) -> dict[str, frozenset[tuple]]:
-        cache: dict[str, frozenset[tuple]] = {}
-        for view in self.views:
-            if view.language in ("CQ", "UCQ"):
-                rows = evaluate_ucq(view.as_ucq(), self.database)
-            else:
-                head = [t for t in view.head if isinstance(t, Variable)]
-                rows = evaluate_fo(view.as_fo(), self.database.facts, head)
-            cache[view.name] = frozenset(rows)
-        return cache
 
     @property
     def context(self) -> PlanningContext:
@@ -342,14 +351,19 @@ class QueryService:
     ) -> None:
         """Tell the service the underlying data (or its caches) changed.
 
-        The incremental-maintenance layer calls this after applying updates:
-        ``provider`` swaps in maintained indices, ``view_cache`` swaps in the
-        maintained view rows.  The plan cache is dropped: planning consults
-        the storage statistics, so a cached choice of access path may no
-        longer be the cheapest (re-planning is cheap; serving stale plans is
-        silent).  Backends are refreshed or invalidated.
+        ``provider`` swaps in a different fetch provider, ``view_cache``
+        swaps in externally computed view rows.  Swapping only the execution
+        ``provider`` (same database, same views) keeps the plan cache and the
+        prepared queries' bound plans: plans are data-independent, and the
+        cache key never mentions the provider.  Swapping view rows wholesale
+        clears the plan cache conservatively — the scope of such an external
+        change is unknown.  Writes that go through :meth:`apply` (or any
+        :meth:`repro.storage.instance.Database.apply` transaction) never take
+        this path: they use dependency-tracked invalidation, evicting exactly
+        the cached plans that read a changed relation or view.
         """
-        self.plan_cache.clear()
+        if view_cache is not None:
+            self.plan_cache.clear()
         # Ordering invariant vs. lazy backend creation: the new state is
         # published to self._indexes/_view_cache BEFORE the backend list is
         # snapshotted under _backend_lock, and _backend() reads that state
@@ -372,6 +386,103 @@ class QueryService:
                 backend.refresh(provider=self._indexes, view_cache=self._view_cache)
             elif isinstance(backend, SQLiteBackend):
                 backend.invalidate(view_cache=self._view_cache)
+
+    # ------------------------------------------------------------------ #
+    # The write path: first-class updates through the delta stream
+    # ------------------------------------------------------------------ #
+
+    def apply(
+        self,
+        batch: UpdateBatch | Iterable[Update],
+        *,
+        enforce_admissible: bool = True,
+    ) -> MaintenanceReport:
+        """Apply a batch of single-tuple updates as one transaction.
+
+        The first-class write API.  With ``enforce_admissible`` (the
+        default), insertions that would violate an access constraint are
+        skipped and counted in the report — the check inspects only the
+        index buckets the update touches, keeping ``D |= A`` with bounded
+        work.  Applying the admitted updates maintains, in order: the
+        relations' caches, secondary indexes and statistics plus every
+        access-constraint index (per-row observers); then, via the committed
+        :class:`~repro.storage.deltas.DeltaStream`, the materialised views
+        (compiled delta plans — counting where sound, DRed otherwise), the
+        plan cache (dependency-tracked eviction: only plans reading a
+        changed relation or view are dropped) and the execution backends
+        (the SQLite backend replays the same delta instead of reloading).
+        """
+        updates = batch if isinstance(batch, UpdateBatch) else UpdateBatch(batch)
+        updates.validate(self.database)
+        self._last_maintenance = None
+        stream = self.database.apply(
+            updates, admit=self._admissible if enforce_admissible else None
+        )
+        maintenance = self._last_maintenance
+        self._last_maintenance = None
+        if maintenance is not None:
+            stats, deltas = maintenance
+        else:  # nothing changed: the observer was never notified
+            stats, deltas = MaintenanceStats(), []
+        return MaintenanceReport(
+            applied=stream.applied,
+            skipped_inadmissible=stream.skipped_inadmissible,
+            inserted=stream.applied_insertions,
+            deleted=stream.applied_deletions,
+            stats=stats,
+            view_deltas=deltas,
+        )
+
+    def on_delta(self, stream: DeltaStream) -> None:
+        """Delta-stream observer hook: fold one committed transaction in.
+
+        Called by :meth:`repro.storage.instance.Database.apply` after the
+        storage layer reached the post-transaction state — whether the write
+        came through :meth:`apply` or from another writer sharing the
+        database.
+        """
+        stats = MaintenanceStats()
+        deltas = self.maintainer.apply_stream(stream, stats)
+        touched = set(stream.touched)
+        touched.update(delta.view for delta in deltas)
+        self.plan_cache.invalidate(touched)
+        if deltas:
+            self._view_cache = self.maintainer.snapshot()
+        with self._backend_lock:
+            backends = list(self._backends.values())
+        for backend in backends:
+            if isinstance(backend, InMemoryBackend):
+                # The fetch provider reads live storage; only changed view
+                # rows require a new executor snapshot.
+                if deltas:
+                    backend.refresh(provider=self._indexes, view_cache=self._view_cache)
+            elif isinstance(backend, SQLiteBackend):
+                backend.apply_delta(stream, deltas)
+        self._last_maintenance = (stats, deltas)
+
+    def _admissible(self, update: Update) -> bool:
+        """Would applying ``update`` keep ``D |= A``?  Bounded bucket-local work."""
+        check = getattr(self._indexes, "admissible", None)
+        if callable(check):
+            return check(update)
+        # Custom fetch providers without an admissibility surface: check
+        # against the relation's secondary index — still one bucket per
+        # constraint, never a relation scan.
+        if not update.is_insertion:
+            return True
+        relation = self.database.relation(update.relation)
+        schema = relation.schema
+        row = tuple(update.row)
+        for constraint in self.access_schema.for_relation(update.relation):
+            x_positions = schema.positions(constraint.x)
+            y_positions = schema.positions(constraint.y)
+            key = tuple(row[p] for p in x_positions)
+            bucket = relation.index_on(x_positions).get(key, ())
+            values = {tuple(r[p] for p in y_positions) for r in bucket}
+            values.add(tuple(row[p] for p in y_positions))
+            if len(values) > constraint.bound:
+                return False
+        return True
 
     # ------------------------------------------------------------------ #
     # Planning
@@ -436,6 +547,7 @@ class QueryService:
                     planner=result.planner,
                     reason=f"bounded plan produced by planner {result.planner!r}",
                     parameters=plan_parameters(result.plan),
+                    dependencies=self._dependencies_of(resolved, result.plan),
                 )
                 break
             reasons.append(f"{planner.name}: {result.reason or 'no bounded plan found'}")
@@ -446,10 +558,37 @@ class QueryService:
                     f"({', '.join(p.name for p in chain) or 'empty'}) accepts "
                     f"{type(resolved).__name__} queries"
                 )
-            entry = CachedPlan(plan=None, planner=None, reason="; ".join(reasons))
+            entry = CachedPlan(
+                plan=None,
+                planner=None,
+                reason="; ".join(reasons),
+                dependencies=self._dependencies_of(resolved, None),
+            )
         if use_cache:
             self.plan_cache.put(key, entry)
         return entry, False
+
+    def _dependencies_of(
+        self, resolved: Query, plan: PlanNode | None
+    ) -> frozenset[str]:
+        """Relations and views a planning outcome depends on.
+
+        The relations the query mentions (planning consulted their
+        statistics, and the fallback path scans them), plus — for a found
+        plan — the relations it fetches and the views it scans together with
+        each view's base relations (the view rows change when those do).
+        """
+        dependencies = set(resolved.relation_names)
+        if plan is not None:
+            for node in plan.iter_nodes():
+                if isinstance(node, FetchNode):
+                    dependencies.add(node.relation)
+                elif isinstance(node, ViewScan):
+                    dependencies.add(node.view_name)
+                    if node.view_name in self.views:
+                        view = self.views.view(node.view_name)
+                        dependencies |= view.definition.relation_names
+        return frozenset(dependencies)
 
     def explain(
         self,

@@ -1,0 +1,397 @@
+"""Compile view definitions into per-relation delta plans — once.
+
+The incremental-maintenance layer used to re-derive a fresh anchored delta
+query per single tuple and push it through the generic CQ evaluator
+(normalisation, greedy ordering and pipeline construction per update).  This
+module moves all of that work to *compile time*, DBToaster-style: each CQ
+disjunct of a view is compiled once into
+
+* one :class:`DeltaRule` per body atom — given the net delta rows of that
+  atom's relation, it streams the head rows derivable *through* those rows,
+  with multiplicities (one output per valuation, no ``Distinct``), as a
+  pipeline of kernel operators (:class:`~repro.exec.operators.Scan` →
+  :class:`~repro.exec.operators.Select` →
+  :class:`~repro.exec.operators.Project` →
+  :class:`~repro.exec.operators.LookupJoin` chain);
+* one :class:`SupportCheck` — an existence test "is this head row still
+  derivable?", used by the DRed fallback after over-deletion.
+
+Only the *lookups* are late-bound: every stage resolves its key→rows probe
+through a ``LookupResolver`` at execution time, so the same compiled rule
+runs against the live secondary indexes of the database, against the
+reconstructed *pre-transaction* state (telescoped counting over multi-relation
+batches) or against the live-plus-deleted superset (DRed candidate
+generation).  Resolving per execution also keeps the rules correct when a
+relation evicts and lazily rebuilds a cached secondary index.
+
+Which maintenance strategy a view gets:
+
+* **counting** (:func:`counting_eligible`) — single-CQ views without
+  self-joins keep a ``row → number of derivations`` multiset; deletions just
+  decrement counts, and a row leaves the view exactly when its count reaches
+  zero.  Unsound in general for self-joins (one base tuple can appear in
+  several atom positions of the same valuation) and deliberately not used
+  across UCQ disjuncts, so
+* **DRed** — everything else CQ/UCQ-shaped over-deletes the rows whose
+  derivations may use a deleted tuple (candidates intersected with the
+  current view through a :class:`~repro.exec.operators.SemiJoin`) and
+  re-derives survivors through the compiled :class:`SupportCheck`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Collection, Iterator, Sequence
+
+from ..algebra.atoms import RelationAtom
+from ..algebra.cq import ConjunctiveQuery
+from ..algebra.terms import Constant, Variable
+from ..errors import UnsupportedQueryError
+from .operators import Distinct, LookupJoin, Operator, Project, Scan, Select, SemiJoin
+
+#: ``resolver(relation, key_positions, arity) -> (key -> matching rows)``.
+#: Implementations decide *which state* of the relation the probe sees.
+LookupResolver = Callable[[str, tuple[int, ...], int], Callable[[tuple], Sequence[tuple]]]
+
+
+# --------------------------------------------------------------------------- #
+# Stage compilation (the static half of cq_compiler.join_atom)
+# --------------------------------------------------------------------------- #
+
+
+class _JoinStage:
+    """One precompiled ``LookupJoin`` extension of a variable-row pipeline."""
+
+    __slots__ = (
+        "relation",
+        "arity",
+        "bound_positions",
+        "_key",
+        "_dup_predicate",
+        "kept",
+        "fresh_variables",
+    )
+
+    def __init__(
+        self,
+        schema: tuple[Variable, ...],
+        atom: RelationAtom,
+    ) -> None:
+        self.relation = atom.relation
+        self.arity = len(atom.terms)
+        width = len(schema)
+        position_of = {variable: index for index, variable in enumerate(schema)}
+
+        bound_positions: list[int] = []
+        key_spec: list[tuple[int | None, object]] = []  # (pipeline position, constant)
+        fresh_first: dict[Variable, int] = {}
+        duplicate_pairs: list[tuple[int, int]] = []
+        for position, term in enumerate(atom.terms):
+            if isinstance(term, Constant):
+                bound_positions.append(position)
+                key_spec.append((None, term.value))
+            elif term in position_of:
+                bound_positions.append(position)
+                key_spec.append((position_of[term], None))
+            elif term in fresh_first:
+                duplicate_pairs.append((fresh_first[term], position))
+            else:
+                fresh_first[term] = position
+        self.bound_positions = tuple(bound_positions)
+
+        spec = tuple(key_spec)
+
+        def key(row: tuple, spec=spec) -> tuple:
+            return tuple(row[i] if i is not None else v for i, v in spec)
+
+        self._key = key
+        if duplicate_pairs:
+            pairs = tuple(duplicate_pairs)
+
+            def predicate(row: tuple, pairs=pairs, width=width) -> bool:
+                return all(row[width + a] == row[width + b] for a, b in pairs)
+
+            self._dup_predicate: Callable[[tuple], bool] | None = predicate
+        else:
+            self._dup_predicate = None
+        self.kept = tuple(range(width)) + tuple(width + p for p in fresh_first.values())
+        self.fresh_variables = tuple(fresh_first)
+
+    def attach(self, operator: Operator, resolve: LookupResolver) -> Operator:
+        lookup = resolve(self.relation, self.bound_positions, self.arity)
+        joined: Operator = LookupJoin(operator, lookup, self._key)
+        if self._dup_predicate is not None:
+            joined = Select(joined, self._dup_predicate)
+        return Project(joined, self.kept)
+
+
+def _order_remaining(
+    bound: set[Variable], atoms: Sequence[RelationAtom]
+) -> list[RelationAtom]:
+    """Greedy static join order: stay connected, most-bound atoms first.
+
+    Compile-time ordering cannot consult live statistics (the rule outlives
+    any one database state), so it optimises what it can see: the number of
+    bound positions, then the number of fresh variables introduced.
+    """
+    remaining = list(atoms)
+    ordered: list[RelationAtom] = []
+    bound = set(bound)
+    while remaining:
+
+        def score(atom: RelationAtom) -> tuple:
+            bound_count = sum(
+                1
+                for term in atom.terms
+                if isinstance(term, Constant) or term in bound
+            )
+            fresh = len({t for t in atom.variables if t not in bound})
+            return (-bound_count, fresh, len(atom.terms))
+
+        best = min(remaining, key=score)
+        remaining.remove(best)
+        ordered.append(best)
+        bound.update(best.variables)
+    return ordered
+
+
+def _head_projection(
+    schema: tuple[Variable, ...], head: Sequence[object], where: str
+) -> Callable[[tuple], tuple]:
+    """Multiplicity-preserving head mapper (no ``Distinct``)."""
+    position_of = {variable: index for index, variable in enumerate(schema)}
+    spec: list[tuple[int | None, object]] = []
+    for term in head:
+        if isinstance(term, Constant):
+            spec.append((None, term.value))
+        elif term in position_of:
+            spec.append((position_of[term], None))
+        else:
+            raise UnsupportedQueryError(
+                f"{where}: head term {term} is not bound by the body; "
+                "unsafe views cannot be incrementally maintained"
+            )
+    frozen = tuple(spec)
+
+    def mapper(row: tuple, spec=frozen) -> tuple:
+        return tuple(row[i] if i is not None else v for i, v in spec)
+
+    return mapper
+
+
+# --------------------------------------------------------------------------- #
+# Delta rules
+# --------------------------------------------------------------------------- #
+
+
+class DeltaRule:
+    """The delta plan of one (disjunct, body-atom) pair, compiled once.
+
+    Given the net delta rows of the atom's relation, :meth:`head_rows`
+    streams every head row of a valuation that maps this atom to a delta row
+    — with multiplicity: a row appears once per valuation, which is exactly
+    the quantity counting-based maintenance accumulates.  The states the
+    remaining atoms are evaluated against are chosen by the caller through
+    the ``resolve`` argument (live / pre-transaction / augmented).
+    """
+
+    def __init__(self, disjunct: ConjunctiveQuery, atom_index: int) -> None:
+        atoms = disjunct.atoms
+        atom = atoms[atom_index]
+        self.relation = atom.relation
+        self.atom_index = atom_index
+        self._arity = len(atom.terms)
+
+        # Seed: delta rows of the bound atom, filtered on the atom's
+        # constants and repeated variables, projected to its distinct
+        # variables in first-occurrence order.
+        constant_positions: list[tuple[int, object]] = []
+        first_occurrence: dict[Variable, int] = {}
+        duplicate_pairs: list[tuple[int, int]] = []
+        for position, term in enumerate(atom.terms):
+            if isinstance(term, Constant):
+                constant_positions.append((position, term.value))
+            elif term in first_occurrence:
+                duplicate_pairs.append((first_occurrence[term], position))
+            else:
+                first_occurrence[term] = position
+        if constant_positions or duplicate_pairs:
+            constants = tuple(constant_positions)
+            pairs = tuple(duplicate_pairs)
+
+            def seed_predicate(row: tuple, constants=constants, pairs=pairs) -> bool:
+                for position, value in constants:
+                    if row[position] != value:
+                        return False
+                for first, later in pairs:
+                    if row[first] != row[later]:
+                        return False
+                return True
+
+            self._seed_predicate: Callable[[tuple], bool] | None = seed_predicate
+        else:
+            self._seed_predicate = None
+        self._seed_positions = tuple(first_occurrence.values())
+
+        schema = tuple(first_occurrence)
+        remaining = [a for i, a in enumerate(atoms) if i != atom_index]
+        self._stages: list[_JoinStage] = []
+        for other in _order_remaining(set(schema), remaining):
+            stage = _JoinStage(schema, other)
+            self._stages.append(stage)
+            schema = schema + stage.fresh_variables
+        self._head_mapper = _head_projection(
+            schema, disjunct.head, f"view disjunct {disjunct.name!r}"
+        )
+
+    def pipeline(
+        self, delta_rows: Collection[tuple], resolve: LookupResolver
+    ) -> Operator:
+        """The operator tree computing head rows (with multiplicity)."""
+        operator: Operator = Scan(delta_rows)
+        if self._seed_predicate is not None:
+            operator = Select(operator, self._seed_predicate)
+        operator = Project(operator, self._seed_positions)
+        for stage in self._stages:
+            operator = stage.attach(operator, resolve)
+        return Project(operator, mapper=self._head_mapper)
+
+    def head_rows(
+        self, delta_rows: Collection[tuple], resolve: LookupResolver
+    ) -> Iterator[tuple]:
+        """Stream head rows derivable through ``delta_rows`` (bag semantics)."""
+        if not delta_rows:
+            return iter(())
+        return self.pipeline(delta_rows, resolve).rows()
+
+    def affected_rows(
+        self,
+        delta_rows: Collection[tuple],
+        resolve: LookupResolver,
+        current: Collection[tuple],
+    ) -> Iterator[tuple]:
+        """Distinct head rows derivable through ``delta_rows`` that are
+        currently in the view — the DRed over-deletion candidates, computed
+        as a streaming semi-join against the cached rows."""
+        if not delta_rows or not current:
+            return iter(())
+        candidates = self.pipeline(delta_rows, resolve)
+        width = len(next(iter(current))) if current else 0
+        keys = tuple(range(width))
+        return Distinct(SemiJoin(candidates, Scan(current), keys, keys)).rows()
+
+
+class SupportCheck:
+    """Compiled existence test: is a head row still derivable in a disjunct?
+
+    The head binding becomes the seed row of the pipeline (constants are
+    checked, repeated head variables enforced), the whole body is joined in a
+    precompiled order, and the first surviving row proves support — the
+    pipeline is abandoned immediately (Volcano operators are lazy).
+    """
+
+    def __init__(self, disjunct: ConjunctiveQuery) -> None:
+        first_occurrence: dict[Variable, int] = {}
+        constant_positions: list[tuple[int, object]] = []
+        duplicate_pairs: list[tuple[int, int]] = []
+        for position, term in enumerate(disjunct.head):
+            if isinstance(term, Constant):
+                constant_positions.append((position, term.value))
+            elif term in first_occurrence:
+                duplicate_pairs.append((first_occurrence[term], position))
+            else:
+                first_occurrence[term] = position
+        self._constants = tuple(constant_positions)
+        self._duplicates = tuple(duplicate_pairs)
+        self._seed_positions = tuple(first_occurrence.values())
+
+        schema = tuple(first_occurrence)
+        self._stages: list[_JoinStage] = []
+        for atom in _order_remaining(set(schema), disjunct.atoms):
+            stage = _JoinStage(schema, atom)
+            self._stages.append(stage)
+            schema = schema + stage.fresh_variables
+
+    def supported(self, row: tuple, resolve: LookupResolver) -> bool:
+        for position, value in self._constants:
+            if row[position] != value:
+                return False
+        for first, later in self._duplicates:
+            if row[first] != row[later]:
+                return False
+        seed = tuple(row[p] for p in self._seed_positions)
+        operator: Operator = Scan((seed,))
+        for stage in self._stages:
+            operator = stage.attach(operator, resolve)
+        for _ in operator.rows():
+            return True
+        return False
+
+
+# --------------------------------------------------------------------------- #
+# Whole-view compilation
+# --------------------------------------------------------------------------- #
+
+
+class CompiledDisjunct:
+    """All delta rules of one normalised CQ disjunct, grouped per relation."""
+
+    def __init__(self, disjunct: ConjunctiveQuery) -> None:
+        self.disjunct = disjunct
+        rules: dict[str, list[DeltaRule]] = {}
+        for index, atom in enumerate(disjunct.atoms):
+            rules.setdefault(atom.relation, []).append(DeltaRule(disjunct, index))
+        self.rules: dict[str, tuple[DeltaRule, ...]] = {
+            name: tuple(per_atom) for name, per_atom in rules.items()
+        }
+        self.support = SupportCheck(disjunct)
+
+    @property
+    def relations(self) -> frozenset[str]:
+        return frozenset(self.rules)
+
+
+class CompiledViewDelta:
+    """A view's delta program: per-relation rules plus the chosen strategy."""
+
+    def __init__(self, name: str, disjuncts: Sequence[ConjunctiveQuery]) -> None:
+        self.name = name
+        self.disjuncts = tuple(CompiledDisjunct(d) for d in disjuncts)
+        self.counting = len(disjuncts) == 1 and not _has_self_join(disjuncts[0])
+
+    @property
+    def mode(self) -> str:
+        return "counting" if self.counting else "dred"
+
+    @property
+    def relations(self) -> frozenset[str]:
+        return frozenset(
+            name for disjunct in self.disjuncts for name in disjunct.relations
+        )
+
+
+def _has_self_join(disjunct: ConjunctiveQuery) -> bool:
+    names = [atom.relation for atom in disjunct.atoms]
+    return len(names) != len(set(names))
+
+
+def counting_eligible(disjuncts: Sequence[ConjunctiveQuery]) -> bool:
+    """Counting maintenance is used for single-CQ views without self-joins;
+    everything else falls back to DRed (see the module docstring)."""
+    return len(disjuncts) == 1 and not _has_self_join(disjuncts[0])
+
+
+def compile_view_delta(
+    name: str, disjuncts: Sequence[ConjunctiveQuery]
+) -> CompiledViewDelta:
+    """Compile the (already normalised) disjuncts of a CQ/UCQ view.
+
+    Raises :class:`~repro.errors.UnsupportedQueryError` for bodies without
+    relation atoms (nothing to anchor a delta on) and for unsafe heads.
+    """
+    for disjunct in disjuncts:
+        if not disjunct.atoms:
+            raise UnsupportedQueryError(
+                f"view {name!r} has a disjunct without relation atoms; "
+                "incremental maintenance needs at least one body atom"
+            )
+    return CompiledViewDelta(name, disjuncts)

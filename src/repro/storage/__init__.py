@@ -1,5 +1,6 @@
-"""Storage substrate: instances, access-constraint indices, statistics, updates."""
+"""Storage substrate: instances, indices, statistics, updates, delta streams."""
 
+from .deltas import DeltaObserver, DeltaStream, stream_from_changes
 from .indexes import AccessIndex, IndexSet
 from .instance import Database, Relation
 from .statistics import (
@@ -13,6 +14,8 @@ __all__ = [
     "AccessIndex",
     "Database",
     "Deletion",
+    "DeltaObserver",
+    "DeltaStream",
     "IndexSet",
     "Insertion",
     "Relation",
@@ -20,5 +23,6 @@ __all__ = [
     "constraint_bound",
     "discover_access_constraints",
     "random_update_batch",
+    "stream_from_changes",
     "verify_expected_schema",
 ]

@@ -1,0 +1,161 @@
+"""The delta-stream protocol: net per-transaction changes, observable.
+
+Bounded view maintenance (the paper's Section 8 follow-up) needs one shared
+change channel: indexes, statistics, materialised views, plan caches and
+execution backends all have to learn *what changed* without re-reading the
+database.  This module defines that channel:
+
+* :class:`DeltaStream` — the net effect of one transaction (a batch of
+  single-tuple updates applied with set semantics), grouped per relation in
+  first-touch order.  "Net" means a tuple inserted and later deleted inside
+  the same transaction cancels out: the stream is exactly
+  ``D_after − D_before`` per relation, which is the precondition for the
+  counting/telescoping delta rules of :mod:`repro.exec.delta_compiler`.
+* :class:`DeltaObserver` — the subscriber protocol.  Observers register with
+  :meth:`repro.storage.instance.Database.subscribe` and receive one
+  ``on_delta(stream)`` call per committed transaction, *after* the database
+  (and its per-row-maintained indexes and statistics) reached the new state.
+
+Two granularities, one protocol: per-row observers (access-constraint
+indexes, secondary indexes, statistics) ride on the relation-level hooks of
+:class:`~repro.storage.instance.Relation` and stay O(1) per tuple; the
+transaction-level observers here see the netted batch, which is what view
+maintenance and cache invalidation want.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Protocol, runtime_checkable
+
+_EMPTY: tuple[tuple, ...] = ()
+
+
+class DeltaStream:
+    """Net per-relation changes of one committed transaction.
+
+    Built by :meth:`repro.storage.instance.Database.apply` while a batch is
+    applied; consumers should treat it as read-only.  ``relations`` preserves
+    first-touch order, which observers use as the processing order of the
+    telescoped delta rules.
+    """
+
+    __slots__ = (
+        "_inserted",
+        "_deleted",
+        "_order",
+        "applied_insertions",
+        "applied_deletions",
+        "skipped_inadmissible",
+    )
+
+    def __init__(self) -> None:
+        self._inserted: dict[str, set[tuple]] = {}
+        self._deleted: dict[str, set[tuple]] = {}
+        # First-touch order of relations (dict used as an ordered set).
+        self._order: dict[str, None] = {}
+        #: Effective (non-no-op) insertions/deletions applied, before netting.
+        self.applied_insertions: int = 0
+        self.applied_deletions: int = 0
+        #: Updates rejected by the transaction's admissibility predicate.
+        self.skipped_inadmissible: int = 0
+
+    # ------------------------------------------------------------------ #
+    # Recording (storage layer only)
+    # ------------------------------------------------------------------ #
+
+    def record_insert(self, relation: str, row: tuple) -> None:
+        """Record one applied insertion (the row was absent before)."""
+        self._order.setdefault(relation, None)
+        self.applied_insertions += 1
+        deleted = self._deleted.get(relation)
+        if deleted is not None and row in deleted:
+            deleted.discard(row)  # was present pre-transaction: net zero
+        else:
+            self._inserted.setdefault(relation, set()).add(row)
+
+    def record_delete(self, relation: str, row: tuple) -> None:
+        """Record one applied deletion (the row was present before)."""
+        self._order.setdefault(relation, None)
+        self.applied_deletions += 1
+        inserted = self._inserted.get(relation)
+        if inserted is not None and row in inserted:
+            inserted.discard(row)  # added by this transaction: net zero
+        else:
+            self._deleted.setdefault(relation, set()).add(row)
+
+    # ------------------------------------------------------------------ #
+    # Reading
+    # ------------------------------------------------------------------ #
+
+    @property
+    def relations(self) -> tuple[str, ...]:
+        """Relations with a non-empty net change, in first-touch order."""
+        return tuple(
+            name
+            for name in self._order
+            if self._inserted.get(name) or self._deleted.get(name)
+        )
+
+    @property
+    def touched(self) -> frozenset[str]:
+        """Relation names with a non-empty net change."""
+        return frozenset(self.relations)
+
+    def inserted(self, relation: str) -> tuple[tuple, ...]:
+        """Net-inserted rows: absent before the transaction, present after."""
+        rows = self._inserted.get(relation)
+        return tuple(rows) if rows else _EMPTY
+
+    def deleted(self, relation: str) -> tuple[tuple, ...]:
+        """Net-deleted rows: present before the transaction, absent after."""
+        rows = self._deleted.get(relation)
+        return tuple(rows) if rows else _EMPTY
+
+    @property
+    def is_empty(self) -> bool:
+        return not any(self._inserted.values()) and not any(self._deleted.values())
+
+    @property
+    def applied(self) -> int:
+        """Effective single-tuple updates applied (set-semantics no-ops excluded)."""
+        return self.applied_insertions + self.applied_deletions
+
+    @property
+    def net_size(self) -> int:
+        """Total number of net row changes across all relations."""
+        return sum(len(rows) for rows in self._inserted.values()) + sum(
+            len(rows) for rows in self._deleted.values()
+        )
+
+    def __len__(self) -> int:
+        return self.net_size
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        parts = ", ".join(
+            f"{name}(+{len(self._inserted.get(name, ()))}/-{len(self._deleted.get(name, ()))})"
+            for name in self.relations
+        )
+        return f"DeltaStream({parts or 'empty'})"
+
+
+@runtime_checkable
+class DeltaObserver(Protocol):
+    """Anything that wants the net delta of every committed transaction."""
+
+    def on_delta(self, stream: DeltaStream) -> None:
+        """Called once per non-empty transaction, after the database reached
+        the new state (per-row maintained indexes and statistics included)."""
+        ...
+
+
+def stream_from_changes(
+    inserted: Iterable[tuple[str, tuple]] = (),
+    deleted: Iterable[tuple[str, tuple]] = (),
+) -> DeltaStream:
+    """Build a stream from explicit (relation, row) changes (tests, shims)."""
+    stream = DeltaStream()
+    for relation, row in inserted:
+        stream.record_insert(relation, tuple(row))
+    for relation, row in deleted:
+        stream.record_delete(relation, tuple(row))
+    return stream

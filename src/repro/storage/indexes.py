@@ -38,6 +38,9 @@ class AccessIndex:
         out_attrs = constraint.output_attributes
         self._out_positions = schema.positions(out_attrs)
         self.output_attributes = out_attrs
+        # Positions of the constraint's Y attributes inside the stored
+        # XY-projections (used by the bucket-local admissibility check).
+        self._y_in_out = tuple(out_attrs.index(a) for a in constraint.y)
         # Per key: projection -> number of supporting base tuples.
         self._buckets: dict[tuple, dict[tuple, int]] = {}
         # Frozen per-key views handed out by lookup(), invalidated per key.
@@ -90,6 +93,24 @@ class AccessIndex:
             self._frozen[key] = frozen
         return frozen
 
+    def admits(self, row: tuple) -> bool:
+        """Would inserting ``row`` keep this constraint satisfied?
+
+        Inspects only the one bucket the row's ``X``-value hashes to — the
+        check reads a bounded number of index entries (at most ``N`` distinct
+        projections), never the relation.  Re-inserting an existing
+        ``Y``-value never violates the bound.
+        """
+        key = tuple(row[p] for p in self._x_positions)
+        bucket = self._buckets.get(key)
+        if bucket is None:
+            return self.constraint.bound >= 1
+        y_in_out = self._y_in_out
+        out_positions = self._out_positions
+        values = {tuple(value[i] for i in y_in_out) for value in bucket}
+        values.add(tuple(row[out_positions[i]] for i in y_in_out))
+        return len(values) <= self.constraint.bound
+
     @property
     def keys(self) -> frozenset[tuple]:
         return frozenset(self._buckets)
@@ -130,6 +151,22 @@ class IndexSet:
     def fetch(self, constraint: AccessConstraint, key: Sequence[object]) -> frozenset[tuple]:
         """Fetch ``D_{R:XY}(X = key)`` through the constraint's index."""
         return self.index_for(constraint).lookup(key)
+
+    def admissible(self, update: object) -> bool:
+        """Would applying ``update`` keep every constraint satisfied?
+
+        The bounded-admissibility check of the write path: only the buckets
+        the update's key values hash to are inspected, so checking
+        ``D ⊕ ΔD |= A`` reads a bounded number of index entries.  Deletions
+        are always admissible.
+        """
+        if not getattr(update, "is_insertion", False):
+            return True
+        row = tuple(update.row)  # type: ignore[attr-defined]
+        for constraint in self.access_schema.for_relation(update.relation):  # type: ignore[attr-defined]
+            if not self._indices[constraint].admits(row):
+                return False
+        return True
 
     @property
     def facts(self) -> Mapping[str, frozenset[tuple]]:

@@ -13,17 +13,24 @@ service planners), both kept consistent under single-tuple mutations.
 Access-constraint indexes (:class:`repro.storage.indexes.AccessIndex`)
 register themselves as observers and are maintained incrementally too, so
 applying an update batch never forces a full index rebuild.
+
+Change propagation has two granularities, one protocol: per-row observers
+(indexes, statistics) ride the relation-level hooks, while transaction-level
+observers (materialised views, plan caches, execution backends) subscribe to
+the database (:meth:`Database.subscribe`) and receive one netted
+:class:`~repro.storage.deltas.DeltaStream` per committed :meth:`Database.apply`.
 """
 
 from __future__ import annotations
 
 import threading
 import weakref
-from typing import Iterable, Iterator, Mapping, Sequence
+from typing import Callable, Iterable, Iterator, Mapping, Sequence
 
 from ..algebra.schema import DatabaseSchema, RelationSchema
 from ..core.access import AccessSchema
 from ..errors import SchemaError
+from .deltas import DeltaStream
 from .statistics import RelationStatistics
 
 #: Upper bound on cached secondary indexes per relation (FIFO eviction).
@@ -320,6 +327,9 @@ class Database:
         self._relations: dict[str, Relation] = {
             relation.name: Relation(relation) for relation in schema
         }
+        # Transaction-level delta observers (weakly held, like the per-row
+        # relation observers): each committed apply() notifies them once.
+        self._delta_observers: list[weakref.ref] = []
         if facts:
             for name, rows in facts.items():
                 self.add_many(name, rows)
@@ -341,6 +351,87 @@ class Database:
             raise SchemaError(
                 f"unknown relation {name!r}; known: {sorted(self._relations)}"
             ) from exc
+
+    # ------------------------------------------------------------------ #
+    # The delta-stream protocol (transaction-level change propagation)
+    # ------------------------------------------------------------------ #
+
+    def subscribe(self, observer: object) -> None:
+        """Subscribe an ``on_delta(stream)`` observer to committed transactions.
+
+        Observers are held weakly, mirroring the per-row relation observers: a
+        query service that goes out of scope stops being notified without
+        explicit deregistration.  Notification happens once per non-empty
+        :meth:`apply`, after the database (and every per-row-maintained
+        structure) reached the post-transaction state.
+        """
+        self._delta_observers.append(weakref.ref(observer))
+
+    def unsubscribe(self, observer: object) -> None:
+        self._delta_observers = [
+            reference
+            for reference in self._delta_observers
+            if reference() is not None and reference() is not observer
+        ]
+
+    def apply(
+        self,
+        updates: Iterable[object],
+        *,
+        admit: Callable[[object], bool] | None = None,
+    ) -> DeltaStream:
+        """Apply a batch of single-tuple updates as one transaction.
+
+        ``updates`` is any iterable of :class:`~repro.storage.updates.Insertion`
+        / :class:`~repro.storage.updates.Deletion` objects (duck-typed on
+        ``relation`` / ``row`` / ``is_insertion``), applied in order with set
+        semantics — inserting a present tuple or deleting an absent one is a
+        no-op.  ``admit`` is an optional per-update predicate evaluated
+        against the *running* state right before each update (the service's
+        bounded admissibility check); rejected updates are skipped and counted
+        on the returned stream.
+
+        Every applied update maintains the relation's caches, secondary
+        indexes, statistics and access-constraint indexes in place (the
+        per-row observer path); after the whole batch, subscribed
+        transaction-level observers receive the netted :class:`DeltaStream`
+        exactly once.
+        """
+        stream = DeltaStream()
+        try:
+            for update in updates:
+                relation = self._relation(update.relation)
+                row = tuple(update.row)
+                if admit is not None and not admit(update):
+                    stream.skipped_inadmissible += 1
+                    continue
+                if update.is_insertion:
+                    if row not in relation:
+                        relation.add(row)
+                        stream.record_insert(update.relation, row)
+                else:
+                    if relation.discard(row):
+                        stream.record_delete(update.relation, row)
+        finally:
+            # An exception mid-batch (bad arity, unknown relation) leaves the
+            # earlier updates applied — observers must still see that partial
+            # stream, or views and caches silently go stale.
+            if not stream.is_empty:
+                self._notify_delta(stream)
+        return stream
+
+    def _notify_delta(self, stream: DeltaStream) -> None:
+        if not self._delta_observers:
+            return
+        alive: list[weakref.ref] = []
+        for reference in self._delta_observers:
+            observer = reference()
+            if observer is None:
+                continue
+            observer.on_delta(stream)
+            alive.append(reference)
+        if len(alive) != len(self._delta_observers):
+            self._delta_observers = alive
 
     # ------------------------------------------------------------------ #
     # Inspection

@@ -121,22 +121,16 @@ class UpdateBatch:
         """Apply the batch in order; returns ``(inserted, deleted)`` counts.
 
         Inserting an existing tuple or deleting an absent one is a no-op (set
-        semantics), and is not counted.  Each applied update incrementally
-        maintains the relation's cached views, secondary indexes, statistics
-        and any registered access-constraint indexes — no rebuilds.
+        semantics), and is not counted.  The batch is applied as one
+        transaction through :meth:`repro.storage.instance.Database.apply`:
+        each applied update incrementally maintains the relation's caches,
+        secondary indexes, statistics and any registered access-constraint
+        indexes, and subscribed delta observers (materialised views, plan
+        caches, backends) receive the netted
+        :class:`~repro.storage.deltas.DeltaStream` once at the end.
         """
-        inserted = 0
-        deleted = 0
-        for update in self.updates:
-            relation = database.relation(update.relation)
-            if isinstance(update, Insertion):
-                if update.row not in relation:
-                    database.add(update.relation, update.row)
-                    inserted += 1
-            else:
-                if relation.discard(update.row):
-                    deleted += 1
-        return inserted, deleted
+        stream = database.apply(self.updates)
+        return stream.applied_insertions, stream.applied_deletions
 
     def inverted(self) -> "UpdateBatch":
         """The batch undoing this one (insertions become deletions and vice versa)."""

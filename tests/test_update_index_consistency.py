@@ -7,11 +7,19 @@ incrementally maintained structures must agree with from-scratch rebuilds:
   :class:`IndexSet` over the post-update database;
 * the relations' cached secondary hash indexes vs. freshly built ones;
 * the cached ``Relation.tuples`` frozen view and per-relation statistics vs.
-  recomputation.
+  recomputation;
+* maintained views (compiled delta plans consuming the transaction's
+  :class:`~repro.storage.deltas.DeltaStream`) vs. full re-evaluation — for
+  counting-mode views including the derivation *counts*, and for the DRed
+  fallback paths (self-joins, unions).
 """
 
 import pytest
+from hypothesis import given, settings, strategies as st
 
+from repro.algebra.parser import parse_cq, parse_ucq
+from repro.algebra.views import View, ViewSet
+from repro.engine.service.maintenance import ViewMaintainer
 from repro.storage.indexes import IndexSet
 from repro.storage.instance import Database
 from repro.storage.statistics import (
@@ -161,6 +169,63 @@ def test_concurrent_queries_share_lazy_index_builds():
         results = list(pool.map(lambda q: evaluate_cq(q, database), queries))
     for query, rows in zip(queries, results):
         assert rows == evaluate_cq(query, database.facts), query.name
+
+
+def test_random_batches_keep_maintained_views_row_identical():
+    """Graph-search views (counting + DRed modes) vs. recomputation."""
+    for seed in (3, 11, 19):
+        instance = gs.generate(num_persons=120, num_movies=80, seed=seed)
+        database = instance.database
+        maintainer = ViewMaintainer(gs.views(), database, subscribe=True)
+        assert maintainer.mode("V1") == "counting"  # no self-join, single CQ
+        batch = random_update_batch(
+            database, size=60, seed=seed, access_schema=gs.access_schema()
+        )
+        batch.apply_to(database)
+        assert maintainer.verify(), seed  # rows AND derivation counts
+        batch.inverted().apply_to(database)
+        assert maintainer.verify(), seed  # rollback maintained too
+
+
+def _edge_db(seed: int) -> Database:
+    from repro.algebra.schema import schema_from_spec
+    from repro.storage.generators import rng
+
+    generator = rng(seed)
+    schema = schema_from_spec({"E": ("src", "dst"), "L": ("node", "tag")})
+    database = Database(schema)
+    for _ in range(60):
+        database.add("E", (generator.randint(0, 12), generator.randint(0, 12)))
+    for node in range(0, 13, 2):
+        database.add("L", (node, f"t{node % 3}"))
+    return database
+
+
+@settings(max_examples=15, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=10_000))
+def test_random_batches_keep_self_join_and_union_views_exact(seed):
+    """Property: the DRed fallback (self-joins, unions) matches recomputation
+    after any random batch, including multi-relation mixed batches."""
+    database = _edge_db(seed)
+    views = ViewSet(
+        (
+            View("P2", parse_cq("P2(x, z) :- E(x, y), E(y, z)")),  # self-join
+            View(
+                "VU",
+                parse_ucq("V(x) :- E(x, y), L(y, t); V(x) :- L(x, t)"),  # union
+            ),
+            View("VC", parse_cq("VC(x, t) :- E(x, y), L(y, t)")),  # counting
+        )
+    )
+    maintainer = ViewMaintainer(views, database, subscribe=True)
+    assert maintainer.mode("P2") == "dred"
+    assert maintainer.mode("VU") == "dred"
+    assert maintainer.mode("VC") == "counting"
+    batch = random_update_batch(database, size=24, seed=seed, insert_ratio=0.45)
+    batch.apply_to(database)
+    assert maintainer.verify()
+    batch.inverted().apply_to(database)
+    assert maintainer.verify()
 
 
 def test_deletion_keeps_projection_while_supported():
