@@ -16,6 +16,10 @@ The package is organised as follows:
   output, A-equivalence, query plans with ``fetch``, conformance, the VBRP
   decision procedures, the effective syntax (topped and size-bounded
   queries) and cross-language rewriting;
+* :mod:`repro.analysis` — static analysis: plan verification with
+  boundedness certificates, compiled-delta-program checking, query lints and
+  view-dependency stratification, fronted by :meth:`QueryService.explain`,
+  :meth:`QueryService.lint` and ``QueryService(verify_plans=True)``;
 * :mod:`repro.engine` — the serving layer built around
   :class:`~repro.engine.service.QueryService`: one entry point for
   CQ/UCQ/FO/string queries, a pluggable planner chain (heuristic builder,
@@ -71,6 +75,16 @@ from .algebra import (
     schema_from_spec,
     variables,
 )
+from .analysis import (
+    Diagnostic,
+    Explanation,
+    FetchCertificate,
+    VerificationReport,
+    analyze_view_dependencies,
+    lint_query,
+    verify_delta_program,
+    verify_plan,
+)
 from .core import (
     AccessConstraint,
     AccessSchema,
@@ -120,6 +134,18 @@ from .engine import (
     register_planner,
 )
 from .engine.service import MaintenanceReport, ViewMaintainer
+from .errors import (
+    AccessConstraintError,
+    BudgetExceededError,
+    DeltaCompilationError,
+    EvaluationError,
+    PlanError,
+    PlanVerificationError,
+    QueryError,
+    ReproError,
+    SchemaError,
+    UnsupportedQueryError,
+)
 from .storage import (
     Database,
     Deletion,
@@ -135,18 +161,25 @@ __version__ = "1.1.0"
 
 __all__ = [
     "AccessConstraint",
+    "AccessConstraintError",
     "AccessSchema",
     "Answer",
     "BoundedEngine",
+    "BudgetExceededError",
     "ConjunctiveQuery",
     "Constant",
     "Database",
     "DatabaseSchema",
     "Deletion",
+    "DeltaCompilationError",
     "DeltaStream",
+    "Diagnostic",
     "EqualityAtom",
+    "EvaluationError",
     "ExactVBRPPlanner",
+    "Explanation",
     "FOQuery",
+    "FetchCertificate",
     "HeuristicPlanner",
     "IndexSet",
     "Insertion",
@@ -154,15 +187,22 @@ __all__ = [
     "MaintenanceReport",
     "NaiveEngine",
     "Param",
+    "PlanError",
+    "PlanVerificationError",
     "PreparedQuery",
+    "QueryError",
     "QueryService",
+    "ReproError",
+    "SchemaError",
     "RelationAtom",
     "RelationSchema",
     "ServiceStats",
     "ToppedFOPlanner",
     "UnionQuery",
+    "UnsupportedQueryError",
     "UpdateBatch",
     "Variable",
+    "VerificationReport",
     "View",
     "ViewMaintainer",
     "ViewSet",
@@ -174,6 +214,7 @@ __all__ = [
     "alg_acq",
     "alg_mp",
     "analyze_topped",
+    "analyze_view_dependencies",
     "approximate_answer",
     "available_planners",
     "build_bounded_plan",
@@ -190,6 +231,7 @@ __all__ = [
     "is_effectively_bounded",
     "is_size_bounded",
     "is_topped",
+    "lint_query",
     "make_size_bounded",
     "minimize_cq",
     "output_bound_estimate",
@@ -207,4 +249,6 @@ __all__ = [
     "top_k_diversified",
     "topped_plan",
     "variables",
+    "verify_delta_program",
+    "verify_plan",
 ]

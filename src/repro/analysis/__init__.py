@@ -1,0 +1,62 @@
+"""Static analysis: plan verification, boundedness certificates, query lints.
+
+The subsystem has four checkers, all purely static (no data access):
+
+* :func:`verify_plan` — walk any physical plan and verify schema
+  bookkeeping, access-constraint conformance and boundedness, producing a
+  :class:`VerificationReport` with located diagnostics and per-fetch
+  :class:`FetchCertificate` evidence;
+* :func:`verify_delta_program` — the same discipline for the maintenance
+  kernel's compiled delta rules;
+* :func:`lint_query` — advisory lints for legal-but-suspicious queries
+  (cartesian products, unused atoms, contradictions, unsafe negation);
+* :func:`analyze_view_dependencies` — stratification and cycle detection
+  over a view set, yielding the safe maintenance order.
+
+``QueryService.explain`` / ``QueryService.lint`` are the front ends;
+``QueryService(verify_plans=True)`` runs :func:`verify_plan` on every plan
+before it is cached, raising
+:class:`~repro.errors.PlanVerificationError` on findings.
+:mod:`repro.analysis.mutations` manufactures corrupted plans for
+property-testing the verifier.
+"""
+
+from .deps import ViewDependencyReport, analyze_view_dependencies
+from .diagnostics import (
+    BoundednessCounterexample,
+    CoverageStep,
+    Diagnostic,
+    FetchCertificate,
+    Severity,
+    VerificationReport,
+)
+from .explain import Explanation
+from .lints import lint_query
+from .mutations import MUTATION_KINDS, PlanMutation, mutate_plan, plan_mutations
+from .verifier import (
+    coverage_trace,
+    fetch_certificates,
+    verify_delta_program,
+    verify_plan,
+)
+
+__all__ = [
+    "BoundednessCounterexample",
+    "CoverageStep",
+    "Diagnostic",
+    "Explanation",
+    "FetchCertificate",
+    "MUTATION_KINDS",
+    "PlanMutation",
+    "Severity",
+    "VerificationReport",
+    "ViewDependencyReport",
+    "analyze_view_dependencies",
+    "coverage_trace",
+    "fetch_certificates",
+    "lint_query",
+    "mutate_plan",
+    "plan_mutations",
+    "verify_delta_program",
+    "verify_plan",
+]

@@ -1,0 +1,130 @@
+"""View-dependency analysis for the maintenance kernel.
+
+The delta-stream maintainer (:mod:`repro.engine.service.maintenance`)
+recomputes or incrementally patches views when their source relations
+change.  That is only well-defined when the dependency graph of the view set
+is acyclic: a view reading another view must be maintained *after* it, and a
+cycle would make the maintenance order (and the semantics) circular.
+
+:func:`analyze_view_dependencies` builds the graph — one edge per
+``view -> name it reads``, where a name is either a base relation or another
+view of the set — detects cycles, assigns strata (base relations are stratum
+0; a view sits one above the highest thing it reads, the classic Datalog
+stratification restricted to positive dependencies) and emits the safe
+maintenance order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..algebra.views import ViewSet
+from .diagnostics import Diagnostic
+
+
+@dataclass
+class ViewDependencyReport:
+    """Dependency structure of a view set.
+
+    ``edges`` maps each view to the names it reads (base relations and
+    views); ``strata`` maps every name to its stratum (0 for base
+    relations); ``order`` lists the views in a safe maintenance order
+    (dependencies first).  ``cycles`` lists one representative name cycle per
+    strongly connected component of size > 1 (or with a self-loop); when
+    non-empty, ``order`` and ``strata`` cover only the acyclic part.
+    """
+
+    edges: dict[str, frozenset[str]] = field(default_factory=dict)
+    strata: dict[str, int] = field(default_factory=dict)
+    order: tuple[str, ...] = ()
+    cycles: tuple[tuple[str, ...], ...] = ()
+    diagnostics: list[Diagnostic] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not any(d.severity == "error" for d in self.diagnostics)
+
+
+def analyze_view_dependencies(views: ViewSet) -> ViewDependencyReport:
+    """Build, stratify and cycle-check the dependency graph of ``views``."""
+    report = ViewDependencyReport()
+    view_names = set(views.names)
+    for view in views:
+        report.edges[view.name] = frozenset(view.definition.relation_names)
+
+    # Base relations (anything read that is not itself a view) are stratum 0.
+    base = {
+        name
+        for reads in report.edges.values()
+        for name in reads
+        if name not in view_names
+    }
+    for name in sorted(base):
+        report.strata[name] = 0
+
+    # Kahn's algorithm over view→view edges; whatever never becomes ready is
+    # part of (or downstream of) a cycle.
+    pending: dict[str, set[str]] = {
+        name: {dep for dep in reads if dep in view_names}
+        for name, reads in report.edges.items()
+    }
+    order: list[str] = []
+    ready = sorted(name for name, deps in pending.items() if not deps)
+    while ready:
+        name = ready.pop(0)
+        order.append(name)
+        depth = max(
+            (report.strata.get(dep, 0) for dep in report.edges[name]), default=0
+        )
+        report.strata[name] = depth + 1
+        newly_ready: list[str] = []
+        for other, deps in pending.items():
+            if name in deps:
+                deps.discard(name)
+                if not deps and other not in order and other not in ready:
+                    newly_ready.append(other)
+        ready.extend(sorted(newly_ready))
+    report.order = tuple(order)
+
+    stuck = sorted(name for name in pending if name not in order)
+    if stuck:
+        cycles = _find_cycles(stuck, pending)
+        report.cycles = tuple(cycles)
+        for cycle in cycles:
+            report.diagnostics.append(
+                Diagnostic(
+                    "views.cycle",
+                    "view dependency cycle: " + " -> ".join(cycle + (cycle[0],))
+                    + "; the maintenance order is undefined",
+                    subject=cycle[0],
+                )
+            )
+    return report
+
+
+def _find_cycles(
+    stuck: list[str], pending: dict[str, set[str]]
+) -> list[tuple[str, ...]]:
+    """One representative cycle per unresolved view (deduplicated by set)."""
+    cycles: list[tuple[str, ...]] = []
+    seen: set[frozenset[str]] = set()
+    for start in stuck:
+        path: list[str] = []
+        on_path: set[str] = set()
+        node = start
+        while node not in on_path:
+            path.append(node)
+            on_path.add(node)
+            remaining = sorted(dep for dep in pending.get(node, ()) if dep in stuck)
+            if not remaining:
+                path = []
+                break
+            node = remaining[0]
+        if not path:
+            continue
+        cycle = tuple(path[path.index(node):])
+        key = frozenset(cycle)
+        if key not in seen:
+            seen.add(key)
+            cycles.append(cycle)
+    return cycles

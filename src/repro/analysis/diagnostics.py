@@ -1,0 +1,179 @@
+"""Diagnostic data types shared by the static-analysis subsystem.
+
+Every check in :mod:`repro.analysis` — the plan verifier, the query lints,
+the view-dependency analysis and the delta-program checks — reports its
+findings as :class:`Diagnostic` values collected into a
+:class:`VerificationReport`.  A diagnostic is a *located, coded* finding:
+``code`` is a stable dotted identifier (``plan.fetch.unbound-key``,
+``query.cartesian``, ...) that tests and tooling match on, ``path`` locates
+the offending plan node as the sequence of child indices from the root, and
+``severity`` separates hard errors (the artifact is wrong) from advisory
+lints (the artifact is legal but suspicious).
+
+Boundedness evidence is first-class: a :class:`FetchCertificate` names the
+access constraint serving each ``fetch`` and the chain of
+:class:`CoverageStep` derivations witnessing that the fetch's input is
+bounded (the paper's ``cov(Q, A)`` fixpoint, Section 3.1); when a fetch is
+*not* bounded, :class:`BoundednessCounterexample` carries the minimal set of
+uncovered variables instead.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Literal
+
+from ..core.access import AccessConstraint
+
+Severity = Literal["error", "warning", "info"]
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One located finding of a static check.
+
+    ``path`` is the child-index path from the plan root to the offending
+    node (empty for root-level or non-plan findings); ``subject`` names the
+    artifact the finding is about (a relation, view or query name) when one
+    exists.
+    """
+
+    code: str
+    message: str
+    severity: Severity = "error"
+    path: tuple[int, ...] = ()
+    subject: str | None = None
+
+    def __str__(self) -> str:
+        location = f" at {'/'.join(map(str, self.path))}" if self.path else ""
+        return f"{self.severity}[{self.code}]{location}: {self.message}"
+
+
+@dataclass(frozen=True)
+class CoverageStep:
+    """One derivation step of the ``cov(Q, A)`` fixpoint (Section 3.1).
+
+    ``variable`` became covered through ``constraint`` applied at ``atom``;
+    ``via`` lists the previously covered variables the step consumed (empty
+    when the constraint's key positions hold only constants).
+    """
+
+    variable: str
+    constraint: AccessConstraint
+    atom: str
+    via: tuple[str, ...] = ()
+
+    def __str__(self) -> str:
+        source = f" from {{{', '.join(self.via)}}}" if self.via else " from constants"
+        return f"{self.variable} covered via {self.constraint} at {self.atom}{source}"
+
+
+@dataclass(frozen=True)
+class BoundednessCounterexample:
+    """Why a query/fetch input is *not* boundedly evaluable.
+
+    ``uncovered`` is the minimal set of variables no chain of access
+    constraints can bound (the NP witness of the complement of BOP,
+    Theorem 3.4); ``reasons`` are the accompanying human-readable
+    explanations.
+    """
+
+    uncovered: tuple[str, ...]
+    reasons: tuple[str, ...] = ()
+
+    def __str__(self) -> str:
+        return "uncovered variables: " + ", ".join(self.uncovered)
+
+
+@dataclass(frozen=True)
+class FetchCertificate:
+    """Boundedness evidence for one ``fetch`` node of a plan.
+
+    ``constraint`` is the declared access constraint serving the fetch
+    (condition (a) of conformance, Lemma 3.8); ``steps`` witness that every
+    ``X``-attribute of the fetch is covered in the unfolded input query
+    (condition (b)).  When ``bounded`` is false, ``counterexample`` names the
+    uncovered variables instead.
+    """
+
+    relation: str
+    x_attrs: tuple[str, ...]
+    y_attrs: tuple[str, ...]
+    constraint: AccessConstraint
+    bounded: bool
+    steps: tuple[CoverageStep, ...] = ()
+    counterexample: BoundednessCounterexample | None = None
+    note: str = ""
+
+    def render(self) -> str:
+        x = ", ".join(self.x_attrs) if self.x_attrs else "∅"
+        lines = [
+            f"fetch({x} ∈ _, {self.relation}, {', '.join(self.y_attrs)}) "
+            f"served by {self.constraint}"
+        ]
+        if not self.bounded and self.counterexample is not None:
+            lines.append(f"  NOT bounded — {self.counterexample}")
+        for step in self.steps:
+            lines.append(f"  {step}")
+        if self.note:
+            lines.append(f"  {self.note}")
+        return "\n".join(lines)
+
+    def __str__(self) -> str:
+        return self.render()
+
+
+@dataclass
+class VerificationReport:
+    """Outcome of one verification run: diagnostics plus fetch certificates.
+
+    ``ok`` means no *error*-severity diagnostic was reported; warnings and
+    infos (lints) do not fail verification.
+    """
+
+    subject: str = ""
+    diagnostics: list[Diagnostic] = field(default_factory=list)
+    certificates: list[FetchCertificate] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.errors
+
+    @property
+    def errors(self) -> tuple[Diagnostic, ...]:
+        return tuple(d for d in self.diagnostics if d.severity == "error")
+
+    @property
+    def warnings(self) -> tuple[Diagnostic, ...]:
+        return tuple(d for d in self.diagnostics if d.severity != "error")
+
+    def codes(self) -> frozenset[str]:
+        """The set of diagnostic codes reported (tests match on these)."""
+        return frozenset(d.code for d in self.diagnostics)
+
+    def add(
+        self,
+        code: str,
+        message: str,
+        severity: Severity = "error",
+        path: tuple[int, ...] = (),
+        subject: str | None = None,
+    ) -> None:
+        self.diagnostics.append(Diagnostic(code, message, severity, path, subject))
+
+    def extend(self, other: "VerificationReport") -> None:
+        self.diagnostics.extend(other.diagnostics)
+        self.certificates.extend(other.certificates)
+
+    def render(self) -> str:
+        lines = [f"verification of {self.subject or '<plan>'}: "
+                 + ("OK" if self.ok else f"{len(self.errors)} error(s)")]
+        for diagnostic in self.diagnostics:
+            lines.append(f"  {diagnostic}")
+        for certificate in self.certificates:
+            for line in certificate.render().splitlines():
+                lines.append(f"  {line}")
+        return "\n".join(lines)
+
+    def __str__(self) -> str:
+        return self.render()

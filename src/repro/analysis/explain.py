@@ -1,0 +1,76 @@
+"""The user-facing explanation object returned by ``QueryService.explain``.
+
+An :class:`Explanation` bundles what the planner chain decided (which
+planner, which plan, why), the boundedness evidence for that plan (one
+:class:`~repro.analysis.diagnostics.FetchCertificate` per fetch, with its
+``cov(Q, A)`` derivation steps and the worst-case fetch bound), the
+uncovered-variable counterexample when *no* bounded plan exists, and the
+query lints — everything the paper's effective-syntax story promises can be
+told *statically*, before touching data.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.plans import PlanNode
+from .diagnostics import (
+    BoundednessCounterexample,
+    Diagnostic,
+    FetchCertificate,
+)
+
+
+@dataclass
+class Explanation:
+    """Static diagnosis of one query against the service's access schema.
+
+    ``plan`` is ``None`` when no planner found a bounded plan; then
+    ``counterexample`` (when derivable) names the variables no chain of
+    access constraints can cover.  ``fetch_bound`` is the worst-case number
+    of tuples the plan can fetch (the paper's ``Dξ`` bound), when computable.
+    """
+
+    query_name: str
+    plan: PlanNode | None
+    planner: str = ""
+    reason: str = ""
+    cache_hit: bool = False
+    fetch_bound: int | None = None
+    certificates: tuple[FetchCertificate, ...] = ()
+    counterexample: BoundednessCounterexample | None = None
+    lints: tuple[Diagnostic, ...] = ()
+
+    @property
+    def bounded(self) -> bool:
+        """Did the service find a plan conforming to the access schema?"""
+        return self.plan is not None
+
+    def render(self) -> str:
+        lines = [f"explain {self.query_name}:"]
+        if self.plan is None:
+            lines.append("  no bounded plan under the access schema")
+            if self.reason:
+                lines.append(f"  reason: {self.reason}")
+            if self.counterexample is not None:
+                lines.append(f"  {self.counterexample}")
+                for why in self.counterexample.reasons:
+                    lines.append(f"    {why}")
+        else:
+            source = " (cached)" if self.cache_hit else ""
+            lines.append(f"  planner: {self.planner}{source}")
+            if self.reason:
+                lines.append(f"  reason: {self.reason}")
+            if self.fetch_bound is not None:
+                lines.append(f"  worst-case tuples fetched: {self.fetch_bound}")
+            for line in self.plan.pretty().splitlines():
+                lines.append(f"  {line}")
+            for certificate in self.certificates:
+                for line in certificate.render().splitlines():
+                    lines.append(f"  {line}")
+        for lint in self.lints:
+            lines.append(f"  {lint}")
+        return "\n".join(lines)
+
+    def __str__(self) -> str:
+        return self.render()

@@ -1,0 +1,221 @@
+"""Query lints: legal-but-suspicious patterns, reported before planning.
+
+Unlike the plan verifier (:mod:`repro.analysis.verifier`), nothing here makes
+a query *wrong* — a cartesian product evaluates fine, a disconnected body
+atom is a legitimate existential guard — but each pattern is a common symptom
+of a typo'd join variable or a leftover atom, and each one changes the cost
+profile of the bounded plans the planners can find.  Codes:
+
+* ``query.contradiction`` — the equality atoms equate two distinct constants;
+  the query is unsatisfiable and every plan for it is the empty plan.
+* ``query.cartesian`` — the body splits into ≥2 variable-disjoint components;
+  their join is a cartesian product.
+* ``query.unused-atoms`` — a body component shares no variable with the head;
+  it only contributes an existential non-emptiness check.
+* ``query.single-use-variable`` — a non-head variable occurring exactly once;
+  often a typo for a join variable (info severity: wildcards are idiomatic).
+* ``query.unsafe-negation`` — an FO negation whose free variables are not all
+  bound by a positive conjunct alongside it; such subformulas fall outside
+  the safe-range fragment the executors evaluate.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+from ..algebra.cq import ConjunctiveQuery
+from ..algebra.fo import (
+    FOAnd,
+    FOAtom,
+    FOEquality,
+    FOExists,
+    FOForAll,
+    FONot,
+    FOOr,
+    FOQuery,
+    is_positive_existential,
+    to_ucq,
+)
+from ..algebra.terms import Variable
+from ..algebra.ucq import UnionQuery
+from ..errors import QueryError, UnsupportedQueryError
+from .diagnostics import Diagnostic
+
+Query = ConjunctiveQuery | UnionQuery | FOQuery
+
+
+def lint_query(query: Query) -> list[Diagnostic]:
+    """All lint findings for ``query`` (warnings and infos; never errors)."""
+    diagnostics: list[Diagnostic] = []
+    if isinstance(query, ConjunctiveQuery):
+        _lint_cq(query, query.name, diagnostics)
+    elif isinstance(query, UnionQuery):
+        for index, disjunct in enumerate(query.disjuncts):
+            _lint_cq(disjunct, f"{query.name} disjunct {index}", diagnostics)
+    else:
+        _lint_negation(query, diagnostics)
+        if is_positive_existential(query):
+            try:
+                union = to_ucq(query, sorted(query.free_variables, key=str))
+            except (QueryError, UnsupportedQueryError):
+                pass
+            else:
+                for index, disjunct in enumerate(union.disjuncts):
+                    _lint_cq(disjunct, f"FO query disjunct {index}", diagnostics)
+    return diagnostics
+
+
+# --------------------------------------------------------------------------- #
+# CQ lints
+# --------------------------------------------------------------------------- #
+
+
+def _lint_cq(
+    query: ConjunctiveQuery, subject: str, diagnostics: list[Diagnostic]
+) -> None:
+    if not query.is_satisfiable():
+        diagnostics.append(
+            Diagnostic(
+                "query.contradiction",
+                f"{subject}: the equality atoms equate two distinct constants; "
+                "the query is unsatisfiable and always returns the empty answer",
+                severity="warning",
+                subject=query.name,
+            )
+        )
+        return  # normalisation would raise; nothing else to check
+    normalized = query.normalize()
+    if not normalized.atoms:
+        return
+    components = _components(normalized)
+    if len(components) > 1:
+        diagnostics.append(
+            Diagnostic(
+                "query.cartesian",
+                f"{subject}: the body splits into {len(components)} "
+                "variable-disjoint components; their join is a cartesian "
+                "product",
+                severity="warning",
+                subject=query.name,
+            )
+        )
+    head_variables = normalized.head_variables
+    if head_variables:
+        for component in components:
+            component_variables = {
+                v for index in component for v in normalized.atoms[index].variables
+            }
+            if not component_variables & head_variables:
+                atoms = ", ".join(str(normalized.atoms[i]) for i in sorted(component))
+                diagnostics.append(
+                    Diagnostic(
+                        "query.unused-atoms",
+                        f"{subject}: body atoms [{atoms}] share no variable "
+                        "with the head; they only contribute an existential "
+                        "non-emptiness check",
+                        severity="warning",
+                        subject=query.name,
+                    )
+                )
+    occurrences: Counter[Variable] = Counter()
+    for atom in normalized.atoms:
+        for term in atom.terms:
+            if isinstance(term, Variable):
+                occurrences[term] += 1
+    single = sorted(
+        v.name
+        for v, count in occurrences.items()
+        if count == 1 and v not in head_variables
+    )
+    if single:
+        diagnostics.append(
+            Diagnostic(
+                "query.single-use-variable",
+                f"{subject}: variables {single} occur exactly once and are "
+                "not returned; wildcards are fine, typo'd join variables are "
+                "not",
+                severity="info",
+                subject=query.name,
+            )
+        )
+
+
+def _components(query: ConjunctiveQuery) -> list[set[int]]:
+    """Connected components of body atoms under shared variables."""
+    count = len(query.atoms)
+    parent = list(range(count))
+
+    def find(index: int) -> int:
+        while parent[index] != index:
+            parent[index] = parent[parent[index]]
+            index = parent[index]
+        return index
+
+    by_variable: dict[Variable, int] = {}
+    for index, atom in enumerate(query.atoms):
+        for variable in atom.variables:
+            if variable in by_variable:
+                parent[find(index)] = find(by_variable[variable])
+            else:
+                by_variable[variable] = index
+    components: dict[int, set[int]] = {}
+    for index in range(count):
+        components.setdefault(find(index), set()).add(index)
+    return list(components.values())
+
+
+# --------------------------------------------------------------------------- #
+# FO negation safety
+# --------------------------------------------------------------------------- #
+
+
+def _fo_children(node: FOQuery) -> tuple[FOQuery, ...]:
+    if isinstance(node, (FOAnd, FOOr)):
+        return tuple(node.children)
+    if isinstance(node, FONot):
+        return (node.child,)
+    if isinstance(node, (FOExists, FOForAll)):
+        return (node.child,)
+    return ()
+
+
+def _lint_negation(node: FOQuery, diagnostics: list[Diagnostic]) -> None:
+    """Flag negated subformulas whose free variables lack a positive guard."""
+    if isinstance(node, FOAnd):
+        bound: set[Variable] = set()
+        for child in node.children:
+            if not isinstance(child, FONot):
+                bound |= set(child.free_variables)
+        for child in node.children:
+            if isinstance(child, FONot):
+                _report_unguarded(child, set(child.free_variables) - bound, diagnostics)
+                _lint_negation(child.child, diagnostics)
+            else:
+                _lint_negation(child, diagnostics)
+        return
+    if isinstance(node, FONot):
+        # A negation with no positive conjunct alongside it guards nothing.
+        _report_unguarded(node, set(node.free_variables), diagnostics)
+        _lint_negation(node.child, diagnostics)
+        return
+    if isinstance(node, (FOAtom, FOEquality)):
+        return
+    for child in _fo_children(node):
+        _lint_negation(child, diagnostics)
+
+
+def _report_unguarded(
+    negation: FONot, unguarded: set[Variable], diagnostics: list[Diagnostic]
+) -> None:
+    if not unguarded:
+        return
+    names = sorted(v.name for v in unguarded)
+    diagnostics.append(
+        Diagnostic(
+            "query.unsafe-negation",
+            f"negated subformula ¬({negation.child}) has free variables "
+            f"{names} not bound by a positive conjunct; the formula is "
+            "outside the safe-range fragment",
+            severity="warning",
+        )
+    )

@@ -1,0 +1,313 @@
+"""Seeded plan mutations for property-testing the verifier.
+
+Plan-node constructors validate their arguments, so a *well-formed* API
+cannot produce the corrupted plans the verifier exists to catch — a buggy
+planner or a future IR change can.  This module manufactures such plans by
+building nodes through ``object.__new__`` (bypassing ``__init__``
+validation) and grafting them into an otherwise valid plan:
+
+* ``swap-inputs`` — exchange two disjoint subtrees with different attribute
+  sets, corrupting the schema bookkeeping at both grafting points;
+* ``drop-projection-column`` — remove one column from a projection, starving
+  whoever consumed it;
+* ``unbind-lookup-column`` — interpose a projection under a ``fetch`` that
+  drops one of its ``X``-columns, so the lookup key is no longer bound.
+
+Each :class:`PlanMutation` carries the diagnostic codes the verifier is
+*guaranteed* to raise (mutation sites are chosen so a failure is structurally
+certain, not probabilistic); ``tests/test_analysis.py`` asserts every mutated
+plan is rejected with one of them.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from ..core.plans import (
+    AttributeEqualsAttribute,
+    AttributeEqualsConstant,
+    DifferenceNode,
+    FetchNode,
+    PlanNode,
+    ProductNode,
+    ProjectNode,
+    RenameNode,
+    SelectNode,
+    UnionNode,
+)
+
+MUTATION_KINDS = ("swap-inputs", "drop-projection-column", "unbind-lookup-column")
+
+
+@dataclass(frozen=True)
+class PlanMutation:
+    """A corrupted variant of a plan plus the diagnostics it must trigger."""
+
+    kind: str
+    description: str
+    plan: PlanNode
+    expected_codes: frozenset[str]
+
+
+# --------------------------------------------------------------------------- #
+# Raw (validation-bypassing) node surgery
+# --------------------------------------------------------------------------- #
+
+
+def _raw(cls: type, **attrs: object) -> PlanNode:
+    node = object.__new__(cls)
+    for name, value in attrs.items():
+        object.__setattr__(node, name, value)
+    assert isinstance(node, PlanNode)
+    return node
+
+
+def _replace_child(node: PlanNode, index: int, new_child: PlanNode) -> PlanNode:
+    if isinstance(node, FetchNode):
+        return _raw(
+            FetchNode,
+            child=new_child,
+            relation=node.relation,
+            x_attrs=node.x_attrs,
+            y_attrs=node.y_attrs,
+        )
+    if isinstance(node, ProjectNode):
+        return _raw(ProjectNode, child=new_child, kept=node.kept)
+    if isinstance(node, SelectNode):
+        return _raw(SelectNode, child=new_child, predicates=node.predicates)
+    if isinstance(node, RenameNode):
+        return _raw(RenameNode, child=new_child, mapping=node.mapping)
+    if isinstance(node, (ProductNode, UnionNode, DifferenceNode)):
+        left = new_child if index == 0 else node.left
+        right = new_child if index == 1 else node.right
+        return _raw(type(node), _left=left, _right=right)
+    raise AssertionError(f"cannot replace a child of {type(node).__name__}")
+
+
+def _rebuild(root: PlanNode, path: tuple[int, ...], subtree: PlanNode) -> PlanNode:
+    if not path:
+        return subtree
+    child = _rebuild(root.children[path[0]], path[1:], subtree)
+    return _replace_child(root, path[0], child)
+
+
+def _subtree(root: PlanNode, path: tuple[int, ...]) -> PlanNode:
+    node = root
+    for index in path:
+        node = node.children[index]
+    return node
+
+
+def _edges(root: PlanNode) -> list[tuple[int, ...]]:
+    """Paths to every non-root node, in pre-order."""
+    paths: list[tuple[int, ...]] = []
+
+    def visit(node: PlanNode, path: tuple[int, ...]) -> None:
+        for index, child in enumerate(node.children):
+            paths.append(path + (index,))
+            visit(child, path + (index,))
+
+    visit(root, ())
+    return paths
+
+
+# --------------------------------------------------------------------------- #
+# Failure prediction (which diagnostics a graft is *guaranteed* to trigger)
+# --------------------------------------------------------------------------- #
+
+
+def _predicted_codes(
+    parent: PlanNode, index: int, new_attrs: tuple[str, ...]
+) -> frozenset[str]:
+    """Codes the verifier must raise when child ``index`` of ``parent`` now
+    produces ``new_attrs``; empty when a failure is not structurally certain."""
+    new_set = set(new_attrs)
+    if isinstance(parent, FetchNode):
+        if new_set != set(parent.x_attrs):
+            return frozenset({"plan.fetch.unbound-key"})
+        return frozenset()
+    if isinstance(parent, ProjectNode):
+        if any(a not in new_set for a in parent.kept):
+            return frozenset({"plan.project.unknown-attribute"})
+        return frozenset()
+    if isinstance(parent, SelectNode):
+        referenced: set[str] = set()
+        for predicate in parent.predicates:
+            if isinstance(predicate, AttributeEqualsConstant):
+                referenced.add(predicate.attribute)
+            elif isinstance(predicate, AttributeEqualsAttribute):
+                referenced.update((predicate.left, predicate.right))
+        if referenced - new_set:
+            return frozenset({"plan.select.unknown-attribute"})
+        return frozenset()
+    if isinstance(parent, RenameNode):
+        if any(old not in new_set for old, _ in parent.mapping):
+            return frozenset({"plan.rename.unknown-attribute"})
+        return frozenset()
+    if isinstance(parent, UnionNode):
+        other = parent.right if index == 0 else parent.left
+        if new_attrs != other.attributes:
+            return frozenset({"plan.union.schema-mismatch"})
+        return frozenset()
+    if isinstance(parent, DifferenceNode):
+        other = parent.right if index == 0 else parent.left
+        if new_attrs != other.attributes:
+            return frozenset({"plan.difference.schema-mismatch"})
+        return frozenset()
+    if isinstance(parent, ProductNode):
+        other = parent.right if index == 0 else parent.left
+        if new_set & set(other.attributes):
+            return frozenset({"plan.product.overlap"})
+        return frozenset()
+    return frozenset()
+
+
+# --------------------------------------------------------------------------- #
+# The three mutation kinds
+# --------------------------------------------------------------------------- #
+
+
+def mutate_plan(
+    plan: PlanNode, kind: str, generator: random.Random
+) -> PlanMutation | None:
+    """One seeded mutation of ``kind``, or ``None`` when no site applies."""
+    if kind == "swap-inputs":
+        return _swap_inputs(plan, generator)
+    if kind == "drop-projection-column":
+        return _drop_projection_column(plan, generator)
+    if kind == "unbind-lookup-column":
+        return _unbind_lookup_column(plan, generator)
+    raise ValueError(f"unknown mutation kind {kind!r}; known: {MUTATION_KINDS}")
+
+
+def plan_mutations(plan: PlanNode, seed: int = 0) -> list[PlanMutation]:
+    """Every applicable mutation kind, each seeded deterministically."""
+    generator = random.Random(seed)
+    mutations = []
+    for kind in MUTATION_KINDS:
+        mutation = mutate_plan(plan, kind, generator)
+        if mutation is not None:
+            mutations.append(mutation)
+    return mutations
+
+
+def _with_root_check(
+    original: PlanNode, candidate: PlanNode, codes: frozenset[str]
+) -> frozenset[str]:
+    """Add the root-schema code when the mutation changed the root layout
+    (the verifier is invoked with ``expected_attributes`` of the original)."""
+    if candidate.attributes != original.attributes:
+        return codes | {"plan.root.schema"}
+    return codes
+
+
+def _swap_inputs(plan: PlanNode, generator: random.Random) -> PlanMutation | None:
+    edges = _edges(plan)
+    pairs = [
+        (p1, p2)
+        for i, p1 in enumerate(edges)
+        for p2 in edges[i + 1:]
+        if p1 != p2[: len(p1)] and p2 != p1[: len(p2)]  # disjoint subtrees
+    ]
+    generator.shuffle(pairs)
+    for path1, path2 in pairs:
+        sub1, sub2 = _subtree(plan, path1), _subtree(plan, path2)
+        if set(sub1.attributes) == set(sub2.attributes):
+            continue
+        candidate = _rebuild(_rebuild(plan, path1, sub2), path2, sub1)
+        # Predict against the *mutated* tree: when the grafts share a parent
+        # (sibling swap) or one parent is an ancestor of the other graft, the
+        # pre-mutation siblings would give stale attribute sets.
+        parent1 = _subtree(candidate, path1[:-1])
+        parent2 = _subtree(candidate, path2[:-1])
+        codes = _predicted_codes(parent1, path1[-1], sub2.attributes)
+        codes |= _predicted_codes(parent2, path2[-1], sub1.attributes)
+        codes = _with_root_check(plan, candidate, codes)
+        if not codes:
+            continue  # swap not guaranteed to be caught; try another pair
+        return PlanMutation(
+            kind="swap-inputs",
+            description=(
+                f"swapped the subtrees at paths {path1} ({sub1.label()}) and "
+                f"{path2} ({sub2.label()})"
+            ),
+            plan=candidate,
+            expected_codes=codes,
+        )
+    return None
+
+
+def _drop_projection_column(
+    plan: PlanNode, generator: random.Random
+) -> PlanMutation | None:
+    sites = [
+        path
+        for path in [()] + _edges(plan)
+        if isinstance(_subtree(plan, path), ProjectNode)
+    ]
+    generator.shuffle(sites)
+    for path in sites:
+        node = _subtree(plan, path)
+        assert isinstance(node, ProjectNode)
+        if not node.kept:
+            continue
+        for drop in generator.sample(range(len(node.kept)), len(node.kept)):
+            kept = node.kept[:drop] + node.kept[drop + 1:]
+            mutated = _raw(ProjectNode, child=node.child, kept=kept)
+            codes = (
+                _predicted_codes(_subtree(plan, path[:-1]), path[-1], mutated.attributes)
+                if path
+                else frozenset()
+            )
+            candidate = _rebuild(plan, path, mutated)
+            codes = _with_root_check(plan, candidate, codes)
+            if not codes:
+                continue
+            return PlanMutation(
+                kind="drop-projection-column",
+                description=(
+                    f"dropped column {node.kept[drop]!r} from the projection "
+                    f"at path {path}"
+                ),
+                plan=candidate,
+                expected_codes=codes,
+            )
+    return None
+
+
+def _unbind_lookup_column(
+    plan: PlanNode, generator: random.Random
+) -> PlanMutation | None:
+    sites = [
+        path
+        for path in [()] + _edges(plan)
+        if isinstance(node := _subtree(plan, path), FetchNode)
+        and node.child is not None
+        and node.x_attrs
+    ]
+    generator.shuffle(sites)
+    for path in sites:
+        fetch = _subtree(plan, path)
+        assert isinstance(fetch, FetchNode) and fetch.child is not None
+        unbound = generator.choice(fetch.x_attrs)
+        kept = tuple(a for a in fetch.child.attributes if a != unbound)
+        starved = _raw(ProjectNode, child=fetch.child, kept=kept)
+        mutated = _raw(
+            FetchNode,
+            child=starved,
+            relation=fetch.relation,
+            x_attrs=fetch.x_attrs,
+            y_attrs=fetch.y_attrs,
+        )
+        candidate = _rebuild(plan, path, mutated)
+        return PlanMutation(
+            kind="unbind-lookup-column",
+            description=(
+                f"interposed a projection dropping X-column {unbound!r} under "
+                f"the fetch on {fetch.relation!r} at path {path}"
+            ),
+            plan=candidate,
+            expected_codes=frozenset({"plan.fetch.unbound-key"}),
+        )
+    return None

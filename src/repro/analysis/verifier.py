@@ -1,0 +1,743 @@
+"""The typed plan-IR checker and boundedness-certificate builder.
+
+:func:`verify_plan` walks any physical plan — from any planner in the
+service's fallback chain, or hand-built — and verifies, per node:
+
+* **schema correctness** — output attributes are duplicate-free and every
+  operator's attribute bookkeeping is consistent with its children
+  (projections keep existing columns, selections reference existing columns,
+  unions/differences have identical layouts, products disjoint ones);
+* **access-constraint conformance** — every ``fetch`` names a relation and
+  attributes that exist, its ``X``-columns are exactly bound by its child at
+  that point in the plan, and a declared access constraint covers it
+  (condition (a) of Lemma 3.8);
+* **boundedness** — the input of every ``fetch`` has bounded output under
+  the access schema (condition (b)), decided exactly through the
+  element-query procedure of Theorem 3.4 and *witnessed* by a
+  :class:`~repro.analysis.diagnostics.FetchCertificate`: the chain of
+  ``cov(Q, A)`` derivation steps covering each ``X``-attribute, or a minimal
+  uncovered-variable counterexample.
+
+The checks deliberately re-derive everything from node *fields* rather than
+trusting constructor invariants, so corrupted plans (the seeded mutations of
+``tests/test_analysis.py``, or a buggy planner bypassing the constructors)
+are caught even though the constructors would have rejected them.
+
+:func:`verify_delta_program` applies the same discipline to the maintenance
+kernel's compiled delta rules (:mod:`repro.exec.delta_compiler`): every body
+atom has its rule, every join stage's positional bookkeeping is arithmetic-
+checked against the relation arities, and the head projection only reads
+columns the pipeline actually produces.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+from ..algebra.cq import ConjunctiveQuery
+from ..algebra.schema import DatabaseSchema
+from ..algebra.terms import Constant, Variable
+from ..algebra.views import ViewSet
+from ..core.access import AccessSchema
+from ..core.bounded_output import bounded_output_witness
+from ..core.element_queries import ElementQueryBudget
+from ..core.plans import (
+    AttributeEqualsAttribute,
+    AttributeEqualsConstant,
+    ConstantScan,
+    DifferenceNode,
+    FetchNode,
+    PlanNode,
+    ProductNode,
+    ProjectNode,
+    RenameNode,
+    SelectNode,
+    UnionNode,
+    ViewScan,
+)
+from ..core.rewriting import plan_to_ucq
+from ..errors import (
+    BudgetExceededError,
+    PlanError,
+    SchemaError,
+    UnsupportedQueryError,
+)
+from ..exec.delta_compiler import CompiledViewDelta
+from .diagnostics import (
+    BoundednessCounterexample,
+    CoverageStep,
+    FetchCertificate,
+    VerificationReport,
+)
+
+
+def verify_plan(
+    plan: PlanNode,
+    schema: DatabaseSchema,
+    *,
+    views: ViewSet | None = None,
+    access_schema: AccessSchema | None = None,
+    budget: ElementQueryBudget | None = None,
+    expected_attributes: Sequence[str] | None = None,
+    expected_arity: int | None = None,
+    check_boundedness: bool = True,
+    subject: str = "",
+) -> VerificationReport:
+    """Statically verify a physical plan; see the module docstring.
+
+    ``expected_attributes`` / ``expected_arity`` pin the root schema (the
+    service passes the query's head arity); ``check_boundedness`` gates the
+    exact (worst-case exponential) bounded-output decision — structural and
+    conformance checks always run.
+    """
+    report = VerificationReport(subject=subject or f"plan({plan.label()})")
+    _check_node(plan, (), schema, views, access_schema, report)
+    _check_root(plan, expected_attributes, expected_arity, report)
+    if access_schema is not None and check_boundedness and report.ok:
+        _check_boundedness(plan, schema, views, access_schema, budget, report)
+    return report
+
+
+# --------------------------------------------------------------------------- #
+# Structural / conformance checks (field-level, constructor-independent)
+# --------------------------------------------------------------------------- #
+
+
+def _check_root(
+    plan: PlanNode,
+    expected_attributes: Sequence[str] | None,
+    expected_arity: int | None,
+    report: VerificationReport,
+) -> None:
+    attributes = plan.attributes
+    if expected_attributes is not None and tuple(expected_attributes) != attributes:
+        report.add(
+            "plan.root.schema",
+            f"plan produces attributes {attributes}, expected "
+            f"{tuple(expected_attributes)}",
+        )
+    elif expected_arity is not None and len(attributes) != expected_arity:
+        report.add(
+            "plan.root.arity",
+            f"plan produces {len(attributes)} columns, the query head has "
+            f"{expected_arity}",
+        )
+
+
+def _check_node(
+    node: PlanNode,
+    path: tuple[int, ...],
+    schema: DatabaseSchema,
+    views: ViewSet | None,
+    access_schema: AccessSchema | None,
+    report: VerificationReport,
+) -> None:
+    attributes = node.attributes
+    if len(set(attributes)) != len(attributes):
+        report.add(
+            "plan.schema.duplicate-attributes",
+            f"{node.label()} produces duplicate attribute names {attributes}",
+            path=path,
+        )
+    if isinstance(node, FetchNode):
+        _check_fetch(node, path, schema, access_schema, report)
+    elif isinstance(node, ViewScan):
+        _check_view_scan(node, path, views, report)
+    elif isinstance(node, ProjectNode):
+        missing = [a for a in node.kept if a not in node.child.attributes]
+        if missing:
+            report.add(
+                "plan.project.unknown-attribute",
+                f"projection keeps {missing} which the child does not produce "
+                f"(child has {node.child.attributes})",
+                path=path,
+            )
+    elif isinstance(node, SelectNode):
+        _check_select(node, path, report)
+    elif isinstance(node, RenameNode):
+        unknown = [old for old, _ in node.mapping if old not in node.child.attributes]
+        if unknown:
+            report.add(
+                "plan.rename.unknown-attribute",
+                f"rename refers to {unknown} which the child does not produce",
+                path=path,
+            )
+    elif isinstance(node, ProductNode):
+        overlap = set(node.left.attributes) & set(node.right.attributes)
+        if overlap:
+            report.add(
+                "plan.product.overlap",
+                f"product sides share attributes {sorted(overlap)}",
+                path=path,
+            )
+    elif isinstance(node, UnionNode):
+        if node.left.attributes != node.right.attributes:
+            report.add(
+                "plan.union.schema-mismatch",
+                f"union sides produce {node.left.attributes} vs "
+                f"{node.right.attributes}",
+                path=path,
+            )
+    elif isinstance(node, DifferenceNode):
+        if node.left.attributes != node.right.attributes:
+            report.add(
+                "plan.difference.schema-mismatch",
+                f"difference sides produce {node.left.attributes} vs "
+                f"{node.right.attributes}",
+                path=path,
+            )
+    elif not isinstance(node, ConstantScan):
+        report.add(
+            "plan.unknown-node",
+            f"unknown plan node type {type(node).__name__}",
+            path=path,
+        )
+    for index, child in enumerate(node.children):
+        _check_node(child, path + (index,), schema, views, access_schema, report)
+
+
+def _check_fetch(
+    node: FetchNode,
+    path: tuple[int, ...],
+    schema: DatabaseSchema,
+    access_schema: AccessSchema | None,
+    report: VerificationReport,
+) -> None:
+    try:
+        relation = schema.relation(node.relation)
+    except SchemaError:
+        report.add(
+            "plan.fetch.unknown-relation",
+            f"fetch names unknown relation {node.relation!r}",
+            path=path,
+            subject=node.relation,
+        )
+        return
+    unknown = [
+        a for a in node.x_attrs + node.y_attrs if a not in relation.attributes
+    ]
+    if unknown:
+        report.add(
+            "plan.fetch.unknown-attribute",
+            f"fetch on {node.relation!r} names attributes {unknown} the "
+            f"relation does not have",
+            path=path,
+            subject=node.relation,
+        )
+    if node.child is None:
+        if node.x_attrs:
+            report.add(
+                "plan.fetch.unbound-key",
+                f"fetch on {node.relation!r} has X={node.x_attrs} but no "
+                "child plan binding them",
+                path=path,
+                subject=node.relation,
+            )
+    else:
+        child_attrs = set(node.child.attributes)
+        unbound = [a for a in node.x_attrs if a not in child_attrs]
+        extra = [a for a in node.child.attributes if a not in set(node.x_attrs)]
+        if unbound or extra:
+            details = []
+            if unbound:
+                details.append(f"X-columns {unbound} are not bound by the input")
+            if extra:
+                details.append(f"input columns {extra} are not fetch keys")
+            report.add(
+                "plan.fetch.unbound-key",
+                f"fetch on {node.relation!r}: " + "; ".join(details)
+                + f" (child produces {node.child.attributes}, X={node.x_attrs})",
+                path=path,
+                subject=node.relation,
+            )
+    if access_schema is not None and node.covering_constraint(access_schema) is None:
+        report.add(
+            "plan.fetch.no-constraint",
+            f"no declared access constraint covers fetch({node.x_attrs} ∈ _, "
+            f"{node.relation}, {node.y_attrs}); available: "
+            + ("; ".join(str(c) for c in access_schema.for_relation(node.relation))
+               or "none for this relation"),
+            path=path,
+            subject=node.relation,
+        )
+
+
+def _check_view_scan(
+    node: ViewScan,
+    path: tuple[int, ...],
+    views: ViewSet | None,
+    report: VerificationReport,
+) -> None:
+    if views is None:
+        return  # caller did not supply the view set; nothing to check against
+    if node.view_name not in views:
+        report.add(
+            "plan.view.unknown",
+            f"plan scans unknown view {node.view_name!r}; known views: "
+            + (", ".join(sorted(views.names)) or "none"),
+            path=path,
+            subject=node.view_name,
+        )
+        return
+    view = views.view(node.view_name)
+    if view.arity != len(node.view_attributes):
+        report.add(
+            "plan.view.arity",
+            f"view scan of {node.view_name!r} declares "
+            f"{len(node.view_attributes)} attributes but the view has arity "
+            f"{view.arity}",
+            path=path,
+            subject=node.view_name,
+        )
+
+
+def _check_select(
+    node: SelectNode, path: tuple[int, ...], report: VerificationReport
+) -> None:
+    if not node.predicates:
+        report.add("plan.select.empty", "selection carries no predicates", path=path)
+        return
+    child_attrs = set(node.child.attributes)
+    equalities: dict[str, set[object]] = {}
+    disequalities: dict[str, set[object]] = {}
+    for predicate in node.predicates:
+        if isinstance(predicate, AttributeEqualsConstant):
+            referenced: tuple[str, ...] = (predicate.attribute,)
+            bucket = disequalities if predicate.negated else equalities
+            bucket.setdefault(predicate.attribute, set()).add(predicate.value)
+        elif isinstance(predicate, AttributeEqualsAttribute):
+            referenced = (predicate.left, predicate.right)
+        else:
+            report.add(
+                "plan.select.unknown-predicate",
+                f"unknown predicate type {type(predicate).__name__}",
+                path=path,
+            )
+            continue
+        missing = [a for a in referenced if a not in child_attrs]
+        if missing:
+            report.add(
+                "plan.select.unknown-attribute",
+                f"selection references {missing} which the child does not "
+                f"produce (child has {node.child.attributes})",
+                path=path,
+            )
+    for attribute, values in equalities.items():
+        if len(values) > 1:
+            report.add(
+                "plan.select.contradiction",
+                f"selection equates {attribute!r} with {len(values)} distinct "
+                f"constants {sorted(map(repr, values))}; the node is always empty",
+                severity="warning",
+                path=path,
+            )
+        clashes = values & disequalities.get(attribute, set())
+        if clashes:
+            report.add(
+                "plan.select.contradiction",
+                f"selection requires {attribute!r} both = and != "
+                f"{sorted(map(repr, clashes))}; the node is always empty",
+                severity="warning",
+                path=path,
+            )
+
+
+# --------------------------------------------------------------------------- #
+# Boundedness certificates (conformance condition (b), with evidence)
+# --------------------------------------------------------------------------- #
+
+
+def _check_boundedness(
+    plan: PlanNode,
+    schema: DatabaseSchema,
+    views: ViewSet | None,
+    access_schema: AccessSchema,
+    budget: ElementQueryBudget | None,
+    report: VerificationReport,
+) -> None:
+    for fetch in plan.fetch_nodes():
+        constraint = fetch.covering_constraint(access_schema)
+        if constraint is None:
+            continue  # already reported as plan.fetch.no-constraint
+        certificate = _fetch_certificate(
+            fetch, constraint_schema=schema, views=views,
+            access_schema=access_schema, budget=budget,
+        )
+        report.certificates.append(certificate)
+        if not certificate.bounded:
+            message = (
+                f"input of fetch on {fetch.relation!r} does not have bounded "
+                f"output under the access schema"
+            )
+            if certificate.counterexample is not None:
+                message += f" ({certificate.counterexample})"
+            elif certificate.note:
+                message += f" ({certificate.note})"
+            report.add(
+                "plan.fetch.unbounded-input",
+                message,
+                subject=fetch.relation,
+            )
+
+
+def fetch_certificates(
+    plan: PlanNode,
+    schema: DatabaseSchema,
+    *,
+    views: ViewSet | None = None,
+    access_schema: AccessSchema,
+    budget: ElementQueryBudget | None = None,
+) -> list[FetchCertificate]:
+    """Boundedness certificates for every covered fetch node of ``plan``."""
+    certificates: list[FetchCertificate] = []
+    for fetch in plan.fetch_nodes():
+        constraint = fetch.covering_constraint(access_schema)
+        if constraint is None:
+            continue
+        certificates.append(
+            _fetch_certificate(
+                fetch, constraint_schema=schema, views=views,
+                access_schema=access_schema, budget=budget,
+            )
+        )
+    return certificates
+
+
+def _fetch_certificate(
+    fetch: FetchNode,
+    *,
+    constraint_schema: DatabaseSchema,
+    views: ViewSet | None,
+    access_schema: AccessSchema,
+    budget: ElementQueryBudget | None,
+) -> FetchCertificate:
+    constraint = fetch.covering_constraint(access_schema)
+    assert constraint is not None
+    if fetch.child is None:
+        return FetchCertificate(
+            relation=fetch.relation,
+            x_attrs=fetch.x_attrs,
+            y_attrs=fetch.y_attrs,
+            constraint=constraint,
+            bounded=True,
+            note=f"single lookup under the empty key: at most "
+            f"{constraint.bound} tuples",
+        )
+    try:
+        input_query = plan_to_ucq(
+            fetch.child, constraint_schema, views, unfold_views=True
+        )
+    except (UnsupportedQueryError, PlanError) as exc:
+        return FetchCertificate(
+            relation=fetch.relation,
+            x_attrs=fetch.x_attrs,
+            y_attrs=fetch.y_attrs,
+            constraint=constraint,
+            bounded=False,
+            note=f"input cannot be unfolded for verification: {exc}",
+        )
+    try:
+        witness = bounded_output_witness(
+            input_query, access_schema, constraint_schema, budget
+        )
+    except BudgetExceededError as exc:
+        return FetchCertificate(
+            relation=fetch.relation,
+            x_attrs=fetch.x_attrs,
+            y_attrs=fetch.y_attrs,
+            constraint=constraint,
+            bounded=False,
+            note=f"bounded-output check exceeded its budget: {exc}",
+        )
+    steps: list[CoverageStep] = []
+    uncovered_attrs: list[str] = []
+    child_attrs = fetch.child.attributes
+    for disjunct in input_query.disjuncts:
+        disjunct_steps, disjunct_uncovered = _coverage_evidence(
+            disjunct, child_attrs, access_schema, constraint_schema
+        )
+        steps.extend(disjunct_steps)
+        uncovered_attrs.extend(a for a in disjunct_uncovered if a not in uncovered_attrs)
+    counterexample: BoundednessCounterexample | None = None
+    note = ""
+    if witness.bounded:
+        if witness.output_bound is not None:
+            note = f"input output size ≤ {witness.output_bound}"
+        if uncovered_attrs:
+            # The exact element-query sweep proved boundedness even though the
+            # per-variable fixpoint on the query itself is inconclusive
+            # (equalities forced by A on the element queries close the gap).
+            note = (
+                "bounded via the element-query analysis of Theorem 3.4; "
+                "no per-variable derivation for "
+                + ", ".join(uncovered_attrs)
+            )
+    else:
+        names = tuple(uncovered_attrs) or tuple(
+            sorted(v.name for v in witness.uncovered)
+        )
+        reasons: tuple[str, ...] = ()
+        if witness.counterexample is not None:
+            reasons = (
+                f"element query {witness.counterexample.name!r} has uncovered "
+                f"head variables {sorted(v.name for v in witness.uncovered)}",
+            )
+        counterexample = BoundednessCounterexample(uncovered=names, reasons=reasons)
+    return FetchCertificate(
+        relation=fetch.relation,
+        x_attrs=fetch.x_attrs,
+        y_attrs=fetch.y_attrs,
+        constraint=constraint,
+        bounded=witness.bounded,
+        steps=tuple(steps),
+        counterexample=counterexample,
+        note=note,
+    )
+
+
+def coverage_trace(
+    query: ConjunctiveQuery,
+    access_schema: AccessSchema,
+    schema: DatabaseSchema,
+) -> dict[Variable, CoverageStep]:
+    """The ``cov(Q, A)`` fixpoint of Section 3.1, recording each derivation.
+
+    Same fixpoint as :func:`repro.core.bounded_output.covered_variables`, but
+    every newly covered variable remembers *which* constraint at *which* atom
+    covered it and through which previously covered variables — the raw
+    material of a boundedness certificate.
+    """
+    normalized = query.normalize()
+    trace: dict[Variable, CoverageStep] = {}
+    changed = True
+    while changed:
+        changed = False
+        for atom in normalized.atoms:
+            relation = schema.relation(atom.relation)
+            for constraint in access_schema.for_relation(atom.relation):
+                x_positions = relation.positions(constraint.x)
+                y_positions = relation.positions(constraint.y)
+                x_terms = [atom.terms[p] for p in x_positions]
+                if not all(
+                    isinstance(t, Constant) or t in trace for t in x_terms
+                ):
+                    continue
+                via = tuple(
+                    t.name for t in x_terms if isinstance(t, Variable)
+                )
+                for position in y_positions:
+                    term = atom.terms[position]
+                    if isinstance(term, Variable) and term not in trace:
+                        trace[term] = CoverageStep(
+                            variable=term.name,
+                            constraint=constraint,
+                            atom=str(atom),
+                            via=via,
+                        )
+                        changed = True
+    return trace
+
+
+def _coverage_evidence(
+    disjunct: ConjunctiveQuery,
+    output_attrs: tuple[str, ...],
+    access_schema: AccessSchema,
+    schema: DatabaseSchema,
+) -> tuple[list[CoverageStep], list[str]]:
+    """Coverage steps for a fetch input's head variables, plus uncovered attrs.
+
+    The disjunct's head corresponds positionally to the fetch child's output
+    attributes, so coverage steps are re-labelled with the plan-level
+    attribute names users see in ``explain()`` output.
+    """
+    normalized = disjunct.normalize()
+    trace = coverage_trace(normalized, access_schema, schema)
+    head = normalized.head
+    rename: dict[str, str] = {}
+    for position, term in enumerate(head):
+        if isinstance(term, Variable) and position < len(output_attrs):
+            rename.setdefault(term.name, output_attrs[position])
+
+    uncovered: list[str] = []
+    needed: list[Variable] = []
+    seen: set[Variable] = set()
+    for position, term in enumerate(head):
+        if not isinstance(term, Variable):
+            continue
+        if term in trace:
+            if term not in seen:
+                seen.add(term)
+                needed.append(term)
+        else:
+            label = rename.get(term.name, term.name)
+            if label not in uncovered:
+                uncovered.append(label)
+    # Pull in the prerequisite steps of every needed head variable.
+    queue = list(needed)
+    while queue:
+        variable = queue.pop()
+        step = trace.get(variable)
+        if step is None:
+            continue
+        for name in step.via:
+            prerequisite = Variable(name)
+            if prerequisite not in seen and prerequisite in trace:
+                seen.add(prerequisite)
+                needed.append(prerequisite)
+                queue.append(prerequisite)
+    # Report steps in derivation (insertion) order, relabelled.
+    ordered = [v for v in trace if v in seen]
+    steps = [
+        CoverageStep(
+            variable=rename.get(trace[v].variable, trace[v].variable),
+            constraint=trace[v].constraint,
+            atom=trace[v].atom,
+            via=tuple(rename.get(name, name) for name in trace[v].via),
+        )
+        for v in ordered
+    ]
+    return steps, uncovered
+
+
+# --------------------------------------------------------------------------- #
+# Delta-program verification (the maintenance kernel's compiled rules)
+# --------------------------------------------------------------------------- #
+
+
+def verify_delta_program(
+    compiled: CompiledViewDelta,
+    schema: DatabaseSchema,
+) -> VerificationReport:
+    """Statically verify a view's compiled delta program.
+
+    Checks, per disjunct: every body atom has exactly one delta rule; every
+    rule's seed and join stages are arithmetically consistent (positions
+    within the relation arities declared by ``schema``, widths telescoping
+    correctly through the pipeline); the head projection reads only columns
+    the pipeline produces; and the chosen maintenance mode matches the
+    counting-eligibility rule (single CQ, no self-joins).
+    """
+    report = VerificationReport(subject=f"delta program of view {compiled.name!r}")
+    for disjunct_index, compiled_disjunct in enumerate(compiled.disjuncts):
+        disjunct = compiled_disjunct.disjunct
+        rules = [
+            rule
+            for per_relation in compiled_disjunct.rules.values()
+            for rule in per_relation
+        ]
+        indices = sorted(rule.atom_index for rule in rules)
+        if indices != list(range(len(disjunct.atoms))):
+            report.add(
+                "delta.rule.missing",
+                f"disjunct {disjunct_index} of view {compiled.name!r} has "
+                f"{len(disjunct.atoms)} body atoms but rules for atom indices "
+                f"{indices}",
+                subject=compiled.name,
+            )
+            continue
+        for rule in rules:
+            _check_delta_rule(rule, compiled.name, disjunct_index, schema, report)
+    from ..exec.delta_compiler import counting_eligible
+
+    eligible = counting_eligible([d.disjunct for d in compiled.disjuncts])
+    if compiled.counting and not eligible:
+        report.add(
+            "delta.mode",
+            f"view {compiled.name!r} uses counting maintenance but is not "
+            "counting-eligible (self-join or multiple disjuncts)",
+            subject=compiled.name,
+        )
+    return report
+
+
+def _check_delta_rule(
+    rule: Any,
+    view_name: str,
+    disjunct_index: int,
+    schema: DatabaseSchema,
+    report: VerificationReport,
+) -> None:
+    where = (
+        f"rule for atom {rule.atom_index} ({rule.relation!r}) of disjunct "
+        f"{disjunct_index} of view {view_name!r}"
+    )
+    try:
+        declared_arity = schema.relation(rule.relation).arity
+    except SchemaError:
+        report.add(
+            "delta.rule.unknown-relation",
+            f"{where}: relation {rule.relation!r} is not in the schema",
+            subject=view_name,
+        )
+        return
+    if rule.arity != declared_arity:
+        report.add(
+            "delta.rule.arity",
+            f"{where}: compiled against arity {rule.arity}, schema declares "
+            f"{declared_arity}",
+            subject=view_name,
+        )
+    if any(p >= rule.arity for p in rule.seed_positions):
+        report.add(
+            "delta.rule.stage",
+            f"{where}: seed positions {rule.seed_positions} exceed the atom "
+            f"arity {rule.arity}",
+            subject=view_name,
+        )
+    width = len(rule.seed_positions)
+    for stage_index, stage in enumerate(rule.stages):
+        stage_where = f"{where}, stage {stage_index} ({stage.relation!r})"
+        try:
+            stage_arity = schema.relation(stage.relation).arity
+        except SchemaError:
+            report.add(
+                "delta.rule.unknown-relation",
+                f"{stage_where}: relation {stage.relation!r} is not in the schema",
+                subject=view_name,
+            )
+            return
+        if stage.arity != stage_arity:
+            report.add(
+                "delta.rule.arity",
+                f"{stage_where}: compiled against arity {stage.arity}, schema "
+                f"declares {stage_arity}",
+                subject=view_name,
+            )
+        if any(p >= stage.arity for p in stage.bound_positions):
+            report.add(
+                "delta.rule.stage",
+                f"{stage_where}: bound positions {stage.bound_positions} exceed "
+                f"the atom arity {stage.arity}",
+                subject=view_name,
+            )
+        joined_width = width + stage.arity
+        if any(k >= joined_width for k in stage.kept):
+            report.add(
+                "delta.rule.stage",
+                f"{stage_where}: kept positions {stage.kept} exceed the joined "
+                f"width {joined_width}",
+                subject=view_name,
+            )
+        if stage.kept[:width] != tuple(range(width)):
+            report.add(
+                "delta.rule.stage",
+                f"{stage_where}: stage does not preserve the {width} pipeline "
+                f"columns (kept={stage.kept})",
+                subject=view_name,
+            )
+        if len(stage.fresh_variables) != len(stage.kept) - width:
+            report.add(
+                "delta.rule.stage",
+                f"{stage_where}: {len(stage.fresh_variables)} fresh variables "
+                f"but {len(stage.kept) - width} fresh columns",
+                subject=view_name,
+            )
+        width = len(stage.kept)
+    for position, _constant in rule.head_spec:
+        if position is not None and position >= width:
+            report.add(
+                "delta.rule.head",
+                f"{where}: head projection reads column {position} but the "
+                f"pipeline produces only {width}",
+                subject=view_name,
+            )

@@ -243,7 +243,12 @@ class ViewScan(PlanNode):
     def label(self) -> str:
         return f"view {self.view_name}"
 
-    def _validate_node(self, schema, views, access_schema) -> None:
+    def _validate_node(
+        self,
+        schema: DatabaseSchema,
+        views: ViewSet | None,
+        access_schema: AccessSchema | None,
+    ) -> None:
         if views is not None:
             if self.view_name not in views:
                 raise PlanError(f"plan references unknown view {self.view_name!r}")
@@ -314,7 +319,12 @@ class FetchNode(PlanNode):
         """The access constraint able to serve this fetch, if any."""
         return access_schema.find_covering(self.relation, self.x_attrs, self.y_attrs)
 
-    def _validate_node(self, schema, views, access_schema) -> None:
+    def _validate_node(
+        self,
+        schema: DatabaseSchema,
+        views: ViewSet | None,
+        access_schema: AccessSchema | None,
+    ) -> None:
         relation = schema.relation(self.relation)
         for attribute in self.x_attrs + self.y_attrs:
             if attribute not in relation.attributes:

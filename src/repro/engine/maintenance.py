@@ -35,6 +35,7 @@ the old method names to it.
 
 from __future__ import annotations
 
+import warnings
 from typing import Iterable, Sequence
 
 from ..algebra.ucq import QueryLike
@@ -205,6 +206,12 @@ class MaintainedEngine:
         views: ViewSet | Sequence[View] = (),
         check_constraints: bool = True,
     ) -> None:
+        warnings.warn(
+            "MaintainedEngine is deprecated; QueryService maintains its views, "
+            "indices and caches on every QueryService.apply already",
+            DeprecationWarning,
+            stacklevel=2,
+        )
         self.database = database
         self.access_schema = access_schema
         if check_constraints and not database.satisfies(access_schema):

@@ -45,6 +45,7 @@ from ...algebra.evaluation import evaluate_ucq
 from ...algebra.fo import evaluate_fo
 from ...algebra.terms import Variable
 from ...algebra.views import View, ViewSet
+from ...errors import SchemaError
 from ...exec.cq_compiler import FactsSource, cq_pipeline
 from ...exec.delta_compiler import (
     CompiledViewDelta,
@@ -291,16 +292,24 @@ class ViewMaintainer:
     # Reading
     # ------------------------------------------------------------------ #
 
+    def _known(self, view_name: str) -> str:
+        if view_name not in self._rows:
+            raise SchemaError(
+                f"maintainer has no view named {view_name!r}; maintained views "
+                f"are {sorted(self._rows)}"
+            )
+        return view_name
+
     def mode(self, view_name: str) -> str:
         """``"counting"``, ``"dred"`` or ``"recompute"`` for one view."""
-        return self._modes[view_name]
+        return self._modes[self._known(view_name)]
 
     @property
     def modes(self) -> Mapping[str, str]:
         return dict(self._modes)
 
     def rows(self, view_name: str) -> frozenset[tuple]:
-        frozen = self._frozen[view_name]
+        frozen = self._frozen[self._known(view_name)]
         if frozen is None:
             frozen = frozenset(self._rows[view_name])
             self._frozen[view_name] = frozen
@@ -308,7 +317,26 @@ class ViewMaintainer:
 
     def counts(self, view_name: str) -> Mapping[tuple, int]:
         """Derivation counts of a counting-mode view (read-only)."""
+        if self.mode(view_name) != "counting":
+            raise SchemaError(
+                f"view {view_name!r} is maintained in "
+                f"{self._modes[view_name]!r} mode and keeps no derivation counts"
+            )
         return dict(self._counts[view_name])
+
+    def compiled_delta(self, view_name: str) -> CompiledViewDelta:
+        """The compiled delta program of one CQ/UCQ view (compiled on demand).
+
+        The static checker :func:`repro.analysis.verify_delta_program`
+        consumes this.  FO views are maintained by recomputation and have no
+        delta program — asking for one raises :class:`SchemaError`.
+        """
+        if self.mode(view_name) == "recompute":
+            raise SchemaError(
+                f"view {view_name!r} is an FO view maintained by recomputation; "
+                "it has no compiled delta program"
+            )
+        return self._compiled_for(self.views.view(view_name))
 
     def snapshot(self) -> dict[str, frozenset[tuple]]:
         """The cache in the shape expected by the plan executor/backends.

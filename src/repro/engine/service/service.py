@@ -34,13 +34,29 @@ from ...algebra.cq import ConjunctiveQuery
 from ...algebra.fo import FOQuery
 from ...algebra.parser import parse_query
 from ...algebra.terms import Constant, Param, Variable, is_parameter
+from ...algebra.fo import is_positive_existential, to_ucq
 from ...algebra.ucq import UnionQuery
 from ...algebra.views import View, ViewSet
+from ...analysis import (
+    BoundednessCounterexample,
+    Diagnostic,
+    Explanation,
+    fetch_certificates,
+    lint_query,
+    verify_plan,
+)
 from ...core.access import AccessSchema
+from ...core.bounded_evaluability import bounded_evaluability_report
+from ...core.conformance import conforms_to
 from ...core.element_queries import ElementQueryBudget
 from ...core.plan_eval import FetchProvider, bind_plan, plan_parameters
 from ...core.plans import FetchNode, PlanNode, ViewScan
-from ...errors import EvaluationError, QueryError
+from ...errors import (
+    EvaluationError,
+    PlanVerificationError,
+    QueryError,
+    UnsupportedQueryError,
+)
 from ...storage.deltas import DeltaStream
 from ...storage.indexes import IndexSet
 from ...storage.instance import Database
@@ -228,12 +244,17 @@ class QueryService:
         check_constraints: bool = True,
         budget: ElementQueryBudget | None = None,
         inner_size_cutoff: int = 2,
+        verify_plans: bool = False,
     ) -> None:
         self.database = database
         self.access_schema = access_schema
         self.views = views if isinstance(views, ViewSet) else ViewSet(views)
         self._budget = budget
         self.inner_size_cutoff = inner_size_cutoff
+        # Debug mode: statically verify every freshly planned physical plan
+        # (schema bookkeeping, access-constraint conformance, boundedness)
+        # before it enters the plan cache; see repro.analysis.verify_plan.
+        self.verify_plans = verify_plans
         access_schema.validate(database.schema)
         if check_constraints and not database.satisfies(access_schema):
             violations = database.violations(access_schema)
@@ -564,9 +585,46 @@ class QueryService:
                 reason="; ".join(reasons),
                 dependencies=self._dependencies_of(resolved, None),
             )
+        if self.verify_plans and entry.plan is not None:
+            self._verify_entry(resolved, entry.plan, head)
         if use_cache:
             self.plan_cache.put(key, entry)
         return entry, False
+
+    def _verify_entry(
+        self, resolved: Query, plan: PlanNode, head: Sequence[Variable] | None
+    ) -> None:
+        """``verify_plans=True`` hook: statically check a fresh plan before
+        it is cached, raising :class:`PlanVerificationError` on findings."""
+        report = verify_plan(
+            plan,
+            self.database.schema,
+            views=self.views,
+            access_schema=self.access_schema,
+            budget=self._budget,
+            expected_arity=self._head_arity(resolved, head),
+            subject=self._query_name(resolved),
+        )
+        if not report.ok:
+            raise PlanVerificationError(
+                f"plan verification failed for {self._query_name(resolved)!r}: "
+                + "; ".join(str(d) for d in report.errors),
+                diagnostics=tuple(report.errors),
+                query_name=self._query_name(resolved),
+            )
+
+    @staticmethod
+    def _query_name(resolved: Query) -> str:
+        name = getattr(resolved, "name", None)
+        return name if isinstance(name, str) else type(resolved).__name__
+
+    @staticmethod
+    def _head_arity(resolved: Query, head: Sequence[Variable] | None) -> int:
+        if head is not None:
+            return len(head)
+        if isinstance(resolved, (ConjunctiveQuery, UnionQuery)):
+            return resolved.head_arity
+        return len(resolved.free_variables)
 
     def _dependencies_of(
         self, resolved: Query, plan: PlanNode | None
@@ -597,10 +655,88 @@ class QueryService:
         head: Sequence[Variable] | None = None,
         max_size: int | None = None,
         planners: Sequence[str | Planner] | None = None,
-    ) -> PlanNode | None:
-        """Return a bounded plan for the query, or ``None`` if none was found."""
-        entry, _ = self.plan(query, head=head, max_size=max_size, planners=planners)
-        return entry.plan
+    ) -> Explanation:
+        """Statically diagnose a query: plan, certificates, lints.
+
+        Plans the query through the chain (hitting the plan cache like
+        :meth:`query` would) and returns an :class:`Explanation` carrying the
+        plan with per-fetch boundedness certificates and the worst-case fetch
+        bound when one was found, or the planner chain's reasons plus — when
+        derivable — an uncovered-variable counterexample when not.  Query
+        lints ride along either way.  Nothing here touches the data.
+        """
+        resolved = self._resolve(query)
+        entry, cache_hit = self.plan(
+            resolved, head=head, max_size=max_size, planners=planners
+        )
+        lints = tuple(lint_query(resolved))
+        name = self._query_name(resolved)
+        if entry.plan is None:
+            return Explanation(
+                query_name=name,
+                plan=None,
+                reason=entry.reason,
+                cache_hit=cache_hit,
+                counterexample=self._counterexample(resolved),
+                lints=lints,
+            )
+        conformance = conforms_to(
+            entry.plan,
+            self.access_schema,
+            self.database.schema,
+            self.views,
+            self._budget,
+            compute_bound=True,
+        )
+        certificates = fetch_certificates(
+            entry.plan,
+            self.database.schema,
+            views=self.views,
+            access_schema=self.access_schema,
+            budget=self._budget,
+        )
+        return Explanation(
+            query_name=name,
+            plan=entry.plan,
+            planner=entry.planner or "",
+            reason=entry.reason,
+            cache_hit=cache_hit,
+            fetch_bound=conformance.fetch_bound,
+            certificates=tuple(certificates),
+            lints=lints,
+        )
+
+    def _counterexample(self, resolved: Query) -> BoundednessCounterexample | None:
+        """The uncovered-variable evidence for a query with no bounded plan.
+
+        Uses the PTIME syntactic check (``cov(Q, A)``): when it names
+        unreachable variables they are a genuine obstruction for plans over
+        the base relations.  FO queries outside the positive-existential
+        fragment yield no counterexample (``None``).
+        """
+        query: ConjunctiveQuery | UnionQuery
+        if isinstance(resolved, (ConjunctiveQuery, UnionQuery)):
+            query = resolved
+        elif is_positive_existential(resolved):
+            try:
+                query = to_ucq(resolved, sorted(resolved.free_variables, key=str))
+            except (QueryError, UnsupportedQueryError):
+                return None
+        else:
+            return None
+        report = bounded_evaluability_report(
+            query, self.access_schema, self.database.schema
+        )
+        if report.effectively_bounded or not report.unreachable_variables:
+            return None
+        return BoundednessCounterexample(
+            uncovered=tuple(sorted(v.name for v in report.unreachable_variables)),
+            reasons=tuple(report.reasons),
+        )
+
+    def lint(self, query: QueryInput) -> list[Diagnostic]:
+        """Advisory lints for a query (see :func:`repro.analysis.lint_query`)."""
+        return lint_query(self._resolve(query))
 
     # ------------------------------------------------------------------ #
     # Serving

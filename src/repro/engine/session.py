@@ -26,6 +26,7 @@ mapping instead).
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 from typing import Collection, Mapping, Sequence
 
@@ -92,6 +93,12 @@ class BoundedEngine:
         budget: ElementQueryBudget | None = None,
         inner_size_cutoff: int = 2,
     ) -> None:
+        warnings.warn(
+            "BoundedEngine is deprecated; construct repro.QueryService "
+            "directly (same database/access_schema/views arguments)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
         self.service = QueryService(
             database,
             access_schema,
@@ -160,8 +167,13 @@ class BoundedEngine:
     # ------------------------------------------------------------------ #
 
     def explain(self, query: QueryLike, max_size: int | None = None) -> PlanNode | None:
-        """Return a bounded plan for the query, or ``None`` if none was found."""
-        return self.service.explain(query, max_size=max_size)
+        """Return a bounded plan for the query, or ``None`` if none was found.
+
+        (The service's :meth:`QueryService.explain` returns a richer
+        :class:`~repro.analysis.Explanation`; the shim keeps the v1.0
+        plan-or-None contract.)
+        """
+        return self.service.explain(query, max_size=max_size).plan
 
     def execute_plan(self, plan: PlanNode) -> tuple[frozenset[tuple], FetchStats]:
         """Execute a plan on the (build-once) in-memory executor."""

@@ -25,6 +25,26 @@ class PlanError(ReproError):
     """A query plan is malformed (attribute mismatch, unknown view, ...)."""
 
 
+class PlanVerificationError(PlanError):
+    """A plan failed static verification (:mod:`repro.analysis`).
+
+    Raised by ``QueryService(verify_plans=True)`` when a planner emits a plan
+    the :func:`repro.analysis.verify_plan` checker rejects.  ``diagnostics``
+    carries the individual findings; ``query_name`` names the offending query
+    when known.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        diagnostics: tuple = (),
+        query_name: str | None = None,
+    ) -> None:
+        super().__init__(message)
+        self.diagnostics = tuple(diagnostics)
+        self.query_name = query_name
+
+
 class AccessConstraintError(ReproError):
     """An access constraint refers to unknown relations or attributes."""
 
@@ -46,6 +66,25 @@ class BudgetExceededError(ReproError):
     many candidates in the worst case.  Budgets keep them predictable; callers
     can raise the budget or switch to the heuristic/effective-syntax path.
     """
+
+
+class DeltaCompilationError(UnsupportedQueryError):
+    """A view definition could not be compiled into delta rules.
+
+    Subclasses :class:`UnsupportedQueryError` so existing handlers of the
+    maintenance compile path keep working; ``view_name`` (and, when relevant,
+    ``relation``) identify the offending artifact.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        view_name: str | None = None,
+        relation: str | None = None,
+    ) -> None:
+        super().__init__(message)
+        self.view_name = view_name
+        self.relation = relation
 
 
 class EvaluationError(ReproError):

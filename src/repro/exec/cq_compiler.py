@@ -20,49 +20,57 @@ The facts source abstracts over the two shapes evaluation accepts:
 
 from __future__ import annotations
 
-from typing import Callable, Collection, Mapping, Sequence
+from typing import Any, Callable, Collection, Mapping, Sequence, cast
 
 from ..algebra.atoms import RelationAtom
 from ..algebra.cq import ConjunctiveQuery
 from ..algebra.terms import Constant, Term, Variable
 from ..errors import EvaluationError, SchemaError
-from .operators import Distinct, LookupJoin, Operator, Project, Scan, Select
+from .operators import Distinct, LookupJoin, Operator, Project, Row, Scan, Select
 
-_EMPTY_LOOKUP: Callable[[tuple], Sequence[tuple]] = lambda key: ()  # noqa: E731
+_EMPTY_LOOKUP: Callable[[Row], Sequence[Row]] = lambda key: ()  # noqa: E731
 
 
 class FactsSource:
-    """Uniform rows / index / statistics access over a database or fact map."""
+    """Uniform rows / index / statistics access over a database or fact map.
+
+    The database side is duck-typed (``relation`` + ``schema`` attributes) so
+    this module never imports :mod:`repro.storage`; ``_database`` is
+    deliberately ``Any`` for the same reason.
+    """
 
     def __init__(self, facts: object) -> None:
+        self._database: Any
         if hasattr(facts, "relation") and hasattr(facts, "schema"):
             self._database = facts
-            self._mapping: Mapping[str, Collection[tuple]] | None = None
+            self._mapping: Mapping[str, Collection[Row]] | None = None
         else:
             self._database = None
-            self._mapping = facts  # type: ignore[assignment]
+            self._mapping = cast(Mapping[str, Collection[Row]], facts)
 
     # ------------------------------------------------------------------ #
 
-    def _relation(self, name: str):
+    def _relation(self, name: str) -> Any:
         """The stored relation behind ``name``, or ``None`` when absent."""
         if self._database is None:
             return None
         try:
-            return self._database.relation(name)  # type: ignore[union-attr]
+            return self._database.relation(name)
         except (SchemaError, KeyError):  # unknown relation: same as a missing key
             return None
 
-    def rows(self, name: str) -> Collection[tuple]:
+    def rows(self, name: str) -> Collection[Row]:
         if self._database is not None:
             relation = self._relation(name)
-            return relation if relation is not None else ()
-        return self._mapping.get(name, ())  # type: ignore[union-attr]
+            return cast(Collection[Row], relation) if relation is not None else ()
+        mapping = self._mapping
+        assert mapping is not None
+        return mapping.get(name, ())
 
     def size(self, name: str) -> int:
-        return len(self.rows(name))  # type: ignore[arg-type]
+        return len(self.rows(name))
 
-    def statistics(self, name: str):
+    def statistics(self, name: str) -> Any:
         """Per-relation statistics, when the source maintains them."""
         relation = self._relation(name)
         if relation is None:
@@ -72,7 +80,7 @@ class FactsSource:
 
     def lookup(
         self, name: str, positions: Sequence[int], arity: int
-    ) -> Callable[[tuple], Sequence[tuple]]:
+    ) -> Callable[[Row], Sequence[Row]]:
         """A key -> matching-rows probe for ``name`` keyed on ``positions``.
 
         Database-backed sources serve the relation's cached secondary hash
@@ -86,8 +94,8 @@ class FactsSource:
             if relation.schema.arity != arity:
                 return _EMPTY_LOOKUP
             index = relation.index_on(positions)
-            return lambda key: index.get(key, ())
-        index_map: dict[tuple, list[tuple]] = {}
+            return lambda key: cast(Sequence[Row], index.get(key, ()))
+        index_map: dict[Row, list[Row]] = {}
         key_positions = tuple(positions)
         for row in self.rows(name):
             if len(row) != arity:
@@ -117,7 +125,7 @@ def order_atoms(
     ordered: list[RelationAtom] = []
     bound: set[Variable] = set()
 
-    def score(atom: RelationAtom) -> tuple:
+    def score(atom: RelationAtom) -> tuple[int, float, int]:
         size = source.size(atom.relation)
         bound_positions = [
             position
@@ -128,7 +136,7 @@ def order_atoms(
         if statistics is None:
             estimate = float(size)
         else:
-            estimate = statistics.estimated_matches(bound_positions)
+            estimate = float(statistics.estimated_matches(bound_positions))
         return (-len(bound_positions), estimate, size)
 
     while remaining:
@@ -184,11 +192,11 @@ def atom_scan(
     if constants or duplicate_pairs or need_arity_check:
 
         def predicate(
-            row: tuple,
-            arity=arity,
-            constants=constants,
-            checks=tuple(duplicate_pairs),
-            check_arity=need_arity_check,
+            row: Row,
+            arity: int = arity,
+            constants: tuple[tuple[int, object], ...] = constants,
+            checks: tuple[tuple[int, int], ...] = tuple(duplicate_pairs),
+            check_arity: bool = need_arity_check,
         ) -> bool:
             if check_arity and len(row) != arity:
                 return False
@@ -239,13 +247,17 @@ def join_atom(
     lookup = source.lookup(atom.relation, tuple(bound_positions), arity)
     spec = tuple(key_spec)
 
-    def key(row: tuple, spec=spec) -> tuple:
+    def key(row: Row, spec: tuple[tuple[int | None, object], ...] = spec) -> Row:
         return tuple(row[i] if i is not None else v for i, v in spec)
 
     joined: Operator = LookupJoin(current, lookup, key)
     if duplicate_pairs:
 
-        def predicate(row: tuple, pairs=tuple(duplicate_pairs), width=width) -> bool:
+        def predicate(
+            row: Row,
+            pairs: tuple[tuple[int, int], ...] = tuple(duplicate_pairs),
+            width: int = width,
+        ) -> bool:
             return all(row[width + first] == row[width + later] for first, later in pairs)
 
         joined = Select(joined, predicate)
@@ -303,14 +315,14 @@ def head_projection(
     if unsafe is not None:
         term = unsafe
 
-        def fail(row: tuple) -> tuple:
+        def fail(row: Row) -> Row:
             raise EvaluationError(f"unsafe head variable {term} has no binding")
 
         return Project(operator, mapper=fail)
 
     frozen = tuple(spec)
 
-    def mapper(row: tuple, spec=frozen) -> tuple:
+    def mapper(row: Row, spec: tuple[tuple[int | None, object], ...] = frozen) -> Row:
         return tuple(row[i] if i is not None else v for i, v in spec)
 
     return Distinct(Project(operator, mapper=mapper))

@@ -45,12 +45,24 @@ from typing import Callable, Collection, Iterator, Sequence
 from ..algebra.atoms import RelationAtom
 from ..algebra.cq import ConjunctiveQuery
 from ..algebra.terms import Constant, Variable
-from ..errors import UnsupportedQueryError
-from .operators import Distinct, LookupJoin, Operator, Project, Scan, Select, SemiJoin
+from ..errors import DeltaCompilationError
+from .operators import (
+    Distinct,
+    LookupJoin,
+    Operator,
+    Project,
+    Row,
+    Scan,
+    Select,
+    SemiJoin,
+)
 
 #: ``resolver(relation, key_positions, arity) -> (key -> matching rows)``.
 #: Implementations decide *which state* of the relation the probe sees.
-LookupResolver = Callable[[str, tuple[int, ...], int], Callable[[tuple], Sequence[tuple]]]
+LookupResolver = Callable[[str, tuple[int, ...], int], Callable[[Row], Sequence[Row]]]
+
+#: One head/key column: either a pipeline position or a pinned constant.
+ColumnSpec = tuple[int | None, object]
 
 
 # --------------------------------------------------------------------------- #
@@ -82,7 +94,7 @@ class _JoinStage:
         position_of = {variable: index for index, variable in enumerate(schema)}
 
         bound_positions: list[int] = []
-        key_spec: list[tuple[int | None, object]] = []  # (pipeline position, constant)
+        key_spec: list[ColumnSpec] = []  # (pipeline position, constant)
         fresh_first: dict[Variable, int] = {}
         duplicate_pairs: list[tuple[int, int]] = []
         for position, term in enumerate(atom.terms):
@@ -100,17 +112,21 @@ class _JoinStage:
 
         spec = tuple(key_spec)
 
-        def key(row: tuple, spec=spec) -> tuple:
+        def key(row: Row, spec: tuple[ColumnSpec, ...] = spec) -> Row:
             return tuple(row[i] if i is not None else v for i, v in spec)
 
         self._key = key
         if duplicate_pairs:
             pairs = tuple(duplicate_pairs)
 
-            def predicate(row: tuple, pairs=pairs, width=width) -> bool:
+            def predicate(
+                row: Row,
+                pairs: tuple[tuple[int, int], ...] = pairs,
+                width: int = width,
+            ) -> bool:
                 return all(row[width + a] == row[width + b] for a, b in pairs)
 
-            self._dup_predicate: Callable[[tuple], bool] | None = predicate
+            self._dup_predicate: Callable[[Row], bool] | None = predicate
         else:
             self._dup_predicate = None
         self.kept = tuple(range(width)) + tuple(width + p for p in fresh_first.values())
@@ -138,7 +154,7 @@ def _order_remaining(
     bound = set(bound)
     while remaining:
 
-        def score(atom: RelationAtom) -> tuple:
+        def score(atom: RelationAtom) -> tuple[int, int, int]:
             bound_count = sum(
                 1
                 for term in atom.terms
@@ -154,25 +170,32 @@ def _order_remaining(
     return ordered
 
 
-def _head_projection(
-    schema: tuple[Variable, ...], head: Sequence[object], where: str
-) -> Callable[[tuple], tuple]:
-    """Multiplicity-preserving head mapper (no ``Distinct``)."""
+def _head_spec(
+    schema: tuple[Variable, ...],
+    head: Sequence[object],
+    view_name: str,
+) -> tuple[ColumnSpec, ...]:
+    """Positional head-projection spec (the static, inspectable half)."""
     position_of = {variable: index for index, variable in enumerate(schema)}
-    spec: list[tuple[int | None, object]] = []
+    spec: list[ColumnSpec] = []
     for term in head:
         if isinstance(term, Constant):
             spec.append((None, term.value))
         elif term in position_of:
             spec.append((position_of[term], None))
         else:
-            raise UnsupportedQueryError(
-                f"{where}: head term {term} is not bound by the body; "
-                "unsafe views cannot be incrementally maintained"
+            raise DeltaCompilationError(
+                f"view disjunct {view_name!r}: head term {term} is not bound "
+                "by the body; unsafe views cannot be incrementally maintained",
+                view_name=view_name,
             )
-    frozen = tuple(spec)
+    return tuple(spec)
 
-    def mapper(row: tuple, spec=frozen) -> tuple:
+
+def _spec_mapper(spec: tuple[ColumnSpec, ...]) -> Callable[[Row], Row]:
+    """Multiplicity-preserving head mapper (no ``Distinct``)."""
+
+    def mapper(row: Row, spec: tuple[ColumnSpec, ...] = spec) -> Row:
         return tuple(row[i] if i is not None else v for i, v in spec)
 
     return mapper
@@ -196,6 +219,12 @@ class DeltaRule:
 
     def __init__(self, disjunct: ConjunctiveQuery, atom_index: int) -> None:
         atoms = disjunct.atoms
+        if not 0 <= atom_index < len(atoms):
+            raise DeltaCompilationError(
+                f"view disjunct {disjunct.name!r} has {len(atoms)} body atoms; "
+                f"cannot compile a delta rule for atom index {atom_index}",
+                view_name=disjunct.name,
+            )
         atom = atoms[atom_index]
         self.relation = atom.relation
         self.atom_index = atom_index
@@ -218,7 +247,11 @@ class DeltaRule:
             constants = tuple(constant_positions)
             pairs = tuple(duplicate_pairs)
 
-            def seed_predicate(row: tuple, constants=constants, pairs=pairs) -> bool:
+            def seed_predicate(
+                row: Row,
+                constants: tuple[tuple[int, object], ...] = constants,
+                pairs: tuple[tuple[int, int], ...] = pairs,
+            ) -> bool:
                 for position, value in constants:
                     if row[position] != value:
                         return False
@@ -227,7 +260,7 @@ class DeltaRule:
                         return False
                 return True
 
-            self._seed_predicate: Callable[[tuple], bool] | None = seed_predicate
+            self._seed_predicate: Callable[[Row], bool] | None = seed_predicate
         else:
             self._seed_predicate = None
         self._seed_positions = tuple(first_occurrence.values())
@@ -239,12 +272,34 @@ class DeltaRule:
             stage = _JoinStage(schema, other)
             self._stages.append(stage)
             schema = schema + stage.fresh_variables
-        self._head_mapper = _head_projection(
-            schema, disjunct.head, f"view disjunct {disjunct.name!r}"
-        )
+        self._head_spec = _head_spec(schema, disjunct.head, disjunct.name)
+        self._head_mapper = _spec_mapper(self._head_spec)
+
+    # Static structure, exposed for the delta-program verifier
+    # (:func:`repro.analysis.verify_delta_program`).
+
+    @property
+    def arity(self) -> int:
+        """Arity the rule's anchor atom was compiled against."""
+        return self._arity
+
+    @property
+    def seed_positions(self) -> tuple[int, ...]:
+        """Delta-row positions seeding the pipeline (first variable occurrences)."""
+        return self._seed_positions
+
+    @property
+    def stages(self) -> tuple[_JoinStage, ...]:
+        """The precompiled join stages, in execution order."""
+        return tuple(self._stages)
+
+    @property
+    def head_spec(self) -> tuple[ColumnSpec, ...]:
+        """Head projection as ``(pipeline position | None, constant)`` pairs."""
+        return self._head_spec
 
     def pipeline(
-        self, delta_rows: Collection[tuple], resolve: LookupResolver
+        self, delta_rows: Collection[Row], resolve: LookupResolver
     ) -> Operator:
         """The operator tree computing head rows (with multiplicity)."""
         operator: Operator = Scan(delta_rows)
@@ -256,8 +311,8 @@ class DeltaRule:
         return Project(operator, mapper=self._head_mapper)
 
     def head_rows(
-        self, delta_rows: Collection[tuple], resolve: LookupResolver
-    ) -> Iterator[tuple]:
+        self, delta_rows: Collection[Row], resolve: LookupResolver
+    ) -> Iterator[Row]:
         """Stream head rows derivable through ``delta_rows`` (bag semantics)."""
         if not delta_rows:
             return iter(())
@@ -265,10 +320,10 @@ class DeltaRule:
 
     def affected_rows(
         self,
-        delta_rows: Collection[tuple],
+        delta_rows: Collection[Row],
         resolve: LookupResolver,
-        current: Collection[tuple],
-    ) -> Iterator[tuple]:
+        current: Collection[Row],
+    ) -> Iterator[Row]:
         """Distinct head rows derivable through ``delta_rows`` that are
         currently in the view — the DRed over-deletion candidates, computed
         as a streaming semi-join against the cached rows."""
@@ -311,7 +366,12 @@ class SupportCheck:
             self._stages.append(stage)
             schema = schema + stage.fresh_variables
 
-    def supported(self, row: tuple, resolve: LookupResolver) -> bool:
+    @property
+    def stages(self) -> tuple[_JoinStage, ...]:
+        """The precompiled join stages, in execution order."""
+        return tuple(self._stages)
+
+    def supported(self, row: Row, resolve: LookupResolver) -> bool:
         for position, value in self._constants:
             if row[position] != value:
                 return False
@@ -385,13 +445,16 @@ def compile_view_delta(
 ) -> CompiledViewDelta:
     """Compile the (already normalised) disjuncts of a CQ/UCQ view.
 
-    Raises :class:`~repro.errors.UnsupportedQueryError` for bodies without
-    relation atoms (nothing to anchor a delta on) and for unsafe heads.
+    Raises :class:`~repro.errors.DeltaCompilationError` (a subclass of
+    :class:`~repro.errors.UnsupportedQueryError`) for bodies without relation
+    atoms (nothing to anchor a delta on) and for unsafe heads; the error
+    carries the offending view name.
     """
     for disjunct in disjuncts:
         if not disjunct.atoms:
-            raise UnsupportedQueryError(
+            raise DeltaCompilationError(
                 f"view {name!r} has a disjunct without relation atoms; "
-                "incremental maintenance needs at least one body atom"
+                "incremental maintenance needs at least one body atom",
+                view_name=name,
             )
     return CompiledViewDelta(name, disjuncts)

@@ -18,26 +18,29 @@ operator is pure CPU over its inputs.
 from __future__ import annotations
 
 from operator import itemgetter
-from typing import Callable, Collection, Iterable, Iterator, Sequence
+from typing import Callable, Collection, Iterable, Iterator, Sequence, cast
 
 from .iometer import IOMeter
 
+#: A data row.  Layouts are positional and fixed by the compilers.
+Row = tuple[object, ...]
 
-def _tuple_extractor(positions: Sequence[int]) -> Callable[[tuple], tuple]:
+
+def _tuple_extractor(positions: Sequence[int]) -> Callable[[Row], Row]:
     """``row -> tuple(row[p] for p in positions)`` at C speed where possible."""
     if not positions:
         return lambda row: ()
     if len(positions) == 1:
         position = positions[0]
         return lambda row: (row[position],)
-    return itemgetter(*positions)
+    return cast(Callable[[Row], Row], itemgetter(*positions))
 
 
-def _key_extractor(positions: Sequence[int]) -> Callable[[tuple], object]:
+def _key_extractor(positions: Sequence[int]) -> Callable[[Row], object]:
     """Join-key extractor; single positions yield scalars (both sides agree)."""
     if not positions:
         return lambda row: ()
-    return itemgetter(*positions)
+    return cast(Callable[[Row], object], itemgetter(*positions))
 
 
 class Operator:
@@ -50,13 +53,14 @@ class Operator:
     """
 
     children: tuple["Operator", ...] = ()
+    _iterator: Iterator[Row] | None = None
 
     def open(self) -> None:
         for child in self.children:
             child.open()
-        self._iterator: Iterator[tuple] | None = self._produce()
+        self._iterator = self._produce()
 
-    def next(self) -> tuple | None:
+    def next(self) -> Row | None:
         iterator = self._iterator
         if iterator is None:
             return None
@@ -67,10 +71,10 @@ class Operator:
         for child in self.children:
             child.close()
 
-    def _produce(self) -> Iterator[tuple]:
+    def _produce(self) -> Iterator[Row]:
         raise NotImplementedError
 
-    def _input(self, child: "Operator") -> Iterator[tuple]:
+    def _input(self, child: "Operator") -> Iterator[Row]:
         """The row stream of an (already opened) child.
 
         Subclass ``_produce`` bodies consume the child's generator directly
@@ -81,7 +85,7 @@ class Operator:
         assert iterator is not None, "child operator was not opened"
         return iterator
 
-    def rows(self) -> Iterator[tuple]:
+    def rows(self) -> Iterator[Row]:
         """Open, stream every row, close — the standard execution driver."""
         self.open()
         try:
@@ -103,7 +107,7 @@ class Scan(Operator):
 
     def __init__(
         self,
-        rows: Collection[tuple] | Iterable[tuple],
+        rows: Collection[Row] | Iterable[Row],
         meter: IOMeter | None = None,
     ) -> None:
         self._rows = rows
@@ -111,10 +115,14 @@ class Scan(Operator):
 
     def open(self) -> None:
         if self._meter is not None:
-            self._meter.record_view_scan(len(self._rows))  # type: ignore[arg-type]
+            rows = self._rows
+            if not isinstance(rows, Collection):
+                rows = list(rows)
+                self._rows = rows
+            self._meter.record_view_scan(len(rows))
         super().open()
 
-    def _produce(self) -> Iterator[tuple]:
+    def _produce(self) -> Iterator[Row]:
         yield from self._rows
 
 
@@ -151,11 +159,11 @@ class IndexLookup(Operator):
         self._output_positions = tuple(output_positions)
         self._meter = meter
 
-    def _keys(self) -> Iterator[tuple]:
+    def _keys(self) -> Iterator[Row]:
         if self._child is None:
             yield ()
             return
-        seen: set[tuple] = set()
+        seen: set[Row] = set()
         extract = _tuple_extractor(self._key_positions)
         for row in self._input(self._child):
             key = extract(row)
@@ -163,7 +171,7 @@ class IndexLookup(Operator):
                 seen.add(key)
                 yield key
 
-    def _produce(self) -> Iterator[tuple]:
+    def _produce(self) -> Iterator[Row]:
         fetch = self._provider.fetch  # type: ignore[attr-defined]
         meter, relation = self._meter, self._relation
         project = _tuple_extractor(self._output_positions)
@@ -189,15 +197,15 @@ class LookupJoin(Operator):
     def __init__(
         self,
         left: Operator,
-        lookup: Callable[[tuple], Sequence[tuple]],
-        key: Callable[[tuple], tuple],
+        lookup: Callable[[Row], Sequence[Row]],
+        key: Callable[[Row], Row],
     ) -> None:
         self.children = (left,)
         self._left = left
         self._lookup = lookup
         self._key = key
 
-    def _produce(self) -> Iterator[tuple]:
+    def _produce(self) -> Iterator[Row]:
         lookup, key = self._lookup, self._key
         for left_row in self._input(self._left):
             for right_row in lookup(key(left_row)):
@@ -225,9 +233,9 @@ class HashJoin(Operator):
         self._left_key = tuple(left_key)
         self._right_key = tuple(right_key)
 
-    def _produce(self) -> Iterator[tuple]:
+    def _produce(self) -> Iterator[Row]:
         right_key = _key_extractor(self._right_key)
-        table: dict[object, list[tuple]] = {}
+        table: dict[object, list[Row]] = {}
         for row in self._input(self._right):
             table.setdefault(right_key(row), []).append(row)
         left_key = _key_extractor(self._left_key)
@@ -264,7 +272,7 @@ class SemiJoin(Operator):
         self._right_key = tuple(right_key)
         self._anti = anti
 
-    def _produce(self) -> Iterator[tuple]:
+    def _produce(self) -> Iterator[Row]:
         right_key = _key_extractor(self._right_key)
         keys = {right_key(row) for row in self._input(self._right)}
         left_key, anti = _key_extractor(self._left_key), self._anti
@@ -284,17 +292,18 @@ class Project(Operator):
         self,
         child: Operator,
         positions: Sequence[int] | None = None,
-        mapper: Callable[[tuple], tuple] | None = None,
+        mapper: Callable[[Row], Row] | None = None,
     ) -> None:
         if (positions is None) == (mapper is None):
             raise ValueError("Project takes exactly one of positions= or mapper=")
         self.children = (child,)
         self._child = child
         if mapper is None:
-            mapper = _tuple_extractor(tuple(positions))  # type: ignore[arg-type]
+            assert positions is not None
+            mapper = _tuple_extractor(tuple(positions))
         self._mapper = mapper
 
-    def _produce(self) -> Iterator[tuple]:
+    def _produce(self) -> Iterator[Row]:
         mapper = self._mapper
         return map(mapper, self._input(self._child))
 
@@ -302,12 +311,12 @@ class Project(Operator):
 class Select(Operator):
     """Filter rows through a predicate closure."""
 
-    def __init__(self, child: Operator, predicate: Callable[[tuple], bool]) -> None:
+    def __init__(self, child: Operator, predicate: Callable[[Row], bool]) -> None:
         self.children = (child,)
         self._child = child
         self._predicate = predicate
 
-    def _produce(self) -> Iterator[tuple]:
+    def _produce(self) -> Iterator[Row]:
         predicate = self._predicate
         return filter(predicate, self._input(self._child))
 
@@ -318,7 +327,7 @@ class Union(Operator):
     def __init__(self, inputs: Sequence[Operator]) -> None:
         self.children = tuple(inputs)
 
-    def _produce(self) -> Iterator[tuple]:
+    def _produce(self) -> Iterator[Row]:
         for child in self.children:
             yield from self._input(child)
 
@@ -330,8 +339,8 @@ class Distinct(Operator):
         self.children = (child,)
         self._child = child
 
-    def _produce(self) -> Iterator[tuple]:
-        seen: set[tuple] = set()
+    def _produce(self) -> Iterator[Row]:
+        seen: set[Row] = set()
         add = seen.add
         for row in self._input(self._child):
             if row not in seen:
@@ -354,11 +363,11 @@ class Materialize(Operator):
     def __init__(self, child: Operator) -> None:
         self.children = (child,)
         self._child = child
-        self.materialized: list[tuple] = []
+        self.materialized: list[Row] = []
 
     def open(self) -> None:
         super().open()
         self.materialized = list(self._input(self._child))
 
-    def _produce(self) -> Iterator[tuple]:
+    def _produce(self) -> Iterator[Row]:
         yield from self.materialized

@@ -19,9 +19,10 @@ other operators preserve distinctness of their inputs.
 
 from __future__ import annotations
 
-from typing import Callable, Collection, Mapping
+from typing import Callable, Collection, Mapping, Sequence
 
 from ..algebra.terms import Param
+from ..core.access import AccessSchema
 from ..core.plans import (
     AttributeEqualsAttribute,
     AttributeEqualsConstant,
@@ -29,6 +30,7 @@ from ..core.plans import (
     DifferenceNode,
     FetchNode,
     PlanNode,
+    Predicate,
     ProductNode,
     ProjectNode,
     RenameNode,
@@ -44,6 +46,7 @@ from .operators import (
     IndexLookup,
     Operator,
     Project,
+    Row,
     Scan,
     Select,
     SemiJoin,
@@ -51,30 +54,43 @@ from .operators import (
 )
 
 
+def _position(attributes: tuple[str, ...], attribute: str, where: str) -> int:
+    """``attributes.index`` with a typed error naming the offending node."""
+    try:
+        return attributes.index(attribute)
+    except ValueError as exc:
+        raise PlanError(
+            f"{where} refers to attribute {attribute!r} which its input does "
+            f"not produce (input has {attributes})"
+        ) from exc
+
+
 def compile_plan(
     plan: PlanNode,
-    access_schema: object,
+    access_schema: AccessSchema,
     provider: object,
-    view_cache: Mapping[str, Collection[tuple]],
+    view_cache: Mapping[str, Collection[Row]],
     meter: IOMeter,
 ) -> Operator:
     """Compile a plan tree into an operator tree charging I/O to ``meter``.
 
-    Unbound :class:`~repro.algebra.terms.Param` placeholders and fetches
-    without a covering access constraint are rejected here, before any data
-    is touched — same errors, same messages as the eager evaluator raised.
+    Unbound :class:`~repro.algebra.terms.Param` placeholders, fetches without
+    a covering access constraint and attribute references the input does not
+    produce are rejected here — as :class:`~repro.errors.PlanError` naming
+    the offending node — before any data is touched.
     """
     return _compile(plan, access_schema, provider, view_cache, meter)
 
 
 def _compile(
     node: PlanNode,
-    access_schema: object,
+    access_schema: AccessSchema,
     provider: object,
-    view_cache: Mapping[str, Collection[tuple]],
+    view_cache: Mapping[str, Collection[Row]],
     meter: IOMeter,
 ) -> Operator:
-    recurse = lambda child: _compile(child, access_schema, provider, view_cache, meter)  # noqa: E731
+    def recurse(child: PlanNode) -> Operator:
+        return _compile(child, access_schema, provider, view_cache, meter)
 
     if isinstance(node, ConstantScan):
         if isinstance(node.value, Param):
@@ -97,13 +113,21 @@ def _compile(
             )
         child_op = recurse(node.child) if node.child is not None else None
         key_positions = (
-            tuple(node.child.attributes.index(a) for a in constraint.x)
+            tuple(
+                _position(
+                    node.child.attributes, a, f"fetch on {node.relation!r} key"
+                )
+                for a in constraint.x
+            )
             if node.child is not None
             else ()
         )
         provider_attributes = constraint.output_attributes
         output_positions = tuple(
-            provider_attributes.index(a) for a in node.attributes
+            _position(
+                provider_attributes, a, f"fetch on {node.relation!r} output"
+            )
+            for a in node.attributes
         )
         return Distinct(
             IndexLookup(
@@ -119,7 +143,9 @@ def _compile(
 
     if isinstance(node, ProjectNode):
         child_attributes = node.child.attributes
-        positions = tuple(child_attributes.index(a) for a in node.kept)
+        positions = tuple(
+            _position(child_attributes, a, "projection") for a in node.kept
+        )
         return Distinct(Project(recurse(node.child), positions))
 
     if isinstance(node, SelectNode):
@@ -150,9 +176,9 @@ def _compile(
 
 def _compile_join(
     node: SelectNode,
-    access_schema: object,
+    access_schema: AccessSchema,
     provider: object,
-    view_cache: Mapping[str, Collection[tuple]],
+    view_cache: Mapping[str, Collection[Row]],
     meter: IOMeter,
 ) -> Operator:
     """``σ[l = r](left × right)`` as a hash join plus residual filter.
@@ -166,7 +192,7 @@ def _compile_join(
     left_attrs = product.left.attributes
     right_attrs = product.right.attributes
     join_pairs: list[tuple[int, int]] = []
-    residual: list = []
+    residual: list[Predicate] = []
     for predicate in node.predicates:
         if isinstance(predicate, AttributeEqualsAttribute) and not predicate.negated:
             if predicate.left in left_attrs and predicate.right in right_attrs:
@@ -194,7 +220,7 @@ def _compile_join(
     return joined
 
 
-def _guard_predicates(predicates) -> None:
+def _guard_predicates(predicates: Sequence[Predicate]) -> None:
     """Reject unbound parameters once per node, before execution starts."""
     for predicate in predicates:
         if isinstance(predicate, AttributeEqualsConstant) and isinstance(
@@ -204,31 +230,42 @@ def _guard_predicates(predicates) -> None:
 
 
 def _predicate_closure(
-    predicates, attributes: tuple[str, ...]
-) -> Callable[[tuple], bool]:
+    predicates: Sequence[Predicate], attributes: tuple[str, ...]
+) -> Callable[[Row], bool]:
     """Resolve predicate attribute names to positions once, not once per row."""
-    checks: list[Callable[[tuple], bool]] = []
+    checks: list[Callable[[Row], bool]] = []
     for predicate in predicates:
         if isinstance(predicate, AttributeEqualsConstant):
-            position = attributes.index(predicate.attribute)
+            position = _position(attributes, predicate.attribute, "selection")
             value, negated = predicate.value, predicate.negated
 
-            def check(row, position=position, value=value, negated=negated) -> bool:
+            def check_constant(
+                row: Row,
+                position: int = position,
+                value: object = value,
+                negated: bool = negated,
+            ) -> bool:
                 return (row[position] == value) != negated
 
+            checks.append(check_constant)
         elif isinstance(predicate, AttributeEqualsAttribute):
-            left = attributes.index(predicate.left)
-            right = attributes.index(predicate.right)
+            left = _position(attributes, predicate.left, "selection")
+            right = _position(attributes, predicate.right, "selection")
             negated = predicate.negated
 
-            def check(row, left=left, right=right, negated=negated) -> bool:
+            def check_attributes(
+                row: Row,
+                left: int = left,
+                right: int = right,
+                negated: bool = negated,
+            ) -> bool:
                 return (row[left] == row[right]) != negated
 
+            checks.append(check_attributes)
         else:  # pragma: no cover - defensive
             raise PlanError(f"unknown predicate type {type(predicate).__name__}")
-        checks.append(check)
 
-    def passes(row: tuple) -> bool:
+    def passes(row: Row) -> bool:
         return all(check(row) for check in checks)
 
     return passes

@@ -25,9 +25,12 @@ maintenance and cache invalidation want.
 
 from __future__ import annotations
 
-from typing import Iterable, Protocol, runtime_checkable
+from typing import Iterable, Protocol, Sequence, runtime_checkable
 
-_EMPTY: tuple[tuple, ...] = ()
+#: A data row (kept structural: storage does not import the exec kernel).
+Row = tuple[object, ...]
+
+_EMPTY: tuple[Row, ...] = ()
 
 
 class DeltaStream:
@@ -49,8 +52,8 @@ class DeltaStream:
     )
 
     def __init__(self) -> None:
-        self._inserted: dict[str, set[tuple]] = {}
-        self._deleted: dict[str, set[tuple]] = {}
+        self._inserted: dict[str, set[Row]] = {}
+        self._deleted: dict[str, set[Row]] = {}
         # First-touch order of relations (dict used as an ordered set).
         self._order: dict[str, None] = {}
         #: Effective (non-no-op) insertions/deletions applied, before netting.
@@ -63,7 +66,7 @@ class DeltaStream:
     # Recording (storage layer only)
     # ------------------------------------------------------------------ #
 
-    def record_insert(self, relation: str, row: tuple) -> None:
+    def record_insert(self, relation: str, row: Row) -> None:
         """Record one applied insertion (the row was absent before)."""
         self._order.setdefault(relation, None)
         self.applied_insertions += 1
@@ -73,7 +76,7 @@ class DeltaStream:
         else:
             self._inserted.setdefault(relation, set()).add(row)
 
-    def record_delete(self, relation: str, row: tuple) -> None:
+    def record_delete(self, relation: str, row: Row) -> None:
         """Record one applied deletion (the row was present before)."""
         self._order.setdefault(relation, None)
         self.applied_deletions += 1
@@ -101,12 +104,12 @@ class DeltaStream:
         """Relation names with a non-empty net change."""
         return frozenset(self.relations)
 
-    def inserted(self, relation: str) -> tuple[tuple, ...]:
+    def inserted(self, relation: str) -> tuple[Row, ...]:
         """Net-inserted rows: absent before the transaction, present after."""
         rows = self._inserted.get(relation)
         return tuple(rows) if rows else _EMPTY
 
-    def deleted(self, relation: str) -> tuple[tuple, ...]:
+    def deleted(self, relation: str) -> tuple[Row, ...]:
         """Net-deleted rows: present before the transaction, absent after."""
         rows = self._deleted.get(relation)
         return tuple(rows) if rows else _EMPTY
@@ -149,8 +152,8 @@ class DeltaObserver(Protocol):
 
 
 def stream_from_changes(
-    inserted: Iterable[tuple[str, tuple]] = (),
-    deleted: Iterable[tuple[str, tuple]] = (),
+    inserted: Iterable[tuple[str, Sequence[object]]] = (),
+    deleted: Iterable[tuple[str, Sequence[object]]] = (),
 ) -> DeltaStream:
     """Build a stream from explicit (relation, row) changes (tests, shims)."""
     stream = DeltaStream()

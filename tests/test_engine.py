@@ -136,3 +136,8 @@ def test_naive_engine_fo_answers():
     result = naive.answer_fo(atom("R", Constant(1), Y), head=(Y,))
     assert result.rows == {(10,), (11,)}
     assert result.tuples_scanned == len(db.relation("R"))
+
+
+def test_bounded_engine_constructor_emits_deprecation_warning():
+    with pytest.warns(DeprecationWarning, match="BoundedEngine is deprecated"):
+        BoundedEngine(make_db(), ACCESS, ViewSet(()))

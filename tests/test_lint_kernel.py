@@ -1,0 +1,118 @@
+"""Tests for the kernel-discipline linter (``tools/lint_kernel.py``)."""
+
+from __future__ import annotations
+
+import sys
+import textwrap
+from pathlib import Path
+
+import pytest
+
+TOOLS = Path(__file__).resolve().parent.parent / "tools"
+sys.path.insert(0, str(TOOLS))
+
+import lint_kernel  # noqa: E402  (path set up above)
+
+REPO_ROOT = TOOLS.parent
+
+
+def _write(root: Path, relative: str, source: str) -> Path:
+    path = root / relative
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(textwrap.dedent(source), encoding="utf-8")
+    return path
+
+
+def test_repository_is_clean():
+    assert lint_kernel.lint_tree(REPO_ROOT) == []
+
+
+def test_cli_exits_zero_on_clean_tree(capsys):
+    assert lint_kernel.main(["--root", str(REPO_ROOT)]) == 0
+    assert "kernel discipline ok" in capsys.readouterr().out
+
+
+def test_unmetered_fetch_is_flagged(tmp_path):
+    _write(
+        tmp_path,
+        "src/repro/exec/operators.py",
+        """
+        class Rogue:
+            def _produce(self):
+                for key in self._keys():
+                    yield from self._provider.fetch(self._constraint, key)
+
+            def metered(self):
+                rows = self._provider.fetch(self._constraint, ())
+                self._meter.record_fetch(self._relation, len(rows))
+                return rows
+        """,
+    )
+    violations = lint_kernel.lint_tree(tmp_path)
+    assert [v.code for v in violations] == ["kernel.unmetered-fetch"]
+    assert "_produce" in violations[0].message
+
+
+def test_storage_internals_access_is_flagged(tmp_path):
+    _write(
+        tmp_path,
+        "src/repro/exec/shortcut.py",
+        """
+        def peek(relation):
+            return len(relation._tuples)
+        """,
+    )
+    # The same access *inside* storage is the implementation, not a violation.
+    _write(
+        tmp_path,
+        "src/repro/storage/instance.py",
+        """
+        class Relation:
+            def __len__(self):
+                return len(self._tuples)
+        """,
+    )
+    violations = lint_kernel.lint_tree(tmp_path)
+    assert [v.code for v in violations] == ["kernel.storage-internals"]
+    assert violations[0].path == Path("src/repro/exec/shortcut.py")
+
+
+@pytest.mark.parametrize(
+    "source",
+    [
+        "from repro.engine.session import BoundedEngine\n",
+        "from repro.engine.maintenance import MaintainedEngine\n",
+        "import repro.engine.maintenance\n",
+        "from ..engine.session import BoundedEngine\n",
+    ],
+)
+def test_deprecated_imports_are_flagged(tmp_path, source):
+    _write(tmp_path, "src/repro/workloads/new_module.py", source)
+    violations = lint_kernel.lint_tree(tmp_path)
+    assert [v.code for v in violations] == ["kernel.deprecated-import"]
+
+
+def test_shims_themselves_are_allowlisted(tmp_path):
+    _write(
+        tmp_path,
+        "src/repro/engine/__init__.py",
+        "from .session import BoundedEngine\n",
+    )
+    _write(
+        tmp_path,
+        "src/repro/engine/maintenance.py",
+        "from .session import EngineAnswer\n",
+    )
+    assert lint_kernel.lint_tree(tmp_path) == []
+
+
+def test_cli_exits_one_and_reports_violations(tmp_path, capsys):
+    _write(
+        tmp_path,
+        "src/repro/core/hack.py",
+        "from repro.engine.session import BoundedEngine\n",
+    )
+    assert lint_kernel.main(["--root", str(tmp_path)]) == 1
+    out = capsys.readouterr().out
+    assert "kernel.deprecated-import" in out
+    assert "1 kernel-discipline violation(s)" in out

@@ -243,3 +243,8 @@ def test_maintained_caches_always_match_recomputation(seed):
             relation._tuples.discard(update.row)
         cache.apply(update)
     assert cache.verify()
+
+
+def test_maintained_engine_constructor_emits_deprecation_warning():
+    with pytest.warns(DeprecationWarning, match="MaintainedEngine is deprecated"):
+        MaintainedEngine(pairs_db(), AccessSchema(()), ViewSet(()))

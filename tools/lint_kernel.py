@@ -1,0 +1,208 @@
+#!/usr/bin/env python3
+"""Kernel-discipline linter (CI job ``lint``).
+
+The repository's accounting and layering guarantees are easy to break
+silently — an operator that fetches tuples without charging the
+:class:`~repro.exec.iometer.IOMeter` skews every ``Dξ`` measurement, and a
+module reaching into storage internals bypasses the observer protocol the
+maintenance kernel depends on.  This linter enforces three rules by AST
+inspection (no imports of the checked code, so it runs on any tree):
+
+``kernel.unmetered-fetch``
+    In ``src/repro/exec/operators.py``, every function that touches a
+    ``.fetch`` attribute (the storage-boundary probe) must also reference
+    ``record_fetch`` — tuples crossing the boundary are charged to the
+    meter in the same function that pulls them.
+
+``kernel.storage-internals``
+    No module outside ``src/repro/storage`` may access ``._tuples`` (the
+    raw backing set of :class:`~repro.storage.instance.Relation`); mutating
+    it directly would bypass the relation's observer/statistics protocol.
+
+``kernel.deprecated-import``
+    No module outside a small allowlist may import the deprecated
+    ``BoundedEngine``/``MaintainedEngine`` shims (or their modules); new
+    code goes through ``QueryService``.
+
+Usage::
+
+    python tools/lint_kernel.py [--root PATH]
+
+Exits 1 and prints one ``path:line: [code] message`` per violation.
+"""
+
+from __future__ import annotations
+
+import argparse
+import ast
+import sys
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterator
+
+OPERATORS_FILE = Path("src/repro/exec/operators.py")
+STORAGE_DIR = Path("src/repro/storage")
+
+DEPRECATED_NAMES = frozenset({"BoundedEngine", "MaintainedEngine"})
+DEPRECATED_MODULES = frozenset(
+    {"repro.engine.session", "repro.engine.maintenance"}
+)
+# The shims themselves, the packages re-exporting them for compatibility,
+# and nothing else.
+DEPRECATED_IMPORT_ALLOWLIST = frozenset(
+    {
+        Path("src/repro/__init__.py"),
+        Path("src/repro/engine/__init__.py"),
+        Path("src/repro/engine/session.py"),
+        Path("src/repro/engine/maintenance.py"),
+    }
+)
+
+
+@dataclass(frozen=True)
+class Violation:
+    path: Path
+    line: int
+    code: str
+    message: str
+
+    def __str__(self) -> str:
+        return f"{self.path}:{self.line}: [{self.code}] {self.message}"
+
+
+def _attribute_names(node: ast.AST) -> Iterator[tuple[str, int]]:
+    for sub in ast.walk(node):
+        if isinstance(sub, ast.Attribute):
+            yield sub.attr, sub.lineno
+        elif isinstance(sub, ast.Name):
+            yield sub.id, sub.lineno
+
+
+def check_metered_fetches(path: Path, tree: ast.Module) -> list[Violation]:
+    """Every function touching ``.fetch`` must also reference the meter."""
+    violations: list[Violation] = []
+    for node in ast.walk(tree):
+        if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        names = dict(_attribute_names(node))
+        if "fetch" in names and "record_fetch" not in names:
+            violations.append(
+                Violation(
+                    path,
+                    names["fetch"],
+                    "kernel.unmetered-fetch",
+                    f"function {node.name!r} probes '.fetch' without charging "
+                    "the IOMeter ('record_fetch'); every tuple crossing the "
+                    "storage boundary must be metered in the same function",
+                )
+            )
+    return violations
+
+
+def check_storage_internals(path: Path, tree: ast.Module) -> list[Violation]:
+    """``._tuples`` is storage-private; nobody else may touch it."""
+    violations: list[Violation] = []
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Attribute) and node.attr == "_tuples":
+            violations.append(
+                Violation(
+                    path,
+                    node.lineno,
+                    "kernel.storage-internals",
+                    "access to 'Relation._tuples' outside repro.storage "
+                    "bypasses the relation's observer and statistics "
+                    "protocol; use the public Relation API",
+                )
+            )
+    return violations
+
+
+def _imported_module(node: ast.ImportFrom, package_parts: tuple[str, ...]) -> str:
+    """Absolute dotted module an ``ImportFrom`` resolves to (best effort)."""
+    module = node.module or ""
+    if node.level == 0:
+        return module
+    base = package_parts[: len(package_parts) - (node.level - 1)]
+    return ".".join([*base, module] if module else base)
+
+
+def check_deprecated_imports(path: Path, tree: ast.Module) -> list[Violation]:
+    """No new imports of the deprecated engine shims."""
+    violations: list[Violation] = []
+    # Package the file belongs to, as dotted parts relative to src/.
+    parts = path.parts
+    package_parts: tuple[str, ...] = ()
+    if "src" in parts:
+        start = parts.index("src") + 1
+        package_parts = tuple(parts[start:-1])
+
+    def report(line: int, what: str) -> None:
+        violations.append(
+            Violation(
+                path,
+                line,
+                "kernel.deprecated-import",
+                f"import of deprecated {what}; new code should use "
+                "repro.QueryService directly",
+            )
+        )
+
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ImportFrom):
+            module = _imported_module(node, package_parts)
+            if module in DEPRECATED_MODULES:
+                report(node.lineno, f"module {module!r}")
+                continue
+            for alias in node.names:
+                if alias.name in DEPRECATED_NAMES:
+                    report(node.lineno, f"shim {alias.name!r}")
+        elif isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.name in DEPRECATED_MODULES:
+                    report(node.lineno, f"module {alias.name!r}")
+    return violations
+
+
+def lint_file(path: Path, root: Path) -> list[Violation]:
+    """All violations in one file (paths are reported relative to ``root``)."""
+    relative = path.relative_to(root)
+    tree = ast.parse(path.read_text(encoding="utf-8"), filename=str(path))
+    violations: list[Violation] = []
+    if relative == OPERATORS_FILE:
+        violations += check_metered_fetches(relative, tree)
+    if STORAGE_DIR not in relative.parents:
+        violations += check_storage_internals(relative, tree)
+    if relative not in DEPRECATED_IMPORT_ALLOWLIST:
+        violations += check_deprecated_imports(relative, tree)
+    return violations
+
+
+def lint_tree(root: Path) -> list[Violation]:
+    """Lint every library module under ``root / src / repro``."""
+    violations: list[Violation] = []
+    for path in sorted((root / "src" / "repro").rglob("*.py")):
+        violations += lint_file(path, root)
+    return violations
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--root",
+        type=Path,
+        default=Path(__file__).resolve().parent.parent,
+        help="repository root (defaults to this script's grandparent)",
+    )
+    options = parser.parse_args(argv)
+    violations = lint_tree(options.root.resolve())
+    for violation in violations:
+        print(violation)
+    if violations:
+        print(f"{len(violations)} kernel-discipline violation(s)")
+        return 1
+    print("kernel discipline ok")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
