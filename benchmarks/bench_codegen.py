@@ -1,0 +1,161 @@
+"""E-codegen — interpreted operator tree vs. compiled closures, same ``Dξ``.
+
+The codegen tier's contract is asymmetric: accounting must be *exactly* the
+interpreter's (rows and every IOMeter field — asserted unconditionally, on
+every run), while wall-clock must be several times better (asserted only on
+non-smoke runs: ``BENCH_SMOKE=1`` records the speedup without gating, since
+one-round timings on shared CI runners are noisy).
+
+Measured here on the Graph Search workload: (a) the Figure 1 plan and the
+planner's Q0 plan through ``PlanExecutor`` vs. ``CompiledPlan.execute``,
+(b) a warmed service answering Q0 on each tier, and (c) prepared
+parameterised execution, where the compiled tier also skips ``bind_plan``.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.algebra.parser import parse_query
+from repro.core.plan_eval import FetchStats, PlanExecutor
+from repro.engine.service import QueryService
+from repro.exec.codegen import compile_plan_closure
+from repro.workloads import graph_search as gs
+
+# Local acceptance bars for the tier switch (see README "Compiled
+# execution" for measured numbers: fig1 ~8x, planner Q0 ~5x).
+FIG1_MIN_SPEEDUP = 4.0
+Q0_MIN_SPEEDUP = 2.5
+
+_TIMINGS: dict[str, float] = {}
+
+
+def _gate(name: str, minimum: float, benchmark) -> None:
+    """Record the interpreted/compiled ratio; assert it off smoke runs."""
+    interpreted = _TIMINGS.get(f"{name}_interpreted")
+    compiled = _TIMINGS.get(f"{name}_compiled")
+    if not interpreted or not compiled:
+        return
+    speedup = interpreted / compiled
+    benchmark.extra_info["codegen_speedup"] = round(speedup, 1)
+    if os.environ.get("BENCH_SMOKE") != "1":
+        assert speedup >= minimum, (
+            f"codegen tier only {speedup:.1f}x faster on {name} "
+            f"(acceptance bar {minimum}x)"
+        )
+
+
+@pytest.fixture(scope="module")
+def setup(gs_small):
+    service = QueryService(
+        gs_small.database,
+        gs.access_schema(n0=gs_small.n0),
+        gs.views(),
+        codegen=False,
+    )
+    executor = PlanExecutor(
+        gs_small.database.schema,
+        gs.access_schema(n0=gs_small.n0),
+        service.indexes,
+        service.view_cache,
+    )
+    entry, _ = service.plan(gs.query_q0())
+    assert entry.plan is not None
+    return service, executor, entry.plan
+
+
+@pytest.mark.parametrize("plan_name", ["fig1", "q0"])
+@pytest.mark.parametrize("tier", ["interpreted", "compiled"])
+def test_plan_execution_tiers(benchmark, setup, plan_name, tier):
+    service, executor, q0_plan = setup
+    plan = gs.figure1_plan() if plan_name == "fig1" else q0_plan
+    reference = executor.execute(plan)
+    compiled = compile_plan_closure(plan, executor.access_schema)
+
+    if tier == "interpreted":
+        run = lambda: executor.execute(plan).rows  # noqa: E731
+    else:
+        provider, views = executor.provider, executor.view_cache
+
+        def run():
+            return compiled.execute(provider, views, FetchStats())
+
+    rows = benchmark(run)
+    # The non-negotiable half of the contract: identical rows and Dξ.
+    meter = FetchStats()
+    assert compiled.execute(executor.provider, executor.view_cache, meter) == reference.rows
+    assert meter.tuples_fetched == reference.stats.tuples_fetched
+    assert meter.fetch_calls == reference.stats.fetch_calls
+    assert meter.per_relation == reference.stats.per_relation
+    assert meter.view_tuples_scanned == reference.stats.view_tuples_scanned
+    assert rows == reference.rows
+    benchmark.extra_info["rows"] = len(rows)
+    benchmark.extra_info["tuples_fetched"] = reference.stats.tuples_fetched
+    _TIMINGS[f"{plan_name}_{tier}"] = benchmark.stats.stats.mean
+    minimum = FIG1_MIN_SPEEDUP if plan_name == "fig1" else Q0_MIN_SPEEDUP
+    _gate(plan_name, minimum, benchmark)
+
+
+@pytest.mark.parametrize("tier", ["interpreted", "compiled"])
+def test_service_q0_tiers(benchmark, gs_small, tier):
+    service = QueryService(
+        gs_small.database,
+        gs.access_schema(n0=gs_small.n0),
+        gs.views(),
+        codegen=(tier == "compiled"),
+        codegen_warmup=0,
+    )
+    q0 = gs.query_q0()
+    warm = service.query(q0)  # plan once; compile when codegen is on
+    assert warm.execution_tier == tier
+
+    def run():
+        return service.query(q0)
+
+    answer = benchmark(run)
+    assert answer.execution_tier == tier
+    assert answer.rows == warm.rows
+    benchmark.extra_info["rows"] = len(answer.rows)
+    benchmark.extra_info["tuples_fetched"] = answer.tuples_fetched
+    _TIMINGS[f"service_q0_{tier}"] = benchmark.stats.stats.mean
+    if tier == "compiled":
+        interpreted = _TIMINGS.get("service_q0_interpreted")
+        if interpreted:
+            benchmark.extra_info["codegen_speedup"] = round(
+                interpreted / benchmark.stats.stats.mean, 1
+            )
+
+
+@pytest.mark.parametrize("tier", ["interpreted", "compiled"])
+def test_prepared_parameterised_tiers(benchmark, gs_small, tier):
+    service = QueryService(
+        gs_small.database,
+        gs.access_schema(n0=gs_small.n0),
+        gs.views(),
+        codegen=(tier == "compiled"),
+        codegen_warmup=0,
+    )
+    prepared = service.prepare(
+        parse_query('Q(m, k) :- movie(m, mn, :studio, "2014"), rating(m, k)')
+    )
+    studios = sorted(
+        {row[2] for row in gs_small.database.relation("movie").tuples}
+    )[:8]
+    warm = [prepared.execute(studio=s) for s in studios]
+    assert {a.execution_tier for a in warm} == {tier}
+
+    def run():
+        return [prepared.execute(studio=s).rows for s in studios]
+
+    rows = benchmark(run)
+    assert rows == [a.rows for a in warm]
+    benchmark.extra_info["bindings_per_round"] = len(studios)
+    _TIMINGS[f"prepared_{tier}"] = benchmark.stats.stats.mean
+    if tier == "compiled":
+        interpreted = _TIMINGS.get("prepared_interpreted")
+        if interpreted:
+            benchmark.extra_info["codegen_speedup"] = round(
+                interpreted / benchmark.stats.stats.mean, 1
+            )

@@ -34,6 +34,7 @@ from .explain import Explanation
 from .lints import lint_query
 from .mutations import MUTATION_KINDS, PlanMutation, mutate_plan, plan_mutations
 from .verifier import (
+    codegen_eligibility,
     coverage_trace,
     fetch_certificates,
     verify_delta_program,
@@ -52,6 +53,7 @@ __all__ = [
     "VerificationReport",
     "ViewDependencyReport",
     "analyze_view_dependencies",
+    "codegen_eligibility",
     "coverage_trace",
     "fetch_certificates",
     "lint_query",

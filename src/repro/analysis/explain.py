@@ -40,6 +40,17 @@ class Explanation:
     certificates: tuple[FetchCertificate, ...] = ()
     counterexample: BoundednessCounterexample | None = None
     lints: tuple[Diagnostic, ...] = ()
+    # Codegen-tier state of the cached entry: which tier the next execution
+    # will take (``"interpreted"``/``"compiled"``), the raw per-entry state
+    # (``"pending"``/``"compiled"``/``"ineligible"``/``"disabled"``), how
+    # many executions the entry has seen against how many the warmup wants,
+    # how long compilation took, and why codegen was refused (if it was).
+    execution_tier: str = "interpreted"
+    codegen_state: str = "disabled"
+    executions: int = 0
+    codegen_warmup: int = 0
+    compile_seconds: float | None = None
+    codegen_reason: str = ""
 
     @property
     def bounded(self) -> bool:
@@ -61,6 +72,19 @@ class Explanation:
             lines.append(f"  planner: {self.planner}{source}")
             if self.reason:
                 lines.append(f"  reason: {self.reason}")
+            if self.codegen_state != "disabled":
+                detail = f"  execution tier: {self.execution_tier}"
+                if self.codegen_state == "pending":
+                    detail += (
+                        f" (warming up: {self.executions}/{self.codegen_warmup}"
+                        " executions)"
+                    )
+                elif self.codegen_state == "compiled":
+                    if self.compile_seconds is not None:
+                        detail += f" (compiled in {self.compile_seconds * 1e3:.2f}ms)"
+                elif self.codegen_state == "ineligible":
+                    detail += f" (codegen ineligible: {self.codegen_reason})"
+                lines.append(detail)
             if self.fetch_bound is not None:
                 lines.append(f"  worst-case tuples fetched: {self.fetch_bound}")
             for line in self.plan.pretty().splitlines():

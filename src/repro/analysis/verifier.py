@@ -98,6 +98,50 @@ def verify_plan(
     return report
 
 
+def codegen_eligibility(
+    plan: PlanNode,
+    schema: DatabaseSchema,
+    *,
+    views: ViewSet | None = None,
+    access_schema: AccessSchema | None = None,
+    budget: ElementQueryBudget | None = None,
+    expected_arity: int | None = None,
+    subject: str = "",
+) -> VerificationReport:
+    """Decide whether a plan may be compiled to a specialized closure.
+
+    The codegen tier bypasses the interpreted operator constructors, so the
+    gate is the full :func:`verify_plan` discipline: a plan is only
+    codegen-eligible once it verifies (schema bookkeeping, access-constraint
+    conformance, boundedness).  Unlike the serving path — which *raises* on a
+    bad plan — eligibility must never take the service down: any exception
+    out of the verifier is folded into a failing report, and the service then
+    simply keeps interpreting that plan.
+    """
+    subject = subject or f"codegen({plan.label()})"
+    try:
+        return verify_plan(
+            plan,
+            schema,
+            views=views,
+            access_schema=access_schema,
+            budget=budget,
+            expected_arity=expected_arity,
+            subject=subject,
+        )
+    except BudgetExceededError as exc:
+        report = VerificationReport(subject=subject)
+        report.add(
+            "codegen.budget-exceeded",
+            f"boundedness check exceeded its budget: {exc}",
+        )
+        return report
+    except (PlanError, SchemaError, UnsupportedQueryError) as exc:
+        report = VerificationReport(subject=subject)
+        report.add("codegen.verifier-error", f"plan verification failed: {exc}")
+        return report
+
+
 # --------------------------------------------------------------------------- #
 # Structural / conformance checks (field-level, constructor-independent)
 # --------------------------------------------------------------------------- #

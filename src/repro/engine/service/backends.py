@@ -36,6 +36,7 @@ from ...core.access import AccessSchema
 from ...core.plan_eval import ExecutionResult, FetchProvider, FetchStats, PlanExecutor
 from ...core.plans import PlanNode
 from ...errors import UnsupportedQueryError
+from ...exec.codegen import CompiledPlan
 from ...storage.instance import Database
 from ..baseline import BaselineResult, NaiveEngine
 from ..sql import (
@@ -120,6 +121,24 @@ class InMemoryBackend:
 
     def execute_plan(self, plan: PlanNode) -> ExecutionResult:
         return self._executor.execute(plan)
+
+    def execute_compiled(
+        self,
+        compiled: CompiledPlan,
+        params: Mapping[str, object] | None = None,
+    ) -> ExecutionResult:
+        """Run a codegen closure against the current provider and view cache.
+
+        The closure is data-independent: the provider and view cache are
+        late-bound per execution, so a closure compiled before a write keeps
+        reading the refreshed state afterwards.  Accounting is a fresh
+        :class:`FetchStats` per call, exactly like :meth:`execute_plan`.
+        """
+        stats = FetchStats()
+        rows = compiled.execute(
+            self._executor.provider, self._executor.view_cache, stats, params
+        )
+        return ExecutionResult(attributes=compiled.attributes, rows=rows, stats=stats)
 
     def execute_baseline(self, query: QueryLike) -> BaselineResult:
         return self._naive.answer(query)

@@ -29,6 +29,7 @@ from ...algebra.fo import FOQuery
 from ...algebra.terms import Constant, Variable
 from ...algebra.ucq import UnionQuery
 from ...core.plans import PlanNode
+from ...exec.codegen import CompiledPlan
 
 
 def _canonical_cq(query: ConjunctiveQuery) -> tuple:
@@ -86,10 +87,33 @@ class CachedPlan:
     reason: str = ""
     parameters: frozenset[str] = frozenset()
     dependencies: frozenset[str] = frozenset()
+    # Codegen tier state (second artifact per entry).  ``executions`` counts
+    # how often this entry's plan ran — the warmup counter deciding when the
+    # service compiles it; ``codegen_state`` is ``"pending"`` (still warming
+    # up or codegen disabled), ``"compiled"`` or ``"ineligible"`` (the
+    # verifier or the closure compiler rejected it; ``codegen_reason`` says
+    # why).  Mutated only by the owning service/cache.
+    compiled: CompiledPlan | None = None
+    executions: int = 0
+    codegen_state: str = "pending"
+    codegen_reason: str = ""
 
     @property
     def found(self) -> bool:
         return self.plan is not None
+
+    def invalidate_compiled(self) -> None:
+        """Drop the compiled artifact and restart the warmup.
+
+        Called when the entry leaves the cache (dependency invalidation, LRU
+        eviction, clear): a :class:`PreparedQuery` may still hold the entry
+        object, and a closure compiled for it must not survive the eviction
+        that declared its planning outcome stale.
+        """
+        self.compiled = None
+        self.executions = 0
+        self.codegen_state = "pending"
+        self.codegen_reason = ""
 
 
 @dataclass
@@ -151,7 +175,8 @@ class LRUPlanCache:
                 self._entries.move_to_end(key)
             self._entries[key] = entry
             while len(self._entries) > self.capacity:
-                self._entries.popitem(last=False)
+                _, evicted = self._entries.popitem(last=False)
+                evicted.invalidate_compiled()
                 self.stats.evictions += 1
 
     def invalidate(self, touched: Iterable[str]) -> int:
@@ -174,10 +199,15 @@ class LRUPlanCache:
                 if not entry.dependencies or entry.dependencies & touched
             ]
             for key in stale:
-                del self._entries[key]
+                # Dropping the compiled artifact too: a PreparedQuery may
+                # still hold the entry object, and its closure must not
+                # outlive the eviction of the planning outcome it came from.
+                self._entries.pop(key).invalidate_compiled()
             self.stats.invalidations += len(stale)
             return len(stale)
 
     def clear(self) -> None:
         with self._lock:
+            for entry in self._entries.values():
+                entry.invalidate_compiled()
             self._entries.clear()

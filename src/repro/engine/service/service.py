@@ -41,6 +41,7 @@ from ...analysis import (
     BoundednessCounterexample,
     Diagnostic,
     Explanation,
+    codegen_eligibility,
     fetch_certificates,
     lint_query,
     verify_plan,
@@ -53,10 +54,12 @@ from ...core.plan_eval import FetchProvider, bind_plan, plan_parameters
 from ...core.plans import FetchNode, PlanNode, ViewScan
 from ...errors import (
     EvaluationError,
+    PlanError,
     PlanVerificationError,
     QueryError,
     UnsupportedQueryError,
 )
+from ...exec.codegen import compile_plan_closure
 from ...storage.deltas import DeltaStream
 from ...storage.indexes import IndexSet
 from ...storage.instance import Database
@@ -103,6 +106,11 @@ class Answer:
     view_tuples_scanned: int
     elapsed_seconds: float
     reason: str = ""
+    #: Which execution tier produced the rows: ``"interpreted"`` (the
+    #: operator-tree kernel) or ``"compiled"`` (a codegen closure).  Both
+    #: tiers are bit-identical in rows *and* in ``Dξ`` accounting; the tier
+    #: only changes how fast the answer arrived.
+    execution_tier: str = "interpreted"
 
     def __len__(self) -> int:
         return len(self.rows)
@@ -230,6 +238,16 @@ class QueryService:
         per call.
     plan_cache_size:
         Capacity of the LRU plan cache; ``0`` disables plan caching.
+    codegen:
+        Enable the codegen execution tier: cached plans that keep getting
+        executed are compiled into specialized closures (bit-identical rows
+        and ``Dξ`` accounting, several times faster).  Only backends
+        exposing ``execute_compiled`` take the fast path; others keep
+        interpreting.
+    codegen_warmup:
+        How many interpreted executions a cached plan must see before it is
+        compiled.  ``0`` compiles on first execution; the default leaves
+        one-shot queries on the (compile-free) interpreted tier.
     """
 
     def __init__(
@@ -245,6 +263,8 @@ class QueryService:
         budget: ElementQueryBudget | None = None,
         inner_size_cutoff: int = 2,
         verify_plans: bool = False,
+        codegen: bool = True,
+        codegen_warmup: int = 2,
     ) -> None:
         self.database = database
         self.access_schema = access_schema
@@ -255,6 +275,11 @@ class QueryService:
         # (schema bookkeeping, access-constraint conformance, boundedness)
         # before it enters the plan cache; see repro.analysis.verify_plan.
         self.verify_plans = verify_plans
+        self.codegen = codegen
+        self.codegen_warmup = codegen_warmup
+        # Serialises warmup counting and compilation: two threads hitting the
+        # same cached entry must not compile it twice (or race the counter).
+        self._codegen_lock = threading.Lock()
         access_schema.validate(database.schema)
         if check_constraints and not database.satisfies(access_schema):
             violations = database.violations(access_schema)
@@ -613,6 +638,42 @@ class QueryService:
                 query_name=self._query_name(resolved),
             )
 
+    def _compile_entry(
+        self, resolved: Query, head: Sequence[Variable] | None, entry: CachedPlan
+    ) -> None:
+        """Try to compile a warmed-up cache entry to a specialized closure.
+
+        The gate is :func:`repro.analysis.codegen_eligibility` — the full
+        plan-verifier discipline, because the closure compiler bypasses the
+        interpreted operator constructors and their invariant checks.  A
+        refusal (or a compile failure) marks the entry ``"ineligible"`` so
+        the hot path never retries it; the plan simply keeps interpreting.
+        Called with :attr:`_codegen_lock` held.
+        """
+        plan = entry.plan
+        assert plan is not None
+        report = codegen_eligibility(
+            plan,
+            self.database.schema,
+            views=self.views,
+            access_schema=self.access_schema,
+            budget=self._budget,
+            expected_arity=self._head_arity(resolved, head),
+            subject=self._query_name(resolved),
+        )
+        if not report.ok:
+            entry.codegen_state = "ineligible"
+            entry.codegen_reason = "; ".join(str(d) for d in report.errors)
+            return
+        try:
+            entry.compiled = compile_plan_closure(plan, self.access_schema)
+        except (PlanError, UnsupportedQueryError) as exc:
+            entry.codegen_state = "ineligible"
+            entry.codegen_reason = f"closure compilation failed: {exc}"
+            return
+        entry.codegen_state = "compiled"
+        entry.codegen_reason = ""
+
     @staticmethod
     def _query_name(resolved: Query) -> str:
         name = getattr(resolved, "name", None)
@@ -704,6 +765,14 @@ class QueryService:
             fetch_bound=conformance.fetch_bound,
             certificates=tuple(certificates),
             lints=lints,
+            execution_tier="compiled" if entry.compiled is not None else "interpreted",
+            codegen_state=entry.codegen_state if self.codegen else "disabled",
+            executions=entry.executions,
+            codegen_warmup=self.codegen_warmup,
+            compile_seconds=(
+                entry.compiled.compile_seconds if entry.compiled is not None else None
+            ),
+            codegen_reason=entry.codegen_reason,
         )
 
     def _counterexample(self, resolved: Query) -> BoundednessCounterexample | None:
@@ -899,17 +968,39 @@ class QueryService:
         if entry.found:
             plan = entry.plan
             assert plan is not None
-            if params:
-                plan = bind_plan(plan, params)
-            elif entry.parameters:
+            if not params and entry.parameters:
                 raise QueryError(
                     f"plan has unbound parameters {sorted(entry.parameters)}"
                 )
-            result = backend.execute_plan(plan)
+            # Codegen tier: only backends exposing execute_compiled can run
+            # closures (SQLite executes SQL text, not Python), and the plan
+            # must have warmed up and verified first.  The compiled path
+            # never calls bind_plan — the closure resolves parameter values
+            # from the bindings once per execution.
+            runner = getattr(backend, "execute_compiled", None)
+            compiled = None
+            if self.codegen and runner is not None:
+                with self._codegen_lock:
+                    entry.executions += 1
+                    if (
+                        entry.compiled is None
+                        and entry.codegen_state == "pending"
+                        and entry.executions > self.codegen_warmup
+                    ):
+                        self._compile_entry(resolved, head, entry)
+                    compiled = entry.compiled
+            if compiled is not None:
+                result = runner(compiled, params)
+                tier = "compiled"
+            else:
+                bound = bind_plan(plan, params) if params else plan
+                result = backend.execute_plan(bound)
+                plan = bound  # the bound plan that actually executed
+                tier = "interpreted"
             answer = Answer(
                 rows=result.rows,
                 used_bounded_plan=True,
-                plan=plan,  # the bound plan that actually executed
+                plan=plan,
                 planner=entry.planner,
                 backend=backend.name,
                 cache_hit=cache_hit,
@@ -918,6 +1009,7 @@ class QueryService:
                 view_tuples_scanned=result.stats.view_tuples_scanned,
                 elapsed_seconds=time.perf_counter() - started,
                 reason=entry.reason or f"bounded plan produced by planner {entry.planner!r}",
+                execution_tier=tier,
             )
         else:
             bound = _bind_query(resolved, params) if params else resolved

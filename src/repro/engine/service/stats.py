@@ -30,6 +30,7 @@ class StatsSnapshot:
     view_tuples_scanned: int
     planner_uses: dict[str, int]
     backend_uses: dict[str, int]
+    tier_uses: dict[str, int]
     cache_hit_rate: float
     bounded_rate: float
     latency_p50: float
@@ -66,6 +67,7 @@ class ServiceStats:
         self.view_tuples_scanned = 0
         self.planner_uses: dict[str, int] = {}
         self.backend_uses: dict[str, int] = {}
+        self.tier_uses: dict[str, int] = {}
         self._recent: deque[float] = deque(maxlen=max_latencies)
 
     # ------------------------------------------------------------------ #
@@ -87,6 +89,8 @@ class ServiceStats:
             else:
                 self.fallback_answers += 1
             self.backend_uses[answer.backend] = self.backend_uses.get(answer.backend, 0) + 1
+            tier = answer.execution_tier
+            self.tier_uses[tier] = self.tier_uses.get(tier, 0) + 1
             self.tuples_fetched += answer.tuples_fetched
             self.tuples_scanned += answer.tuples_scanned
             self.view_tuples_scanned += answer.view_tuples_scanned
@@ -125,6 +129,7 @@ class ServiceStats:
                 view_tuples_scanned=self.view_tuples_scanned,
                 planner_uses=dict(self.planner_uses),
                 backend_uses=dict(self.backend_uses),
+                tier_uses=dict(self.tier_uses),
                 cache_hit_rate=self.cache_hits / total_cache if total_cache else 0.0,
                 bounded_rate=self.bounded_answers / queries if queries else 0.0,
                 latency_p50=self._percentile(latencies, 0.50),
@@ -155,4 +160,5 @@ class ServiceStats:
             self.view_tuples_scanned = 0
             self.planner_uses = {}
             self.backend_uses = {}
+            self.tier_uses = {}
             self._recent = deque(maxlen=self._max_latencies)

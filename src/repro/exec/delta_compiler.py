@@ -47,14 +47,13 @@ from ..algebra.cq import ConjunctiveQuery
 from ..algebra.terms import Constant, Variable
 from ..errors import DeltaCompilationError
 from .operators import (
-    Distinct,
     LookupJoin,
     Operator,
     Project,
     Row,
     Scan,
     Select,
-    SemiJoin,
+    tuple_extractor,
 )
 
 #: ``resolver(relation, key_positions, arity) -> (key -> matching rows)``.
@@ -71,7 +70,14 @@ ColumnSpec = tuple[int | None, object]
 
 
 class _JoinStage:
-    """One precompiled ``LookupJoin`` extension of a variable-row pipeline."""
+    """One precompiled ``LookupJoin`` extension of a variable-row pipeline.
+
+    The stage carries both execution forms: :meth:`attach` builds the
+    reference operator pipeline (what the delta-program verifier inspects),
+    :meth:`extend` is the compiled fast path — one eager loop with the
+    duplicate-variable filter and the fresh-column projection inlined,
+    producing exactly the rows the operator pipeline would stream.
+    """
 
     __slots__ = (
         "relation",
@@ -79,6 +85,8 @@ class _JoinStage:
         "bound_positions",
         "_key",
         "_dup_predicate",
+        "_pairs",
+        "_append",
         "kept",
         "fresh_variables",
     )
@@ -110,12 +118,7 @@ class _JoinStage:
                 fresh_first[term] = position
         self.bound_positions = tuple(bound_positions)
 
-        spec = tuple(key_spec)
-
-        def key(row: Row, spec: tuple[ColumnSpec, ...] = spec) -> Row:
-            return tuple(row[i] if i is not None else v for i, v in spec)
-
-        self._key = key
+        self._key = _spec_extractor(tuple(key_spec))
         if duplicate_pairs:
             pairs = tuple(duplicate_pairs)
 
@@ -129,6 +132,8 @@ class _JoinStage:
             self._dup_predicate: Callable[[Row], bool] | None = predicate
         else:
             self._dup_predicate = None
+        self._pairs = tuple(duplicate_pairs)
+        self._append = tuple_extractor(tuple(fresh_first.values()))
         self.kept = tuple(range(width)) + tuple(width + p for p in fresh_first.values())
         self.fresh_variables = tuple(fresh_first)
 
@@ -138,6 +143,30 @@ class _JoinStage:
         if self._dup_predicate is not None:
             joined = Select(joined, self._dup_predicate)
         return Project(joined, self.kept)
+
+    def extend(self, rows: Sequence[Row], resolve: LookupResolver) -> list[Row]:
+        """Compiled fast path: the rows :meth:`attach`'s pipeline would emit.
+
+        Eagerly extends every input row with the matching right rows'
+        fresh columns — bag semantics preserved, duplicate-variable pairs
+        checked on the right row before it contributes.
+        """
+        lookup = resolve(self.relation, self.bound_positions, self.arity)
+        key = self._key
+        append = self._append
+        out: list[Row] = []
+        emit = out.append
+        if self._pairs:
+            pairs = self._pairs
+            for left_row in rows:
+                for right_row in lookup(key(left_row)):
+                    if all(right_row[a] == right_row[b] for a, b in pairs):
+                        emit(left_row + append(right_row))
+        else:
+            for left_row in rows:
+                for right_row in lookup(key(left_row)):
+                    emit(left_row + append(right_row))
+        return out
 
 
 def _order_remaining(
@@ -192,13 +221,20 @@ def _head_spec(
     return tuple(spec)
 
 
-def _spec_mapper(spec: tuple[ColumnSpec, ...]) -> Callable[[Row], Row]:
-    """Multiplicity-preserving head mapper (no ``Distinct``)."""
+def _spec_extractor(spec: tuple[ColumnSpec, ...]) -> Callable[[Row], Row]:
+    """Spec → row mapper; all-positional specs become plain ``itemgetter``s."""
+    if all(position is not None for position, _ in spec):
+        return tuple_extractor(tuple(position for position, _ in spec if position is not None))
 
     def mapper(row: Row, spec: tuple[ColumnSpec, ...] = spec) -> Row:
         return tuple(row[i] if i is not None else v for i, v in spec)
 
     return mapper
+
+
+def _spec_mapper(spec: tuple[ColumnSpec, ...]) -> Callable[[Row], Row]:
+    """Multiplicity-preserving head mapper (no ``Distinct``)."""
+    return _spec_extractor(spec)
 
 
 # --------------------------------------------------------------------------- #
@@ -264,6 +300,7 @@ class DeltaRule:
         else:
             self._seed_predicate = None
         self._seed_positions = tuple(first_occurrence.values())
+        self._seed_extract = tuple_extractor(self._seed_positions)
 
         schema = tuple(first_occurrence)
         remaining = [a for i, a in enumerate(atoms) if i != atom_index]
@@ -310,13 +347,33 @@ class DeltaRule:
             operator = stage.attach(operator, resolve)
         return Project(operator, mapper=self._head_mapper)
 
+    def run(self, delta_rows: Collection[Row], resolve: LookupResolver) -> list[Row]:
+        """Compiled fast path: the rows :meth:`pipeline` would stream.
+
+        Eager staged loops over the precompiled :class:`_JoinStage` specs —
+        same seed filter, same join order, same bag semantics as the operator
+        pipeline, without per-row iterator dispatch.
+        """
+        extract = self._seed_extract
+        predicate = self._seed_predicate
+        if predicate is None:
+            rows = [extract(row) for row in delta_rows]
+        else:
+            rows = [extract(row) for row in delta_rows if predicate(row)]
+        for stage in self._stages:
+            if not rows:
+                return []
+            rows = stage.extend(rows, resolve)
+        head = self._head_mapper
+        return [head(row) for row in rows]
+
     def head_rows(
         self, delta_rows: Collection[Row], resolve: LookupResolver
     ) -> Iterator[Row]:
-        """Stream head rows derivable through ``delta_rows`` (bag semantics)."""
+        """Head rows derivable through ``delta_rows`` (bag semantics)."""
         if not delta_rows:
             return iter(())
-        return self.pipeline(delta_rows, resolve).rows()
+        return iter(self.run(delta_rows, resolve))
 
     def affected_rows(
         self,
@@ -325,14 +382,13 @@ class DeltaRule:
         current: Collection[Row],
     ) -> Iterator[Row]:
         """Distinct head rows derivable through ``delta_rows`` that are
-        currently in the view — the DRed over-deletion candidates, computed
-        as a streaming semi-join against the cached rows."""
+        currently in the view — the DRed over-deletion candidates."""
         if not delta_rows or not current:
             return iter(())
-        candidates = self.pipeline(delta_rows, resolve)
-        width = len(next(iter(current))) if current else 0
-        keys = tuple(range(width))
-        return Distinct(SemiJoin(candidates, Scan(current), keys, keys)).rows()
+        membership = (
+            current if isinstance(current, (set, frozenset)) else set(current)
+        )
+        return iter({row for row in self.run(delta_rows, resolve) if row in membership})
 
 
 class SupportCheck:
@@ -372,6 +428,12 @@ class SupportCheck:
         return tuple(self._stages)
 
     def supported(self, row: Row, resolve: LookupResolver) -> bool:
+        """Depth-first probe with the lazy pipeline's early exit.
+
+        The first full valuation proves support and unwinds immediately —
+        exactly when the abandoned Volcano pipeline would have stopped — so
+        the fast path explores the same prefix of the search space.
+        """
         for position, value in self._constants:
             if row[position] != value:
                 return False
@@ -379,12 +441,30 @@ class SupportCheck:
             if row[first] != row[later]:
                 return False
         seed = tuple(row[p] for p in self._seed_positions)
-        operator: Operator = Scan((seed,))
-        for stage in self._stages:
-            operator = stage.attach(operator, resolve)
-        for _ in operator.rows():
+        stages = self._stages
+        if not stages:
             return True
-        return False
+        lookups = [
+            resolve(stage.relation, stage.bound_positions, stage.arity)
+            for stage in stages
+        ]
+        last = len(stages) - 1
+
+        def probe(depth: int, bound: Row) -> bool:
+            stage = stages[depth]
+            lookup = lookups[depth]
+            pairs = stage._pairs
+            append = stage._append
+            for right_row in lookup(stage._key(bound)):
+                if pairs and not all(
+                    right_row[a] == right_row[b] for a, b in pairs
+                ):
+                    continue
+                if depth == last or probe(depth + 1, bound + append(right_row)):
+                    return True
+            return False
+
+        return probe(0, seed)
 
 
 # --------------------------------------------------------------------------- #

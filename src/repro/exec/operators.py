@@ -26,8 +26,13 @@ from .iometer import IOMeter
 Row = tuple[object, ...]
 
 
-def _tuple_extractor(positions: Sequence[int]) -> Callable[[Row], Row]:
-    """``row -> tuple(row[p] for p in positions)`` at C speed where possible."""
+def tuple_extractor(positions: Sequence[int]) -> Callable[[Row], Row]:
+    """``row -> tuple(row[p] for p in positions)`` at C speed where possible.
+
+    Shared by the operator kernel, the lowering pass and the codegen tier —
+    positional extraction must behave identically everywhere or the two
+    execution tiers drift apart.
+    """
     if not positions:
         return lambda row: ()
     if len(positions) == 1:
@@ -36,11 +41,15 @@ def _tuple_extractor(positions: Sequence[int]) -> Callable[[Row], Row]:
     return cast(Callable[[Row], Row], itemgetter(*positions))
 
 
-def _key_extractor(positions: Sequence[int]) -> Callable[[Row], object]:
+def key_extractor(positions: Sequence[int]) -> Callable[[Row], object]:
     """Join-key extractor; single positions yield scalars (both sides agree)."""
     if not positions:
         return lambda row: ()
     return cast(Callable[[Row], object], itemgetter(*positions))
+
+
+_tuple_extractor = tuple_extractor
+_key_extractor = key_extractor
 
 
 class Operator:

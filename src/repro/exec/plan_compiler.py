@@ -15,6 +15,11 @@ bottom-up evaluation:
 Set semantics is restored with :class:`~repro.exec.operators.Distinct`
 after every non-injective operator (projection, union, index lookup); all
 other operators preserve distinctness of their inputs.
+
+The node-to-positions decisions (join split, fetch constraint resolution,
+predicate position lowering) live in :mod:`repro.exec.lowering`, shared with
+the codegen tier (:mod:`repro.exec.codegen`) so both execution tiers realise
+the same physical semantics from the same specs.
 """
 
 from __future__ import annotations
@@ -24,7 +29,6 @@ from typing import Callable, Collection, Mapping, Sequence
 from ..algebra.terms import Param
 from ..core.access import AccessSchema
 from ..core.plans import (
-    AttributeEqualsAttribute,
     AttributeEqualsConstant,
     ConstantScan,
     DifferenceNode,
@@ -40,6 +44,14 @@ from ..core.plans import (
 )
 from ..errors import PlanError
 from .iometer import IOMeter
+from .lowering import (
+    Check,
+    ConstantCheck,
+    attribute_position,
+    lower_fetch,
+    lower_join,
+    lower_predicates,
+)
 from .operators import (
     Distinct,
     HashJoin,
@@ -52,17 +64,6 @@ from .operators import (
     SemiJoin,
     Union,
 )
-
-
-def _position(attributes: tuple[str, ...], attribute: str, where: str) -> int:
-    """``attributes.index`` with a typed error naming the offending node."""
-    try:
-        return attributes.index(attribute)
-    except ValueError as exc:
-        raise PlanError(
-            f"{where} refers to attribute {attribute!r} which its input does "
-            f"not produce (input has {attributes})"
-        ) from exc
 
 
 def compile_plan(
@@ -105,38 +106,16 @@ def _compile(
         return Scan(view_cache[node.view_name], meter=meter)
 
     if isinstance(node, FetchNode):
-        constraint = node.covering_constraint(access_schema)
-        if constraint is None:
-            raise PlanError(
-                f"fetch on {node.relation!r} has no covering access constraint; "
-                "the plan does not conform to the access schema"
-            )
+        lowered = lower_fetch(node, access_schema)
         child_op = recurse(node.child) if node.child is not None else None
-        key_positions = (
-            tuple(
-                _position(
-                    node.child.attributes, a, f"fetch on {node.relation!r} key"
-                )
-                for a in constraint.x
-            )
-            if node.child is not None
-            else ()
-        )
-        provider_attributes = constraint.output_attributes
-        output_positions = tuple(
-            _position(
-                provider_attributes, a, f"fetch on {node.relation!r} output"
-            )
-            for a in node.attributes
-        )
         return Distinct(
             IndexLookup(
                 child_op,
                 node.relation,
-                constraint,
+                lowered.constraint,
                 provider,
-                key_positions,
-                output_positions,
+                lowered.key_positions,
+                lowered.output_positions,
                 meter,
             )
         )
@@ -144,7 +123,7 @@ def _compile(
     if isinstance(node, ProjectNode):
         child_attributes = node.child.attributes
         positions = tuple(
-            _position(child_attributes, a, "projection") for a in node.kept
+            attribute_position(child_attributes, a, "projection") for a in node.kept
         )
         return Distinct(Project(recurse(node.child), positions))
 
@@ -152,8 +131,8 @@ def _compile(
         _guard_predicates(node.predicates)
         if isinstance(node.child, ProductNode):
             return _compile_join(node, access_schema, provider, view_cache, meter)
-        predicate = _predicate_closure(node.predicates, node.child.attributes)
-        return Select(recurse(node.child), predicate)
+        checks = lower_predicates(node.predicates, node.child.attributes, "selection")
+        return Select(recurse(node.child), _predicate_closure(checks))
 
     if isinstance(node, RenameNode):
         return recurse(node.child)
@@ -183,40 +162,18 @@ def _compile_join(
 ) -> Operator:
     """``σ[l = r](left × right)`` as a hash join plus residual filter.
 
-    Predicates that do not equate a left attribute with a right attribute
-    (and the negated ones) stay as a residual selection over the product's
-    attribute layout, so the result is identical to the naive evaluation.
+    The key/residual split comes from :func:`repro.exec.lowering.lower_join`,
+    so the result is identical to the naive evaluation — and to the codegen
+    tier's fused join closure.
     """
     product = node.child
     assert isinstance(product, ProductNode)
-    left_attrs = product.left.attributes
-    right_attrs = product.right.attributes
-    join_pairs: list[tuple[int, int]] = []
-    residual: list[Predicate] = []
-    for predicate in node.predicates:
-        if isinstance(predicate, AttributeEqualsAttribute) and not predicate.negated:
-            if predicate.left in left_attrs and predicate.right in right_attrs:
-                join_pairs.append(
-                    (left_attrs.index(predicate.left), right_attrs.index(predicate.right))
-                )
-                continue
-            if predicate.right in left_attrs and predicate.left in right_attrs:
-                join_pairs.append(
-                    (left_attrs.index(predicate.right), right_attrs.index(predicate.left))
-                )
-                continue
-        residual.append(predicate)
-
+    lowered = lower_join(node)
     left = _compile(product.left, access_schema, provider, view_cache, meter)
     right = _compile(product.right, access_schema, provider, view_cache, meter)
-    joined: Operator = HashJoin(
-        left,
-        right,
-        tuple(p for p, _ in join_pairs),
-        tuple(p for _, p in join_pairs),
-    )
-    if residual:
-        joined = Select(joined, _predicate_closure(tuple(residual), product.attributes))
+    joined: Operator = HashJoin(left, right, lowered.left_key, lowered.right_key)
+    if lowered.residual:
+        joined = Select(joined, _predicate_closure(lowered.residual))
     return joined
 
 
@@ -229,15 +186,14 @@ def _guard_predicates(predicates: Sequence[Predicate]) -> None:
             raise PlanError(f"plan contains the unbound parameter {predicate.value}")
 
 
-def _predicate_closure(
-    predicates: Sequence[Predicate], attributes: tuple[str, ...]
-) -> Callable[[Row], bool]:
-    """Resolve predicate attribute names to positions once, not once per row."""
-    checks: list[Callable[[Row], bool]] = []
-    for predicate in predicates:
-        if isinstance(predicate, AttributeEqualsConstant):
-            position = _position(attributes, predicate.attribute, "selection")
-            value, negated = predicate.value, predicate.negated
+def _predicate_closure(checks: Sequence[Check]) -> Callable[[Row], bool]:
+    """Turn lowered position checks into one per-row predicate closure."""
+    closures: list[Callable[[Row], bool]] = []
+    for check in checks:
+        if isinstance(check, ConstantCheck):
+            if isinstance(check.value, Param):
+                raise PlanError(f"plan contains the unbound parameter {check.value}")
+            position, value, negated = check.position, check.value, check.negated
 
             def check_constant(
                 row: Row,
@@ -247,11 +203,9 @@ def _predicate_closure(
             ) -> bool:
                 return (row[position] == value) != negated
 
-            checks.append(check_constant)
-        elif isinstance(predicate, AttributeEqualsAttribute):
-            left = _position(attributes, predicate.left, "selection")
-            right = _position(attributes, predicate.right, "selection")
-            negated = predicate.negated
+            closures.append(check_constant)
+        else:
+            left, right, negated = check.left, check.right, check.negated
 
             def check_attributes(
                 row: Row,
@@ -261,11 +215,15 @@ def _predicate_closure(
             ) -> bool:
                 return (row[left] == row[right]) != negated
 
-            checks.append(check_attributes)
-        else:  # pragma: no cover - defensive
-            raise PlanError(f"unknown predicate type {type(predicate).__name__}")
+            closures.append(check_attributes)
+
+    if len(closures) == 1:
+        return closures[0]
 
     def passes(row: Row) -> bool:
-        return all(check(row) for check in checks)
+        return all(check(row) for check in closures)
 
     return passes
+
+
+__all__ = ["compile_plan"]

@@ -1,0 +1,445 @@
+"""The codegen execution tier: bit-identical rows *and* ``Dξ`` accounting.
+
+Three layers of evidence that a compiled closure is a drop-in replacement
+for the interpreted operator tree:
+
+* unit tests on the canonical workload plans (Figure 1, Q0, CDR): rows and
+  every :class:`~repro.exec.iometer.IOMeter` field identical between tiers;
+* service-level tests of the tier machinery — warmup, explain, per-tier
+  stats, prepared/parameterised execution without ``bind_plan``, the
+  verifier gate, and the stale-closure eviction regression;
+* a differential property test over ~200 random CQs/UCQs on both backends,
+  re-run after ``apply()`` write batches.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.algebra.parser import parse_query
+from repro.algebra.terms import Variable
+from repro.algebra.ucq import UnionQuery
+from repro.analysis import codegen_eligibility
+from repro.core.plan_eval import FetchStats, PlanExecutor
+from repro.engine.service import QueryService
+from repro.errors import PlanError
+from repro.exec.codegen import compile_plan_closure
+from repro.storage.indexes import IndexSet
+from repro.storage.updates import random_update_batch
+from repro.workloads import cdr, graph_search
+from repro.workloads.random_cq import RandomCQConfig, random_workload
+
+
+def _meters_equal(a, b) -> bool:
+    return (
+        a.tuples_fetched == b.tuples_fetched
+        and a.fetch_calls == b.fetch_calls
+        and a.per_relation == b.per_relation
+        and a.view_tuples_scanned == b.view_tuples_scanned
+    )
+
+
+def _assert_tiers_identical(plan, schema, access, provider, view_cache):
+    """Execute ``plan`` on both tiers and compare rows plus full meters."""
+    executor = PlanExecutor(schema, access, provider, view_cache)
+    interpreted = executor.execute(plan)
+    compiled = compile_plan_closure(plan, access)
+    meter = FetchStats()
+    rows = compiled.execute(provider, executor.view_cache, meter)
+    assert rows == interpreted.rows
+    assert compiled.attributes == plan.attributes
+    assert _meters_equal(meter, interpreted.stats), (
+        f"Dξ accounting diverged: compiled={meter} interpreted={interpreted.stats}"
+    )
+    return rows, meter
+
+
+# --------------------------------------------------------------------------- #
+# Unit: canonical plans, both tiers bit-identical
+# --------------------------------------------------------------------------- #
+
+
+def test_figure1_plan_identical_tiers(gs_instance, gs_schema, gs_access):
+    service = QueryService(
+        gs_instance.database, gs_access, graph_search.views(), codegen=False
+    )
+    rows, meter = _assert_tiers_identical(
+        graph_search.figure1_plan(),
+        gs_schema,
+        gs_access,
+        service.indexes,
+        service.view_cache,
+    )
+    assert rows  # the instance is seeded so Q0 is non-empty
+    assert meter.tuples_fetched > 0
+
+
+def test_planner_q0_identical_tiers(gs_instance, gs_access, gs_q0, gs_schema):
+    service = QueryService(
+        gs_instance.database, gs_access, graph_search.views(), codegen=False
+    )
+    entry, _ = service.plan(gs_q0)
+    assert entry.plan is not None
+    _assert_tiers_identical(
+        entry.plan, gs_schema, gs_access, service.indexes, service.view_cache
+    )
+
+
+def test_cdr_plans_identical_tiers():
+    data = cdr.generate(num_customers=60, num_days=3, seed=1)
+    service = QueryService(data.database, cdr.access_schema(), cdr.views(), codegen=False)
+    config = RandomCQConfig(min_atoms=1, max_atoms=3, head_size=2, seed=23)
+    checked = 0
+    for query in random_workload(cdr.schema(), data.database, 40, config):
+        entry, _ = service.plan(query, use_cache=False)
+        if entry.plan is None:
+            continue
+        _assert_tiers_identical(
+            entry.plan,
+            data.database.schema,
+            cdr.access_schema(),
+            service.indexes,
+            service.view_cache,
+        )
+        checked += 1
+    assert checked >= 10
+
+
+def test_compiled_plan_rejects_missing_bindings(gs_instance, gs_access):
+    service = QueryService(
+        gs_instance.database, gs_access, graph_search.views(), codegen=False
+    )
+    query = parse_query('Q(m, k) :- movie(m, mn, :studio, "2014"), rating(m, k)')
+    entry, _ = service.plan(query)
+    assert entry.plan is not None
+    compiled = compile_plan_closure(entry.plan, gs_access)
+    assert compiled.parameters == frozenset({"studio"})
+    with pytest.raises(PlanError, match="studio"):
+        compiled.execute(service.indexes, service.view_cache, FetchStats())
+
+
+def test_compiled_fetch_without_constraint_rejected(gs_access):
+    from repro.core.plans import FetchNode
+
+    orphan = FetchNode(None, "person", (), ("pid", "name", "affiliation"))
+    with pytest.raises(PlanError, match="covering access constraint"):
+        compile_plan_closure(orphan, gs_access)
+
+
+# --------------------------------------------------------------------------- #
+# Service tier machinery: warmup, explain, stats
+# --------------------------------------------------------------------------- #
+
+
+@pytest.fixture
+def gs_service(gs_instance, gs_access):
+    return QueryService(
+        gs_instance.database, gs_access, graph_search.views(), codegen_warmup=2
+    )
+
+
+def test_warmup_then_compiled_tier(gs_service, gs_q0):
+    answers = [gs_service.query(gs_q0) for _ in range(4)]
+    assert [a.execution_tier for a in answers] == [
+        "interpreted",
+        "interpreted",
+        "compiled",
+        "compiled",
+    ]
+    assert len({a.rows for a in answers}) == 1
+    assert len({a.tuples_fetched for a in answers}) == 1
+    assert len({a.view_tuples_scanned for a in answers}) == 1
+
+
+def test_codegen_disabled_stays_interpreted(gs_instance, gs_access, gs_q0):
+    service = QueryService(
+        gs_instance.database, gs_access, graph_search.views(), codegen=False
+    )
+    for _ in range(4):
+        assert service.query(gs_q0).execution_tier == "interpreted"
+    entry, _ = service.plan(gs_q0)
+    assert entry.compiled is None and entry.executions == 0
+
+
+def test_warmup_zero_compiles_first_execution(gs_instance, gs_access, gs_q0):
+    service = QueryService(
+        gs_instance.database, gs_access, graph_search.views(), codegen_warmup=0
+    )
+    assert service.query(gs_q0).execution_tier == "compiled"
+
+
+def test_sqlite_backend_keeps_interpreting(gs_service, gs_q0):
+    for _ in range(3):
+        memory = gs_service.query(gs_q0)
+    sqlite = gs_service.query(gs_q0, backend="sqlite")
+    assert memory.execution_tier == "compiled"
+    assert sqlite.execution_tier == "interpreted"
+    assert sqlite.rows == memory.rows
+
+
+def test_explain_reports_warmup_then_compiled(gs_service, gs_q0):
+    before = gs_service.explain(gs_q0)
+    assert before.execution_tier == "interpreted"
+    assert before.codegen_state == "pending"
+    assert "warming up" in before.render()
+    for _ in range(3):
+        gs_service.query(gs_q0)
+    after = gs_service.explain(gs_q0)
+    assert after.execution_tier == "compiled"
+    assert after.codegen_state == "compiled"
+    assert after.compile_seconds is not None and after.compile_seconds > 0
+    assert "execution tier: compiled" in after.render()
+
+
+def test_explain_reports_disabled(gs_instance, gs_access, gs_q0):
+    service = QueryService(
+        gs_instance.database, gs_access, graph_search.views(), codegen=False
+    )
+    explanation = service.explain(gs_q0)
+    assert explanation.codegen_state == "disabled"
+    assert "execution tier" not in explanation.render()
+
+
+def test_stats_count_executions_per_tier(gs_service, gs_q0):
+    for _ in range(5):
+        gs_service.query(gs_q0)
+    snapshot = gs_service.stats.snapshot()
+    assert snapshot.tier_uses == {"interpreted": 2, "compiled": 3}
+    gs_service.stats.reset()
+    assert gs_service.stats.snapshot().tier_uses == {}
+
+
+def test_fallback_answers_count_as_interpreted(gs_service):
+    # Not boundable under A0: no constant anchors the movie fetch.
+    unbounded = parse_query("Q(m) :- movie(m, mn, s, r), rating(m, k)")
+    answer = gs_service.query(unbounded)
+    assert not answer.used_bounded_plan
+    assert answer.execution_tier == "interpreted"
+
+
+# --------------------------------------------------------------------------- #
+# Prepared / parameterised execution (no bind_plan on the compiled tier)
+# --------------------------------------------------------------------------- #
+
+
+def test_prepared_query_compiles_and_matches_interpreted(gs_instance, gs_access):
+    query = parse_query('Q(m, k) :- movie(m, mn, :studio, "2014"), rating(m, k)')
+    compiled_service = QueryService(
+        gs_instance.database, gs_access, graph_search.views(), codegen_warmup=1
+    )
+    interpreted_service = QueryService(
+        gs_instance.database, gs_access, graph_search.views(), codegen=False
+    )
+    prepared = compiled_service.prepare(query)
+    reference = interpreted_service.prepare(query)
+    studios = sorted(
+        {row[2] for row in gs_instance.database.relation("movie").tuples}
+    )
+    tiers = []
+    for studio in studios:
+        fast = prepared.execute(studio=studio)
+        slow = reference.execute(studio=studio)
+        tiers.append(fast.execution_tier)
+        assert fast.rows == slow.rows
+        assert fast.tuples_fetched == slow.tuples_fetched
+    assert tiers[0] == "interpreted" and set(tiers[1:]) == {"compiled"}
+
+
+def test_verifier_gates_codegen(gs_service, gs_q0):
+    """An entry the verifier rejects is marked ineligible and keeps interpreting."""
+    from repro.core.plans import FetchNode
+
+    entry, _ = gs_service.plan(gs_q0)
+    # Sabotage the cached outcome with a plan that cannot verify (fetch with
+    # no covering constraint) — simulating a buggy planner.
+    broken = FetchNode(None, "person", (), ("pid", "name", "affiliation"))
+    entry.plan = broken
+    entry.executions = 10  # past warmup: next execution attempts to compile
+    gs_service._compile_entry(gs_q0, None, entry)
+    assert entry.compiled is None
+    assert entry.codegen_state == "ineligible"
+    assert entry.codegen_reason
+    explanation_entry, _ = gs_service.plan(gs_q0)
+    assert explanation_entry is entry  # still the cached entry
+
+
+def test_codegen_eligibility_accepts_real_plans(gs_instance, gs_access, gs_q0):
+    service = QueryService(
+        gs_instance.database, gs_access, graph_search.views(), codegen=False
+    )
+    entry, _ = service.plan(gs_q0)
+    report = codegen_eligibility(
+        entry.plan,
+        gs_instance.database.schema,
+        views=service.views,
+        access_schema=gs_access,
+        expected_arity=1,
+        subject="Q0",
+    )
+    assert report.ok
+
+
+def test_codegen_eligibility_rejects_corrupt_plans(gs_instance, gs_access):
+    from repro.core.plans import FetchNode
+
+    report = codegen_eligibility(
+        FetchNode(None, "person", (), ("pid", "name", "affiliation")),
+        gs_instance.database.schema,
+        views=graph_search.views(),
+        access_schema=gs_access,
+    )
+    assert not report.ok
+
+
+# --------------------------------------------------------------------------- #
+# Regression: writes must invalidate compiled artifacts (stale closures)
+# --------------------------------------------------------------------------- #
+
+
+def test_write_drops_compiled_closure_and_rewarms(gs_instance, gs_access, gs_q0):
+    service = QueryService(
+        gs_instance.database, gs_access, graph_search.views(), codegen_warmup=1
+    )
+    for _ in range(2):
+        service.query(gs_q0)
+    entry, _ = service.plan(gs_q0)
+    assert entry.compiled is not None and entry.codegen_state == "compiled"
+    batch = random_update_batch(gs_instance.database, size=20, seed=83)
+    service.apply(batch)
+    # The entry object may still be referenced by a PreparedQuery, so the
+    # invalidation must reset the *entry*, not just the cache dict.
+    assert entry.compiled is None
+    assert entry.codegen_state == "pending"
+    assert entry.executions == 0
+    first_after = service.query(gs_q0)
+    assert first_after.execution_tier == "interpreted"
+    second_after = service.query(gs_q0)
+    assert second_after.execution_tier == "compiled"
+    assert second_after.rows == first_after.rows
+    assert second_after.tuples_fetched == first_after.tuples_fetched
+    service.apply(batch.inverted())
+
+
+def test_prepared_query_never_serves_stale_closure(gs_instance, gs_access):
+    """The stale-closure reproduction: prepare, compile, write, re-execute.
+
+    A closure holds no data (provider and views are late-bound), but the
+    cached *entry* it hangs off is declared stale by the write — a prepared
+    query holding that entry must fall back to warmup instead of trusting
+    the evicted planning outcome.
+    """
+    service = QueryService(
+        gs_instance.database, gs_access, graph_search.views(), codegen_warmup=1
+    )
+    prepared = service.prepare(graph_search.query_q0())
+    for _ in range(2):
+        prepared.execute()
+    assert prepared.entry.compiled is not None
+    batch = random_update_batch(gs_instance.database, size=20, seed=7)
+    service.apply(batch)
+    assert prepared.entry.compiled is None, "stale closure survived the write"
+    answer = prepared.execute()
+    interpreted = QueryService(
+        gs_instance.database, gs_access, graph_search.views(), codegen=False
+    ).query(graph_search.query_q0())
+    assert answer.rows == interpreted.rows
+    assert answer.tuples_fetched == interpreted.tuples_fetched
+    service.apply(batch.inverted())
+
+
+def test_cache_clear_and_lru_eviction_invalidate_closures(gs_instance, gs_access, gs_q0):
+    service = QueryService(
+        gs_instance.database, gs_access, graph_search.views(),
+        codegen_warmup=0, plan_cache_size=1,
+    )
+    service.query(gs_q0)
+    entry, _ = service.plan(gs_q0)
+    assert entry.compiled is not None
+    # LRU eviction by capacity: planning a second query pushes Q0 out.
+    service.query(parse_query('Q(k) :- movie(m, mn, "Universal", "2014"), rating(m, k)'))
+    assert entry.compiled is None and entry.executions == 0
+    # clear() does the same for everything still cached.
+    service.query(gs_q0)
+    entry2, _ = service.plan(gs_q0)
+    assert entry2.compiled is not None
+    service.plan_cache.clear()
+    assert entry2.compiled is None
+
+
+# --------------------------------------------------------------------------- #
+# Differential property test: ~200 random CQs/UCQs, both backends, with writes
+# --------------------------------------------------------------------------- #
+
+
+def _random_mixed_workload(schema, database, count: int, seed: int):
+    """~``count`` queries: random CQs plus UCQs paired from equal-arity CQs."""
+    config = RandomCQConfig(
+        min_atoms=1, max_atoms=3, head_size=2, constant_probability=0.6, seed=seed
+    )
+    cqs = [
+        q
+        for q in random_workload(schema, database, count, config)
+        if len(set(q.head)) == len(q.head)
+    ]
+    queries: list = list(cqs)
+    by_arity: dict[int, list] = {}
+    for q in cqs:
+        by_arity.setdefault(q.head_arity, []).append(q)
+    made = 0
+    for arity, group in sorted(by_arity.items()):
+        for i in range(0, len(group) - 1, 2):
+            if made >= count // 4:
+                break
+            queries.append(
+                UnionQuery(
+                    (group[i], group[i + 1]), name=f"U{arity}_{i}"
+                )
+            )
+            made += 1
+    return queries
+
+
+def _check_differential(service, queries, *, check_sqlite: bool) -> int:
+    """Interpreted vs compiled on one service; returns #compiled-tier checks.
+
+    Flipping ``service.codegen`` between the two executions guarantees both
+    tiers run the *same* cached plan object — the comparison isolates the
+    execution tier, not planner nondeterminism.
+    """
+    compiled_checks = 0
+    for query in queries:
+        service.codegen = False
+        interpreted = service.query(query)
+        service.codegen = True
+        compiled = service.query(query)
+        assert compiled.rows == interpreted.rows, query.name
+        assert compiled.tuples_fetched == interpreted.tuples_fetched, query.name
+        assert compiled.view_tuples_scanned == interpreted.view_tuples_scanned, (
+            query.name
+        )
+        if compiled.used_bounded_plan:
+            assert compiled.execution_tier == "compiled", query.name
+            compiled_checks += 1
+            if check_sqlite:
+                sqlite = service.query(query, backend="sqlite")
+                assert sqlite.rows == compiled.rows, query.name
+    return compiled_checks
+
+
+def test_differential_random_workload_with_writes():
+    data = cdr.generate(num_customers=60, num_days=3, seed=1)
+    service = QueryService(
+        data.database, cdr.access_schema(), cdr.views(), codegen_warmup=0
+    )
+    queries = _random_mixed_workload(cdr.schema(), data.database, 160, seed=31)
+    assert len(queries) >= 180  # ~200 including the paired UCQs
+    compiled_checks = _check_differential(service, queries, check_sqlite=True)
+    assert compiled_checks >= 50  # the workload genuinely exercises the tier
+
+    # After write batches the evicted closures recompile against the new
+    # state, and the two tiers must still agree — on every meter field.
+    for seed in (101, 202):
+        batch = random_update_batch(data.database, size=60, seed=seed)
+        service.apply(batch)
+        again = _check_differential(service, queries[:60], check_sqlite=False)
+        assert again >= 15

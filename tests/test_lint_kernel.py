@@ -77,6 +77,59 @@ def test_storage_internals_access_is_flagged(tmp_path):
     assert violations[0].path == Path("src/repro/exec/shortcut.py")
 
 
+def test_unmetered_fetch_in_codegen_closure_is_flagged(tmp_path):
+    # The generated closure is a nested function — the rule must descend
+    # into it, not just check the module's top-level functions.
+    _write(
+        tmp_path,
+        "src/repro/exec/codegen.py",
+        """
+        def compile_fetch(constraint):
+            def step(runtime):
+                return runtime.provider.fetch(constraint, ())
+
+            return step
+
+        def compile_fetch_metered(constraint, relation):
+            def step(runtime):
+                fetched = runtime.provider.fetch(constraint, ())
+                runtime.meter.record_fetch(relation, len(fetched))
+                return fetched
+
+            return step
+        """,
+    )
+    violations = lint_kernel.lint_tree(tmp_path)
+    # Both the unmetered closure and its enclosing compile function carry
+    # the probe, so the walk reports the defect at both levels.
+    assert {v.code for v in violations} == {"kernel.unmetered-fetch"}
+    assert any("step" in v.message for v in violations)
+
+
+@pytest.mark.parametrize(
+    "source",
+    [
+        "from repro.storage.instance import Database\n",
+        "from repro.storage import indexes\n",
+        "import repro.storage.indexes\n",
+        "from ..storage.instance import Relation\n",
+    ],
+)
+def test_codegen_storage_imports_are_flagged(tmp_path, source):
+    _write(tmp_path, "src/repro/exec/codegen.py", source)
+    violations = lint_kernel.lint_tree(tmp_path)
+    assert [v.code for v in violations] == ["kernel.codegen-storage-import"]
+
+
+def test_storage_imports_elsewhere_are_not_codegen_violations(tmp_path):
+    _write(
+        tmp_path,
+        "src/repro/engine/module.py",
+        "from ..storage.instance import Database\n",
+    )
+    assert lint_kernel.lint_tree(tmp_path) == []
+
+
 @pytest.mark.parametrize(
     "source",
     [

@@ -1,0 +1,287 @@
+#!/usr/bin/env python3
+"""Commit the perf trajectory: measured numbers live in the repo, CI gates on them.
+
+Three workloads are measured and their results written as ``BENCH_*.json``
+at the repository root — *committed* files, so every PR that moves a number
+moves it visibly in the diff:
+
+``BENCH_graph_search.json``
+    Bounded Q0 through the service on both execution tiers (interpreted
+    operator tree vs. compiled closure), with the rows/``Dξ`` identity that
+    makes the comparison meaningful.
+
+``BENCH_service.json``
+    Repeated-query throughput of a warmed service (12-query mix, pure plan
+    cache hits, all answered by the compiled tier).
+
+``BENCH_updates.json``
+    Update throughput of ``QueryService.apply`` over mixed insert/delete
+    batches, with a full view-consistency audit afterwards.
+
+Two modes::
+
+    python tools/bench_trajectory.py            # measure, write the JSONs
+    python tools/bench_trajectory.py --check    # re-measure, gate vs. committed
+
+``--check`` (the CI gate) distinguishes two kinds of numbers:
+
+* **Invariants** — row counts, ``Dξ`` (``tuples_fetched``), execution-tier
+  tallies, cache hit rate, applied-update counts, view consistency.  These
+  are machine-independent and must match the committed file **exactly**.
+* **Timings** — throughput and latency depend on the machine, so the gate
+  is deliberately loose: it fails only on catastrophic regressions (a tier
+  speedup collapsing below its floor, or throughput falling to less than
+  ``TIMING_TOLERANCE`` of the committed number), not on runner noise.
+  Fresh timings are recorded by re-running without ``--check`` and
+  committing the updated files.
+
+Standard library only (plus ``repro`` itself) — no pytest, no plugins.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import statistics
+import sys
+import time
+from pathlib import Path
+from typing import Callable
+
+ROOT = Path(__file__).resolve().parent.parent
+SRC = ROOT / "src"
+if str(SRC) not in sys.path:
+    sys.path.insert(0, str(SRC))
+
+from repro.algebra.evaluation import evaluate_ucq  # noqa: E402
+from repro.engine.service import QueryService  # noqa: E402
+from repro.storage.updates import random_update_batch  # noqa: E402
+from repro.workloads import graph_search as gs  # noqa: E402
+
+#: Committed-vs-measured throughput may differ by machine; only a collapse
+#: below this fraction of the committed number fails the gate.
+TIMING_TOLERANCE = 0.1
+
+#: The compiled tier must stay at least this much faster than interpreted
+#: on bounded Q0, regardless of what the committed file says.
+SPEEDUP_FLOOR = 1.5
+
+FILES = {
+    "graph_search": ROOT / "BENCH_graph_search.json",
+    "service": ROOT / "BENCH_service.json",
+    "updates": ROOT / "BENCH_updates.json",
+}
+
+INSTANCE = {"num_persons": 1000, "num_movies": 500, "seed": 11}
+
+
+def _service(instance, **kwargs) -> QueryService:
+    return QueryService(
+        instance.database, gs.access_schema(n0=instance.n0), gs.views(), **kwargs
+    )
+
+
+def _median_us(run: Callable[[], object], rounds: int, warmup: int = 10) -> float:
+    for _ in range(warmup):
+        run()
+    samples = []
+    for _ in range(rounds):
+        start = time.perf_counter()
+        run()
+        samples.append(time.perf_counter() - start)
+    return statistics.median(samples) * 1e6
+
+
+def _query_mix() -> list:
+    by_studio = "Q(mid) :- movie(mid, t, 'Universal', '2014'), rating(mid, 5)"
+    by_year = "Q(mid) :- movie(mid, t, 'Universal', '2013'), rating(mid, 4)"
+    return [gs.query_q0(), by_studio, by_year] * 4
+
+
+def measure_graph_search() -> dict:
+    instance = gs.generate(**INSTANCE)
+    interpreted = _service(instance, codegen=False)
+    compiled = _service(instance, codegen=True, codegen_warmup=0)
+    q0 = gs.query_q0()
+    answer_i = interpreted.query(q0)
+    answer_c = compiled.query(q0)
+    if answer_i.rows != answer_c.rows:
+        raise AssertionError("tiers disagree on Q0 rows")
+    if answer_i.tuples_fetched != answer_c.tuples_fetched:
+        raise AssertionError("tiers disagree on Dξ for Q0")
+    interpreted_us = _median_us(lambda: interpreted.query(q0), rounds=150)
+    compiled_us = _median_us(lambda: compiled.query(q0), rounds=150)
+    return {
+        "workload": "graph_search_q0_tiers",
+        "instance": INSTANCE,
+        "invariants": {
+            "rows": len(answer_c.rows),
+            "tuples_fetched": answer_c.tuples_fetched,
+            "interpreted_tier": answer_i.execution_tier,
+            "compiled_tier": answer_c.execution_tier,
+        },
+        "timings": {
+            "interpreted_us": round(interpreted_us, 1),
+            "compiled_us": round(compiled_us, 1),
+            "speedup": round(interpreted_us / compiled_us, 2),
+        },
+        "floors": {"min_speedup": SPEEDUP_FLOOR},
+    }
+
+
+def measure_service() -> dict:
+    instance = gs.generate(**INSTANCE)
+    service = _service(instance, codegen=True, codegen_warmup=0)
+    mix = _query_mix()
+    rounds = 20
+    warm = service.query_many(mix, max_workers=1)
+    service.stats.reset()
+    start = time.perf_counter()
+    for _ in range(rounds):
+        answers = service.query_many(mix, max_workers=1)
+    elapsed = time.perf_counter() - start
+    if [a.rows for a in answers] != [a.rows for a in warm]:
+        raise AssertionError("warmed service answers drifted across rounds")
+    snapshot = service.stats.snapshot()
+    return {
+        "workload": "service_throughput",
+        "instance": INSTANCE,
+        "invariants": {
+            "queries_per_round": len(mix),
+            "rows_total_per_round": sum(len(a.rows) for a in answers),
+            "cache_hit_rate": round(snapshot.cache_hit_rate, 3),
+            "bounded_rate": round(snapshot.bounded_rate, 3),
+            "tier_uses": dict(sorted(snapshot.tier_uses.items())),
+        },
+        "timings": {
+            "queries_per_sec": round(len(mix) * rounds / elapsed, 1),
+        },
+    }
+
+
+def measure_updates() -> dict:
+    instance = gs.generate(**INSTANCE)
+    service = _service(instance, codegen=True, codegen_warmup=0)
+    service.query(gs.query_q0())  # a live cached plan to maintain through writes
+    batch_size, batches = 1000, 5
+    applied = inserted = deleted = 0
+    elapsed = 0.0
+    for index in range(batches):
+        batch = random_update_batch(
+            instance.database, size=batch_size, seed=100 + index
+        )
+        start = time.perf_counter()
+        report = service.apply(batch)
+        elapsed += time.perf_counter() - start
+        applied += report.applied
+        inserted += report.inserted
+        deleted += report.deleted
+    recomputed = {
+        view.name: frozenset(evaluate_ucq(view.as_ucq(), instance.database))
+        for view in gs.views()
+    }
+    consistent = all(
+        frozenset(service.view_cache[name]) == rows
+        for name, rows in recomputed.items()
+    )
+    return {
+        "workload": "update_throughput",
+        "instance": INSTANCE,
+        "invariants": {
+            "batch_size": batch_size,
+            "batches": batches,
+            "applied": applied,
+            "inserted": inserted,
+            "deleted": deleted,
+            "views_consistent_after": consistent,
+        },
+        "timings": {
+            "updates_per_sec": round(batch_size * batches / elapsed, 1),
+        },
+    }
+
+
+MEASURES: dict[str, Callable[[], dict]] = {
+    "graph_search": measure_graph_search,
+    "service": measure_service,
+    "updates": measure_updates,
+}
+
+
+def _check_one(name: str, committed: dict, measured: dict) -> list[str]:
+    problems = []
+    if committed.get("invariants") != measured["invariants"]:
+        problems.append(
+            f"{name}: invariants drifted\n"
+            f"  committed: {json.dumps(committed.get('invariants'), sort_keys=True)}\n"
+            f"  measured:  {json.dumps(measured['invariants'], sort_keys=True)}"
+        )
+    if name == "graph_search":
+        committed_speedup = committed.get("timings", {}).get("speedup", 0.0)
+        floor = max(SPEEDUP_FLOOR, committed_speedup * 0.3)
+        measured_speedup = measured["timings"]["speedup"]
+        if measured_speedup < floor:
+            problems.append(
+                f"{name}: compiled-tier speedup collapsed to "
+                f"{measured_speedup}x (gate {floor:.2f}x, committed "
+                f"{committed_speedup}x)"
+            )
+    else:
+        key = "queries_per_sec" if name == "service" else "updates_per_sec"
+        committed_rate = committed.get("timings", {}).get(key, 0.0)
+        measured_rate = measured["timings"][key]
+        if measured_rate < committed_rate * TIMING_TOLERANCE:
+            problems.append(
+                f"{name}: {key} collapsed to {measured_rate} "
+                f"(committed {committed_rate}, gate "
+                f"{committed_rate * TIMING_TOLERANCE:.1f})"
+            )
+    return problems
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="re-measure and gate against the committed BENCH_*.json "
+        "(exact on invariants, catastrophic-only on timings)",
+    )
+    options = parser.parse_args(argv)
+
+    problems: list[str] = []
+    for name, measure in MEASURES.items():
+        path = FILES[name]
+        measured = measure()
+        if options.check:
+            if not path.exists():
+                problems.append(f"{name}: committed file {path.name} is missing")
+                continue
+            committed = json.loads(path.read_text(encoding="utf-8"))
+            issues = _check_one(name, committed, measured)
+            problems.extend(issues)
+            status = "ok" if not issues else "FAIL"
+            print(
+                f"{path.name}: {status} "
+                f"(measured {json.dumps(measured['timings'], sort_keys=True)})"
+            )
+        else:
+            path.write_text(
+                json.dumps(measured, indent=2, sort_keys=True) + "\n",
+                encoding="utf-8",
+            )
+            print(f"wrote {path.name}: {json.dumps(measured['timings'], sort_keys=True)}")
+
+    if problems:
+        print()
+        for problem in problems:
+            print(problem)
+        print(f"{len(problems)} trajectory regression(s)")
+        return 1
+    if options.check:
+        print("perf trajectory ok")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -9,10 +9,19 @@ maintenance kernel depends on.  This linter enforces three rules by AST
 inspection (no imports of the checked code, so it runs on any tree):
 
 ``kernel.unmetered-fetch``
-    In ``src/repro/exec/operators.py``, every function that touches a
-    ``.fetch`` attribute (the storage-boundary probe) must also reference
-    ``record_fetch`` — tuples crossing the boundary are charged to the
-    meter in the same function that pulls them.
+    In ``src/repro/exec/operators.py`` and ``src/repro/exec/codegen.py``,
+    every function that touches a ``.fetch`` attribute (the storage-boundary
+    probe) must also reference ``record_fetch`` — tuples crossing the
+    boundary are charged to the meter in the same function that pulls them.
+    For the codegen tier this covers the *generated* closures too: they are
+    nested functions of the compiling function, and ``ast.walk`` descends
+    into them.
+
+``kernel.codegen-storage-import``
+    ``src/repro/exec/codegen.py`` may not import ``repro.storage``:
+    compiled closures only reach base data through the metered fetch
+    protocol (``FetchProviderLike``), never through storage classes whose
+    internals would let a closure bypass the accounting boundary.
 
 ``kernel.storage-internals``
     No module outside ``src/repro/storage`` may access ``._tuples`` (the
@@ -41,6 +50,8 @@ from pathlib import Path
 from typing import Iterator
 
 OPERATORS_FILE = Path("src/repro/exec/operators.py")
+CODEGEN_FILE = Path("src/repro/exec/codegen.py")
+METERED_FETCH_FILES = frozenset({OPERATORS_FILE, CODEGEN_FILE})
 STORAGE_DIR = Path("src/repro/storage")
 
 DEPRECATED_NAMES = frozenset({"BoundedEngine", "MaintainedEngine"})
@@ -117,6 +128,41 @@ def check_storage_internals(path: Path, tree: ast.Module) -> list[Violation]:
     return violations
 
 
+def check_codegen_storage_imports(path: Path, tree: ast.Module) -> list[Violation]:
+    """The codegen module must stay behind the metered fetch protocol."""
+    parts = path.parts
+    package_parts: tuple[str, ...] = ()
+    if "src" in parts:
+        start = parts.index("src") + 1
+        package_parts = tuple(parts[start:-1])
+    violations: list[Violation] = []
+
+    def report(line: int, module: str) -> None:
+        violations.append(
+            Violation(
+                path,
+                line,
+                "kernel.codegen-storage-import",
+                f"codegen module imports {module!r}; generated closures may "
+                "only touch base data through the metered fetch protocol "
+                "(FetchProviderLike), never through storage classes",
+            )
+        )
+
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ImportFrom):
+            module = _imported_module(node, package_parts)
+            if module == "repro.storage" or module.startswith("repro.storage."):
+                report(node.lineno, module)
+        elif isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.name == "repro.storage" or alias.name.startswith(
+                    "repro.storage."
+                ):
+                    report(node.lineno, alias.name)
+    return violations
+
+
 def _imported_module(node: ast.ImportFrom, package_parts: tuple[str, ...]) -> str:
     """Absolute dotted module an ``ImportFrom`` resolves to (best effort)."""
     module = node.module or ""
@@ -168,8 +214,10 @@ def lint_file(path: Path, root: Path) -> list[Violation]:
     relative = path.relative_to(root)
     tree = ast.parse(path.read_text(encoding="utf-8"), filename=str(path))
     violations: list[Violation] = []
-    if relative == OPERATORS_FILE:
+    if relative in METERED_FETCH_FILES:
         violations += check_metered_fetches(relative, tree)
+    if relative == CODEGEN_FILE:
+        violations += check_codegen_storage_imports(relative, tree)
     if STORAGE_DIR not in relative.parents:
         violations += check_storage_internals(relative, tree)
     if relative not in DEPRECATED_IMPORT_ALLOWLIST:
