@@ -28,6 +28,10 @@ from repro.workloads import graph_search as gs
 # execution" for measured numbers: fig1 ~8x, planner Q0 ~5x).
 FIG1_MIN_SPEEDUP = 4.0
 Q0_MIN_SPEEDUP = 2.5
+# Whole-service Q0 (planning cache + stats + tier dispatch on top of the
+# closure): the allocation-light warm-hit path keeps it near the plan-level
+# speedup instead of the ~3.3x it measured before.
+SERVICE_Q0_MIN_SPEEDUP = 3.0
 
 _TIMINGS: dict[str, float] = {}
 
@@ -121,11 +125,7 @@ def test_service_q0_tiers(benchmark, gs_small, tier):
     benchmark.extra_info["tuples_fetched"] = answer.tuples_fetched
     _TIMINGS[f"service_q0_{tier}"] = benchmark.stats.stats.mean
     if tier == "compiled":
-        interpreted = _TIMINGS.get("service_q0_interpreted")
-        if interpreted:
-            benchmark.extra_info["codegen_speedup"] = round(
-                interpreted / benchmark.stats.stats.mean, 1
-            )
+        _gate("service_q0", SERVICE_Q0_MIN_SPEEDUP, benchmark)
 
 
 @pytest.mark.parametrize("tier", ["interpreted", "compiled"])

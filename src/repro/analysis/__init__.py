@@ -36,6 +36,7 @@ from .mutations import MUTATION_KINDS, PlanMutation, mutate_plan, plan_mutations
 from .verifier import (
     codegen_eligibility,
     coverage_trace,
+    delta_codegen_eligibility,
     fetch_certificates,
     verify_delta_program,
     verify_plan,
@@ -55,6 +56,7 @@ __all__ = [
     "analyze_view_dependencies",
     "codegen_eligibility",
     "coverage_trace",
+    "delta_codegen_eligibility",
     "fetch_certificates",
     "lint_query",
     "mutate_plan",

@@ -142,6 +142,34 @@ def codegen_eligibility(
         return report
 
 
+def delta_codegen_eligibility(
+    compiled: CompiledViewDelta,
+    schema: DatabaseSchema,
+) -> VerificationReport:
+    """Decide whether a view's delta program may be compiled to kernels.
+
+    The maintenance codegen tier (:func:`repro.exec.delta_compiler.
+    compile_maintenance`) generates fused loop nests that bypass the
+    interpreted rule pipelines, so the gate is the full
+    :func:`verify_delta_program` discipline.  Like
+    :func:`codegen_eligibility`, this must never take a write down: any
+    exception out of the verifier is folded into a failing report, and the
+    maintainer then keeps interpreting that view's rules forever.
+    """
+    subject = f"delta-codegen({compiled.name})"
+    try:
+        report = verify_delta_program(compiled, schema)
+        report.subject = subject
+        return report
+    except (PlanError, SchemaError, UnsupportedQueryError) as exc:
+        report = VerificationReport(subject=subject)
+        report.add(
+            "delta-codegen.verifier-error",
+            f"delta program verification failed: {exc}",
+        )
+        return report
+
+
 # --------------------------------------------------------------------------- #
 # Structural / conformance checks (field-level, constructor-independent)
 # --------------------------------------------------------------------------- #

@@ -38,6 +38,7 @@ are the accounting surface shared with the deprecated
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 from typing import Mapping, Sequence
 
@@ -45,14 +46,19 @@ from ...algebra.evaluation import evaluate_ucq
 from ...algebra.fo import evaluate_fo
 from ...algebra.terms import Variable
 from ...algebra.views import View, ViewSet
-from ...errors import SchemaError
+from ...analysis import delta_codegen_eligibility
+from ...errors import DeltaCompilationError, SchemaError
 from ...exec.cq_compiler import FactsSource, cq_pipeline
 from ...exec.delta_compiler import (
     CompiledViewDelta,
     LookupResolver,
+    MaintenanceKernels,
+    compile_maintenance,
     compile_view_delta,
     counting_eligible,
+    metered_resolver,
 )
+from ...exec.iometer import IOMeter
 from ...exec.operators import Project
 from ...storage.deltas import DeltaStream
 from ...storage.instance import Database
@@ -87,14 +93,22 @@ class MaintenanceStats:
     support_checks: int = 0
     rows_added: int = 0
     rows_removed: int = 0
+    #: Maintenance-tier tally per *touched* view per run:
+    #: ``"compiled"`` (generated kernels), ``"interpreted"`` (staged rule
+    #: loops) or ``"recompute"`` (FO views).  Untouched views count nowhere.
+    tier_runs: dict[str, int] = field(default_factory=dict)
 
     def merged_with(self, other: "MaintenanceStats") -> "MaintenanceStats":
+        merged_tiers = dict(self.tier_runs)
+        for tier, count in other.tier_runs.items():
+            merged_tiers[tier] = merged_tiers.get(tier, 0) + count
         return MaintenanceStats(
             updates=self.updates + other.updates,
             delta_queries=self.delta_queries + other.delta_queries,
             support_checks=self.support_checks + other.support_checks,
             rows_added=self.rows_added + other.rows_added,
             rows_removed=self.rows_removed + other.rows_removed,
+            tier_runs=merged_tiers,
         )
 
 
@@ -108,6 +122,28 @@ class MaintenanceReport:
     deleted: int
     stats: MaintenanceStats
     view_deltas: list[ViewDelta] = field(default_factory=list)
+
+
+@dataclass
+class MaintenanceExplanation:
+    """How one view is maintained right now (the write-side ``explain``).
+
+    ``tier`` is the tier the *next* touching stream will run on:
+    ``"compiled"`` once generated kernels exist, ``"recompute"`` for FO
+    views, ``"interpreted"`` otherwise.  ``codegen_state`` follows the
+    read-side lifecycle vocabulary: ``"pending"`` (still warming up or
+    codegen disabled), ``"compiled"``, or ``"ineligible"`` (the delta
+    program failed verification or kernel generation — with the first
+    diagnostic in ``codegen_reason`` — and stays interpreted forever).
+    """
+
+    view: str
+    mode: str
+    tier: str
+    codegen_state: str
+    codegen_reason: str
+    runs: int
+    warmup: int
 
 
 # --------------------------------------------------------------------------- #
@@ -125,22 +161,40 @@ def _index_rows_by_key(
 
 
 class _StateResolvers:
-    """Lookup resolvers for one delta stream over one facts source."""
+    """Lookup resolvers for one delta stream over one facts source.
 
-    def __init__(self, source: FactsSource, stream: DeltaStream) -> None:
+    With a ``meter``, every resolver is wrapped by
+    :func:`~repro.exec.delta_compiler.metered_resolver` — the single charging
+    boundary both maintenance tiers share, so their ``Dξ`` accounting is
+    bit-identical.  Without one (the default on the write hot path), the
+    resolvers are returned unwrapped and metering costs nothing.
+    """
+
+    def __init__(
+        self,
+        source: FactsSource,
+        stream: DeltaStream,
+        meter: IOMeter | None = None,
+    ) -> None:
         self._source = source
         self._stream = stream
         self._changed = stream.touched
+        self._meter = meter
+
+    def _metered(self, resolve: LookupResolver) -> LookupResolver:
+        if self._meter is None:
+            return resolve
+        return metered_resolver(resolve, self._meter)
 
     def live(self) -> LookupResolver:
-        return self._source.lookup
+        return self._metered(self._source.lookup)
 
     def pre_transaction(self, unprocessed: frozenset[str]) -> LookupResolver:
         """Changed relations in ``unprocessed`` are served pre-state."""
         source, stream = self._source, self._stream
         rewind = self._changed & unprocessed
         if not rewind:
-            return source.lookup
+            return self._metered(source.lookup)
 
         def resolve(relation: str, positions: tuple[int, ...], arity: int):
             live = source.lookup(relation, positions, arity)
@@ -156,7 +210,7 @@ class _StateResolvers:
 
             return lookup
 
-        return resolve
+        return self._metered(resolve)
 
     def augmented(self) -> LookupResolver:
         """Every changed relation serves live rows plus its net deletions."""
@@ -165,7 +219,7 @@ class _StateResolvers:
             name for name in self._changed if stream.deleted(name)
         )
         if not with_deletions:
-            return source.lookup
+            return self._metered(source.lookup)
 
         def resolve(relation: str, positions: tuple[int, ...], arity: int):
             live = source.lookup(relation, positions, arity)
@@ -180,7 +234,7 @@ class _StateResolvers:
 
             return lookup
 
-        return resolve
+        return self._metered(resolve)
 
 
 # --------------------------------------------------------------------------- #
@@ -204,6 +258,8 @@ class ViewMaintainer:
         *,
         subscribe: bool = False,
         allow_counting: bool = True,
+        codegen: bool = True,
+        codegen_warmup: int = 2,
     ) -> None:
         """With ``subscribe=True`` the maintainer registers itself on the
         database's delta stream and follows every committed transaction on
@@ -217,10 +273,22 @@ class ViewMaintainer:
         :meth:`Database.apply`, but not for hand-built ones; callers that
         synthesise streams (the deprecated ``IncrementalViewCache`` shim)
         disable counting, since DRed is idempotent under no-op updates.
+
+        ``codegen`` enables the compiled maintenance tier: after a view's
+        delta rules have run interpreted ``codegen_warmup`` times, the delta
+        program is statically verified
+        (:func:`repro.analysis.delta_codegen_eligibility`) and — if eligible —
+        compiled into generated nested-loop kernels
+        (:func:`repro.exec.delta_compiler.compile_maintenance`) that all
+        later touching streams run on.  An ineligible or failing view keeps
+        its interpreted rules forever; compilation never surfaces an error
+        to a write.
         """
         self.views = views if isinstance(views, ViewSet) else ViewSet(views)
         self.database = database
         self._allow_counting = allow_counting
+        self.codegen = codegen
+        self.codegen_warmup = max(0, codegen_warmup)
         self._source = FactsSource(database)
         self._modes: dict[str, str] = {}
         self._rows: dict[str, set[tuple]] = {}
@@ -228,6 +296,16 @@ class ViewMaintainer:
         self._frozen: dict[str, frozenset[tuple] | None] = {}
         self._compiled: dict[str, CompiledViewDelta] = {}
         self._fo_relations: dict[str, frozenset[str]] = {}
+        # Compiled-maintenance lifecycle, per view (same vocabulary as the
+        # read-side plan cache): interpreted warmup runs are counted in
+        # ``_runs`` while the state is "pending"; the state then moves to
+        # "compiled" (kernels in ``_kernels``) or "ineligible" (first
+        # diagnostic in ``_codegen_reason``) and never back.
+        self._codegen_lock = threading.Lock()
+        self._runs: dict[str, int] = {}
+        self._codegen_state: dict[str, str] = {}
+        self._codegen_reason: dict[str, str] = {}
+        self._kernels: dict[str, MaintenanceKernels] = {}
         for view in self.views:
             self._materialise(view)
         if subscribe:
@@ -287,6 +365,88 @@ class ViewMaintainer:
             compiled = compile_view_delta(view.name, disjuncts)
             self._compiled[view.name] = compiled
         return compiled
+
+    def _maintenance_kernels(
+        self, name: str, compiled: CompiledViewDelta
+    ) -> MaintenanceKernels | None:
+        """Warmup→verify→compile lifecycle; ``None`` means run interpreted.
+
+        Warmup runs are counted only for streams that actually touch the
+        view, and only while the state is still pending.  Once the warmup is
+        spent, the delta program is verified and compiled under the lock
+        (double-checked, so concurrent maintainers compile once); failure of
+        either step parks the view as ineligible forever.
+        """
+        if not self.codegen:
+            return None
+        kernels = self._kernels.get(name)
+        if kernels is not None:
+            return kernels
+        state = self._codegen_state.get(name, "pending")
+        if state != "pending":
+            return None
+        with self._codegen_lock:
+            kernels = self._kernels.get(name)
+            if kernels is not None:
+                return kernels
+            if self._codegen_state.get(name, "pending") != "pending":
+                return None
+            runs = self._runs.get(name, 0)
+            if runs < self.codegen_warmup:
+                self._runs[name] = runs + 1
+                return None
+            report = delta_codegen_eligibility(compiled, self.database.schema)
+            if not report.ok:
+                self._codegen_state[name] = "ineligible"
+                first = report.errors[0]
+                self._codegen_reason[name] = f"{first.code}: {first.message}"
+                return None
+            try:
+                kernels = compile_maintenance(compiled)
+            except DeltaCompilationError as exc:
+                self._codegen_state[name] = "ineligible"
+                self._codegen_reason[name] = f"delta.compile-error: {exc}"
+                return None
+            self._kernels[name] = kernels
+            self._codegen_state[name] = "compiled"
+            return kernels
+
+    def invalidate_compiled(self, view_name: str | None = None) -> None:
+        """Drop compiled delta programs and kernels (one view, or all).
+
+        The next touching stream restarts the warmup→verify→compile
+        lifecycle from scratch — the hook view eviction/redefinition and the
+        differential tests use to force tier transitions.
+        """
+        with self._codegen_lock:
+            names = [self._known(view_name)] if view_name is not None else list(self._rows)
+            for name in names:
+                self._compiled.pop(name, None)
+                self._kernels.pop(name, None)
+                self._runs.pop(name, None)
+                self._codegen_state.pop(name, None)
+                self._codegen_reason.pop(name, None)
+
+    def explain(self, view_name: str) -> MaintenanceExplanation:
+        """The maintenance strategy and execution tier of one view."""
+        name = self._known(view_name)
+        mode = self._modes[name]
+        state = self._codegen_state.get(name, "pending")
+        if mode == "recompute":
+            tier = "recompute"
+        elif state == "compiled":
+            tier = "compiled"
+        else:
+            tier = "interpreted"
+        return MaintenanceExplanation(
+            view=name,
+            mode=mode,
+            tier=tier,
+            codegen_state=state,
+            codegen_reason=self._codegen_reason.get(name, ""),
+            runs=self._runs.get(name, 0),
+            warmup=self.codegen_warmup,
+        )
 
     # ------------------------------------------------------------------ #
     # Reading
@@ -355,7 +515,11 @@ class ViewMaintainer:
     # ------------------------------------------------------------------ #
 
     def apply_stream(
-        self, stream: DeltaStream, stats: MaintenanceStats | None = None
+        self,
+        stream: DeltaStream,
+        stats: MaintenanceStats | None = None,
+        *,
+        meter: IOMeter | None = None,
     ) -> list[ViewDelta]:
         """Fold one committed transaction into every maintained view.
 
@@ -364,29 +528,43 @@ class ViewMaintainer:
         reconstruct pre-state views from the stream where the telescoping
         requires it).  Returns the per-view row changes, skipping views the
         transaction does not affect.
+
+        With a ``meter``, every delta-rule and support-check probe charges
+        its returned rows as ``Dξ`` fetches — identically on both execution
+        tiers (see :func:`repro.exec.delta_compiler.metered_resolver`).
         """
         stats = stats if stats is not None else MaintenanceStats()
         stats.updates += stream.applied
         if stream.is_empty:
             return []
-        resolvers = _StateResolvers(self._source, stream)
+        resolvers = _StateResolvers(self._source, stream, meter)
         touched = stream.touched
+        tier_runs = stats.tier_runs
         deltas: list[ViewDelta] = []
         for view in self.views:
             mode = self._modes[view.name]
             if mode == "recompute":
                 if touched & self._fo_relations[view.name]:
                     delta = self._recompute_fo(view)
+                    tier_runs["recompute"] = tier_runs.get("recompute", 0) + 1
                 else:
                     delta = ViewDelta(view=view.name)
             else:
                 compiled = self._compiled_for(view)
                 if not (touched & compiled.relations):
                     delta = ViewDelta(view=view.name)
-                elif mode == "counting":
-                    delta = self._apply_counting(view.name, compiled, stream, resolvers, stats)
                 else:
-                    delta = self._apply_dred(view.name, compiled, stream, resolvers, stats)
+                    kernels = self._maintenance_kernels(view.name, compiled)
+                    tier = "compiled" if kernels is not None else "interpreted"
+                    tier_runs[tier] = tier_runs.get(tier, 0) + 1
+                    if mode == "counting":
+                        delta = self._apply_counting(
+                            view.name, compiled, kernels, stream, resolvers, stats
+                        )
+                    else:
+                        delta = self._apply_dred(
+                            view.name, compiled, kernels, stream, resolvers, stats
+                        )
             if not delta.is_empty:
                 self._frozen[view.name] = None
                 deltas.append(delta)
@@ -398,11 +576,13 @@ class ViewMaintainer:
         self,
         name: str,
         compiled: CompiledViewDelta,
+        kernels: MaintenanceKernels | None,
         stream: DeltaStream,
         resolvers: _StateResolvers,
         stats: MaintenanceStats,
     ) -> ViewDelta:
         (disjunct,) = compiled.disjuncts
+        kernel_disjunct = kernels.disjuncts[0] if kernels is not None else None
         relations = stream.relations
         delta_counts: dict[tuple, int] = {}
         for index, relation in enumerate(relations):
@@ -412,13 +592,22 @@ class ViewMaintainer:
             # Telescoping: changed relations after this one are evaluated in
             # their pre-transaction state, everything else live (post-state).
             resolve = resolvers.pre_transaction(frozenset(relations[index + 1 :]))
+            inserted = stream.inserted(relation)
+            deleted = stream.deleted(relation)
+            if kernel_disjunct is not None:
+                for rule_kernels in kernel_disjunct.rules[relation]:
+                    if inserted:
+                        stats.delta_queries += 1
+                        rule_kernels.count(inserted, resolve, delta_counts, 1)
+                    if deleted:
+                        stats.delta_queries += 1
+                        rule_kernels.count(deleted, resolve, delta_counts, -1)
+                continue
             for rule in rules:
-                inserted = stream.inserted(relation)
                 if inserted:
                     stats.delta_queries += 1
                     for row in rule.head_rows(inserted, resolve):
                         delta_counts[row] = delta_counts.get(row, 0) + 1
-                deleted = stream.deleted(relation)
                 if deleted:
                     stats.delta_queries += 1
                     for row in rule.head_rows(deleted, resolve):
@@ -451,6 +640,7 @@ class ViewMaintainer:
         self,
         name: str,
         compiled: CompiledViewDelta,
+        kernels: MaintenanceKernels | None,
         stream: DeltaStream,
         resolvers: _StateResolvers,
         stats: MaintenanceStats,
@@ -458,6 +648,7 @@ class ViewMaintainer:
         current = self._rows[name]
         live = resolvers.live()
         augmented = resolvers.augmented()
+        kernel_disjuncts = kernels.disjuncts if kernels is not None else None
 
         # Insertion rules run against the post-state: every valuation they
         # produce is a real derivation, and set insertion is idempotent.
@@ -468,6 +659,22 @@ class ViewMaintainer:
         for relation in stream.relations:
             inserted = stream.inserted(relation)
             deleted = stream.deleted(relation)
+            if kernel_disjuncts is not None:
+                for kernel_disjunct in kernel_disjuncts:
+                    for rule_kernels in kernel_disjunct.rules.get(relation, ()):
+                        if inserted:
+                            stats.delta_queries += 1
+                            rule_kernels.insert(inserted, live, current, added)
+                        if deleted:
+                            stats.delta_queries += 1
+                            # The interpreted rule short-circuits an empty
+                            # view before probing anything; mirror that so
+                            # the meters stay bit-identical.
+                            if current:
+                                rule_kernels.affected(
+                                    deleted, augmented, current, affected
+                                )
+                continue
             for disjunct in compiled.disjuncts:
                 for rule in disjunct.rules.get(relation, ()):
                     if inserted:
@@ -485,10 +692,17 @@ class ViewMaintainer:
             if row in added:
                 continue  # freshly derived from the post-state: supported
             stats.support_checks += 1
-            if not any(
-                disjunct.support.supported(row, live)
-                for disjunct in compiled.disjuncts
-            ):
+            if kernel_disjuncts is not None:
+                supported = any(
+                    kernel_disjunct.supported(row, live)
+                    for kernel_disjunct in kernel_disjuncts
+                )
+            else:
+                supported = any(
+                    disjunct.support.supported(row, live)
+                    for disjunct in compiled.disjuncts
+                )
+            if not supported:
                 removed.add(row)
         current.difference_update(removed)
         return ViewDelta(view=name, added=frozenset(added), removed=frozenset(removed))

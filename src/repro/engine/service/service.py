@@ -67,6 +67,7 @@ from ...storage.updates import Update, UpdateBatch
 from .backends import ExecutionBackend, InMemoryBackend, SQLiteBackend, make_backend
 from .cache import CachedPlan, LRUPlanCache, canonical_query_key
 from .maintenance import (
+    MaintenanceExplanation,
     MaintenanceReport,
     MaintenanceStats,
     ViewDelta,
@@ -288,15 +289,25 @@ class QueryService:
             )
         self._indexes: FetchProvider = IndexSet(database, access_schema)
         self._known_relations = frozenset(r.name for r in database.schema)
-        self.maintainer = ViewMaintainer(self.views, database)
+        # The write path rides the same tier switch: compiled maintenance
+        # kernels after the same warmup, gated by the delta-program verifier.
+        self.maintainer = ViewMaintainer(
+            self.views, database, codegen=codegen, codegen_warmup=codegen_warmup
+        )
         self._view_cache = self.maintainer.snapshot()
         self.planners = resolve_planners(planners)
+        # Warm-hit fast paths (see plan()/_execute): id-keyed query
+        # fingerprints and the default planner chain's signature, computed
+        # once instead of per call.
+        self._fingerprints: dict[int, tuple[Query, tuple, frozenset[str]]] = {}
+        self._chain_signature: tuple[object, tuple] | None = None
         self.plan_cache = LRUPlanCache(plan_cache_size)
         self.stats = ServiceStats()
         self.default_backend = backend
         self._backends: dict[str, ExecutionBackend] = {}
         self._backend_lock = threading.Lock()
-        self._backend(backend)  # fail fast on unknown names
+        self._default_backend_obj: ExecutionBackend | None = None
+        self._default_backend_obj = self._backend(backend)  # fail fast on unknown names
         # Maintenance accounting of the most recent delta notification,
         # consumed by apply() to build its report.
         self._last_maintenance: tuple[MaintenanceStats, list[ViewDelta]] | None = None
@@ -376,6 +387,11 @@ class QueryService:
 
     def _backend(self, name: str | None) -> ExecutionBackend:
         name = name or self.default_backend
+        if name == self.default_backend and self._default_backend_obj is not None:
+            # Backends are refreshed in place (refresh/invalidate/apply_delta)
+            # and never replaced, so the cached reference stays valid; this
+            # skips a lock acquisition on every warm query.
+            return self._default_backend_obj
         with self._backend_lock:
             backend = self._backends.get(name)
             if backend is None:
@@ -489,6 +505,7 @@ class QueryService:
         """
         stats = MaintenanceStats()
         deltas = self.maintainer.apply_stream(stream, stats)
+        self.stats.record_maintenance(stats)
         touched = set(stream.touched)
         touched.update(delta.view for delta in deltas)
         self.plan_cache.invalidate(touched)
@@ -556,21 +573,48 @@ class QueryService:
     ) -> tuple[CachedPlan, bool]:
         """Plan a query through the chain; returns (outcome, was_cache_hit)."""
         resolved = self._resolve(query)
-        unknown = sorted(resolved.relation_names - self._known_relations)
-        if unknown:
-            hint = ""
-            if any(name in self.views for name in unknown):
-                hint = (
-                    "; views are scanned by plans automatically and cannot be "
-                    "queried as atoms — write the query over the base relations"
+        memo = self._fingerprints.get(id(resolved))
+        if memo is not None and memo[0] is resolved:
+            # Same query object as a previous call: its canonical form is
+            # known and it already passed the unknown-relation check —
+            # repeated execution of a held query skips both.
+            canonical = memo[1]
+        else:
+            unknown = sorted(resolved.relation_names - self._known_relations)
+            if unknown:
+                hint = ""
+                if any(name in self.views for name in unknown):
+                    hint = (
+                        "; views are scanned by plans automatically and cannot be "
+                        "queried as atoms — write the query over the base relations"
+                    )
+                raise QueryError(
+                    f"query references unknown relations {unknown}{hint}"
                 )
-            raise QueryError(
-                f"query references unknown relations {unknown}{hint}"
+            canonical = canonical_query_key(resolved)
+            if len(self._fingerprints) >= 1024:
+                self._fingerprints.clear()
+            self._fingerprints[id(resolved)] = (
+                resolved,
+                canonical,
+                _query_parameter_names(resolved),
             )
-        chain = self.planners if planners is None else resolve_planners(planners)
+        if planners is None:
+            chain = self.planners
+            cached_signature = self._chain_signature
+            if cached_signature is None or cached_signature[0] is not chain:
+                cached_signature = (
+                    chain,
+                    tuple(planner_signature(p) for p in chain),
+                )
+                self._chain_signature = cached_signature
+            chain_signature = cached_signature[1]
+        else:
+            chain = resolve_planners(planners)
+            chain_signature = tuple(planner_signature(p) for p in chain)
         key = (
-            canonical_query_key(resolved),
-            tuple(planner_signature(p) for p in chain),
+            canonical,
+            chain_signature,
             tuple(v.name for v in head) if head is not None else None,
             max_size,
             self.inner_size_cutoff,
@@ -807,6 +851,12 @@ class QueryService:
         """Advisory lints for a query (see :func:`repro.analysis.lint_query`)."""
         return lint_query(self._resolve(query))
 
+    def explain_maintenance(self, view_name: str) -> MaintenanceExplanation:
+        """How one maintained view is kept fresh: strategy, execution tier
+        and the codegen lifecycle state (see
+        :class:`~repro.engine.service.maintenance.MaintenanceExplanation`)."""
+        return self.maintainer.explain(view_name)
+
     # ------------------------------------------------------------------ #
     # Serving
     # ------------------------------------------------------------------ #
@@ -834,11 +884,17 @@ class QueryService:
         """
         started = time.perf_counter()
         resolved = self._resolve(query)
-        _validate_bindings(
-            _query_parameter_names(resolved),
-            params or {},
-            "query (pass params= or use prepare() for repeated execution)",
-        )
+        memo = self._fingerprints.get(id(resolved))
+        if memo is not None and memo[0] is resolved:
+            declared = memo[2]
+        else:
+            declared = _query_parameter_names(resolved)
+        if declared or params:
+            _validate_bindings(
+                declared,
+                params or {},
+                "query (pass params= or use prepare() for repeated execution)",
+            )
         entry, hit = self.plan(
             resolved, head=head, max_size=max_size, planners=planners, use_cache=use_cache
         )
@@ -980,15 +1036,22 @@ class QueryService:
             runner = getattr(backend, "execute_compiled", None)
             compiled = None
             if self.codegen and runner is not None:
-                with self._codegen_lock:
+                compiled = entry.compiled
+                if compiled is not None or entry.codegen_state != "pending":
+                    # Warm path, lock-free: the entry already left the warmup
+                    # phase (compiled or parked ineligible), so the counter no
+                    # longer gates anything — a racy += is only a statistic.
                     entry.executions += 1
-                    if (
-                        entry.compiled is None
-                        and entry.codegen_state == "pending"
-                        and entry.executions > self.codegen_warmup
-                    ):
-                        self._compile_entry(resolved, head, entry)
-                    compiled = entry.compiled
+                else:
+                    with self._codegen_lock:
+                        entry.executions += 1
+                        if (
+                            entry.compiled is None
+                            and entry.codegen_state == "pending"
+                            and entry.executions > self.codegen_warmup
+                        ):
+                            self._compile_entry(resolved, head, entry)
+                        compiled = entry.compiled
             if compiled is not None:
                 result = runner(compiled, params)
                 tier = "compiled"

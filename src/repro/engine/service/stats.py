@@ -96,6 +96,22 @@ class ServiceStats:
             self.view_tuples_scanned += answer.view_tuples_scanned
             self._recent.append(answer.elapsed_seconds)
 
+    def record_maintenance(self, stats) -> None:
+        """Fold one maintenance run's per-view tier tallies into ``tier_uses``.
+
+        Write-side tiers are namespaced (``"maintenance-compiled"``,
+        ``"maintenance-interpreted"``, ``"maintenance-recompute"``) so they
+        sit next to the read-side ``"compiled"``/``"interpreted"`` counters
+        in one report.
+        """
+        tier_runs = getattr(stats, "tier_runs", None)
+        if not tier_runs:
+            return
+        with self._lock:
+            for tier, count in tier_runs.items():
+                key = "maintenance-" + tier
+                self.tier_uses[key] = self.tier_uses.get(key, 0) + count
+
     # ------------------------------------------------------------------ #
 
     @property

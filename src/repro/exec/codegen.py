@@ -39,7 +39,8 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import Callable, Collection, Iterator, Mapping, Protocol, Sequence
+from itertools import product as _iter_product
+from typing import Any, Callable, Collection, Iterator, Mapping, Protocol, Sequence, cast
 
 from ..algebra.terms import Param
 from ..core.access import AccessConstraint, AccessSchema
@@ -107,6 +108,28 @@ class Runtime:
 
 #: One compiled plan node: runtime in, distinct rows out.
 Step = Callable[[Runtime], Collection[Row]]
+
+
+def compile_closure_source(
+    source: str,
+    namespace: dict[str, Any],
+    entry: str,
+    *,
+    filename: str = "<repro-codegen>",
+) -> Callable[..., Any]:
+    """``exec`` generated function source and return its entry callable.
+
+    The shared closure-building substrate of the codegen tier: both the plan
+    compiler and the delta compiler (:mod:`repro.exec.delta_compiler`) build
+    fused loop nests as Python source whose free names — relation names, key
+    positions, pinned constants — live in ``namespace``, never in the source
+    text itself.  That keeps generated artifacts data-independent (the source
+    mentions positions and constraint shapes only) and safe: no runtime value
+    is ever interpolated into code.
+    """
+    code = compile(source, filename, "exec")
+    exec(code, namespace)  # noqa: S102 - the source is generated, not user input
+    return cast("Callable[..., Any]", namespace[entry])
 
 _RowPredicate = Callable[[Row], bool]
 _PredicateFactory = Callable[[Runtime], _RowPredicate]
@@ -515,6 +538,21 @@ _MatchIter = Callable[
 ]
 
 
+def _product_factors(node: PlanNode) -> list[PlanNode]:
+    """The leaves of a left-deep product chain, in concatenation order.
+
+    ``×(×(×(A,B),C),D)`` flattens to ``[A, B, C, D]``; a product appearing as
+    a *right* child stays one (materialised) factor — planners build their
+    chains left-deep, and anything else falls back to the generic join.
+    """
+    factors: list[PlanNode] = []
+    while isinstance(node, ProductNode):
+        factors.insert(0, node.right)
+        node = node.left
+    factors.insert(0, node)
+    return factors
+
+
 def _factored_matches(
     product: ProductNode,
     lowered: LoweredJoin,
@@ -523,53 +561,135 @@ def _factored_matches(
 ) -> _MatchIter | None:
     """Probe-first iteration when the probe side is itself a cross product.
 
-    Planners routinely emit ``σ[k = k'](×(A × B, C))`` with the whole join
-    key coming from one factor of the bare inner product.  Materialising
-    ``A × B`` just to probe it wastes ``|A|·|B|`` concatenations; instead the
-    keyed factor probes first and the other factor is expanded only on a
-    match.  Both factors are still evaluated exactly once per execution —
-    even when the other side is empty — so every fetch/view-scan charging
-    point fires exactly as the interpreted ``HashJoin`` over the
-    materialised product would.
+    Planners routinely emit ``σ[k = k'](×(A × B, C))`` — and, for wider
+    queries, arbitrary left-deep chains ``σ(×(×(×(A,B),C),D))`` — with the
+    whole join key coming from one factor of the bare inner chain.
+    Materialising the chain just to probe it wastes the full cross-product's
+    concatenations; instead the keyed factor probes first and the other
+    factors are expanded only on a match.  Every factor is still evaluated
+    exactly once per execution — even when another factor is empty — so every
+    fetch/view-scan charging point fires exactly as the interpreted
+    ``HashJoin`` over the materialised product would.
     """
     inner = product.left
     if not isinstance(inner, ProductNode) or not lowered.left_key:
         return None
-    split = len(inner.left.attributes)
-    keyed_first = all(p < split for p in lowered.left_key)
-    if not keyed_first and not all(p >= split for p in lowered.left_key):
-        return None
-    first = _compile_step(inner.left, access_schema, parameters)
-    second = _compile_step(inner.right, access_schema, parameters)
+    factors = _product_factors(inner)
+    offsets: list[int] = []
+    offset = 0
+    for factor in factors:
+        offsets.append(offset)
+        offset += len(factor.attributes)
+    keyed_index = next(
+        (
+            index
+            for index, factor in enumerate(factors)
+            if all(
+                offsets[index] <= p < offsets[index] + len(factor.attributes)
+                for p in lowered.left_key
+            )
+        ),
+        None,
+    )
+    if keyed_index is None:
+        # The key spans factor boundaries.  Fall back to the coarse two-way
+        # split at the top of the chain — the keyed "factor" is then itself a
+        # (materialised) product, which is still better than materialising
+        # the whole chain when the key lives in a prefix or suffix of it.
+        split = len(inner.left.attributes)
+        keyed_first = all(p < split for p in lowered.left_key)
+        if not keyed_first and not all(p >= split for p in lowered.left_key):
+            return None
+        first = _compile_step(inner.left, access_schema, parameters)
+        second = _compile_step(inner.right, access_schema, parameters)
+        if keyed_first:
+            key = key_extractor(lowered.left_key)
 
-    if keyed_first:
-        key = key_extractor(lowered.left_key)
+            def matches_first(
+                runtime: Runtime, probe: Callable[[object], list[Row] | None]
+            ) -> Iterator[tuple[Row, list[Row]]]:
+                expand = second(runtime)
+                for keyed_row in first(runtime):
+                    bucket = probe(key(keyed_row))
+                    if bucket:
+                        for other_row in expand:
+                            yield keyed_row + other_row, bucket
 
-        def matches_first(
+            return matches_first
+
+        key = key_extractor(tuple(p - split for p in lowered.left_key))
+
+        def matches_second(
             runtime: Runtime, probe: Callable[[object], list[Row] | None]
         ) -> Iterator[tuple[Row, list[Row]]]:
-            expand = second(runtime)
-            for keyed_row in first(runtime):
+            expand = first(runtime)
+            for keyed_row in second(runtime):
                 bucket = probe(key(keyed_row))
                 if bucket:
                     for other_row in expand:
-                        yield keyed_row + other_row, bucket
+                        yield other_row + keyed_row, bucket
 
-        return matches_first
+        return matches_second
 
-    key = key_extractor(tuple(p - split for p in lowered.left_key))
+    steps = [_compile_step(factor, access_schema, parameters) for factor in factors]
+    key = key_extractor(tuple(p - offsets[keyed_index] for p in lowered.left_key))
+    keyed_step = steps[keyed_index]
 
-    def matches_second(
+    if len(factors) == 2:
+        # Two factors: keep the allocation-free loops of the original
+        # one-level factoring (no per-match itertools machinery).
+        other_step = steps[1 - keyed_index]
+        if keyed_index == 0:
+
+            def matches_two_first(
+                runtime: Runtime, probe: Callable[[object], list[Row] | None]
+            ) -> Iterator[tuple[Row, list[Row]]]:
+                expand = other_step(runtime)
+                for keyed_row in keyed_step(runtime):
+                    bucket = probe(key(keyed_row))
+                    if bucket:
+                        for other_row in expand:
+                            yield keyed_row + other_row, bucket
+
+            return matches_two_first
+
+        def matches_two_second(
+            runtime: Runtime, probe: Callable[[object], list[Row] | None]
+        ) -> Iterator[tuple[Row, list[Row]]]:
+            expand = other_step(runtime)
+            for keyed_row in keyed_step(runtime):
+                bucket = probe(key(keyed_row))
+                if bucket:
+                    for other_row in expand:
+                        yield other_row + keyed_row, bucket
+
+        return matches_two_second
+
+    before_steps = steps[:keyed_index]
+    after_steps = steps[keyed_index + 1 :]
+    prefix_count = len(before_steps)
+
+    def matches_chain(
         runtime: Runtime, probe: Callable[[object], list[Row] | None]
     ) -> Iterator[tuple[Row, list[Row]]]:
-        expand = first(runtime)
-        for keyed_row in second(runtime):
+        # Every factor evaluates exactly once per execution, up front —
+        # charging parity with the materialised chain — then only keyed rows
+        # whose bucket matches pay for the cross-product expansion.
+        others = [tuple(step(runtime)) for step in before_steps]
+        others.extend(tuple(step(runtime)) for step in after_steps)
+        for keyed_row in keyed_step(runtime):
             bucket = probe(key(keyed_row))
             if bucket:
-                for other_row in expand:
-                    yield other_row + keyed_row, bucket
+                for combo in _iter_product(*others):
+                    row: Row = ()
+                    for part in combo[:prefix_count]:
+                        row += part
+                    row += keyed_row
+                    for part in combo[prefix_count:]:
+                        row += part
+                    yield row, bucket
 
-    return matches_second
+    return matches_chain
 
 
 def _compile_join(
@@ -780,5 +900,6 @@ __all__ = [
     "FetchProviderLike",
     "Runtime",
     "Step",
+    "compile_closure_source",
     "compile_plan_closure",
 ]

@@ -94,7 +94,14 @@ class FactsSource:
             if relation.schema.arity != arity:
                 return _EMPTY_LOOKUP
             index = relation.index_on(positions)
-            return lambda key: cast(Sequence[Row], index.get(key, ()))
+            # The cast is hoisted around the lambda (not inside it): resolved
+            # lookups sit on the maintenance hot path, and a per-call
+            # ``cast(Sequence[Row], ...)`` re-evaluates the subscripted alias
+            # on every probe.
+            return cast(
+                "Callable[[Row], Sequence[Row]]",
+                lambda key, _get=index.get: _get(key, ()),
+            )
         index_map: dict[Row, list[Row]] = {}
         key_positions = tuple(positions)
         for row in self.rows(name):

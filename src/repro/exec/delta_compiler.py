@@ -40,12 +40,15 @@ Which maintenance strategy a view gets:
 
 from __future__ import annotations
 
-from typing import Callable, Collection, Iterator, Sequence
+import time
+from typing import Any, Callable, Collection, Iterator, Mapping, Sequence, cast
 
 from ..algebra.atoms import RelationAtom
 from ..algebra.cq import ConjunctiveQuery
 from ..algebra.terms import Constant, Variable
 from ..errors import DeltaCompilationError
+from .codegen import compile_closure_source
+from .iometer import IOMeter
 from .operators import (
     LookupJoin,
     Operator,
@@ -62,6 +65,39 @@ LookupResolver = Callable[[str, tuple[int, ...], int], Callable[[Row], Sequence[
 
 #: One head/key column: either a pipeline position or a pinned constant.
 ColumnSpec = tuple[int | None, object]
+
+#: Generated maintenance kernels (see :func:`compile_maintenance`):
+#: counting increment/decrement over a delta-count dict, DRed insert/affected
+#: collection into a set, and the per-row support probe.
+CountKernel = Callable[[Collection[Row], "LookupResolver", "dict[Row, int]", int], None]
+SetKernel = Callable[[Collection[Row], "LookupResolver", Collection[Row], "set[Row]"], None]
+SupportKernel = Callable[[Row, "LookupResolver"], bool]
+
+
+def metered_resolver(resolve: LookupResolver, meter: IOMeter) -> LookupResolver:
+    """Charge every probe's returned rows to ``meter`` as a ``Dξ`` fetch.
+
+    The wrapper sits at the *resolver boundary*, which is the one place both
+    maintenance tiers share: the interpreted staged loops and the generated
+    nested-loop kernels each probe exactly once per partial binding, so
+    wrapping here — and charging nothing for ``resolve`` itself — makes the
+    IOMeter fields of the two tiers bit-identical by construction.
+    """
+
+    def resolved(
+        relation: str, positions: tuple[int, ...], arity: int
+    ) -> Callable[[Row], Sequence[Row]]:
+        lookup = resolve(relation, positions, arity)
+        record = meter.record_fetch
+
+        def metered(key: Row) -> Sequence[Row]:
+            rows = lookup(key)
+            record(relation, len(rows))
+            return rows
+
+        return metered
+
+    return resolved
 
 
 # --------------------------------------------------------------------------- #
@@ -84,8 +120,10 @@ class _JoinStage:
         "arity",
         "bound_positions",
         "_key",
+        "_key_spec",
         "_dup_predicate",
         "_pairs",
+        "_fresh_positions",
         "_append",
         "kept",
         "fresh_variables",
@@ -118,7 +156,9 @@ class _JoinStage:
                 fresh_first[term] = position
         self.bound_positions = tuple(bound_positions)
 
-        self._key = _spec_extractor(tuple(key_spec))
+        self._key_spec = tuple(key_spec)
+        self._fresh_positions = tuple(fresh_first.values())
+        self._key = _spec_extractor(self._key_spec)
         if duplicate_pairs:
             pairs = tuple(duplicate_pairs)
 
@@ -299,6 +339,8 @@ class DeltaRule:
             self._seed_predicate: Callable[[Row], bool] | None = seed_predicate
         else:
             self._seed_predicate = None
+        self._seed_constants = tuple(constant_positions)
+        self._seed_pairs = tuple(duplicate_pairs)
         self._seed_positions = tuple(first_occurrence.values())
         self._seed_extract = tuple_extractor(self._seed_positions)
 
@@ -538,3 +580,265 @@ def compile_view_delta(
                 view_name=name,
             )
     return CompiledViewDelta(name, disjuncts)
+
+
+# --------------------------------------------------------------------------- #
+# Generated maintenance kernels (the compiled delta tier)
+# --------------------------------------------------------------------------- #
+#
+# The classes above already avoid per-update planning; the kernels below also
+# avoid per-row *interpretation*.  :func:`compile_maintenance` turns every
+# delta rule into one fused nested-loop function — seed filter, join-key
+# construction, duplicate-variable guards, head projection and the sink
+# (counting increment/decrement, DRed insert, DRed candidate∩view semi-join)
+# all inlined as generated source, ``exec``'d through
+# :func:`repro.exec.codegen.compile_closure_source`.
+#
+# Discipline, identical to the read-side codegen tier:
+#
+# * **data independence** — the source text mentions tuple positions and
+#   control flow only; relation names, key positions, arities and pinned
+#   constants are passed through the exec namespace (``_R*``/``_B*``/``_A*``,
+#   ``_SC*``/``_K*``/``_H*``), never interpolated into code.  The kernels are
+#   therefore reusable across database states and survive index
+#   eviction/rebuild: every execution late-binds storage through ``resolve``.
+# * **Dξ parity** — a kernel probes each stage lookup exactly once per
+#   partial binding, which is exactly once per intermediate row of the
+#   interpreted staged loops; with :func:`metered_resolver` wrapped around
+#   the same resolver on both tiers, every IOMeter field matches
+#   bit-identically.  Resolving the stage lookups themselves is uncharged on
+#   both tiers, so the kernels may resolve all stages up front (the
+#   interpreted path resolves lazily and skips stages after an empty
+#   intermediate result — a cost difference, never an accounting one).
+
+
+class _KernelSource:
+    """Accumulates generated source lines plus their ``exec`` namespace."""
+
+    __slots__ = ("namespace", "_lines", "_counter")
+
+    def __init__(self) -> None:
+        self.namespace: dict[str, Any] = {}
+        self._lines: list[str] = []
+        self._counter = 0
+
+    def const(self, value: object, prefix: str) -> str:
+        """Bind ``value`` in the namespace; the source sees only the name."""
+        name = f"_{prefix}{self._counter}"
+        self._counter += 1
+        self.namespace[name] = value
+        return name
+
+    def emit(self, indent: int, text: str) -> None:
+        self._lines.append("    " * indent + text)
+
+    @property
+    def source(self) -> str:
+        return "\n".join(self._lines) + "\n"
+
+
+def _tuple_literal(exprs: Sequence[str]) -> str:
+    if not exprs:
+        return "()"
+    if len(exprs) == 1:
+        return f"({exprs[0]},)"
+    return "(" + ", ".join(exprs) + ")"
+
+
+def _emit_stage_loops(
+    ks: _KernelSource,
+    stages: Sequence[_JoinStage],
+    col_exprs: list[str],
+    indent: int,
+) -> int:
+    """Emit one nested probe loop per join stage; returns the body indent.
+
+    ``col_exprs`` maps each pipeline-schema position to the expression that
+    reads it inside the innermost loop (seed columns first, then each stage's
+    fresh columns); the list is extended in place as stages nest.
+    """
+    for j, stage in enumerate(stages):
+        key_exprs = [
+            col_exprs[position] if position is not None else ks.const(value, "K")
+            for position, value in stage._key_spec
+        ]
+        ks.emit(indent, f"for t{j} in _l{j}({_tuple_literal(key_exprs)}):")
+        indent += 1
+        for a, b in stage._pairs:
+            ks.emit(indent, f"if t{j}[{a}] != t{j}[{b}]:")
+            ks.emit(indent + 1, "continue")
+        col_exprs.extend(f"t{j}[{q}]" for q in stage._fresh_positions)
+    return indent
+
+
+def _emit_stage_resolves(
+    ks: _KernelSource, stages: Sequence[_JoinStage], indent: int
+) -> None:
+    for j, stage in enumerate(stages):
+        rel = ks.const(stage.relation, "R")
+        bound = ks.const(stage.bound_positions, "B")
+        arity = ks.const(stage.arity, "A")
+        ks.emit(indent, f"_l{j} = resolve({rel}, {bound}, {arity})")
+
+
+def _rule_kernel(rule: DeltaRule, kind: str) -> tuple[Callable[..., Any], str]:
+    """Generate one fused maintenance kernel for ``rule``.
+
+    ``kind`` selects the sink: ``"count"`` applies ``sign`` to a delta-count
+    dict (counting maintenance, shared by the insert and delete directions),
+    ``"insert"`` collects head rows absent from the current view (DRed
+    insertion), ``"affected"`` collects head rows present in the current view
+    (DRed over-deletion candidates — the candidate∩view semi-join inlined as
+    a membership test against the maintained set).
+    """
+    ks = _KernelSource()
+    stages = rule._stages
+    if kind == "count":
+        ks.emit(0, "def _kernel(delta_rows, resolve, counts, sign):")
+    elif kind == "insert":
+        ks.emit(0, "def _kernel(delta_rows, resolve, current, added):")
+    else:
+        ks.emit(0, "def _kernel(delta_rows, resolve, current, affected):")
+    _emit_stage_resolves(ks, stages, 1)
+    if kind == "count":
+        ks.emit(1, "_get = counts.get")
+    else:
+        ks.emit(1, "_add = added.add" if kind == "insert" else "_add = affected.add")
+    ks.emit(1, "for d in delta_rows:")
+    indent = 2
+    for position, value in rule._seed_constants:
+        name = ks.const(value, "SC")
+        ks.emit(indent, f"if d[{position}] != {name}:")
+        ks.emit(indent + 1, "continue")
+    for first, later in rule._seed_pairs:
+        ks.emit(indent, f"if d[{first}] != d[{later}]:")
+        ks.emit(indent + 1, "continue")
+    col_exprs = [f"d[{p}]" for p in rule._seed_positions]
+    indent = _emit_stage_loops(ks, stages, col_exprs, indent)
+    head_exprs = [
+        col_exprs[position] if position is not None else ks.const(value, "H")
+        for position, value in rule._head_spec
+    ]
+    ks.emit(indent, f"h = {_tuple_literal(head_exprs)}")
+    if kind == "count":
+        ks.emit(indent, "counts[h] = _get(h, 0) + sign")
+    elif kind == "insert":
+        ks.emit(indent, "if h not in current:")
+        ks.emit(indent + 1, "_add(h)")
+    else:
+        ks.emit(indent, "if h in current:")
+        ks.emit(indent + 1, "_add(h)")
+    kernel = compile_closure_source(
+        ks.source, ks.namespace, "_kernel", filename=f"<repro-delta-{kind}>"
+    )
+    return kernel, ks.source
+
+
+def _support_kernel(check: SupportCheck) -> tuple[SupportKernel, str]:
+    """Generate the DFS support probe as one nested loop with early return.
+
+    Guards run before any stage lookup is resolved — same order as the
+    interpreted :meth:`SupportCheck.supported` — and ``return True`` in the
+    innermost loop unwinds at the first full valuation, exploring exactly
+    the prefix of the search space the interpreted DFS explores.
+    """
+    ks = _KernelSource()
+    stages = check._stages
+    ks.emit(0, "def _kernel(row, resolve):")
+    for position, value in check._constants:
+        name = ks.const(value, "SC")
+        ks.emit(1, f"if row[{position}] != {name}:")
+        ks.emit(2, "return False")
+    for first, later in check._duplicates:
+        ks.emit(1, f"if row[{first}] != row[{later}]:")
+        ks.emit(2, "return False")
+    if not stages:
+        ks.emit(1, "return True")
+    else:
+        _emit_stage_resolves(ks, stages, 1)
+        col_exprs = [f"row[{p}]" for p in check._seed_positions]
+        indent = _emit_stage_loops(ks, stages, col_exprs, 1)
+        ks.emit(indent, "return True")
+        ks.emit(1, "return False")
+    kernel = compile_closure_source(
+        ks.source, ks.namespace, "_kernel", filename="<repro-delta-support>"
+    )
+    return cast(SupportKernel, kernel), ks.source
+
+
+class RuleKernels:
+    """The three generated sinks of one delta rule, plus their source text."""
+
+    __slots__ = ("count", "insert", "affected", "sources")
+
+    def __init__(self, rule: DeltaRule) -> None:
+        count, count_src = _rule_kernel(rule, "count")
+        insert, insert_src = _rule_kernel(rule, "insert")
+        affected, affected_src = _rule_kernel(rule, "affected")
+        self.count = cast(CountKernel, count)
+        self.insert = cast(SetKernel, insert)
+        self.affected = cast(SetKernel, affected)
+        #: kind → generated source, for tests and ``explain``-style debugging.
+        self.sources: Mapping[str, str] = {
+            "count": count_src,
+            "insert": insert_src,
+            "affected": affected_src,
+        }
+
+
+class DisjunctKernels:
+    """Generated kernels of one disjunct, aligned with
+    :attr:`CompiledDisjunct.rules` (same relation keys, same rule order)."""
+
+    __slots__ = ("rules", "supported", "support_source")
+
+    def __init__(self, disjunct: CompiledDisjunct) -> None:
+        self.rules: dict[str, tuple[RuleKernels, ...]] = {
+            name: tuple(RuleKernels(rule) for rule in per_atom)
+            for name, per_atom in disjunct.rules.items()
+        }
+        self.supported, self.support_source = _support_kernel(disjunct.support)
+
+
+class MaintenanceKernels:
+    """A view's delta program compiled to generated nested-loop kernels."""
+
+    __slots__ = ("name", "counting", "disjuncts", "compile_seconds")
+
+    def __init__(
+        self,
+        name: str,
+        counting: bool,
+        disjuncts: tuple[DisjunctKernels, ...],
+        compile_seconds: float,
+    ) -> None:
+        self.name = name
+        self.counting = counting
+        self.disjuncts = disjuncts
+        self.compile_seconds = compile_seconds
+
+
+def compile_maintenance(compiled: CompiledViewDelta) -> MaintenanceKernels:
+    """Compile a view's delta program into generated maintenance kernels.
+
+    Raises :class:`~repro.errors.DeltaCompilationError` if source generation
+    or compilation fails for any rule; callers (the maintainer's
+    warmup→verify→compile lifecycle) treat that as *ineligible forever* and
+    keep the interpreted rules, never surfacing the error to a write.
+    """
+    started = time.perf_counter()
+    try:
+        disjuncts = tuple(DisjunctKernels(d) for d in compiled.disjuncts)
+    except DeltaCompilationError:
+        raise
+    except Exception as exc:
+        raise DeltaCompilationError(
+            f"view {compiled.name!r}: generating maintenance kernels failed: {exc}",
+            view_name=compiled.name,
+        ) from exc
+    return MaintenanceKernels(
+        compiled.name,
+        compiled.counting,
+        disjuncts,
+        time.perf_counter() - started,
+    )

@@ -45,6 +45,8 @@ class DeltaStream:
     __slots__ = (
         "_inserted",
         "_deleted",
+        "_inserted_rows",
+        "_deleted_rows",
         "_order",
         "applied_insertions",
         "applied_deletions",
@@ -54,6 +56,13 @@ class DeltaStream:
     def __init__(self) -> None:
         self._inserted: dict[str, set[Row]] = {}
         self._deleted: dict[str, set[Row]] = {}
+        # Per-relation tuple caches of the net rows.  Maintenance reads
+        # ``inserted()``/``deleted()`` once per delta rule per direction, so
+        # rebuilding a tuple from the set on every call is measurable on hot
+        # update paths; a write to either direction drops *both* caches for
+        # the relation, because netting mutates the opposite set.
+        self._inserted_rows: dict[str, tuple[Row, ...]] = {}
+        self._deleted_rows: dict[str, tuple[Row, ...]] = {}
         # First-touch order of relations (dict used as an ordered set).
         self._order: dict[str, None] = {}
         #: Effective (non-no-op) insertions/deletions applied, before netting.
@@ -70,6 +79,8 @@ class DeltaStream:
         """Record one applied insertion (the row was absent before)."""
         self._order.setdefault(relation, None)
         self.applied_insertions += 1
+        self._inserted_rows.pop(relation, None)
+        self._deleted_rows.pop(relation, None)
         deleted = self._deleted.get(relation)
         if deleted is not None and row in deleted:
             deleted.discard(row)  # was present pre-transaction: net zero
@@ -80,6 +91,8 @@ class DeltaStream:
         """Record one applied deletion (the row was present before)."""
         self._order.setdefault(relation, None)
         self.applied_deletions += 1
+        self._inserted_rows.pop(relation, None)
+        self._deleted_rows.pop(relation, None)
         inserted = self._inserted.get(relation)
         if inserted is not None and row in inserted:
             inserted.discard(row)  # added by this transaction: net zero
@@ -106,13 +119,21 @@ class DeltaStream:
 
     def inserted(self, relation: str) -> tuple[Row, ...]:
         """Net-inserted rows: absent before the transaction, present after."""
-        rows = self._inserted.get(relation)
-        return tuple(rows) if rows else _EMPTY
+        cached = self._inserted_rows.get(relation)
+        if cached is None:
+            rows = self._inserted.get(relation)
+            cached = tuple(rows) if rows else _EMPTY
+            self._inserted_rows[relation] = cached
+        return cached
 
     def deleted(self, relation: str) -> tuple[Row, ...]:
         """Net-deleted rows: present before the transaction, absent after."""
-        rows = self._deleted.get(relation)
-        return tuple(rows) if rows else _EMPTY
+        cached = self._deleted_rows.get(relation)
+        if cached is None:
+            rows = self._deleted.get(relation)
+            cached = tuple(rows) if rows else _EMPTY
+            self._deleted_rows[relation] = cached
+        return cached
 
     @property
     def is_empty(self) -> bool:

@@ -367,6 +367,143 @@ def test_cache_clear_and_lru_eviction_invalidate_closures(gs_instance, gs_access
 
 
 # --------------------------------------------------------------------------- #
+# Probe-first factoring over arbitrary left-deep product chains
+# --------------------------------------------------------------------------- #
+
+
+def _movies_fetch(rename: str | None = None):
+    """fetch(Universal/2014 ∈ φ1, movie, mid) — attrs (studio, release, mid)."""
+    from repro.core.plans import ConstantScan, FetchNode, ProductNode, RenameNode
+
+    keys = ProductNode(
+        ConstantScan("Universal", attribute="studio"),
+        ConstantScan("2014", attribute="release"),
+    )
+    movies = FetchNode(keys, "movie", ("studio", "release"), ("mid",))
+    if rename is None:
+        return movies
+    return RenameNode(movies, {"mid": rename})
+
+
+def _chain_select_plan(keyed: str):
+    """σ over ``×(×(×(F0,F1),F2), D)`` with the join key in one chain factor.
+
+    ``keyed`` picks which factor carries the key: ``"first"`` joins the V1
+    scan of F0 against fetched movies, ``"middle"`` the constant rank of F1
+    against fetched ratings, ``"last"`` the V2 scan of F2 against another V2
+    scan.  All three are shapes the generalized ``_factored_matches`` must
+    probe-first without materialising the three-factor chain.
+    """
+    from repro.core.plans import (
+        AttributeEqualsAttribute,
+        ConstantScan,
+        FetchNode,
+        ProductNode,
+        ProjectNode,
+        RenameNode,
+        SelectNode,
+        ViewScan,
+    )
+
+    f0 = RenameNode(ViewScan("V1", ("mid",)), {"mid": "mid_a"})
+    f1 = ConstantScan(5, attribute="rank_c")
+    f2 = RenameNode(ViewScan("V2", ("pid",)), {"pid": "pid_b"})
+    chain = ProductNode(ProductNode(f0, f1), f2)
+    if keyed == "first":
+        right = _movies_fetch()
+        predicate = AttributeEqualsAttribute("mid_a", "mid")
+    elif keyed == "middle":
+        candidates = ProjectNode(_movies_fetch(), ("mid",))
+        right = RenameNode(
+            FetchNode(candidates, "rating", ("mid",), ("rank",)), {"mid": "mid_d"}
+        )
+        predicate = AttributeEqualsAttribute("rank_c", "rank")
+    else:
+        right = RenameNode(ViewScan("V2", ("pid",)), {"pid": "pid_d"})
+        predicate = AttributeEqualsAttribute("pid_b", "pid_d")
+    return SelectNode(ProductNode(chain, right), (predicate,))
+
+
+@pytest.mark.parametrize("keyed", ["first", "middle", "last"])
+def test_three_factor_chain_identical_tiers(gs_instance, gs_schema, gs_access, keyed):
+    service = QueryService(
+        gs_instance.database, gs_access, graph_search.views(), codegen=False
+    )
+    rows, meter = _assert_tiers_identical(
+        _chain_select_plan(keyed),
+        gs_schema,
+        gs_access,
+        service.indexes,
+        service.view_cache,
+    )
+    assert rows  # the planted answers keep every variant non-empty
+
+
+def test_four_factor_chain_identical_tiers(gs_instance, gs_schema, gs_access):
+    from repro.core.plans import (
+        AttributeEqualsAttribute,
+        ConstantScan,
+        ProductNode,
+        RenameNode,
+        SelectNode,
+        ViewScan,
+    )
+
+    f0 = ConstantScan("movie", attribute="type_c")
+    f1 = RenameNode(ViewScan("V1", ("mid",)), {"mid": "mid_a"})
+    f2 = ConstantScan(5, attribute="rank_c")
+    f3 = RenameNode(ViewScan("V2", ("pid",)), {"pid": "pid_b"})
+    chain = ProductNode(ProductNode(ProductNode(f0, f1), f2), f3)
+    plan = SelectNode(
+        ProductNode(chain, _movies_fetch("mid_d")),
+        (AttributeEqualsAttribute("mid_a", "mid_d"),),
+    )
+    service = QueryService(
+        gs_instance.database, gs_access, graph_search.views(), codegen=False
+    )
+    rows, _ = _assert_tiers_identical(
+        plan, gs_schema, gs_access, service.indexes, service.view_cache
+    )
+    assert rows
+
+
+def test_chain_key_spanning_factors_identical_tiers(gs_instance, gs_schema, gs_access):
+    """A key spanning two chain factors cannot probe-first per factor; the
+    fallback (coarse split or generic join) must still be bit-identical."""
+    from repro.core.plans import (
+        AttributeEqualsAttribute,
+        ConstantScan,
+        ProductNode,
+        RenameNode,
+        SelectNode,
+        ViewScan,
+    )
+
+    f0 = RenameNode(ViewScan("V1", ("mid",)), {"mid": "mid_a"})
+    f1 = ConstantScan(5, attribute="rank_c")
+    f2 = RenameNode(ViewScan("V2", ("pid",)), {"pid": "pid_b"})
+    chain = ProductNode(ProductNode(f0, f1), f2)
+    right = RenameNode(
+        ProductNode(_movies_fetch("mid_d"), ViewScan("V2", ("pid",))),
+        {"pid": "pid_d"},
+    )
+    plan = SelectNode(
+        ProductNode(chain, right),
+        (
+            AttributeEqualsAttribute("mid_a", "mid_d"),
+            AttributeEqualsAttribute("pid_b", "pid_d"),
+        ),
+    )
+    service = QueryService(
+        gs_instance.database, gs_access, graph_search.views(), codegen=False
+    )
+    rows, _ = _assert_tiers_identical(
+        plan, gs_schema, gs_access, service.indexes, service.view_cache
+    )
+    assert rows
+
+
+# --------------------------------------------------------------------------- #
 # Differential property test: ~200 random CQs/UCQs, both backends, with writes
 # --------------------------------------------------------------------------- #
 

@@ -1,0 +1,352 @@
+"""The compiled maintenance tier: bit-identical view state *and* ``Dξ``.
+
+Mirror of ``test_codegen.py`` for the write path.  Three layers of evidence
+that the generated delta kernels are a drop-in replacement for the
+interpreted delta rules:
+
+* a differential property test over ~200 random CQ/UCQ views (self-join
+  DRed fallback included): after every random insert/delete batch, the
+  compiled and interpreted maintainers agree on every view's rows, on the
+  counting-mode derivation counts, on the work counters
+  (``delta_queries``/``support_checks``) and on every IOMeter field;
+* lifecycle tests of the warmup→verify→compile machinery — warmup counting,
+  the ineligible-forever gate, ``invalidate_compiled``, ``explain`` — and of
+  the service surface (``explain_maintenance``, ``maintenance-*`` tier
+  stats, both backends);
+* introspection of the generated kernel sources (data independence).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.algebra.atoms import RelationAtom
+from repro.algebra.cq import ConjunctiveQuery
+from repro.algebra.terms import Variable
+from repro.algebra.ucq import UnionQuery
+from repro.algebra.views import View, ViewSet
+from repro.engine.service import QueryService, ViewMaintainer
+from repro.engine.service.maintenance import MaintenanceStats
+from repro.errors import DeltaCompilationError
+from repro.exec.delta_compiler import compile_maintenance, compile_view_delta
+from repro.exec.iometer import IOMeter
+from repro.storage.updates import random_update_batch
+from repro.workloads import cdr
+from repro.workloads.random_cq import RandomCQConfig, random_workload
+
+
+def _meters_equal(a: IOMeter, b: IOMeter) -> bool:
+    return (
+        a.tuples_fetched == b.tuples_fetched
+        and a.fetch_calls == b.fetch_calls
+        and a.per_relation == b.per_relation
+        and a.view_tuples_scanned == b.view_tuples_scanned
+    )
+
+
+# --------------------------------------------------------------------------- #
+# Random view workloads
+# --------------------------------------------------------------------------- #
+
+
+def _connected(query) -> bool:
+    """Multi-atom queries must share variables (no accidental cartesians)."""
+    if len(query.atoms) <= 1:
+        return True
+    for index, atom in enumerate(query.atoms):
+        mine = set(atom.variables)
+        others = set()
+        for j, other in enumerate(query.atoms):
+            if j != index:
+                others |= set(other.variables)
+        if not (mine & others):
+            return False
+    return True
+
+
+def _self_join_views() -> list[View]:
+    """Hand-built self-joins: counting-ineligible, forcing the DRed kernels."""
+    p1, p2, n1, n2, pl, r1, r2 = (Variable(x) for x in ("p1", "p2", "n1", "n2", "pl", "r1", "r2"))
+    same_plan = View(
+        "SJ_plan",
+        # customer(phone, name, plan, region)
+        UnionQuery(
+            (
+                ConjunctiveQuery(
+                    head=(p1, p2),
+                    atoms=(
+                        RelationAtom("customer", (p1, n1, pl, r1)),
+                        RelationAtom("customer", (p2, n2, pl, r2)),
+                    ),
+                    name="SJ_plan_def",
+                ),
+            ),
+            name="SJ_plan_u",
+        ),
+    )
+    return [same_plan]
+
+
+def _random_views(schema, database, count: int, seed: int) -> list[View]:
+    """~``count`` views: random CQs plus UCQs paired from equal-arity CQs."""
+    config = RandomCQConfig(
+        min_atoms=1,
+        max_atoms=3,
+        head_size=2,
+        constant_probability=0.6,
+        join_probability=0.7,
+        seed=seed,
+    )
+    cqs = [
+        q
+        for q in random_workload(schema, database, count + 60, config)
+        if q.head and _connected(q)
+    ]
+    views: list[View] = [
+        View(f"Vr{i}", q) for i, q in enumerate(cqs[:count])
+    ]
+    by_arity: dict[int, list] = {}
+    for q in cqs[:count]:
+        by_arity.setdefault(q.head_arity, []).append(q)
+    made = 0
+    for arity, group in sorted(by_arity.items()):
+        for i in range(0, len(group) - 1, 2):
+            if made >= count // 5:
+                break
+            views.append(
+                View(
+                    f"Ur{arity}_{i}",
+                    UnionQuery((group[i], group[i + 1]), name=f"Ur{arity}_{i}_def"),
+                )
+            )
+            made += 1
+    views.extend(_self_join_views())
+    return views
+
+
+def _paired_maintainers(views, database):
+    """(interpreted, compiled) maintainers over the same database."""
+    interpreted = ViewMaintainer(views, database, codegen=False)
+    compiled = ViewMaintainer(views, database, codegen=True, codegen_warmup=0)
+    return interpreted, compiled
+
+
+def _assert_identical_step(interpreted, compiled, stream) -> None:
+    """One stream through both maintainers: state and accounting must agree."""
+    stats_i, stats_c = MaintenanceStats(), MaintenanceStats()
+    meter_i, meter_c = IOMeter(), IOMeter()
+    interpreted.apply_stream(stream, stats_i, meter=meter_i)
+    compiled.apply_stream(stream, stats_c, meter=meter_c)
+    for view in interpreted.views:
+        name = view.name
+        assert compiled.rows(name) == interpreted.rows(name), name
+        if interpreted.mode(name) == "counting":
+            assert compiled.counts(name) == interpreted.counts(name), name
+    assert stats_c.delta_queries == stats_i.delta_queries
+    assert stats_c.support_checks == stats_i.support_checks
+    assert stats_c.rows_added == stats_i.rows_added
+    assert stats_c.rows_removed == stats_i.rows_removed
+    assert _meters_equal(meter_c, meter_i), (
+        f"Dξ accounting diverged: compiled={meter_c} interpreted={meter_i}"
+    )
+
+
+# --------------------------------------------------------------------------- #
+# Differential property test: ~200 random views, random update batches
+# --------------------------------------------------------------------------- #
+
+
+def test_differential_random_views_with_updates():
+    data = cdr.generate(num_customers=40, num_days=2, seed=7)
+    views = _random_views(cdr.schema(), data.database, 170, seed=29)
+    assert len(views) >= 190  # ~200 including the paired UCQs and self-joins
+    interpreted, compiled = _paired_maintainers(ViewSet(views), data.database)
+    assert interpreted.modes == compiled.modes
+    assert any(mode == "dred" for mode in compiled.modes.values())
+    assert compiled.mode("SJ_plan") == "dred"  # the self-join fallback
+
+    for seed in (11, 22, 33):
+        batch = random_update_batch(data.database, size=50, seed=seed)
+        stream = data.database.apply(batch)
+        _assert_identical_step(interpreted, compiled, stream)
+
+    # Most touched views actually reached the compiled tier (warmup=0).
+    states = [compiled.explain(v.name).codegen_state for v in compiled.views]
+    assert states.count("compiled") >= 0.6 * len(states)
+    assert compiled.explain("SJ_plan").tier == "compiled"
+    # Both maintainers still match a from-scratch recomputation.
+    fresh = compiled.recompute()
+    for view in compiled.views:
+        assert compiled.rows(view.name) == fresh[view.name], view.name
+
+
+def test_differential_both_backends_after_updates():
+    """Two identically-seeded services (compiled vs interpreted maintenance)
+    fed identical batches agree on every view's rows — served through the
+    memory *and* the sqlite backend."""
+    instances = [cdr.generate(num_customers=30, num_days=2, seed=5) for _ in range(2)]
+    compiled_service = QueryService(
+        instances[0].database, cdr.access_schema(), cdr.views(),
+        codegen=True, codegen_warmup=0,
+    )
+    interpreted_service = QueryService(
+        instances[1].database, cdr.access_schema(), cdr.views(), codegen=False
+    )
+    for seed in (41, 42):
+        # Identical databases yield identical (deterministic) batches.
+        batches = [
+            random_update_batch(inst.database, size=40, seed=seed)
+            for inst in instances
+        ]
+        assert batches[0].updates == batches[1].updates
+        compiled_service.apply(batches[0])
+        interpreted_service.apply(batches[1])
+    assert compiled_service.maintainer.snapshot() == interpreted_service.maintainer.snapshot()
+    assert compiled_service.maintainer.verify()
+    # Both backends of both services agree on queries the views answer.
+    for query in (
+        'Q(p) :- customer(p, n, "premium", r)',
+        "Q(c, d) :- call(c, e, d, u, l)",
+    ):
+        rows = [
+            service.baseline(query, backend=backend).rows
+            for service in (compiled_service, interpreted_service)
+            for backend in ("memory", "sqlite")
+        ]
+        assert len(set(rows)) == 1, query
+    tiers = compiled_service.stats.snapshot().tier_uses
+    assert tiers.get("maintenance-compiled", 0) > 0
+    assert "maintenance-interpreted" not in tiers
+
+
+# --------------------------------------------------------------------------- #
+# Lifecycle: warmup, ineligible-forever, invalidation, explain
+# --------------------------------------------------------------------------- #
+
+
+def _touching_stream(database, seed: int):
+    batch = random_update_batch(database, size=10, relations=("customer",), seed=seed)
+    return database.apply(batch)
+
+
+def test_warmup_counts_touching_streams_then_compiles():
+    data = cdr.generate(num_customers=20, num_days=2, seed=3)
+    maintainer = ViewMaintainer(
+        cdr.views(), data.database, codegen=True, codegen_warmup=2
+    )
+    tiers = []
+    for seed in (1, 2, 3, 4):
+        stats = MaintenanceStats()
+        maintainer.apply_stream(_touching_stream(data.database, seed), stats)
+        explanation = maintainer.explain("V_premium")
+        tiers.append(explanation.tier)
+    # Two interpreted warmup runs, then the compiled tier from run 3 on.
+    assert tiers == ["interpreted", "interpreted", "compiled", "compiled"]
+    explanation = maintainer.explain("V_premium")
+    assert explanation.codegen_state == "compiled"
+    assert explanation.mode == "counting"
+    assert explanation.warmup == 2
+    # V_daily is touched only by call-relation streams: still warming up.
+    assert maintainer.explain("V_daily").codegen_state == "pending"
+    assert maintainer.explain("V_daily").runs == 0
+    assert maintainer.verify()
+
+
+def test_codegen_disabled_stays_interpreted():
+    data = cdr.generate(num_customers=20, num_days=2, seed=3)
+    maintainer = ViewMaintainer(cdr.views(), data.database, codegen=False)
+    stats = MaintenanceStats()
+    maintainer.apply_stream(_touching_stream(data.database, 1), stats)
+    assert maintainer.explain("V_premium").tier == "interpreted"
+    assert stats.tier_runs.get("compiled", 0) == 0
+    assert stats.tier_runs["interpreted"] >= 1
+
+
+def test_failed_compilation_parks_view_as_ineligible(monkeypatch):
+    """A view whose kernel generation fails keeps its interpreted rules
+    forever — and the failure never surfaces to the write."""
+    data = cdr.generate(num_customers=20, num_days=2, seed=3)
+    maintainer = ViewMaintainer(
+        cdr.views(), data.database, codegen=True, codegen_warmup=0
+    )
+
+    def broken(compiled):
+        raise DeltaCompilationError("injected failure", view_name=compiled.name)
+
+    monkeypatch.setattr(
+        "repro.engine.service.maintenance.compile_maintenance", broken
+    )
+    stats = MaintenanceStats()
+    maintainer.apply_stream(_touching_stream(data.database, 1), stats)
+    explanation = maintainer.explain("V_premium")
+    assert explanation.codegen_state == "ineligible"
+    assert explanation.tier == "interpreted"
+    assert "injected failure" in explanation.codegen_reason
+    # The gate is checked once; later streams run interpreted without retry.
+    monkeypatch.undo()
+    maintainer.apply_stream(_touching_stream(data.database, 2), stats)
+    assert maintainer.explain("V_premium").codegen_state == "ineligible"
+    assert stats.tier_runs.get("compiled", 0) == 0
+    assert maintainer.verify()
+
+
+def test_invalidate_compiled_restarts_lifecycle():
+    data = cdr.generate(num_customers=20, num_days=2, seed=3)
+    maintainer = ViewMaintainer(
+        cdr.views(), data.database, codegen=True, codegen_warmup=0
+    )
+    maintainer.apply_stream(_touching_stream(data.database, 1))
+    assert maintainer.explain("V_premium").codegen_state == "compiled"
+    maintainer.invalidate_compiled("V_premium")
+    after = maintainer.explain("V_premium")
+    assert after.codegen_state == "pending"
+    assert after.runs == 0
+    # The next touching stream re-verifies and recompiles (warmup=0).
+    maintainer.apply_stream(_touching_stream(data.database, 2))
+    assert maintainer.explain("V_premium").codegen_state == "compiled"
+    # Invalidate-all covers every view.
+    maintainer.invalidate_compiled()
+    assert maintainer.explain("V_premium").codegen_state == "pending"
+    assert maintainer.verify()
+
+
+def test_explain_maintenance_service_surface():
+    data = cdr.generate(num_customers=20, num_days=2, seed=3)
+    service = QueryService(
+        data.database, cdr.access_schema(), cdr.views(),
+        codegen=True, codegen_warmup=0,
+    )
+    before = service.explain_maintenance("V_premium")
+    assert before.codegen_state == "pending"
+    service.apply(random_update_batch(data.database, size=15, seed=9))
+    after = service.explain_maintenance("V_premium")
+    assert after.tier == "compiled"
+    assert after.codegen_state == "compiled"
+    tiers = service.stats.snapshot().tier_uses
+    assert tiers.get("maintenance-compiled", 0) >= 1
+
+
+# --------------------------------------------------------------------------- #
+# Generated sources: introspection and data independence
+# --------------------------------------------------------------------------- #
+
+
+def test_generated_kernel_sources_are_data_independent():
+    views = cdr.views()
+    disjuncts = tuple(
+        d.normalize() for d in views.view("V_premium").as_ucq().disjuncts
+    )
+    kernels = compile_maintenance(compile_view_delta("V_premium", disjuncts))
+    assert kernels.counting
+    assert kernels.compile_seconds > 0
+    (disjunct_kernels,) = kernels.disjuncts
+    for per_atom in disjunct_kernels.rules.values():
+        for rule_kernels in per_atom:
+            assert set(rule_kernels.sources) == {"count", "insert", "affected"}
+            for source in rule_kernels.sources.values():
+                assert "def _kernel" in source
+                # Data independence: the "premium" seed constant is bound via
+                # an exec-namespace name, never interpolated into the source.
+                assert "premium" not in source
+    assert "def _kernel" in disjunct_kernels.support_source
+    assert "premium" not in disjunct_kernels.support_source

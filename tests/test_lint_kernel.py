@@ -121,6 +121,40 @@ def test_codegen_storage_imports_are_flagged(tmp_path, source):
     assert [v.code for v in violations] == ["kernel.codegen-storage-import"]
 
 
+def test_unmetered_fetch_in_delta_compiler_is_flagged(tmp_path):
+    # The delta-maintenance kernels live in delta_compiler.py and obey the
+    # same discipline as the read-side codegen: any function (generated
+    # closures included) touching `.fetch` must charge the meter.
+    _write(
+        tmp_path,
+        "src/repro/exec/delta_compiler.py",
+        """
+        def compile_delta(constraint):
+            def kernel(runtime):
+                return runtime.provider.fetch(constraint, ())
+
+            return kernel
+        """,
+    )
+    violations = lint_kernel.lint_tree(tmp_path)
+    assert {v.code for v in violations} == {"kernel.unmetered-fetch"}
+    assert any("kernel" in v.message for v in violations)
+
+
+@pytest.mark.parametrize(
+    "source",
+    [
+        "from repro.storage.instance import Database\n",
+        "from ..storage.deltas import DeltaStream\n",
+        "import repro.storage.indexes\n",
+    ],
+)
+def test_delta_compiler_storage_imports_are_flagged(tmp_path, source):
+    _write(tmp_path, "src/repro/exec/delta_compiler.py", source)
+    violations = lint_kernel.lint_tree(tmp_path)
+    assert [v.code for v in violations] == ["kernel.codegen-storage-import"]
+
+
 def test_storage_imports_elsewhere_are_not_codegen_violations(tmp_path):
     _write(
         tmp_path,

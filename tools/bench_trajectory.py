@@ -166,6 +166,7 @@ def measure_updates() -> dict:
     batch_size, batches = 1000, 5
     applied = inserted = deleted = 0
     elapsed = 0.0
+    tier_runs: dict[str, int] = {}
     for index in range(batches):
         batch = random_update_batch(
             instance.database, size=batch_size, seed=100 + index
@@ -176,6 +177,8 @@ def measure_updates() -> dict:
         applied += report.applied
         inserted += report.inserted
         deleted += report.deleted
+        for tier, count in report.stats.tier_runs.items():
+            tier_runs[tier] = tier_runs.get(tier, 0) + count
     recomputed = {
         view.name: frozenset(evaluate_ucq(view.as_ucq(), instance.database))
         for view in gs.views()
@@ -194,6 +197,10 @@ def measure_updates() -> dict:
             "inserted": inserted,
             "deleted": deleted,
             "views_consistent_after": consistent,
+            # Every touched view must keep running on the compiled
+            # maintenance tier (warmup=0): a fall-back to interpreted rules
+            # shows up here and fails --check.
+            "maintenance_tiers": dict(sorted(tier_runs.items())),
         },
         "timings": {
             "updates_per_sec": round(batch_size * batches / elapsed, 1),

@@ -9,19 +9,20 @@ maintenance kernel depends on.  This linter enforces three rules by AST
 inspection (no imports of the checked code, so it runs on any tree):
 
 ``kernel.unmetered-fetch``
-    In ``src/repro/exec/operators.py`` and ``src/repro/exec/codegen.py``,
-    every function that touches a ``.fetch`` attribute (the storage-boundary
-    probe) must also reference ``record_fetch`` — tuples crossing the
-    boundary are charged to the meter in the same function that pulls them.
-    For the codegen tier this covers the *generated* closures too: they are
-    nested functions of the compiling function, and ``ast.walk`` descends
-    into them.
+    In ``src/repro/exec/operators.py``, ``src/repro/exec/codegen.py`` and
+    ``src/repro/exec/delta_compiler.py``, every function that touches a
+    ``.fetch`` attribute (the storage-boundary probe) must also reference
+    ``record_fetch`` — tuples crossing the boundary are charged to the meter
+    in the same function that pulls them.  For the codegen tiers this covers
+    the *generated* closures too: they are nested functions of the compiling
+    function, and ``ast.walk`` descends into them.
 
 ``kernel.codegen-storage-import``
-    ``src/repro/exec/codegen.py`` may not import ``repro.storage``:
-    compiled closures only reach base data through the metered fetch
-    protocol (``FetchProviderLike``), never through storage classes whose
-    internals would let a closure bypass the accounting boundary.
+    ``src/repro/exec/codegen.py`` and ``src/repro/exec/delta_compiler.py``
+    may not import ``repro.storage``: compiled closures only reach base data
+    through the metered fetch protocol (``FetchProviderLike``) and late-bound
+    lookup resolvers, never through storage classes whose internals would let
+    a closure bypass the accounting boundary.
 
 ``kernel.storage-internals``
     No module outside ``src/repro/storage`` may access ``._tuples`` (the
@@ -51,7 +52,11 @@ from typing import Iterator
 
 OPERATORS_FILE = Path("src/repro/exec/operators.py")
 CODEGEN_FILE = Path("src/repro/exec/codegen.py")
-METERED_FETCH_FILES = frozenset({OPERATORS_FILE, CODEGEN_FILE})
+DELTA_COMPILER_FILE = Path("src/repro/exec/delta_compiler.py")
+METERED_FETCH_FILES = frozenset({OPERATORS_FILE, CODEGEN_FILE, DELTA_COMPILER_FILE})
+#: Modules that emit (or are) generated closures: they may only reach base
+#: data through the metered fetch protocol, never via storage classes.
+CODEGEN_FILES = frozenset({CODEGEN_FILE, DELTA_COMPILER_FILE})
 STORAGE_DIR = Path("src/repro/storage")
 
 DEPRECATED_NAMES = frozenset({"BoundedEngine", "MaintainedEngine"})
@@ -216,7 +221,7 @@ def lint_file(path: Path, root: Path) -> list[Violation]:
     violations: list[Violation] = []
     if relative in METERED_FETCH_FILES:
         violations += check_metered_fetches(relative, tree)
-    if relative == CODEGEN_FILE:
+    if relative in CODEGEN_FILES:
         violations += check_codegen_storage_imports(relative, tree)
     if STORAGE_DIR not in relative.parents:
         violations += check_storage_internals(relative, tree)
