@@ -19,6 +19,7 @@ from .diagnostics import (
     Diagnostic,
     FetchCertificate,
 )
+from .sharding import PlanShardSet
 
 
 @dataclass
@@ -51,6 +52,10 @@ class Explanation:
     codegen_warmup: int = 0
     compile_seconds: float | None = None
     codegen_reason: str = ""
+    # Static shard placement under sharded snapshot serving (``None`` when
+    # the service is unsharded): which partitions the plan's certificates
+    # prove it touches, hence how many shards the router prunes.
+    shard_set: PlanShardSet | None = None
 
     @property
     def bounded(self) -> bool:
@@ -87,6 +92,8 @@ class Explanation:
                 lines.append(detail)
             if self.fetch_bound is not None:
                 lines.append(f"  worst-case tuples fetched: {self.fetch_bound}")
+            if self.shard_set is not None and self.shard_set.shard_count > 1:
+                lines.append(f"  shard set: {self.shard_set.describe()}")
             for line in self.plan.pretty().splitlines():
                 lines.append(f"  {line}")
             for certificate in self.certificates:

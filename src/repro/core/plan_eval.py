@@ -95,13 +95,21 @@ class PlanExecutor:
         """Compile ``plan`` into a physical operator tree charging ``meter``.
 
         Exposed for tooling and tests; :meth:`execute` is compile-and-drain.
+        Providers exposing ``bound_to(meter)`` (snapshot readers) are bound
+        to the execution's meter first, so per-execution accounting beyond
+        the fetch protocol — shard touches — lands on the same meter.
         """
+        meter = meter if meter is not None else FetchStats()
+        provider = self.provider
+        bind = getattr(provider, "bound_to", None)
+        if bind is not None:
+            provider = bind(meter)
         return compile_plan(
             plan,
             self.access_schema,
-            self.provider,
+            provider,
             self.view_cache,
-            meter if meter is not None else FetchStats(),
+            meter,
         )
 
     def execute(self, plan: PlanNode) -> ExecutionResult:

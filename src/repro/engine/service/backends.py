@@ -134,10 +134,18 @@ class InMemoryBackend:
         reading the refreshed state afterwards.  Accounting is a fresh
         :class:`FetchStats` per call, exactly like :meth:`execute_plan`.
         """
+        # One read of the executor reference: refresh() swaps the whole
+        # executor atomically, and reading provider and view_cache through
+        # two separate self._executor reads could pair a pre-refresh provider
+        # with a post-refresh view cache (a torn runtime under concurrent
+        # writes).
+        executor = self._executor
         stats = FetchStats()
-        rows = compiled.execute(
-            self._executor.provider, self._executor.view_cache, stats, params
-        )
+        provider = executor.provider
+        bind = getattr(provider, "bound_to", None)
+        if bind is not None:
+            provider = bind(stats)
+        rows = compiled.execute(provider, executor.view_cache, stats, params)
         return ExecutionResult(attributes=compiled.attributes, rows=rows, stats=stats)
 
     def execute_baseline(self, query: QueryLike) -> BaselineResult:

@@ -25,7 +25,6 @@ from __future__ import annotations
 
 import threading
 import time
-from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
 from types import MappingProxyType
 from typing import Collection, Iterable, Mapping, Sequence
@@ -46,12 +45,18 @@ from ...analysis import (
     lint_query,
     verify_plan,
 )
+from ...analysis.sharding import PlanShardSet
 from ...core.access import AccessSchema
 from ...core.bounded_evaluability import bounded_evaluability_report
 from ...core.conformance import conforms_to
 from ...core.element_queries import ElementQueryBudget
-from ...core.plan_eval import FetchProvider, bind_plan, plan_parameters
-from ...core.plans import FetchNode, PlanNode, ViewScan
+from ...core.plan_eval import (
+    ExecutionResult,
+    FetchProvider,
+    bind_plan,
+    plan_parameters,
+)
+from ...core.plans import FetchNode, PlanNode, UnionNode, ViewScan
 from ...errors import (
     EvaluationError,
     PlanError,
@@ -63,6 +68,7 @@ from ...exec.codegen import compile_plan_closure
 from ...storage.deltas import DeltaStream
 from ...storage.indexes import IndexSet
 from ...storage.instance import Database
+from ...storage.snapshots import ShardingLayout, SnapshotManager
 from ...storage.updates import Update, UpdateBatch
 from .backends import ExecutionBackend, InMemoryBackend, SQLiteBackend, make_backend
 from .cache import CachedPlan, LRUPlanCache, canonical_query_key
@@ -80,6 +86,7 @@ from .planners import (
     planner_signature,
     resolve_planners,
 )
+from .sharding import ShardExecutor, ShardRouter
 from .stats import ServiceStats
 
 QueryInput = str | ConjunctiveQuery | UnionQuery | FOQuery
@@ -112,6 +119,13 @@ class Answer:
     #: tiers are bit-identical in rows *and* in ``Dξ`` accounting; the tier
     #: only changes how fast the answer arrived.
     execution_tier: str = "interpreted"
+    #: Sharded snapshot serving: the ids of the partitions the execution's
+    #: index lookups actually probed (empty for unsharded services,
+    #: fallback answers and reference-tier-only plans) and the service's
+    #: shard count — ``shards_total - len(shards_touched)`` partitions were
+    #: pruned for this answer.
+    shards_touched: tuple[int, ...] = ()
+    shards_total: int = 0
 
     def __len__(self) -> int:
         return len(self.rows)
@@ -249,6 +263,24 @@ class QueryService:
         How many interpreted executions a cached plan must see before it is
         compiled.  ``0`` compiles on first execution; the default leaves
         one-shot queries on the (compile-free) interpreted tier.
+    shards:
+        Snapshot-isolated serving with hash sharding.  Any integer ``>= 1``
+        pins every read to an immutable MVCC snapshot of the database
+        (:mod:`repro.storage.snapshots`): writers build the next version
+        copy-on-write and publish it atomically, so concurrent readers never
+        observe a half-applied transaction.  With ``shards > 1`` the
+        access-constraint indexes are additionally hash-partitioned on their
+        key columns; the router prunes partitions statically from the plan's
+        boundedness certificates, and ``explain()``/:attr:`Answer
+        .shards_touched` report the pruning.  ``None`` disables snapshot
+        serving entirely — reads go straight to the live indices (the
+        pre-snapshot behaviour).
+    retain_plans_on_write:
+        Keep plan-cache entries (including compiled closures, which late-bind
+        the data) across writes instead of the default dependency-tracked
+        eviction.  Plans are data-independent, so retained entries stay
+        correct; the flag exists for write-heavy serving where re-planning
+        after every transaction dominates latency.
     """
 
     def __init__(
@@ -266,6 +298,8 @@ class QueryService:
         verify_plans: bool = False,
         codegen: bool = True,
         codegen_warmup: int = 2,
+        shards: int | None = 1,
+        retain_plans_on_write: bool = False,
     ) -> None:
         self.database = database
         self.access_schema = access_schema
@@ -289,6 +323,22 @@ class QueryService:
             )
         self._indexes: FetchProvider = IndexSet(database, access_schema)
         self._known_relations = frozenset(r.name for r in database.schema)
+        # Snapshot-isolated serving (the default): reads are served from
+        # immutable snapshot versions advanced by Database.apply, not from
+        # the live indices.  self._indexes stays alive regardless — it is
+        # the write path's admissibility surface.
+        self.retain_plans_on_write = retain_plans_on_write
+        self._snapshots: SnapshotManager | None = None
+        self._router: ShardRouter | None = None
+        if shards is not None:
+            layout = ShardingLayout.derive(database.schema, access_schema, shards)
+            self._snapshots = database.enable_snapshots(layout, access_schema)
+            self._router = ShardRouter(access_schema, layout)
+        # The persistent query_many worker pool: created lazily on the first
+        # parallel batch, reused for the service's lifetime, released by
+        # close().
+        self._pool_lock = threading.Lock()
+        self._shard_executor: ShardExecutor | None = None
         # The write path rides the same tier switch: compiled maintenance
         # kernels after the same warmup, gated by the delta-program verifier.
         self.maintainer = ViewMaintainer(
@@ -385,6 +435,42 @@ class QueryService:
         """Total number of cached view tuples (|V(D)|)."""
         return sum(len(rows) for rows in self._view_cache.values())
 
+    @property
+    def shard_count(self) -> int:
+        """Partitions under sharded snapshot serving (``0`` when disabled)."""
+        return self._router.shard_count if self._router is not None else 0
+
+    def _serving_provider(self) -> FetchProvider:
+        """The fetch provider reads execute against: the current snapshot
+        under snapshot serving, the live indices otherwise."""
+        snapshots = self._snapshots
+        if snapshots is not None:
+            return snapshots.reader()
+        return self._indexes
+
+    def _sync_serving(self) -> None:
+        """Catch out-of-band mutations before serving from a snapshot.
+
+        Writes through :meth:`Database.apply` advance the snapshot inside the
+        transaction; direct ``Relation.insert``/``delete`` calls bypass the
+        delta stream, so the snapshot manager compares per-relation mutation
+        counters and rebuilds the drifted relations here.  The check is two
+        integer loads per relation on the (overwhelmingly common) clean path.
+        """
+        snapshots = self._snapshots
+        if snapshots is not None and snapshots.stale():
+            snapshots.refresh()
+            self._refresh_memory_backends()
+
+    def _refresh_memory_backends(self) -> None:
+        """Point every in-memory backend at the current serving state."""
+        with self._backend_lock:
+            backends = list(self._backends.values())
+        provider = self._serving_provider()
+        for backend in backends:
+            if isinstance(backend, InMemoryBackend):
+                backend.refresh(provider=provider, view_cache=self._view_cache)
+
     def _backend(self, name: str | None) -> ExecutionBackend:
         name = name or self.default_backend
         if name == self.default_backend and self._default_backend_obj is not None:
@@ -400,7 +486,7 @@ class QueryService:
                     self.database,
                     self.access_schema,
                     self.views,
-                    self._indexes,
+                    self._serving_provider(),
                     self._view_cache,
                 )
                 self._backends[name] = backend
@@ -423,7 +509,14 @@ class QueryService:
         :meth:`repro.storage.instance.Database.apply` transaction) never take
         this path: they use dependency-tracked invalidation, evicting exactly
         the cached plans that read a changed relation or view.
+
+        Handing in an explicit ``provider`` turns snapshot serving off: the
+        caller is taking over where reads come from, and pinning snapshots of
+        a provider the service does not understand is impossible.
         """
+        if provider is not None:
+            self._snapshots = None
+            self._router = None
         if view_cache is not None:
             self.plan_cache.clear()
         # Ordering invariant vs. lazy backend creation: the new state is
@@ -443,9 +536,10 @@ class QueryService:
             }
         with self._backend_lock:
             backends = list(self._backends.values())
+        serving = self._serving_provider()
         for backend in backends:
             if isinstance(backend, InMemoryBackend):
-                backend.refresh(provider=self._indexes, view_cache=self._view_cache)
+                backend.refresh(provider=serving, view_cache=self._view_cache)
             elif isinstance(backend, SQLiteBackend):
                 backend.invalidate(view_cache=self._view_cache)
 
@@ -506,18 +600,30 @@ class QueryService:
         stats = MaintenanceStats()
         deltas = self.maintainer.apply_stream(stream, stats)
         self.stats.record_maintenance(stats)
-        touched = set(stream.touched)
-        touched.update(delta.view for delta in deltas)
-        self.plan_cache.invalidate(touched)
+        if not self.retain_plans_on_write:
+            touched = set(stream.touched)
+            touched.update(delta.view for delta in deltas)
+            self.plan_cache.invalidate(touched)
+        # else: plans (and compiled closures) are data-independent — they
+        # late-bind the provider and view cache per execution, so retained
+        # entries keep answering correctly against the refreshed state.
         if deltas:
             self._view_cache = self.maintainer.snapshot()
+        snapshots = self._snapshots
         with self._backend_lock:
             backends = list(self._backends.values())
         for backend in backends:
             if isinstance(backend, InMemoryBackend):
-                # The fetch provider reads live storage; only changed view
-                # rows require a new executor snapshot.
-                if deltas:
+                if snapshots is not None:
+                    # Database.apply advanced the snapshot manager before
+                    # notifying observers, so reader() is already the
+                    # post-transaction version: hand it to the backend.
+                    backend.refresh(
+                        provider=snapshots.reader(), view_cache=self._view_cache
+                    )
+                elif deltas:
+                    # Live-provider serving reads storage directly; only
+                    # changed view rows require a new executor snapshot.
                     backend.refresh(provider=self._indexes, view_cache=self._view_cache)
             elif isinstance(backend, SQLiteBackend):
                 backend.apply_delta(stream, deltas)
@@ -817,6 +923,9 @@ class QueryService:
                 entry.compiled.compile_seconds if entry.compiled is not None else None
             ),
             codegen_reason=entry.codegen_reason,
+            shard_set=(
+                self._router.route(entry.plan) if self._router is not None else None
+            ),
         )
 
     def _counterexample(self, resolved: Query) -> BoundednessCounterexample | None:
@@ -947,6 +1056,16 @@ class QueryService:
         the returned list.  The plan cache and the statistics are
         thread-safe; the SQLite backend serialises statement execution behind
         a lock.
+
+        The thread pool is persistent: created lazily on the first parallel
+        batch and reused for the service's lifetime (grown, never shrunk,
+        when a later call asks for more workers), so bursts of small batches
+        do not pay thread spawn/teardown per call.  :meth:`close` releases
+        it.  On a sharded service each query is additionally planned and
+        routed up front: single-shard-routable queries with the same shard
+        affinity run serially inside one worker task (their probes hit the
+        same partition's hot buckets back-to-back), everything else gets an
+        individual task.
         """
         items = list(queries)
         if not items:
@@ -960,8 +1079,96 @@ class QueryService:
 
         if workers == 1:
             return [run(item) for item in items]
-        with ThreadPoolExecutor(max_workers=workers) as pool:
-            return list(pool.map(run, items))
+        pool = self._worker_pool(workers)
+        router = self._router
+        if router is None or router.shard_count <= 1:
+            return pool.map_with_affinity(
+                [lambda item=item: run(item) for item in items],
+                [None] * len(items),
+            )
+        # Sharded dispatch.  Planning happens here on the caller thread —
+        # once per item, against the shared plan cache, with the exact
+        # validation query() performs — so routing can group work before
+        # anything is submitted and cache statistics match the serial path.
+        tasks: list = []
+        affinities: list[int | None] = []
+        for item in items:
+            started = time.perf_counter()
+            resolved = self._resolve(item)
+            declared = _query_parameter_names(resolved)
+            if declared:
+                _validate_bindings(
+                    declared,
+                    {},
+                    "query (pass params= or use prepare() for repeated execution)",
+                )
+            entry, hit = self.plan(resolved, planners=planners, use_cache=use_cache)
+            affinities.append(
+                router.affinity(entry.plan) if entry.plan is not None else None
+            )
+
+            def task(
+                resolved: Query = resolved,
+                entry: CachedPlan = entry,
+                hit: bool = hit,
+                started: float = started,
+            ) -> Answer:
+                return self._execute(
+                    resolved,
+                    None,
+                    entry,
+                    cache_hit=hit,
+                    backend_name=backend,
+                    started=started,
+                    params=None,
+                )
+
+            tasks.append(task)
+        return pool.map_with_affinity(tasks, affinities)
+
+    def _worker_pool(self, workers: int) -> ShardExecutor:
+        """The persistent batch-serving pool, grown on demand."""
+        with self._pool_lock:
+            pool = self._shard_executor
+            if pool is None:
+                pool = ShardExecutor(workers)
+                self._shard_executor = pool
+            elif pool.max_workers < workers:
+                old = pool
+                pool = ShardExecutor(workers)
+                self._shard_executor = pool
+                # Retire the smaller pool once its in-flight tasks drain;
+                # growth is rare (a caller raising max_workers mid-life).
+                old.shutdown()
+            return pool
+
+    def close(self) -> None:
+        """Release serving resources; the service stays usable afterwards.
+
+        Shuts the persistent ``query_many`` pool down (it is recreated
+        lazily if another batch arrives), closes backends that hold
+        resources (the SQLite connection) and unsubscribes from the
+        database's delta stream — after ``close()`` the service no longer
+        maintains its views on foreign writes, so treat it as retired.
+        Usable as a context manager: ``with QueryService(...) as service:``.
+        """
+        with self._pool_lock:
+            pool, self._shard_executor = self._shard_executor, None
+        if pool is not None:
+            pool.shutdown()
+        with self._backend_lock:
+            backends = list(self._backends.values())
+        for backend in backends:
+            closer = getattr(backend, "close", None)
+            if callable(closer):
+                closer()
+        self.database.unsubscribe(self)
+
+    def __enter__(self) -> "QueryService":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
 
     # ------------------------------------------------------------------ #
     # Direct execution (hand-built plans, baseline comparisons)
@@ -986,7 +1193,8 @@ class QueryService:
         unbound = plan_parameters(plan)
         if unbound:
             raise QueryError(f"plan has unbound parameters {sorted(unbound)}")
-        return self._backend(backend).execute_plan(plan)
+        self._sync_serving()
+        return self._execute_union_fanout(self._backend(backend), plan)
 
     def baseline(self, query: QueryInput, *, backend: str | None = None):
         """Answer a CQ/UCQ by full scan, bypassing planning entirely.
@@ -1009,6 +1217,44 @@ class QueryService:
 
     # ------------------------------------------------------------------ #
 
+    def _execute_union_fanout(
+        self, backend: ExecutionBackend, plan: PlanNode
+    ) -> ExecutionResult:
+        """Execute a plan, fanning a top-level union out per disjunct.
+
+        On a sharded in-memory service a UCQ plan's disjuncts typically land
+        on different partitions; executing them as separate units and
+        unioning the partial results is the fan-out the router reports.  The
+        merge is bit-identical to whole-plan execution: union disjuncts
+        share no operator instances (per-fetch dedup state is per instance
+        either way), union requires identical attribute tuples on both
+        sides, and the per-disjunct meters are folded with ``merged_with``
+        in disjunct order.
+        """
+        if (
+            self._router is None
+            or self._router.shard_count <= 1
+            or not isinstance(plan, UnionNode)
+            or not isinstance(backend, InMemoryBackend)
+        ):
+            return backend.execute_plan(plan)
+        disjuncts: list[PlanNode] = []
+        pending: list[PlanNode] = [plan]
+        while pending:
+            node = pending.pop()
+            if isinstance(node, UnionNode):
+                pending.extend((node.right, node.left))
+            else:
+                disjuncts.append(node)
+        rows: frozenset[tuple] = frozenset()
+        stats = None
+        for disjunct in disjuncts:
+            partial = backend.execute_plan(disjunct)
+            rows |= partial.rows
+            stats = partial.stats if stats is None else stats.merged_with(partial.stats)
+        assert stats is not None
+        return ExecutionResult(attributes=plan.attributes, rows=rows, stats=stats)
+
     def _execute(
         self,
         resolved: Query,
@@ -1020,6 +1266,7 @@ class QueryService:
         started: float,
         params: dict[str, object] | None,
     ) -> Answer:
+        self._sync_serving()
         backend = self._backend(backend_name)
         if entry.found:
             plan = entry.plan
@@ -1057,7 +1304,7 @@ class QueryService:
                 tier = "compiled"
             else:
                 bound = bind_plan(plan, params) if params else plan
-                result = backend.execute_plan(bound)
+                result = self._execute_union_fanout(backend, bound)
                 plan = bound  # the bound plan that actually executed
                 tier = "interpreted"
             answer = Answer(
@@ -1073,6 +1320,8 @@ class QueryService:
                 elapsed_seconds=time.perf_counter() - started,
                 reason=entry.reason or f"bounded plan produced by planner {entry.planner!r}",
                 execution_tier=tier,
+                shards_touched=tuple(sorted(result.stats.shards_touched)),
+                shards_total=self.shard_count,
             )
         else:
             bound = _bind_query(resolved, params) if params else resolved

@@ -31,6 +31,10 @@ class StatsSnapshot:
     planner_uses: dict[str, int]
     backend_uses: dict[str, int]
     tier_uses: dict[str, int]
+    single_shard_queries: int
+    fanout_queries: int
+    shards_touched: int
+    shards_pruned: int
     cache_hit_rate: float
     bounded_rate: float
     latency_p50: float
@@ -68,6 +72,14 @@ class ServiceStats:
         self.planner_uses: dict[str, int] = {}
         self.backend_uses: dict[str, int] = {}
         self.tier_uses: dict[str, int] = {}
+        # Sharded serving: how many answers touched exactly one partition
+        # versus several, and the partition totals behind those answers.
+        # Only answers that touched at least one partitioned index count —
+        # reference-tier-only queries are shard-neutral.
+        self.single_shard_queries = 0
+        self.fanout_queries = 0
+        self.shards_touched = 0
+        self.shards_pruned = 0
         self._recent: deque[float] = deque(maxlen=max_latencies)
 
     # ------------------------------------------------------------------ #
@@ -91,6 +103,15 @@ class ServiceStats:
             self.backend_uses[answer.backend] = self.backend_uses.get(answer.backend, 0) + 1
             tier = answer.execution_tier
             self.tier_uses[tier] = self.tier_uses.get(tier, 0) + 1
+            touched = len(getattr(answer, "shards_touched", ()) or ())
+            total = getattr(answer, "shards_total", 0)
+            if touched:
+                if touched == 1:
+                    self.single_shard_queries += 1
+                else:
+                    self.fanout_queries += 1
+                self.shards_touched += touched
+                self.shards_pruned += max(0, total - touched)
             self.tuples_fetched += answer.tuples_fetched
             self.tuples_scanned += answer.tuples_scanned
             self.view_tuples_scanned += answer.view_tuples_scanned
@@ -146,6 +167,10 @@ class ServiceStats:
                 planner_uses=dict(self.planner_uses),
                 backend_uses=dict(self.backend_uses),
                 tier_uses=dict(self.tier_uses),
+                single_shard_queries=self.single_shard_queries,
+                fanout_queries=self.fanout_queries,
+                shards_touched=self.shards_touched,
+                shards_pruned=self.shards_pruned,
                 cache_hit_rate=self.cache_hits / total_cache if total_cache else 0.0,
                 bounded_rate=self.bounded_answers / queries if queries else 0.0,
                 latency_p50=self._percentile(latencies, 0.50),
@@ -177,4 +202,8 @@ class ServiceStats:
             self.planner_uses = {}
             self.backend_uses = {}
             self.tier_uses = {}
+            self.single_shard_queries = 0
+            self.fanout_queries = 0
+            self.shards_touched = 0
+            self.shards_pruned = 0
             self._recent = deque(maxlen=self._max_latencies)

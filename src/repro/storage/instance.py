@@ -135,6 +135,10 @@ class Relation:
         # refresh after a delta instead of O(|relation|).
         self._value_counts: list[dict[object, int]] | None = None
         self._observers: list[weakref.ref] = []
+        # Monotone mutation counter: snapshot managers compare it against the
+        # value recorded at their last build to detect out-of-band mutations
+        # (direct add/discard outside a Database.apply transaction).
+        self._mutations = 0
         # Serialises lazy index/statistics builds: concurrent *read-only*
         # queries (query_many's thread pool) may race to build the same
         # cache.  Mutations remain single-writer, as before.
@@ -243,7 +247,13 @@ class Relation:
         """
         self._observers.append(weakref.ref(observer))
 
+    @property
+    def mutation_count(self) -> int:
+        """How many single-tuple mutations this relation has seen."""
+        return self._mutations
+
     def _after_insert(self, row: tuple) -> None:
+        self._mutations += 1
         self._frozen = None
         self._statistics = None
         counts = self._value_counts
@@ -256,6 +266,7 @@ class Relation:
         self._notify("on_insert", row)
 
     def _after_delete(self, row: tuple) -> None:
+        self._mutations += 1
         self._frozen = None
         self._statistics = None
         counts = self._value_counts
@@ -330,6 +341,14 @@ class Database:
         # Transaction-level delta observers (weakly held, like the per-row
         # relation observers): each committed apply() notifies them once.
         self._delta_observers: list[weakref.ref] = []
+        # MVCC support: apply() is single-writer (the lock), the _applying
+        # flag marks the mid-batch window (snapshot staleness checks are
+        # suppressed while it is set), and registered snapshot managers are
+        # advanced — new version built and published — before delta
+        # observers run, so observers can pin the post-batch snapshot.
+        self._write_lock = threading.RLock()
+        self._applying = False
+        self._snapshot_managers: list[weakref.ref] = []
         if facts:
             for name, rows in facts.items():
                 self.add_many(name, rows)
@@ -398,27 +417,66 @@ class Database:
         exactly once.
         """
         stream = DeltaStream()
-        try:
-            for update in updates:
-                relation = self._relation(update.relation)
-                row = tuple(update.row)
-                if admit is not None and not admit(update):
-                    stream.skipped_inadmissible += 1
-                    continue
-                if update.is_insertion:
-                    if row not in relation:
-                        relation.add(row)
-                        stream.record_insert(update.relation, row)
-                else:
-                    if relation.discard(row):
-                        stream.record_delete(update.relation, row)
-        finally:
-            # An exception mid-batch (bad arity, unknown relation) leaves the
-            # earlier updates applied — observers must still see that partial
-            # stream, or views and caches silently go stale.
-            if not stream.is_empty:
-                self._notify_delta(stream)
+        with self._write_lock:
+            self._applying = True
+            try:
+                for update in updates:
+                    relation = self._relation(update.relation)
+                    row = tuple(update.row)
+                    if admit is not None and not admit(update):
+                        stream.skipped_inadmissible += 1
+                        continue
+                    if update.is_insertion:
+                        if row not in relation:
+                            relation.add(row)
+                            stream.record_insert(update.relation, row)
+                    else:
+                        if relation.discard(row):
+                            stream.record_delete(update.relation, row)
+            finally:
+                # An exception mid-batch (bad arity, unknown relation) leaves
+                # the earlier updates applied — observers must still see that
+                # partial stream, or views and caches silently go stale.
+                # Snapshots advance first (while _applying still suppresses
+                # staleness rebuilds), then the flag drops, then observers run
+                # — they can pin the already-published post-batch snapshot.
+                try:
+                    if not stream.is_empty:
+                        self._advance_snapshots(stream)
+                finally:
+                    self._applying = False
+                if not stream.is_empty:
+                    self._notify_delta(stream)
         return stream
+
+    def _advance_snapshots(self, stream: DeltaStream) -> None:
+        if not self._snapshot_managers:
+            return
+        alive: list[weakref.ref] = []
+        for reference in self._snapshot_managers:
+            manager = reference()
+            if manager is None:
+                continue
+            manager.advance(stream)
+            alive.append(reference)
+        if len(alive) != len(self._snapshot_managers):
+            self._snapshot_managers = alive
+
+    def enable_snapshots(self, layout, access_schema: AccessSchema):
+        """Register (and return) an MVCC snapshot manager for this database.
+
+        ``layout`` is a :class:`~repro.storage.snapshots.ShardingLayout`;
+        the manager immediately builds and publishes version 0 from the
+        current data and is advanced by every committed :meth:`apply`.
+        Managers are held weakly, mirroring the observer protocols: a
+        service that goes away stops paying the per-transaction advance.
+        """
+        from .snapshots import SnapshotManager
+
+        with self._write_lock:
+            manager = SnapshotManager(self, layout, access_schema)
+            self._snapshot_managers.append(weakref.ref(manager))
+        return manager
 
     def _notify_delta(self, stream: DeltaStream) -> None:
         if not self._delta_observers:

@@ -203,3 +203,44 @@ def test_cli_exits_one_and_reports_violations(tmp_path, capsys):
     out = capsys.readouterr().out
     assert "kernel.deprecated-import" in out
     assert "1 kernel-discipline violation(s)" in out
+
+
+@pytest.mark.parametrize(
+    "source",
+    [
+        "from repro.storage.instance import Database\n",
+        "from repro.storage.indexes import IndexSet\n",
+        "import repro.storage.instance\n",
+        "from ...storage.instance import Relation\n",
+        "from ...storage import indexes\n",
+    ],
+)
+def test_shard_worker_storage_imports_are_flagged(tmp_path, source):
+    _write(tmp_path, "src/repro/engine/service/sharding.py", source)
+    violations = lint_kernel.lint_tree(tmp_path)
+    assert [v.code for v in violations] == ["kernel.shard-storage-import"]
+    assert "pinned immutable snapshots" in violations[0].message
+
+
+def test_shard_worker_snapshot_imports_are_allowed(tmp_path):
+    _write(
+        tmp_path,
+        "src/repro/engine/service/sharding.py",
+        """
+        from repro.storage.snapshots import DatabaseSnapshot
+        from ...storage.snapshots import SnapshotManager
+        """,
+    )
+    assert lint_kernel.lint_tree(tmp_path) == []
+
+
+def test_analysis_sharding_may_not_import_storage_at_all(tmp_path):
+    _write(
+        tmp_path,
+        "src/repro/analysis/sharding.py",
+        "from ..storage.snapshots import ShardingLayout\n",
+    )
+    violations = lint_kernel.lint_tree(tmp_path)
+    assert [v.code for v in violations] == ["kernel.shard-storage-import"]
+    assert "nothing from repro.storage" in violations[0].message
+    assert violations[0].path == Path("src/repro/analysis/sharding.py")

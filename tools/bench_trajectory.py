@@ -18,6 +18,14 @@ moves it visibly in the diff:
     Update throughput of ``QueryService.apply`` over mixed insert/delete
     batches, with a full view-consistency audit afterwards.
 
+``BENCH_concurrency.json``
+    Snapshot-isolated sharded serving (``shards=4``,
+    ``retain_plans_on_write=True``) vs. the single-database baseline on a
+    mixed read/write workload: the invariants pin rows, ``Dξ``, Q0's
+    routed shard set and the shard-pruning statistics; the timings record
+    ``query_many`` throughput under interleaved writes for both services
+    and their speedup.
+
 Two modes::
 
     python tools/bench_trajectory.py            # measure, write the JSONs
@@ -55,7 +63,11 @@ if str(SRC) not in sys.path:
 
 from repro.algebra.evaluation import evaluate_ucq  # noqa: E402
 from repro.engine.service import QueryService  # noqa: E402
-from repro.storage.updates import random_update_batch  # noqa: E402
+from repro.storage.updates import (  # noqa: E402
+    Insertion,
+    UpdateBatch,
+    random_update_batch,
+)
 from repro.workloads import graph_search as gs  # noqa: E402
 
 #: Committed-vs-measured throughput may differ by machine; only a collapse
@@ -70,6 +82,7 @@ FILES = {
     "graph_search": ROOT / "BENCH_graph_search.json",
     "service": ROOT / "BENCH_service.json",
     "updates": ROOT / "BENCH_updates.json",
+    "concurrency": ROOT / "BENCH_concurrency.json",
 }
 
 INSTANCE = {"num_persons": 1000, "num_movies": 500, "seed": 11}
@@ -208,10 +221,84 @@ def measure_updates() -> dict:
     }
 
 
+def measure_concurrency() -> dict:
+    instance = gs.generate(**INSTANCE)
+    mix = _query_mix()
+    rounds = 5
+
+    # Deterministic phase: the sharded service must agree with the baseline
+    # bit for bit, and Q0 must route to exactly one of the four partitions.
+    baseline = _service(instance, shards=None, codegen=True, codegen_warmup=0)
+    sharded = QueryService(
+        instance.database.copy(),
+        gs.access_schema(n0=instance.n0),
+        gs.views(),
+        shards=4,
+        retain_plans_on_write=True,
+        codegen=True,
+        codegen_warmup=0,
+    )
+    expected = [baseline.query(q) for q in mix]
+    answers = [sharded.query(q) for q in mix]
+    if [a.rows for a in answers] != [a.rows for a in expected]:
+        raise AssertionError("sharded service disagrees with baseline on rows")
+    if [a.tuples_fetched for a in answers] != [a.tuples_fetched for a in expected]:
+        raise AssertionError("sharded service disagrees with baseline on Dξ")
+    q0_explained = sharded.explain(gs.query_q0())
+    q0_answer = sharded.query(gs.query_q0())
+    stats = sharded.stats.snapshot()
+
+    # Timing phase: interleaved write batches and query_many bursts.  The
+    # writes are state-neutral per round (a batch and its inverse).
+    updates = []
+    for i in range(6):
+        updates.append(Insertion("movie", (f"m_cc_{i}", f"cc{i}", "Universal", "2014")))
+        updates.append(Insertion("rating", (f"m_cc_{i}", 5)))
+    batch = UpdateBatch(updates)
+    inverse = batch.inverted()
+
+    def throughput(service: QueryService) -> float:
+        service.apply(batch)  # warm the delta kernels
+        service.apply(inverse)
+        service.query_many(mix, max_workers=4)
+        start = time.perf_counter()
+        for _ in range(rounds):
+            service.apply(batch)
+            service.query_many(mix, max_workers=4)
+            service.apply(inverse)
+            service.query_many(mix, max_workers=4)
+        elapsed = time.perf_counter() - start
+        return 2 * len(mix) * rounds / elapsed
+
+    sharded_qps = throughput(sharded)
+    baseline_qps = throughput(baseline)
+    return {
+        "workload": "concurrent_sharded_serving",
+        "instance": INSTANCE,
+        "invariants": {
+            "queries_per_round": 2 * len(mix),
+            "rows_total_per_mix": sum(len(a.rows) for a in answers),
+            "tuples_fetched_per_mix": sum(a.tuples_fetched for a in answers),
+            "q0_single_shard_routable": q0_explained.shard_set.single_shard,
+            "q0_shards_touched": list(q0_answer.shards_touched),
+            "shards_total": q0_answer.shards_total,
+            "single_shard_queries": stats.single_shard_queries,
+            "fanout_queries": stats.fanout_queries,
+            "shards_pruned": stats.shards_pruned,
+        },
+        "timings": {
+            "sharded_queries_per_sec": round(sharded_qps, 1),
+            "baseline_queries_per_sec": round(baseline_qps, 1),
+            "speedup": round(sharded_qps / baseline_qps, 2),
+        },
+    }
+
+
 MEASURES: dict[str, Callable[[], dict]] = {
     "graph_search": measure_graph_search,
     "service": measure_service,
     "updates": measure_updates,
+    "concurrency": measure_concurrency,
 }
 
 
@@ -234,7 +321,11 @@ def _check_one(name: str, committed: dict, measured: dict) -> list[str]:
                 f"{committed_speedup}x)"
             )
     else:
-        key = "queries_per_sec" if name == "service" else "updates_per_sec"
+        key = {
+            "service": "queries_per_sec",
+            "updates": "updates_per_sec",
+            "concurrency": "sharded_queries_per_sec",
+        }[name]
         committed_rate = committed.get("timings", {}).get(key, 0.0)
         measured_rate = measured["timings"][key]
         if measured_rate < committed_rate * TIMING_TOLERANCE:

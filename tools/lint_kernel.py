@@ -29,6 +29,16 @@ inspection (no imports of the checked code, so it runs on any tree):
     raw backing set of :class:`~repro.storage.instance.Relation`); mutating
     it directly would bypass the relation's observer/statistics protocol.
 
+``kernel.shard-storage-import``
+    The sharded-serving modules read base data through pinned snapshots
+    only: ``src/repro/engine/service/sharding.py`` may import from
+    ``repro.storage`` nothing but ``repro.storage.snapshots`` (immutable
+    versions), and ``src/repro/analysis/sharding.py`` (the static shard-set
+    derivation) may not import ``repro.storage`` at all.  A shard worker
+    holding ``Relation``/``Database``/live-index handles could read torn
+    state mid-transaction or mutate shared storage without the observer
+    protocol noticing.
+
 ``kernel.deprecated-import``
     No module outside a small allowlist may import the deprecated
     ``BoundedEngine``/``MaintainedEngine`` shims (or their modules); new
@@ -58,6 +68,14 @@ METERED_FETCH_FILES = frozenset({OPERATORS_FILE, CODEGEN_FILE, DELTA_COMPILER_FI
 #: data through the metered fetch protocol, never via storage classes.
 CODEGEN_FILES = frozenset({CODEGEN_FILE, DELTA_COMPILER_FILE})
 STORAGE_DIR = Path("src/repro/storage")
+#: Shard workers read via pinned snapshots only: which repro.storage
+#: submodules each sharded-serving module may import (empty = none).
+SHARD_SERVING_FILES: dict[Path, frozenset[str]] = {
+    Path("src/repro/engine/service/sharding.py"): frozenset(
+        {"repro.storage.snapshots"}
+    ),
+    Path("src/repro/analysis/sharding.py"): frozenset(),
+}
 
 DEPRECATED_NAMES = frozenset({"BoundedEngine", "MaintainedEngine"})
 DEPRECATED_MODULES = frozenset(
@@ -168,6 +186,46 @@ def check_codegen_storage_imports(path: Path, tree: ast.Module) -> list[Violatio
     return violations
 
 
+def check_shard_storage_imports(
+    path: Path, tree: ast.Module, allowed: frozenset[str]
+) -> list[Violation]:
+    """Sharded serving reads base data through pinned snapshots only."""
+    parts = path.parts
+    package_parts: tuple[str, ...] = ()
+    if "src" in parts:
+        start = parts.index("src") + 1
+        package_parts = tuple(parts[start:-1])
+    violations: list[Violation] = []
+
+    def report(line: int, module: str) -> None:
+        permitted = ", ".join(sorted(allowed)) or "nothing from repro.storage"
+        violations.append(
+            Violation(
+                path,
+                line,
+                "kernel.shard-storage-import",
+                f"sharded-serving module imports {module!r}; shard workers "
+                "read through pinned immutable snapshots only (allowed: "
+                f"{permitted}) — live Relation/Database/index handles could "
+                "see torn state or mutate shared storage",
+            )
+        )
+
+    def is_storage(module: str) -> bool:
+        return module == "repro.storage" or module.startswith("repro.storage.")
+
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ImportFrom):
+            module = _imported_module(node, package_parts)
+            if is_storage(module) and module not in allowed:
+                report(node.lineno, module)
+        elif isinstance(node, ast.Import):
+            for alias in node.names:
+                if is_storage(alias.name) and alias.name not in allowed:
+                    report(node.lineno, alias.name)
+    return violations
+
+
 def _imported_module(node: ast.ImportFrom, package_parts: tuple[str, ...]) -> str:
     """Absolute dotted module an ``ImportFrom`` resolves to (best effort)."""
     module = node.module or ""
@@ -223,6 +281,10 @@ def lint_file(path: Path, root: Path) -> list[Violation]:
         violations += check_metered_fetches(relative, tree)
     if relative in CODEGEN_FILES:
         violations += check_codegen_storage_imports(relative, tree)
+    if relative in SHARD_SERVING_FILES:
+        violations += check_shard_storage_imports(
+            relative, tree, SHARD_SERVING_FILES[relative]
+        )
     if STORAGE_DIR not in relative.parents:
         violations += check_storage_internals(relative, tree)
     if relative not in DEPRECATED_IMPORT_ALLOWLIST:
