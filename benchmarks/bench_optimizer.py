@@ -1,0 +1,171 @@
+"""E12 — cost-based optimizer v2: DP join ordering vs the greedy builder.
+
+The skewed social-feed workload (:mod:`repro.workloads.skewed`) is built so
+the greedy builder misorders the join: ordering fetches by *average* bucket
+size walks into probing ``contacted[user -> agent]`` once per follower of
+the hot celebrity, while the histogram-costed subset DP sees the hot key's
+skew and fetches ``contacted[agent -> user]`` from the one small team
+instead.  Both orders are conforming and answer identically — the cost gap
+is pure Dξ.
+
+Measured here:
+
+* **identity** — rows bit-identical between greedy and DP, on both
+  backends; every DP plan passes the static verifier;
+* **throughput** — warm serving with the cost-based planner (DP + adaptive
+  re-planning available) must be ≥ 2x faster end-to-end than the greedy
+  planner on this workload (the acceptance bar; ``BENCH_SMOKE=1`` records
+  the speedup without gating);
+* **warm restart** — a service restarted over the persistent plan store
+  reaches the compiled tier on its *first* execution.
+
+``extra_info`` records Dξ per planner, the chosen strategy, replan tallies
+and plan-store hits for ``tools/bench_trajectory.py``.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.engine.service import QueryService
+from repro.workloads import skewed
+
+#: Mean seconds per round, shared across tests for the speedup accounting.
+_TIMINGS: dict[str, float] = {}
+
+ROUNDS = 3
+QUERIES_PER_ROUND = 10
+
+
+@pytest.fixture(scope="module")
+def instance():
+    return skewed.generate()
+
+
+def _service(instance, planners, **kwargs) -> QueryService:
+    return QueryService(
+        instance.database,
+        skewed.access_schema(),
+        skewed.views(),
+        planners=planners,
+        **kwargs,
+    )
+
+
+# --------------------------------------------------------------------------- #
+# Differential guard: greedy == DP in rows, DP verified, DP cheaper
+# --------------------------------------------------------------------------- #
+
+
+def test_greedy_and_dp_answers_are_identical(instance):
+    from repro.analysis import verify_plan
+
+    query = skewed.query_feed()
+    greedy = _service(instance, ("heuristic", "topped"), codegen=False)
+    cost = _service(instance, ("cost", "topped"), codegen=False, verify_plans=True)
+    try:
+        for backend in ("memory", "sqlite"):
+            greedy_answer = greedy.query(query, backend=backend)
+            cost_answer = cost.query(query, backend=backend)
+            assert greedy_answer.rows == cost_answer.rows, backend
+            assert greedy_answer.used_bounded_plan and cost_answer.used_bounded_plan
+        explanation = cost.explain(query)
+        assert explanation.order_strategy == "dp"
+        report = verify_plan(
+            explanation.plan,
+            instance.database.schema,
+            views=skewed.views(),
+            access_schema=skewed.access_schema(),
+        )
+        assert report.ok, report.errors
+        # The whole point: the DP order fetches far less on skewed data.
+        greedy_dxi = greedy.query(query).tuples_fetched
+        cost_dxi = cost.query(query).tuples_fetched
+        assert cost_dxi * 2 <= greedy_dxi, (greedy_dxi, cost_dxi)
+    finally:
+        greedy.close()
+        cost.close()
+
+
+# --------------------------------------------------------------------------- #
+# Throughput: greedy baseline vs cost-based DP ordering
+# --------------------------------------------------------------------------- #
+
+
+def _run_rounds(service, query):
+    answers = [service.query(query) for _ in range(QUERIES_PER_ROUND)]
+    return answers
+
+
+def test_optimizer_greedy_baseline(benchmark, instance):
+    service = _service(instance, ("heuristic", "topped"))
+    query = skewed.query_feed()
+    service.query(query)  # plan + warm
+    benchmark.pedantic(lambda: _run_rounds(service, query), rounds=ROUNDS, iterations=1)
+    mean = benchmark.stats.stats.mean
+    _TIMINGS["greedy"] = mean
+    benchmark.extra_info["dxi_per_query"] = service.query(query).tuples_fetched
+    benchmark.extra_info["queries_per_sec"] = round(QUERIES_PER_ROUND / mean)
+    service.close()
+
+
+def test_optimizer_dp_ordering(benchmark, instance):
+    service = _service(instance, ("cost", "topped"))
+    query = skewed.query_feed()
+    service.query(query)  # plan + warm (adaptive re-planning armed)
+    benchmark.pedantic(lambda: _run_rounds(service, query), rounds=ROUNDS, iterations=1)
+    mean = benchmark.stats.stats.mean
+    _TIMINGS["dp"] = mean
+    snapshot = service.stats.snapshot()
+    benchmark.extra_info["dxi_per_query"] = service.query(query).tuples_fetched
+    benchmark.extra_info["queries_per_sec"] = round(QUERIES_PER_ROUND / mean)
+    benchmark.extra_info["order_strategy"] = service.explain(query).order_strategy
+    benchmark.extra_info["replans"] = snapshot.replans
+    greedy = _TIMINGS.get("greedy")
+    if greedy:
+        speedup = greedy / mean
+        benchmark.extra_info["dp_speedup"] = round(speedup, 1)
+        # The acceptance bar for optimizer v2 (locally ~3-5x: the DP order
+        # fetches a fraction of the greedy order's Dξ on this skew).  CI
+        # smoke runs (BENCH_SMOKE=1) record the speedup without gating.
+        if os.environ.get("BENCH_SMOKE") != "1":
+            assert speedup >= 2.0, (
+                f"cost-based ordering only {speedup:.1f}x faster than the "
+                "greedy builder on the skewed workload (acceptance bar 2.0x)"
+            )
+    service.close()
+
+
+# --------------------------------------------------------------------------- #
+# Warm restart through the persistent plan store
+# --------------------------------------------------------------------------- #
+
+
+def test_plan_store_warm_restart_first_execution_is_compiled(
+    benchmark, instance, tmp_path
+):
+    path = str(tmp_path / "plans.bin")
+    query = skewed.query_feed()
+    first = _service(instance, ("cost", "topped"), plan_store=path, codegen_warmup=1)
+    expected = first.query(query).rows
+    first.query(query)
+    assert first.query(query).execution_tier == "compiled"
+    first.close()
+
+    def restart_and_query():
+        service = _service(
+            instance, ("cost", "topped"), plan_store=path, codegen_warmup=1
+        )
+        answer = service.query(query)
+        service.close()
+        return answer
+
+    answer = benchmark.pedantic(restart_and_query, rounds=ROUNDS, iterations=1)
+    assert answer.rows == expected
+    assert answer.cache_hit
+    # The whole point of persistence: no re-planning, no re-warmup — the
+    # first post-restart execution already runs the compiled closure.
+    assert answer.execution_tier == "compiled"
+    benchmark.extra_info["restart_tier"] = answer.execution_tier

@@ -120,8 +120,10 @@ from .core import (
 from .engine import (
     Answer,
     BoundedEngine,
+    CostBasedPlanner,
     ExactVBRPPlanner,
     HeuristicPlanner,
+    PlanStore,
     MaintainedEngine,
     NaiveEngine,
     PreparedQuery,
@@ -140,6 +142,7 @@ from .errors import (
     DeltaCompilationError,
     EvaluationError,
     PlanError,
+    PlanStoreError,
     PlanVerificationError,
     QueryError,
     ReproError,
@@ -168,6 +171,7 @@ __all__ = [
     "BudgetExceededError",
     "ConjunctiveQuery",
     "Constant",
+    "CostBasedPlanner",
     "Database",
     "DatabaseSchema",
     "Deletion",
@@ -188,6 +192,8 @@ __all__ = [
     "NaiveEngine",
     "Param",
     "PlanError",
+    "PlanStore",
+    "PlanStoreError",
     "PlanVerificationError",
     "PreparedQuery",
     "QueryError",

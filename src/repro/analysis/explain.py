@@ -56,6 +56,21 @@ class Explanation:
     # the service is unsharded): which partitions the plan's certificates
     # prove it touches, hence how many shards the router prunes.
     shard_set: PlanShardSet | None = None
+    # Cost-model estimates of the cached plan (optimizer v2), as plain
+    # tuples so this module stays free of engine-layer imports.
+    # ``operator_estimates`` rows are ``(access, estimated Dξ, last actual
+    # Dξ or None)`` per fetch operator; ``join_orders`` rows are
+    # ``(description, model cost, chosen)`` — the chosen order first, then
+    # the best rejected completions.  ``replans`` counts how often adaptive
+    # re-planning replaced this entry; ``replan_reason`` is the latest
+    # trigger.
+    estimated_fetches: float | None = None
+    actual_fetches: int | None = None
+    operator_estimates: tuple[tuple[str, float, int | None], ...] = ()
+    order_strategy: str = ""
+    join_orders: tuple[tuple[str, float, bool], ...] = ()
+    replans: int = 0
+    replan_reason: str = ""
 
     @property
     def bounded(self) -> bool:
@@ -92,6 +107,23 @@ class Explanation:
                 lines.append(detail)
             if self.fetch_bound is not None:
                 lines.append(f"  worst-case tuples fetched: {self.fetch_bound}")
+            if self.replans:
+                lines.append(f"  replanned: {self.replan_reason} (x{self.replans})")
+            if self.estimated_fetches is not None:
+                summary = f"  estimated Dξ: {self.estimated_fetches:.1f}"
+                if self.actual_fetches is not None:
+                    summary += f" (last actual: {self.actual_fetches})"
+                lines.append(summary)
+                for access, estimated, actual in self.operator_estimates:
+                    detail = f"    {access}: est {estimated:.1f}"
+                    if actual is not None:
+                        detail += f", actual {actual}"
+                    lines.append(detail)
+            if self.order_strategy:
+                lines.append(f"  join order ({self.order_strategy}):")
+                for description, cost, chosen in self.join_orders:
+                    marker = "chosen" if chosen else "rejected"
+                    lines.append(f"    [{marker}] {description}  cost {cost:.1f}")
             if self.shard_set is not None and self.shard_set.shard_count > 1:
                 lines.append(f"  shard set: {self.shard_set.describe()}")
             for line in self.plan.pretty().splitlines():

@@ -14,6 +14,22 @@ developed along the same lines as the bounded plan generation algorithm of
    fetches;
 3. the resulting plan is validated with the exact conformance checker, so
    every plan returned is sound — the builder is simply not complete.
+
+Since optimizer v2, a second constructive builder lives here as well:
+:func:`build_bounded_plan_cost` replaces the greedy fetch order with a
+Selinger-style subset dynamic program over (atom, access-constraint) steps,
+costed with the per-column equi-depth histograms of
+:mod:`repro.storage.histograms` — the greedy orderer ranks access paths by
+the whole-column *average* bucket, which a single hot key can be off from by
+orders of magnitude.  The DP explores bushy orders up to ``max_dp_atoms``
+atoms and falls back to the greedy loop above that (or whenever the winning
+abstract order fails materialisation); the winning order is materialised
+through the *same* ``_atom_fetch`` / ``join_on_shared_attributes`` machinery
+as the greedy builder, so DP-emitted plans have the exact fragment shape the
+PR 6 verifier certifies.  :func:`estimate_plan_fetches` is the shared
+cardinality model: it walks any constructed plan and predicts its Dξ, which
+the service records against the IOMeter's actuals to drive adaptive
+re-planning.
 """
 
 from __future__ import annotations
@@ -36,8 +52,10 @@ from ..core.plans import (
     AttributeEqualsAttribute,
     AttributeEqualsConstant,
     ConstantScan,
+    DifferenceNode,
     FetchNode,
     PlanNode,
+    ProductNode,
     ProjectNode,
     RenameNode,
     SelectNode,
@@ -66,6 +84,52 @@ class _Fragment:
     covers: frozenset[int] = frozenset()
 
 
+@dataclass(frozen=True)
+class OrderCandidate:
+    """One join order the cost-based orderer considered, with its model cost."""
+
+    description: str
+    cost: float
+    chosen: bool = False
+
+
+@dataclass(frozen=True)
+class JoinOrderReport:
+    """Why the cost-based builder picked the order it picked.
+
+    ``strategy`` is ``"dp"`` when the subset DP chose the order, or a
+    ``"greedy-fallback: <why>"`` string when the builder fell back to the
+    greedy loop.  ``considered`` lists the chosen order first, then the best
+    rejected completions (including the simulated greedy order, for
+    comparison), each with its abstract cost (expected probe calls + tuples
+    fetched).  Plain strings and floats only — the report rides along in the
+    plan cache and the persistent plan store.
+    """
+
+    strategy: str
+    considered: tuple[OrderCandidate, ...] = ()
+
+
+@dataclass(frozen=True)
+class FetchEstimate:
+    """Predicted cost of one fetch operator of a constructed plan."""
+
+    relation: str
+    access: str
+    keys: float
+    per_key: float
+    fetched: float
+
+
+@dataclass(frozen=True)
+class PlanEstimate:
+    """Predicted cardinalities of a whole plan (see :func:`estimate_plan_fetches`)."""
+
+    rows: float
+    total_fetched: float
+    fetches: tuple[FetchEstimate, ...]
+
+
 @dataclass
 class PlanSearchOutcome:
     """Result of the heuristic plan construction."""
@@ -73,6 +137,7 @@ class PlanSearchOutcome:
     plan: PlanNode | None
     reason: str = ""
     fragments_used: int = 0
+    order_report: JoinOrderReport | None = None
 
     @property
     def found(self) -> bool:
@@ -370,36 +435,15 @@ def _needed_positions(query: ConjunctiveQuery, atom_index: int) -> set[int]:
     return needed
 
 
-def build_bounded_plan(
-    query: ConjunctiveQuery,
-    views: ViewSet,
-    access_schema: AccessSchema,
-    schema: DatabaseSchema,
-    max_size: int | None = None,
-    budget: ElementQueryBudget | None = None,
-    verify_conformance: bool = True,
-    statistics: "Mapping[str, RelationStatistics] | None" = None,
-) -> PlanSearchOutcome:
-    """Construct a bounded plan for a CQ, or report why none was found.
+def _view_cover(
+    normalized: ConjunctiveQuery, views: ViewSet
+) -> tuple[list[_Fragment], set[int]]:
+    """Step 1 of plan construction: view fragments (free, cached).
 
-    The returned plan (when found) is equivalent to the query by construction
-    — every atom is enforced by a fetch, views only add implied filters — and
-    is checked for conformance to the access schema unless
-    ``verify_conformance`` is disabled.  ``statistics`` (per-relation
-    cardinality/distinct counts from the storage layer) lets the greedy
-    fetch step try the cheapest covering access path first.
+    A usage whose expansion remains classically equivalent to the query may
+    *cover* the atoms in its image, removing them from the fetch
+    obligations; other usages act as filters and binders only.
     """
-    normalized = query.normalize()
-    head_variables = [t for t in normalized.head if isinstance(t, Variable)]
-    if len(set(head_variables)) != len(head_variables):
-        raise UnsupportedQueryError(
-            "the heuristic plan builder requires distinct head variables"
-        )
-
-    # Step 1: view fragments (free, cached).  A usage whose expansion remains
-    # classically equivalent to the query may *cover* the atoms in its image,
-    # removing them from the fetch obligations; other usages act as filters
-    # and binders only.
     fragments: list[_Fragment] = []
     accepted_usages: list[tuple[View, dict, frozenset[int]]] = []
     covered_by_views: set[int] = set()
@@ -434,7 +478,12 @@ def build_bounded_plan(
             continue
         fragments.append(fragment)
         covered_by_views |= set(usable_coverage)
+    return fragments, covered_by_views
 
+
+def _join_fragments(
+    fragments: Sequence[_Fragment],
+) -> tuple[PlanNode | None, frozenset[Variable]]:
     current: PlanNode | None = None
     bound: frozenset[Variable] = frozenset()
     for fragment in fragments:
@@ -442,14 +491,30 @@ def build_bounded_plan(
             current, fragment.plan
         )
         bound |= fragment.bound
+    return current, bound
 
-    # Step 2: greedy fetching of the query atoms not covered by view usages.
-    # A candidate fetch whose key depends on previously bound variables is
-    # only accepted when its input provably has bounded output under A
-    # (checked through the conformance procedure on the fragment); otherwise
-    # the next covering constraint is tried — e.g. a constraint keyed on the
-    # atom's constants instead of on an unbounded view.
-    uncovered = set(range(len(normalized.atoms))) - covered_by_views
+
+def _greedy_fetch_loop(
+    normalized: ConjunctiveQuery,
+    uncovered: set[int],
+    current: PlanNode | None,
+    bound: frozenset[Variable],
+    views: ViewSet,
+    access_schema: AccessSchema,
+    schema: DatabaseSchema,
+    budget: ElementQueryBudget | None,
+    verify_conformance: bool,
+    statistics: "Mapping[str, RelationStatistics] | None",
+) -> tuple[PlanNode | None, frozenset[Variable], set[int]]:
+    """Step 2 of the greedy builder: fetch uncovered atoms cheapest-path first.
+
+    A candidate fetch whose key depends on previously bound variables is
+    only accepted when its input provably has bounded output under A
+    (checked through the conformance procedure on the fragment); otherwise
+    the next covering constraint is tried — e.g. a constraint keyed on the
+    atom's constants instead of on an unbounded view.
+    """
+    uncovered = set(uncovered)
     progress = True
     while uncovered and progress:
         progress = False
@@ -481,12 +546,28 @@ def build_bounded_plan(
                 break
             if progress:
                 break
+    return current, bound, uncovered
 
+
+def _finish_plan(
+    normalized: ConjunctiveQuery,
+    head_variables: Sequence[Variable],
+    current: PlanNode | None,
+    fragments_used: int,
+    uncovered: set[int],
+    max_size: int | None,
+    verify_conformance: bool,
+    access_schema: AccessSchema,
+    schema: DatabaseSchema,
+    views: ViewSet,
+    budget: ElementQueryBudget | None,
+) -> PlanSearchOutcome:
+    """Head projection, size cap and final conformance check (shared tail)."""
     if uncovered:
         return PlanSearchOutcome(
             plan=None,
             reason=f"{len(uncovered)} atoms cannot be fetched under the access schema",
-            fragments_used=len(fragments),
+            fragments_used=fragments_used,
         )
     if current is None:
         return PlanSearchOutcome(plan=None, reason="query has no atoms to plan for")
@@ -520,9 +601,64 @@ def build_bounded_plan(
                 plan=None,
                 reason="constructed plan does not conform to the access schema: "
                 + "; ".join(report.reasons),
-                fragments_used=len(fragments),
+                fragments_used=fragments_used,
             )
-    return PlanSearchOutcome(plan=plan, fragments_used=len(fragments))
+    return PlanSearchOutcome(plan=plan, fragments_used=fragments_used)
+
+
+def build_bounded_plan(
+    query: ConjunctiveQuery,
+    views: ViewSet,
+    access_schema: AccessSchema,
+    schema: DatabaseSchema,
+    max_size: int | None = None,
+    budget: ElementQueryBudget | None = None,
+    verify_conformance: bool = True,
+    statistics: "Mapping[str, RelationStatistics] | None" = None,
+) -> PlanSearchOutcome:
+    """Construct a bounded plan for a CQ, or report why none was found.
+
+    The returned plan (when found) is equivalent to the query by construction
+    — every atom is enforced by a fetch, views only add implied filters — and
+    is checked for conformance to the access schema unless
+    ``verify_conformance`` is disabled.  ``statistics`` (per-relation
+    cardinality/distinct counts from the storage layer) lets the greedy
+    fetch step try the cheapest covering access path first.
+    """
+    normalized = query.normalize()
+    head_variables = [t for t in normalized.head if isinstance(t, Variable)]
+    if len(set(head_variables)) != len(head_variables):
+        raise UnsupportedQueryError(
+            "the heuristic plan builder requires distinct head variables"
+        )
+    fragments, covered_by_views = _view_cover(normalized, views)
+    current, bound = _join_fragments(fragments)
+    uncovered = set(range(len(normalized.atoms))) - covered_by_views
+    current, bound, uncovered = _greedy_fetch_loop(
+        normalized, uncovered, current, bound, views, access_schema, schema,
+        budget, verify_conformance, statistics,
+    )
+    return _finish_plan(
+        normalized, head_variables, current, len(fragments), uncovered,
+        max_size, verify_conformance, access_schema, schema, views, budget,
+    )
+
+
+def _union_aligned(sub_plans: Sequence[PlanNode]) -> PlanNode:
+    """Union the per-disjunct plans, renaming attributes to the first's."""
+    plan = sub_plans[0]
+    target_attrs = plan.attributes
+    for sub_plan in sub_plans[1:]:
+        aligned = sub_plan
+        if aligned.attributes != target_attrs:
+            rename = {
+                old: new
+                for old, new in zip(aligned.attributes, target_attrs)
+                if old != new
+            }
+            aligned = RenameNode(aligned, rename) if rename else aligned
+        plan = UnionNode(plan, aligned)
+    return plan
 
 
 def build_bounded_plan_ucq(
@@ -548,20 +684,662 @@ def build_bounded_plan_ucq(
                 reason=f"disjunct {disjunct.name!r}: {outcome.reason}",
             )
         sub_plans.append(outcome.plan)  # type: ignore[arg-type]
-    plan = sub_plans[0]
-    target_attrs = plan.attributes
-    for sub_plan in sub_plans[1:]:
-        aligned = sub_plan
-        if aligned.attributes != target_attrs:
-            rename = {
-                old: new
-                for old, new in zip(aligned.attributes, target_attrs)
-                if old != new
-            }
-            aligned = RenameNode(aligned, rename) if rename else aligned
-        plan = UnionNode(plan, aligned)
+    plan = _union_aligned(sub_plans)
     if max_size is not None and plan.size() > max_size:
         return PlanSearchOutcome(
             plan=None, reason=f"constructed plan has {plan.size()} nodes > M={max_size}"
         )
     return PlanSearchOutcome(plan=plan)
+
+
+# --------------------------------------------------------------------------- #
+# Cost-based join ordering (optimizer v2)
+# --------------------------------------------------------------------------- #
+
+#: Distinct-count stand-in for variables with no statistics at all.
+_UNKNOWN_DISTINCT = 1.0e12
+
+#: Atom count above which the subset DP falls back to the greedy orderer.
+DEFAULT_MAX_DP_ATOMS = 10
+
+
+def _fetch_feasible(
+    query: ConjunctiveQuery,
+    atom_index: int,
+    constraint: AccessConstraint,
+    schema: DatabaseSchema,
+    bound: frozenset[Variable] | set[Variable],
+    have_plan: bool,
+    needed: set[int],
+) -> bool:
+    """Cheap mirror of :func:`_atom_fetch`'s rejection conditions.
+
+    The DP explores abstract orders with this predicate; materialisation
+    re-runs ``_atom_fetch`` itself, which stays authoritative.
+    """
+    atom = query.atoms[atom_index]
+    if atom.relation != constraint.relation:
+        return False
+    relation = schema.relation(atom.relation)
+    x_positions = relation.positions(constraint.x)
+    y_positions = relation.positions(constraint.y)
+    seen_key_variables: set[Variable] = set()
+    for position in x_positions:
+        term = atom.terms[position]
+        if isinstance(term, Constant):
+            continue
+        if isinstance(term, Variable) and term in bound and term not in seen_key_variables:
+            seen_key_variables.add(term)
+            continue
+        return False
+    if not needed <= set(x_positions) | set(y_positions):
+        return False
+    if set(x_positions) and not have_plan and not _x_is_constant(atom, x_positions):
+        return False
+    return True
+
+
+def _global_distincts(
+    query: ConjunctiveQuery,
+    schema: DatabaseSchema,
+    statistics: "Mapping[str, RelationStatistics] | None",
+) -> dict[Variable, float]:
+    """Per-variable distinct-count upper bound: min over all its columns."""
+    distincts: dict[Variable, float] = {}
+    for atom in query.atoms:
+        stats = statistics.get(atom.relation) if statistics is not None else None
+        if stats is None:
+            continue
+        for position, term in enumerate(atom.terms):
+            if isinstance(term, Variable) and position < len(stats.distinct):
+                count = float(max(1, stats.distinct[position]))
+                distincts[term] = min(distincts.get(term, _UNKNOWN_DISTINCT), count)
+    return distincts
+
+
+def _apply_step(
+    query: ConjunctiveQuery,
+    atom_index: int,
+    constraint: AccessConstraint,
+    schema: DatabaseSchema,
+    statistics: "Mapping[str, RelationStatistics] | None",
+    corrections: Mapping[str, float] | None,
+    rows: float,
+    var_dist: dict[Variable, float],
+    have_plan: bool,
+    needed: set[int],
+    gdist: Mapping[Variable, float],
+) -> tuple[float, float, dict[Variable, float]] | None:
+    """Cost one (atom, constraint) fetch step of an abstract join order.
+
+    Returns ``(step_cost, new_rows, new_var_dist)`` or ``None`` when the
+    step is infeasible in the current state.  The cost charges what the
+    IOMeter will charge: one probe call per distinct key plus the tuples
+    those probes return.  Histograms make ``per_key`` skew-aware — a
+    constant key is priced by ``estimate_eq`` (the hot-key signal the
+    whole-column average hides), a variable key by the average bucket —
+    and ``corrections`` scales per-relation estimates by the observed
+    actual/estimated ratio during adaptive re-planning.
+    """
+    if not _fetch_feasible(
+        query, atom_index, constraint, schema, set(var_dist), have_plan, needed
+    ):
+        return None
+    atom = query.atoms[atom_index]
+    relation = schema.relation(atom.relation)
+    stats = statistics.get(atom.relation) if statistics is not None else None
+    x_positions = relation.positions(constraint.x)
+    constants: dict[int, object] = {}
+    key_variables: set[Variable] = set()
+    for position in x_positions:
+        term = atom.terms[position]
+        if isinstance(term, Constant):
+            constants[position] = term.value
+        else:
+            key_variables.add(term)
+
+    if stats is None:
+        per_key = float(constraint.bound)
+    else:
+        per_key = max(0.0, stats.estimated_matches_with(x_positions, constants))
+        if x_positions:
+            per_key = min(per_key, float(constraint.bound))
+    if corrections:
+        per_key *= corrections.get(atom.relation, 1.0)
+
+    if key_variables:
+        keys = 1.0
+        for variable in key_variables:
+            keys *= max(1.0, var_dist.get(variable, gdist.get(variable, _UNKNOWN_DISTINCT)))
+        keys = min(max(rows, 1.0), keys)
+    else:
+        keys = 1.0
+    fetched = keys * per_key
+    step_cost = keys + fetched
+
+    # Result size: each prefix row meets its bucket, then equalities with
+    # already-bound non-key variables filter further.
+    new_rows = (max(rows, 1.0) if have_plan else 1.0) * per_key
+    output_positions = set(x_positions) | needed
+    for position in sorted(output_positions - set(x_positions)):
+        term = atom.terms[position]
+        if isinstance(term, Variable) and term in var_dist:
+            new_rows /= max(1.0, var_dist[term])
+    new_rows = max(new_rows, 1e-3)
+
+    new_var_dist = dict(var_dist)
+    for position in sorted(output_positions):
+        term = atom.terms[position]
+        if isinstance(term, Variable) and term not in new_var_dist:
+            cap = gdist.get(term, _UNKNOWN_DISTINCT)
+            new_var_dist[term] = max(1.0, min(cap, fetched, new_rows))
+    return step_cost, new_rows, new_var_dist
+
+
+def _cost_of_order(
+    query: ConjunctiveQuery,
+    order: Sequence[tuple[int, AccessConstraint]],
+    schema: DatabaseSchema,
+    statistics: "Mapping[str, RelationStatistics] | None",
+    corrections: Mapping[str, float] | None,
+    bound0: frozenset[Variable],
+    have_plan0: bool,
+    needed_positions: Mapping[int, set[int]],
+    gdist: Mapping[Variable, float],
+) -> float:
+    """Replay one abstract order through the cost model (inf if infeasible)."""
+    var_dist: dict[Variable, float] = {
+        v: gdist.get(v, _UNKNOWN_DISTINCT) for v in bound0
+    }
+    rows = 1.0 if have_plan0 else 0.0
+    have_plan = have_plan0
+    total = 0.0
+    for atom_index, constraint in order:
+        step = _apply_step(
+            query, atom_index, constraint, schema, statistics, corrections,
+            rows, var_dist, have_plan, needed_positions[atom_index], gdist,
+        )
+        if step is None:
+            return float("inf")
+        step_cost, rows, var_dist = step
+        total += step_cost
+        have_plan = True
+    return total
+
+
+def _greedy_order_simulation(
+    query: ConjunctiveQuery,
+    uncovered: Iterable[int],
+    schema: DatabaseSchema,
+    access_schema: AccessSchema,
+    statistics: "Mapping[str, RelationStatistics] | None",
+    bound0: frozenset[Variable],
+    have_plan0: bool,
+    needed_positions: Mapping[int, set[int]],
+) -> tuple[tuple[int, AccessConstraint], ...] | None:
+    """The order the greedy loop would pick, without building any plans.
+
+    Conformance filtering is skipped (the simulation only feeds the
+    chosen-vs-rejected comparison in the order report), so this can differ
+    from the real greedy plan in the rare case a fragment fails conformance.
+    """
+    order: list[tuple[int, AccessConstraint]] = []
+    bound = set(bound0)
+    have_plan = have_plan0
+    remaining = set(uncovered)
+    progress = True
+    while remaining and progress:
+        progress = False
+        for atom_index in sorted(remaining):
+            relation_name = query.atoms[atom_index].relation
+            for constraint in _ordered_constraints(
+                access_schema.for_relation(relation_name),
+                relation_name,
+                schema,
+                statistics,
+            ):
+                if not _fetch_feasible(
+                    query, atom_index, constraint, schema, bound, have_plan,
+                    needed_positions[atom_index],
+                ):
+                    continue
+                order.append((atom_index, constraint))
+                relation = schema.relation(relation_name)
+                positions = set(relation.positions(constraint.x))
+                positions |= needed_positions[atom_index]
+                for position in positions:
+                    term = query.atoms[atom_index].terms[position]
+                    if isinstance(term, Variable):
+                        bound.add(term)
+                have_plan = True
+                remaining.discard(atom_index)
+                progress = True
+                break
+            if progress:
+                break
+    return tuple(order) if not remaining else None
+
+
+def _order_description(
+    query: ConjunctiveQuery, order: Sequence[tuple[int, AccessConstraint]]
+) -> str:
+    steps = []
+    for atom_index, constraint in order:
+        key = ",".join(constraint.x) if constraint.x else "∅"
+        steps.append(f"{query.atoms[atom_index].relation}[{key}→]")
+    return " ⋈ ".join(steps)
+
+
+def _dp_order(
+    query: ConjunctiveQuery,
+    uncovered: Iterable[int],
+    schema: DatabaseSchema,
+    access_schema: AccessSchema,
+    statistics: "Mapping[str, RelationStatistics] | None",
+    corrections: Mapping[str, float] | None,
+    bound0: frozenset[Variable],
+    have_plan0: bool,
+    needed_positions: Mapping[int, set[int]],
+    gdist: Mapping[Variable, float],
+) -> tuple[
+    tuple[tuple[int, AccessConstraint], ...],
+    float,
+    list[tuple[float, tuple[tuple[int, AccessConstraint], ...]]],
+] | None:
+    """Selinger-style subset DP over (atom, access-constraint) fetch steps.
+
+    One state per covered-atom subset keeps the cheapest way of reaching it
+    (cost, estimated rows, per-variable distinct estimates, order); ties
+    break on the lexicographically smallest step sequence so the chosen
+    order is deterministic.  Returns the winning order, its cost and every
+    completion that reached the full set (for the chosen-vs-rejected
+    report), or ``None`` when no feasible complete order exists.
+    """
+    atom_indices = tuple(sorted(set(uncovered)))
+    full = frozenset(atom_indices)
+    if not atom_indices:
+        return (), 0.0, []
+    initial_var_dist = {v: gdist.get(v, _UNKNOWN_DISTINCT) for v in bound0}
+    # state: covered-subset -> (cost, tiebreak, rows, var_dist, order)
+    states: dict[frozenset[int], tuple] = {
+        frozenset(): (0.0, (), 1.0 if have_plan0 else 0.0, initial_var_dist, ())
+    }
+    completions: list[tuple[float, tuple[tuple[int, AccessConstraint], ...]]] = []
+    by_size: list[list[frozenset[int]]] = [[] for _ in range(len(atom_indices) + 1)]
+    by_size[0].append(frozenset())
+    for size in range(len(atom_indices)):
+        for covered in by_size[size]:
+            cost, tiebreak, rows, var_dist, order = states[covered]
+            have_plan = have_plan0 or bool(covered)
+            for atom_index in atom_indices:
+                if atom_index in covered:
+                    continue
+                relation_name = query.atoms[atom_index].relation
+                for c_index, constraint in enumerate(
+                    access_schema.for_relation(relation_name)
+                ):
+                    step = _apply_step(
+                        query, atom_index, constraint, schema, statistics,
+                        corrections, rows, var_dist, have_plan,
+                        needed_positions[atom_index], gdist,
+                    )
+                    if step is None:
+                        continue
+                    step_cost, new_rows, new_var_dist = step
+                    new_covered = covered | {atom_index}
+                    new_cost = cost + step_cost
+                    new_tiebreak = tiebreak + ((atom_index, c_index),)
+                    new_order = order + ((atom_index, constraint),)
+                    existing = states.get(new_covered)
+                    if existing is None:
+                        by_size[len(new_covered)].append(new_covered)
+                    if existing is None or (new_cost, new_tiebreak) < (
+                        existing[0],
+                        existing[1],
+                    ):
+                        states[new_covered] = (
+                            new_cost, new_tiebreak, new_rows, new_var_dist, new_order
+                        )
+                    if new_covered == full:
+                        completions.append((new_cost, new_order))
+    winner = states.get(full)
+    if winner is None:
+        return None
+    return winner[4], winner[0], completions
+
+
+def build_bounded_plan_cost(
+    query: ConjunctiveQuery,
+    views: ViewSet,
+    access_schema: AccessSchema,
+    schema: DatabaseSchema,
+    max_size: int | None = None,
+    budget: ElementQueryBudget | None = None,
+    verify_conformance: bool = True,
+    statistics: "Mapping[str, RelationStatistics] | None" = None,
+    corrections: Mapping[str, float] | None = None,
+    max_dp_atoms: int = DEFAULT_MAX_DP_ATOMS,
+    report_candidates: int = 4,
+) -> PlanSearchOutcome:
+    """Cost-based variant of :func:`build_bounded_plan` (DP join ordering).
+
+    View coverage, fragment construction and the finishing conformance check
+    are shared with the greedy builder — only the *order* in which uncovered
+    atoms are fetched differs, chosen by :func:`_dp_order` over the
+    histogram-backed cost model.  Plans therefore stay equivalent to the
+    query by construction and pass the same verifier; only their Dξ differs.
+    Falls back to the greedy loop above ``max_dp_atoms`` atoms or when the
+    winning abstract order fails materialisation, recording why in the
+    outcome's :class:`JoinOrderReport`.
+    """
+    normalized = query.normalize()
+    head_variables = [t for t in normalized.head if isinstance(t, Variable)]
+    if len(set(head_variables)) != len(head_variables):
+        raise UnsupportedQueryError(
+            "the heuristic plan builder requires distinct head variables"
+        )
+    fragments, covered_by_views = _view_cover(normalized, views)
+    current, bound = _join_fragments(fragments)
+    uncovered = set(range(len(normalized.atoms))) - covered_by_views
+
+    def greedy_fallback(why: str) -> PlanSearchOutcome:
+        g_current, g_bound, g_left = _greedy_fetch_loop(
+            normalized, uncovered, current, bound, views, access_schema,
+            schema, budget, verify_conformance, statistics,
+        )
+        outcome = _finish_plan(
+            normalized, head_variables, g_current, len(fragments), g_left,
+            max_size, verify_conformance, access_schema, schema, views, budget,
+        )
+        outcome.order_report = JoinOrderReport(strategy=f"greedy-fallback: {why}")
+        return outcome
+
+    if len(uncovered) > max_dp_atoms:
+        return greedy_fallback(
+            f"{len(uncovered)} atoms exceed the DP limit of {max_dp_atoms}"
+        )
+
+    needed_positions = {
+        atom_index: _needed_positions(normalized, atom_index)
+        for atom_index in uncovered
+    }
+    gdist = _global_distincts(normalized, schema, statistics)
+    have_plan0 = current is not None
+    dp = _dp_order(
+        normalized, uncovered, schema, access_schema, statistics, corrections,
+        bound, have_plan0, needed_positions, gdist,
+    )
+    if dp is None:
+        return greedy_fallback("no feasible complete DP order")
+    order, chosen_cost, completions = dp
+
+    # Materialise the winning order through the greedy builder's own
+    # fragment machinery (single-sourced plan shape => verifier-identical).
+    m_current, m_bound = current, bound
+    materialized = True
+    for atom_index, constraint in order:
+        fragment = _atom_fetch(
+            atom_index, normalized, constraint, schema, m_bound, m_current
+        )
+        if fragment is None or (
+            verify_conformance
+            and not conforms_to(
+                fragment.plan, access_schema, schema, views, budget
+            ).conforms
+        ):
+            materialized = False
+            break
+        m_current = (
+            fragment.plan
+            if m_current is None
+            else join_on_shared_attributes(m_current, fragment.plan)
+        )
+        m_bound |= fragment.bound
+    if not materialized:
+        return greedy_fallback("chosen DP order failed materialisation")
+
+    outcome = _finish_plan(
+        normalized, head_variables, m_current, len(fragments), set(),
+        max_size, verify_conformance, access_schema, schema, views, budget,
+    )
+    if not outcome.found:
+        return greedy_fallback(f"DP plan rejected: {outcome.reason}")
+
+    # Chosen-vs-rejected report: the winner, the best distinct runner-up
+    # completions, and the simulated greedy order for comparison.
+    considered = [
+        OrderCandidate(_order_description(normalized, order), chosen_cost, chosen=True)
+    ]
+    seen_orders = {order}
+    for candidate_cost, candidate_order in sorted(
+        completions, key=lambda item: item[0]
+    ):
+        if candidate_order in seen_orders:
+            continue
+        seen_orders.add(candidate_order)
+        considered.append(
+            OrderCandidate(
+                _order_description(normalized, candidate_order), candidate_cost
+            )
+        )
+        if len(considered) > report_candidates:
+            break
+    greedy_order = _greedy_order_simulation(
+        normalized, uncovered, schema, access_schema, statistics, bound,
+        have_plan0, needed_positions,
+    )
+    if greedy_order is not None and greedy_order != order:
+        greedy_cost = _cost_of_order(
+            normalized, greedy_order, schema, statistics, corrections, bound,
+            have_plan0, needed_positions, gdist,
+        )
+        considered.append(
+            OrderCandidate(
+                "greedy: " + _order_description(normalized, greedy_order), greedy_cost
+            )
+        )
+    outcome.order_report = JoinOrderReport(
+        strategy="dp", considered=tuple(considered)
+    )
+    return outcome
+
+
+def build_bounded_plan_cost_ucq(
+    query: QueryLike,
+    views: ViewSet,
+    access_schema: AccessSchema,
+    schema: DatabaseSchema,
+    max_size: int | None = None,
+    budget: ElementQueryBudget | None = None,
+    statistics: "Mapping[str, RelationStatistics] | None" = None,
+    corrections: Mapping[str, float] | None = None,
+    max_dp_atoms: int = DEFAULT_MAX_DP_ATOMS,
+) -> PlanSearchOutcome:
+    """Cost-based UCQ builder: one DP-ordered sub-plan per disjunct, unioned."""
+    union = as_union(query)
+    sub_plans: list[PlanNode] = []
+    strategies: list[str] = []
+    considered: list[OrderCandidate] = []
+    for disjunct in union.disjuncts:
+        outcome = build_bounded_plan_cost(
+            disjunct, views, access_schema, schema, max_size, budget,
+            statistics=statistics, corrections=corrections,
+            max_dp_atoms=max_dp_atoms,
+        )
+        if not outcome.found:
+            return PlanSearchOutcome(
+                plan=None,
+                reason=f"disjunct {disjunct.name!r}: {outcome.reason}",
+            )
+        sub_plans.append(outcome.plan)  # type: ignore[arg-type]
+        if outcome.order_report is not None:
+            strategies.append(outcome.order_report.strategy)
+            prefix = f"{disjunct.name}: " if len(union.disjuncts) > 1 else ""
+            considered.extend(
+                OrderCandidate(prefix + c.description, c.cost, c.chosen)
+                for c in outcome.order_report.considered
+            )
+    plan = _union_aligned(sub_plans)
+    if max_size is not None and plan.size() > max_size:
+        return PlanSearchOutcome(
+            plan=None, reason=f"constructed plan has {plan.size()} nodes > M={max_size}"
+        )
+    strategy = "dp" if all(s == "dp" for s in strategies) else "; ".join(
+        dict.fromkeys(strategies)
+    )
+    return PlanSearchOutcome(
+        plan=plan,
+        order_report=JoinOrderReport(strategy=strategy, considered=tuple(considered)),
+    )
+
+
+# --------------------------------------------------------------------------- #
+# Plan-wide cardinality estimation (shared by all planners)
+# --------------------------------------------------------------------------- #
+
+
+def estimate_plan_fetches(
+    plan: PlanNode,
+    statistics: "Mapping[str, RelationStatistics] | None",
+    schema: DatabaseSchema,
+    view_sizes: Mapping[str, int] | None = None,
+    corrections: Mapping[str, float] | None = None,
+) -> PlanEstimate:
+    """Predict the Dξ of a constructed plan, fetch by fetch.
+
+    Walks the plan bottom-up carrying (rows, per-attribute distinct counts)
+    and prices every :class:`FetchNode` with the same histogram-backed model
+    the DP orderer uses: keys = the child's (already deduplicated) rows,
+    per-key from ``estimate_eq`` for constant key columns and the average
+    bucket for variable ones.  The service records this estimate on the
+    cached plan and compares it against the IOMeter's actual Dξ on warm
+    executions — a >10x miss triggers adaptive re-planning with
+    ``corrections`` set to the observed per-relation ratios.
+    """
+    fetches: list[FetchEstimate] = []
+
+    def constants_below(node: PlanNode) -> dict[str, object]:
+        return {
+            scan.attribute: scan.value
+            for scan in node.iter_nodes()
+            if isinstance(scan, ConstantScan)
+        }
+
+    def walk(node: PlanNode) -> tuple[float, dict[str, float]]:
+        if isinstance(node, ConstantScan):
+            return 1.0, {node.attribute: 1.0}
+        if isinstance(node, ViewScan):
+            size = 100.0
+            if view_sizes is not None and node.view_name in view_sizes:
+                size = float(view_sizes[node.view_name])
+            return size, {attr: size for attr in node.attributes}
+        if isinstance(node, FetchNode):
+            if node.child is None:
+                keys = 1.0
+                child_dist: dict[str, float] = {}
+            else:
+                child_rows, child_dist = walk(node.child)
+                keys = max(child_rows, 1.0)
+            relation = schema.relation(node.relation)
+            stats = statistics.get(node.relation) if statistics is not None else None
+            x_positions = relation.positions(node.x_attrs)
+            child_constants = (
+                constants_below(node.child) if node.child is not None else {}
+            )
+            constants = {
+                position: child_constants[attr]
+                for attr, position in zip(node.x_attrs, x_positions)
+                if attr in child_constants
+            }
+            if stats is None:
+                per_key = 1.0
+            else:
+                per_key = max(0.0, stats.estimated_matches_with(x_positions, constants))
+            if corrections:
+                per_key *= corrections.get(node.relation, 1.0)
+            fetched = keys * per_key
+            access = (
+                f"{node.relation}({','.join(node.x_attrs) or '∅'}"
+                f"→{','.join(node.y_attrs)})"
+            )
+            fetches.append(
+                FetchEstimate(
+                    relation=node.relation,
+                    access=access,
+                    keys=keys,
+                    per_key=per_key,
+                    fetched=fetched,
+                )
+            )
+            dist: dict[str, float] = {}
+            for attr in node.attributes:
+                if attr in child_dist:
+                    dist[attr] = child_dist[attr]
+                else:
+                    try:
+                        position = relation.position(attr)
+                    except Exception:
+                        position = -1
+                    column = (
+                        float(stats.distinct[position])
+                        if stats is not None and 0 <= position < len(stats.distinct)
+                        else fetched
+                    )
+                    dist[attr] = max(1.0, min(column, fetched))
+            return fetched, dist
+        if isinstance(node, SelectNode):
+            rows, dist = walk(node.child)
+            for predicate in node.predicates:
+                if isinstance(predicate, AttributeEqualsConstant):
+                    rows /= max(1.0, dist.get(predicate.attribute, 10.0))
+                    dist[predicate.attribute] = 1.0
+                else:
+                    left = dist.get(predicate.left, 10.0)
+                    right = dist.get(predicate.right, 10.0)
+                    rows /= max(1.0, max(left, right))
+                    shared = max(1.0, min(left, right))
+                    dist[predicate.left] = shared
+                    dist[predicate.right] = shared
+            return max(rows, 0.0), dist
+        if isinstance(node, ProjectNode):
+            rows, dist = walk(node.child)
+            if node.kept:
+                ceiling = 1.0
+                for attr in node.kept:
+                    ceiling *= dist.get(attr, rows if rows > 0 else 1.0)
+                rows = min(rows, ceiling)
+            else:
+                rows = min(rows, 1.0)
+            return rows, {attr: dist.get(attr, rows) for attr in node.kept}
+        if isinstance(node, RenameNode):
+            rows, dist = walk(node.child)
+            mapping = dict(node.mapping)
+            return rows, {mapping.get(attr, attr): d for attr, d in dist.items()}
+        if isinstance(node, ProductNode):
+            left_rows, left_dist = walk(node.left)
+            right_rows, right_dist = walk(node.right)
+            return left_rows * right_rows, {**left_dist, **right_dist}
+        if isinstance(node, UnionNode):
+            left_rows, left_dist = walk(node.left)
+            right_rows, right_dist = walk(node.right)
+            merged = {
+                attr: max(left_dist.get(attr, 1.0), right_dist.get(attr, 1.0))
+                for attr in set(left_dist) | set(right_dist)
+            }
+            return left_rows + right_rows, merged
+        if isinstance(node, DifferenceNode):
+            left_rows, left_dist = walk(node.left)
+            walk(node.right)
+            return left_rows, left_dist
+        # Unknown node type: neutral element, no fetches below by definition.
+        rows = 1.0
+        dist = {attr: 1.0 for attr in node.attributes}
+        for child in node.children:
+            child_rows, child_dist = walk(child)
+            rows = max(rows, child_rows)
+            dist.update(child_dist)
+        return rows, dist
+
+    rows, _ = walk(plan)
+    total = sum(estimate.fetched for estimate in fetches)
+    return PlanEstimate(rows=rows, total_fetched=total, fetches=tuple(fetches))

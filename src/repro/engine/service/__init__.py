@@ -21,8 +21,10 @@ from .maintenance import (
     ViewDelta,
     ViewMaintainer,
 )
+from .plan_store import PlanStore, StoredEntry
 from .planners import (
     DEFAULT_PLANNER_CHAIN,
+    CostBasedPlanner,
     ExactVBRPPlanner,
     HeuristicPlanner,
     Planner,
@@ -42,6 +44,7 @@ __all__ = [
     "Answer",
     "CachedPlan",
     "CacheStats",
+    "CostBasedPlanner",
     "DEFAULT_PLANNER_CHAIN",
     "ExactVBRPPlanner",
     "ExecutionBackend",
@@ -50,10 +53,12 @@ __all__ = [
     "LRUPlanCache",
     "MaintenanceReport",
     "MaintenanceStats",
+    "PlanStore",
     "Planner",
     "PlanningContext",
     "PlanningResult",
     "PreparedQuery",
+    "StoredEntry",
     "QueryService",
     "SQLiteBackend",
     "ServiceStats",

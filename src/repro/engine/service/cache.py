@@ -97,6 +97,26 @@ class CachedPlan:
     executions: int = 0
     codegen_state: str = "pending"
     codegen_reason: str = ""
+    # Optimizer-v2 bookkeeping.  ``estimated_fetches``/``fetch_estimates``
+    # are the cardinality model's prediction recorded at planning time
+    # (``fetch_estimates`` is a tuple of FetchEstimate objects);
+    # ``actual_fetches``/``actual_per_relation`` the IOMeter's latest
+    # actuals; a warm execution whose actual Dxi misses the estimate by more
+    # than the service's replan factor triggers adaptive re-planning, which
+    # swaps in a replacement entry carrying ``replans``/``replan_reason``.
+    # ``order_report`` is the cost-based planner's chosen-vs-rejected join
+    # orders; ``cache_key`` lets the service atomically replace this entry
+    # in place; ``restored`` marks entries loaded from the persistent plan
+    # store (counted as a store hit on their first cache hit, then cleared).
+    estimated_fetches: float | None = None
+    fetch_estimates: tuple = ()
+    actual_fetches: int | None = None
+    actual_per_relation: dict | None = None
+    replans: int = 0
+    replan_reason: str = ""
+    order_report: object | None = None
+    cache_key: tuple | None = None
+    restored: bool = False
 
     @property
     def found(self) -> bool:
@@ -178,6 +198,33 @@ class LRUPlanCache:
                 _, evicted = self._entries.popitem(last=False)
                 evicted.invalidate_compiled()
                 self.stats.evictions += 1
+
+    def replace(self, key: tuple, old: CachedPlan, new: CachedPlan) -> bool:
+        """Atomically swap a re-planned outcome in for ``old`` under ``key``.
+
+        Succeeds only while ``old`` is still the cached entry (two racing
+        re-planners cannot both win); the retired entry's compiled closure
+        is invalidated through the same path evictions use, so a
+        :class:`PreparedQuery` still holding it falls back to the fresh
+        entry's lifecycle.
+        """
+        with self._lock:
+            current = self._entries.get(key)
+            if current is not old:
+                return False
+            self._entries[key] = new
+            self._entries.move_to_end(key)
+            old.invalidate_compiled()
+            return True
+
+    def entries(self) -> list[tuple[tuple, CachedPlan]]:
+        """A point-in-time snapshot of (key, entry) pairs, LRU-oldest first.
+
+        Used by the persistent plan store's close-time write-back; the
+        entries themselves are shared, not copied.
+        """
+        with self._lock:
+            return list(self._entries.items())
 
     def invalidate(self, touched: Iterable[str]) -> int:
         """Evict the entries that depend on any of the ``touched`` names.

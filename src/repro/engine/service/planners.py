@@ -8,11 +8,16 @@ service run a configurable *fallback chain*: the first planner that accepts
 the query's language and finds a plan wins; when none does, the service falls
 back to the full-scan baseline carrying every planner's refusal reason.
 
-Three planners ship by default:
+Four planners ship by default:
 
 * ``"heuristic"`` — the constructive builder of
   :func:`repro.engine.optimizer.build_bounded_plan_ucq` (CQ/UCQ; sound, not
   complete, fast);
+* ``"cost"`` — the cost-based variant
+  :func:`repro.engine.optimizer.build_bounded_plan_cost_ucq`: same fragment
+  machinery, but fetch order chosen by a histogram-costed subset DP, with
+  per-relation ``corrections`` applied during adaptive re-planning (CQ/UCQ;
+  opt-in, same soundness as heuristic);
 * ``"exact"`` — the enumerative VBRP decision procedure
   :func:`repro.core.vbrp.decide_vbrp` (CQ/UCQ; complete relative to its
   candidate vocabulary, exponential — off the default chain);
@@ -40,7 +45,12 @@ from ...core.plans import PlanNode
 from ...core.topped import topped_plan
 from ...core.vbrp import decide_vbrp
 from ...errors import BudgetExceededError, QueryError
-from ..optimizer import build_bounded_plan_ucq
+from ..optimizer import (
+    DEFAULT_MAX_DP_ATOMS,
+    JoinOrderReport,
+    build_bounded_plan_cost_ucq,
+    build_bounded_plan_ucq,
+)
 
 if TYPE_CHECKING:
     from ...storage.statistics import RelationStatistics
@@ -58,6 +68,12 @@ class PlanningContext:
     Plans chosen from statistics are data-dependent, which is why
     :meth:`~repro.engine.service.QueryService.refresh_data` drops the plan
     cache.
+
+    ``corrections`` is set only during adaptive re-planning: per-relation
+    multipliers (observed Dξ over estimated Dξ from the mis-estimated
+    execution) that the cost model folds into its per-key estimates, so the
+    replacement plan is chosen under the cardinalities the runtime actually
+    saw (Leis et al., VLDB 2015).
     """
 
     schema: DatabaseSchema
@@ -66,15 +82,22 @@ class PlanningContext:
     budget: ElementQueryBudget | None = None
     inner_size_cutoff: int = 2
     statistics: Mapping[str, "RelationStatistics"] | None = None
+    corrections: Mapping[str, float] | None = None
 
 
 @dataclass
 class PlanningResult:
-    """Outcome of one planner invocation."""
+    """Outcome of one planner invocation.
+
+    ``order_report`` is populated by cost-based planners only: the
+    chosen-vs-rejected join orders with their model costs, surfaced through
+    ``explain()`` and persisted alongside the plan.
+    """
 
     plan: PlanNode | None
     planner: str
     reason: str = ""
+    order_report: JoinOrderReport | None = None
 
     @property
     def found(self) -> bool:
@@ -151,6 +174,55 @@ class HeuristicPlanner:
             statistics=context.statistics,
         )
         return PlanningResult(plan=outcome.plan, planner=self.name, reason=outcome.reason)
+
+
+class CostBasedPlanner:
+    """DP join ordering over histogram statistics (optimizer v2).
+
+    Shares every soundness mechanism with :class:`HeuristicPlanner` — view
+    coverage, fragment construction, conformance checking — and differs only
+    in the order uncovered atoms are fetched, chosen by a Selinger-style
+    subset DP costed with the per-column equi-depth histograms riding on
+    ``context.statistics``.  Above ``max_dp_atoms`` atoms per disjunct the
+    builder falls back to the greedy order (recorded in the order report).
+    """
+
+    name = "cost"
+
+    def __init__(self, max_dp_atoms: int = DEFAULT_MAX_DP_ATOMS) -> None:
+        self.max_dp_atoms = max_dp_atoms
+
+    @property
+    def signature(self) -> tuple:
+        return (self.name, self.max_dp_atoms)
+
+    def can_plan(self, query: Query) -> bool:
+        return isinstance(query, (ConjunctiveQuery, UnionQuery))
+
+    def plan(
+        self,
+        query: Query,
+        head: Sequence[Variable] | None,
+        max_size: int | None,
+        context: PlanningContext,
+    ) -> PlanningResult:
+        outcome = build_bounded_plan_cost_ucq(
+            query,
+            context.views,
+            context.access_schema,
+            context.schema,
+            max_size,
+            context.budget,
+            statistics=context.statistics,
+            corrections=context.corrections,
+            max_dp_atoms=self.max_dp_atoms,
+        )
+        return PlanningResult(
+            plan=outcome.plan,
+            planner=self.name,
+            reason=outcome.reason,
+            order_report=outcome.order_report,
+        )
 
 
 class ExactVBRPPlanner:
@@ -250,6 +322,7 @@ class ToppedFOPlanner:
 
 _PLANNER_FACTORIES: dict[str, Callable[[], Planner]] = {
     HeuristicPlanner.name: HeuristicPlanner,
+    CostBasedPlanner.name: CostBasedPlanner,
     ExactVBRPPlanner.name: ExactVBRPPlanner,
     ToppedFOPlanner.name: ToppedFOPlanner,
 }

@@ -25,7 +25,7 @@ from __future__ import annotations
 
 import threading
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, replace as dataclass_replace
 from types import MappingProxyType
 from typing import Collection, Iterable, Mapping, Sequence
 
@@ -60,6 +60,7 @@ from ...core.plans import FetchNode, PlanNode, UnionNode, ViewScan
 from ...errors import (
     EvaluationError,
     PlanError,
+    PlanStoreError,
     PlanVerificationError,
     QueryError,
     UnsupportedQueryError,
@@ -69,9 +70,12 @@ from ...storage.deltas import DeltaStream
 from ...storage.indexes import IndexSet
 from ...storage.instance import Database
 from ...storage.snapshots import ShardingLayout, SnapshotManager
+from ...storage.statistics import statistics_fingerprint
 from ...storage.updates import Update, UpdateBatch
+from ..optimizer import estimate_plan_fetches
 from .backends import ExecutionBackend, InMemoryBackend, SQLiteBackend, make_backend
 from .cache import CachedPlan, LRUPlanCache, canonical_query_key
+from .plan_store import PlanStore, StoredEntry
 from .maintenance import (
     MaintenanceExplanation,
     MaintenanceReport,
@@ -281,6 +285,22 @@ class QueryService:
         eviction.  Plans are data-independent, so retained entries stay
         correct; the flag exists for write-heavy serving where re-planning
         after every transaction dominates latency.
+    plan_store:
+        A :class:`~repro.engine.service.plan_store.PlanStore` (or a path
+        string) persisting planning outcomes across restarts: loaded here —
+        entries whose statistics fingerprint and planner-chain signature
+        still match are replayed into the plan cache (plans previously on
+        the compiled tier are eagerly recompiled, so the first
+        post-restart execution already runs compiled) — and written back by
+        :meth:`close`.  A corrupt store file is ignored (the typed
+        :class:`~repro.errors.PlanStoreError` is recorded on
+        ``plan_store_error``) and the service plans from scratch.
+    replan_factor:
+        Adaptive re-planning threshold: a warm execution whose actual Dξ
+        misses the cost model's estimate by more than this factor (either
+        direction) triggers re-planning with per-relation corrections and
+        an atomic cache-entry swap.  ``max_replans`` bounds how often one
+        entry may be replaced (runaway oscillation guard).
     """
 
     def __init__(
@@ -300,6 +320,9 @@ class QueryService:
         codegen_warmup: int = 2,
         shards: int | None = 1,
         retain_plans_on_write: bool = False,
+        plan_store: PlanStore | str | None = None,
+        replan_factor: float = 10.0,
+        max_replans: int = 3,
     ) -> None:
         self.database = database
         self.access_schema = access_schema
@@ -361,6 +384,19 @@ class QueryService:
         # Maintenance accounting of the most recent delta notification,
         # consumed by apply() to build its report.
         self._last_maintenance: tuple[MaintenanceStats, list[ViewDelta]] | None = None
+        # Adaptive re-planning (optimizer v2): threshold, per-entry cap and
+        # a lock serialising the replace itself (the cache's replace() is
+        # already atomic; the lock keeps two threads from both planning).
+        self.replan_factor = replan_factor
+        self.max_replans = max_replans
+        self._replan_lock = threading.Lock()
+        # Persistent plan store: load surviving entries before serving
+        # starts, write the cache back on close().
+        self.plan_store: PlanStore | None = (
+            PlanStore(plan_store) if isinstance(plan_store, str) else plan_store
+        )
+        self.plan_store_error: str = ""
+        self._load_plan_store()
         # The service is a transaction-level delta observer: ANY writer that
         # goes through Database.apply (QueryService.apply, UpdateBatch.apply_to,
         # another service on the same database) keeps this service's views,
@@ -707,14 +743,7 @@ class QueryService:
             )
         if planners is None:
             chain = self.planners
-            cached_signature = self._chain_signature
-            if cached_signature is None or cached_signature[0] is not chain:
-                cached_signature = (
-                    chain,
-                    tuple(planner_signature(p) for p in chain),
-                )
-                self._chain_signature = cached_signature
-            chain_signature = cached_signature[1]
+            chain_signature = self._default_chain_signature()
         else:
             chain = resolve_planners(planners)
             chain_signature = tuple(planner_signature(p) for p in chain)
@@ -728,7 +757,48 @@ class QueryService:
         if use_cache:
             cached = self.plan_cache.get(key)
             if cached is not None:
+                if cached.restored:
+                    # First hit on an entry replayed from the persistent
+                    # plan store: planning (and possibly compilation) was
+                    # skipped thanks to the store — count it once.
+                    cached.restored = False
+                    self.stats.record_plan_store_hit()
                 return cached, True
+        entry = self._run_chain(resolved, head, max_size, chain, corrections=None)
+        entry.cache_key = key if use_cache else None
+        if self.verify_plans and entry.plan is not None:
+            self._verify_entry(resolved, entry.plan, head)
+        if use_cache:
+            self.plan_cache.put(key, entry)
+        return entry, False
+
+    def _default_chain_signature(self) -> tuple:
+        """The default planner chain's cache-key signature, computed once."""
+        chain = self.planners
+        cached = self._chain_signature
+        if cached is None or cached[0] is not chain:
+            cached = (chain, tuple(planner_signature(p) for p in chain))
+            self._chain_signature = cached
+        return cached[1]
+
+    def _run_chain(
+        self,
+        resolved: Query,
+        head: Sequence[Variable] | None,
+        max_size: int | None,
+        chain: Sequence[Planner],
+        corrections: Mapping[str, float] | None,
+    ) -> CachedPlan:
+        """Run the planner chain once and build the cache entry.
+
+        The planning context — including the snapshot-consistent statistics
+        read — is built once for the whole chain, so every planner (and the
+        post-planning cardinality estimate below) prices the same data.
+        ``corrections`` is non-None only on the adaptive re-planning path.
+        """
+        context = self.context
+        if corrections:
+            context = dataclass_replace(context, corrections=dict(corrections))
         reasons: list[str] = []
         entry: CachedPlan | None = None
         applicable = False
@@ -736,7 +806,7 @@ class QueryService:
             if not planner.can_plan(resolved):
                 continue
             applicable = True
-            result = planner.plan(resolved, head, max_size, self.context)
+            result = planner.plan(resolved, head, max_size, context)
             if result.found:
                 entry = CachedPlan(
                     plan=result.plan,
@@ -744,6 +814,7 @@ class QueryService:
                     reason=f"bounded plan produced by planner {result.planner!r}",
                     parameters=plan_parameters(result.plan),
                     dependencies=self._dependencies_of(resolved, result.plan),
+                    order_report=result.order_report,
                 )
                 break
             reasons.append(f"{planner.name}: {result.reason or 'no bounded plan found'}")
@@ -760,11 +831,22 @@ class QueryService:
                 reason="; ".join(reasons),
                 dependencies=self._dependencies_of(resolved, None),
             )
-        if self.verify_plans and entry.plan is not None:
-            self._verify_entry(resolved, entry.plan, head)
-        if use_cache:
-            self.plan_cache.put(key, entry)
-        return entry, False
+        if entry.plan is not None and context.statistics is not None:
+            # Record the cost model's prediction next to the plan: the warm
+            # path compares it against the IOMeter's actual Dξ and triggers
+            # adaptive re-planning on a >replan_factor miss.
+            estimate = estimate_plan_fetches(
+                entry.plan,
+                context.statistics,
+                context.schema,
+                view_sizes={
+                    name: len(rows) for name, rows in self._view_cache.items()
+                },
+                corrections=corrections,
+            )
+            entry.estimated_fetches = estimate.total_fetched
+            entry.fetch_estimates = estimate.fetches
+        return entry
 
     def _verify_entry(
         self, resolved: Query, plan: PlanNode, head: Sequence[Variable] | None
@@ -823,6 +905,230 @@ class QueryService:
             return
         entry.codegen_state = "compiled"
         entry.codegen_reason = ""
+
+    # ------------------------------------------------------------------ #
+    # Adaptive re-planning (optimizer v2)
+    # ------------------------------------------------------------------ #
+
+    def _observe_execution(
+        self,
+        resolved: Query,
+        head: tuple[Variable, ...] | None,
+        entry: CachedPlan,
+        cache_hit: bool,
+        stats: object,
+    ) -> None:
+        """Fold one execution's actual Dξ into the entry; re-plan on a miss.
+
+        Only *warm* executions can trigger re-planning — a cold one just ran
+        the planner against the same statistics the estimate came from, so a
+        miss there is a model error re-planning cannot fix.  Both directions
+        count: an actual more than ``replan_factor`` times the estimate
+        means the plan is fetching far more than the model priced (the
+        classic misordered-join signature), an actual that far *below* a
+        non-trivial estimate means the model walked the plan into the
+        pessimistic corner and a cheaper order likely exists.  The observed
+        per-relation actuals become multiplicative corrections for the
+        re-planning run (Leis et al., VLDB 2015), and the replacement entry
+        swaps in atomically — racing readers keep the retired plan for the
+        execution they already started, which stays correct (both plans
+        answer the same query).
+        """
+        actual = int(getattr(stats, "tuples_fetched", 0))
+        per_relation = dict(getattr(stats, "per_relation", {}) or {})
+        entry.actual_fetches = actual
+        entry.actual_per_relation = per_relation
+        if not cache_hit or entry.estimated_fetches is None:
+            return
+        if entry.cache_key is None or entry.replans >= self.max_replans:
+            return
+        estimated = max(float(entry.estimated_fetches), 1.0)
+        observed = float(actual)
+        overshoot = observed > estimated * self.replan_factor
+        undershoot = (
+            estimated >= 100.0
+            and observed >= 1.0
+            and observed * self.replan_factor < estimated
+        )
+        if not overshoot and not undershoot:
+            return
+        direction = "over" if overshoot else "under"
+        reason = (
+            f"actual Dξ {actual} vs estimated {entry.estimated_fetches:.1f} "
+            f"({direction}shot the {self.replan_factor:g}x re-plan threshold)"
+        )
+        self._replan(resolved, head, entry, reason, per_relation)
+
+    def _replan(
+        self,
+        resolved: Query,
+        head: tuple[Variable, ...] | None,
+        entry: CachedPlan,
+        reason: str,
+        per_relation: Mapping[str, int],
+    ) -> None:
+        """Re-run the default chain with observed corrections, swap the entry."""
+        key = entry.cache_key
+        assert key is not None and entry.plan is not None
+        if len(key) < 4 or key[1] != self._default_chain_signature():
+            # Planned under an explicit per-call chain whose planner objects
+            # are gone; re-planning would change which strategies answer.
+            return
+        # Corrections are pure model-error multipliers: actual Dξ over what
+        # the model predicts for the *executed* plan under the *current*
+        # statistics.  Re-pricing the old plan here (rather than reusing the
+        # plan-time estimate) keeps data growth out of the multiplier — the
+        # fresh statistics already carry it, and folding it in twice would
+        # overshoot the corrected model into oscillation.
+        current = estimate_plan_fetches(
+            entry.plan,
+            self.database.statistics(),
+            self.database.schema,
+            view_sizes={name: len(rows) for name, rows in self._view_cache.items()},
+        )
+        estimated_by_relation: dict[str, float] = {}
+        for fetch in current.fetches:
+            estimated_by_relation[fetch.relation] = (
+                estimated_by_relation.get(fetch.relation, 0.0) + fetch.fetched
+            )
+        corrections = {
+            relation: max(float(count), 1.0)
+            / max(estimated_by_relation.get(relation, 0.0), 1.0)
+            for relation, count in per_relation.items()
+        }
+        with self._replan_lock:
+            if entry.replans >= self.max_replans:
+                return
+            max_size = key[3] if len(key) > 3 else None
+            fresh = self._run_chain(
+                resolved, head, max_size, self.planners, corrections
+            )
+            if fresh.plan is None:
+                return  # the corrected model found nothing better to swap in
+            if self.verify_plans:
+                self._verify_entry(resolved, fresh.plan, head)
+            fresh.cache_key = key
+            fresh.replans = entry.replans + 1
+            fresh.replan_reason = reason
+            if self.plan_cache.replace(key, entry, fresh):
+                self.stats.record_replan()
+
+    # ------------------------------------------------------------------ #
+    # Persistent plan store
+    # ------------------------------------------------------------------ #
+
+    def _load_plan_store(self) -> None:
+        """Replay surviving stored outcomes into the plan cache at startup.
+
+        The store itself rejects stale payloads (statistics fingerprint or
+        chain-signature mismatch → no entries); a damaged file is recorded
+        on :attr:`plan_store_error` and otherwise ignored — a cache must
+        never stop the service from starting.  Entries that were on the
+        compiled tier when saved are recompiled eagerly, so the first
+        post-restart execution already runs the compiled closure.
+        """
+        store = self.plan_store
+        if store is None:
+            return
+        fingerprint = statistics_fingerprint(self.database.statistics())
+        try:
+            stored = store.load(fingerprint, self._default_chain_signature())
+        except PlanStoreError as error:
+            self.plan_store_error = str(error)
+            return
+        for record in stored:
+            entry = CachedPlan(
+                plan=record.plan,
+                planner=record.planner,
+                reason=record.reason,
+                parameters=frozenset(record.parameters),
+                dependencies=frozenset(record.dependencies),
+                executions=record.executions,
+                codegen_state=(
+                    record.codegen_state
+                    if record.codegen_state != "compiled"
+                    else "pending"
+                ),
+                codegen_reason=record.codegen_reason,
+                estimated_fetches=record.estimated_fetches,
+                fetch_estimates=tuple(record.fetch_estimates),
+                replans=record.replans,
+                replan_reason=record.replan_reason,
+                order_report=record.order_report,
+                cache_key=tuple(record.cache_key),
+                restored=True,
+            )
+            if record.codegen_state == "compiled" and self.codegen:
+                self._recompile_restored(entry)
+            self.plan_cache.put(tuple(record.cache_key), entry)
+
+    def _recompile_restored(self, entry: CachedPlan) -> None:
+        """Rebuild the compiled closure of a restored formerly-hot entry.
+
+        Closures are never persisted (they close over runtime objects); the
+        stored ``codegen_state`` says this plan already passed eligibility
+        once, but the gate runs again — the store could have been written
+        under different analysis settings.
+        """
+        plan = entry.plan
+        if plan is None:
+            return
+        report = codegen_eligibility(
+            plan,
+            self.database.schema,
+            views=self.views,
+            access_schema=self.access_schema,
+            budget=self._budget,
+            expected_arity=len(plan.attributes),
+        )
+        if not report.ok:
+            entry.codegen_state = "ineligible"
+            entry.codegen_reason = "; ".join(str(d) for d in report.errors)
+            return
+        try:
+            entry.compiled = compile_plan_closure(plan, self.access_schema)
+        except (PlanError, UnsupportedQueryError) as exc:
+            entry.codegen_state = "ineligible"
+            entry.codegen_reason = f"closure compilation failed: {exc}"
+            return
+        entry.codegen_state = "compiled"
+        entry.codegen_reason = ""
+
+    def _save_plan_store(self) -> None:
+        """Write the found planning outcomes back to the store (on close)."""
+        store = self.plan_store
+        if store is None:
+            return
+        chain_signature = self._default_chain_signature()
+        records: list[StoredEntry] = []
+        for key, entry in self.plan_cache.entries():
+            if entry.plan is None:
+                continue  # negative outcomes are cheap to rediscover
+            if len(key) < 2 or key[1] != chain_signature:
+                continue  # planned under an explicit per-call chain
+            records.append(
+                StoredEntry(
+                    cache_key=key,
+                    plan=entry.plan,
+                    planner=entry.planner,
+                    reason=entry.reason,
+                    parameters=entry.parameters,
+                    dependencies=entry.dependencies,
+                    executions=entry.executions,
+                    codegen_state=entry.codegen_state,
+                    codegen_reason=entry.codegen_reason,
+                    estimated_fetches=entry.estimated_fetches,
+                    fetch_estimates=tuple(entry.fetch_estimates),
+                    replans=entry.replans,
+                    replan_reason=entry.replan_reason,
+                    order_report=entry.order_report,
+                )
+            )
+        fingerprint = statistics_fingerprint(self.database.statistics())
+        try:
+            store.save(fingerprint, chain_signature, records)
+        except OSError as error:
+            self.plan_store_error = str(error)
 
     @staticmethod
     def _query_name(resolved: Query) -> str:
@@ -906,6 +1212,20 @@ class QueryService:
             access_schema=self.access_schema,
             budget=self._budget,
         )
+        # Cost-model provenance, flattened to plain tuples: per-fetch
+        # estimates with the IOMeter's last per-relation actuals, and the
+        # cost-based orderer's chosen-vs-rejected join orders.
+        per_relation = entry.actual_per_relation or {}
+        operator_estimates = tuple(
+            (fe.access, float(fe.fetched), per_relation.get(fe.relation))
+            for fe in entry.fetch_estimates
+        )
+        report = entry.order_report
+        order_strategy = str(getattr(report, "strategy", "")) if report is not None else ""
+        join_orders = tuple(
+            (candidate.description, float(candidate.cost), bool(candidate.chosen))
+            for candidate in (getattr(report, "considered", ()) or ())
+        )
         return Explanation(
             query_name=name,
             plan=entry.plan,
@@ -926,6 +1246,13 @@ class QueryService:
             shard_set=(
                 self._router.route(entry.plan) if self._router is not None else None
             ),
+            estimated_fetches=entry.estimated_fetches,
+            actual_fetches=entry.actual_fetches,
+            operator_estimates=operator_estimates,
+            order_strategy=order_strategy,
+            join_orders=join_orders,
+            replans=entry.replans,
+            replan_reason=entry.replan_reason,
         )
 
     def _counterexample(self, resolved: Query) -> BoundednessCounterexample | None:
@@ -1151,7 +1478,11 @@ class QueryService:
         database's delta stream — after ``close()`` the service no longer
         maintains its views on foreign writes, so treat it as retired.
         Usable as a context manager: ``with QueryService(...) as service:``.
+        When a persistent plan store is configured, the plan cache is
+        written back to it first (atomically), so the next service over the
+        same (unchanged) data restarts warm.
         """
+        self._save_plan_store()
         with self._pool_lock:
             pool, self._shard_executor = self._shard_executor, None
         if pool is not None:
@@ -1323,6 +1654,7 @@ class QueryService:
                 shards_touched=tuple(sorted(result.stats.shards_touched)),
                 shards_total=self.shard_count,
             )
+            self._observe_execution(resolved, head, entry, cache_hit, result.stats)
         else:
             bound = _bind_query(resolved, params) if params else resolved
             if isinstance(bound, FOQuery):

@@ -35,6 +35,8 @@ class StatsSnapshot:
     fanout_queries: int
     shards_touched: int
     shards_pruned: int
+    replans: int
+    plan_store_hits: int
     cache_hit_rate: float
     bounded_rate: float
     latency_p50: float
@@ -80,6 +82,11 @@ class ServiceStats:
         self.fanout_queries = 0
         self.shards_touched = 0
         self.shards_pruned = 0
+        # Optimizer v2: adaptive re-plans triggered by >replan-factor misses
+        # of estimated vs. actual Dξ, and plan-cache entries served from the
+        # persistent plan store (counted on their first post-restore hit).
+        self.replans = 0
+        self.plan_store_hits = 0
         self._recent: deque[float] = deque(maxlen=max_latencies)
 
     # ------------------------------------------------------------------ #
@@ -133,6 +140,16 @@ class ServiceStats:
                 key = "maintenance-" + tier
                 self.tier_uses[key] = self.tier_uses.get(key, 0) + count
 
+    def record_replan(self) -> None:
+        """Count one adaptive re-planning event (estimate missed by >10x)."""
+        with self._lock:
+            self.replans += 1
+
+    def record_plan_store_hit(self) -> None:
+        """Count one plan served from the persistent store after a restart."""
+        with self._lock:
+            self.plan_store_hits += 1
+
     # ------------------------------------------------------------------ #
 
     @property
@@ -171,6 +188,8 @@ class ServiceStats:
                 fanout_queries=self.fanout_queries,
                 shards_touched=self.shards_touched,
                 shards_pruned=self.shards_pruned,
+                replans=self.replans,
+                plan_store_hits=self.plan_store_hits,
                 cache_hit_rate=self.cache_hits / total_cache if total_cache else 0.0,
                 bounded_rate=self.bounded_answers / queries if queries else 0.0,
                 latency_p50=self._percentile(latencies, 0.50),
@@ -206,4 +225,6 @@ class ServiceStats:
             self.fanout_queries = 0
             self.shards_touched = 0
             self.shards_pruned = 0
+            self.replans = 0
+            self.plan_store_hits = 0
             self._recent = deque(maxlen=self._max_latencies)

@@ -89,3 +89,13 @@ class DeltaCompilationError(UnsupportedQueryError):
 
 class EvaluationError(ReproError):
     """A query or plan could not be evaluated on the given database."""
+
+
+class PlanStoreError(ReproError):
+    """A persistent plan-store file is unreadable (truncated, garbage, ...).
+
+    Raised by :class:`repro.engine.service.plan_store.PlanStore` when the
+    on-disk payload cannot be decoded at all.  A *stale* store — wrong
+    statistics fingerprint or planner-chain signature, or an unknown format
+    version — is not an error: the service silently plans from scratch.
+    """

@@ -31,6 +31,7 @@ from ..algebra.schema import DatabaseSchema, RelationSchema
 from ..core.access import AccessSchema
 from ..errors import SchemaError
 from .deltas import DeltaStream
+from .histograms import ColumnStatistics
 from .statistics import RelationStatistics
 
 #: Upper bound on cached secondary indexes per relation (FIFO eviction).
@@ -134,6 +135,15 @@ class Relation:
         # lazily, then maintained in place so statistics stay O(arity) to
         # refresh after a delta instead of O(|relation|).
         self._value_counts: list[dict[object, int]] | None = None
+        # Per-position distribution summaries (equi-depth histogram +
+        # distinct sketch).  Built lazily alongside the value counts on the
+        # first statistics() read, then maintained per row through the same
+        # _after_insert/_after_delete hooks that keep indexes fresh inside a
+        # Database.apply transaction — writes touch one bucket, never
+        # rebuild; drifted summaries rebuild lazily on the next read.  The
+        # hooks run before snapshots publish and observers fire, so planner
+        # reads are consistent with the MVCC version they pin.
+        self._column_summaries: list[ColumnStatistics] | None = None
         self._observers: list[weakref.ref] = []
         # Monotone mutation counter: snapshot managers compare it against the
         # value recorded at their last build to detect out-of-band mutations
@@ -228,9 +238,17 @@ class Relation:
                                 value = row[position]
                                 per_value[value] = per_value.get(value, 0) + 1
                         self._value_counts = counts
+            summaries = self._column_summaries
+            if summaries is None:
+                with self._build_lock:
+                    summaries = self._column_summaries
+                    if summaries is None:
+                        summaries = [ColumnStatistics(per_value) for per_value in counts]
+                        self._column_summaries = summaries
             statistics = RelationStatistics(
                 cardinality=len(self._tuples),
                 distinct=tuple(len(per_value) for per_value in counts),
+                columns=tuple(summary.fresh() for summary in summaries),
             )
             self._statistics = statistics
         return statistics
@@ -258,9 +276,13 @@ class Relation:
         self._statistics = None
         counts = self._value_counts
         if counts is not None:
+            summaries = self._column_summaries
             for position, per_value in enumerate(counts):
                 value = row[position]
-                per_value[value] = per_value.get(value, 0) + 1
+                updated = per_value.get(value, 0) + 1
+                per_value[value] = updated
+                if summaries is not None:
+                    summaries[position].on_insert(value, updated == 1)
         for positions, index in list(self._indexes.items()):
             index.setdefault(tuple(row[p] for p in positions), []).append(row)
         self._notify("on_insert", row)
@@ -271,6 +293,7 @@ class Relation:
         self._statistics = None
         counts = self._value_counts
         if counts is not None:
+            summaries = self._column_summaries
             for position, per_value in enumerate(counts):
                 value = row[position]
                 remaining = per_value.get(value, 0) - 1
@@ -278,6 +301,8 @@ class Relation:
                     per_value.pop(value, None)
                 else:
                     per_value[value] = remaining
+                if summaries is not None:
+                    summaries[position].on_delete(value, remaining <= 0)
         for positions, index in list(self._indexes.items()):
             key = tuple(row[p] for p in positions)
             bucket = index.get(key)

@@ -20,11 +20,24 @@ Two kinds of statistics live here:
 
 from __future__ import annotations
 
+import hashlib
 import itertools
-from dataclasses import dataclass
-from typing import TYPE_CHECKING, Iterable, Sequence
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Iterable, Mapping, Sequence
 
 from ..core.access import AccessConstraint, AccessSchema
+from .histograms import ColumnStatistics
+
+__all__ = [
+    "ColumnStatistics",
+    "RelationStatistics",
+    "relation_statistics",
+    "statistics_fingerprint",
+    "constraint_bound",
+    "constraint_bounds",
+    "discover_access_constraints",
+    "verify_expected_schema",
+]
 
 if TYPE_CHECKING:  # imported lazily to avoid a cycle with .instance
     from .instance import Database, Relation
@@ -37,10 +50,20 @@ if TYPE_CHECKING:  # imported lazily to avoid a cycle with .instance
 
 @dataclass(frozen=True)
 class RelationStatistics:
-    """Cardinality and per-attribute-position distinct counts of a relation."""
+    """Cardinality and per-attribute-position distinct counts of a relation.
+
+    ``columns`` optionally carries the live per-column distribution
+    summaries (equi-depth histogram + distinct sketch, see
+    :mod:`repro.storage.histograms`).  It is excluded from equality on
+    purpose: two statistics snapshots over the same data are equal whether
+    or not histograms happen to be attached, and regardless of how their
+    buckets fell — the invariants tests compare incrementally maintained
+    statistics against freshly recomputed ones by ``==``.
+    """
 
     cardinality: int
     distinct: tuple[int, ...]
+    columns: tuple[ColumnStatistics, ...] | None = field(default=None, compare=False)
 
     def distinct_count(self, position: int) -> int:
         return self.distinct[position]
@@ -59,6 +82,35 @@ class RelationStatistics:
                 estimate /= max(1, self.distinct[position])
         return estimate
 
+    def estimated_matches_with(
+        self,
+        positions: Iterable[int],
+        constants: Mapping[int, object] | None = None,
+    ) -> float:
+        """Skew-aware variant of :meth:`estimated_matches`.
+
+        Positions probed with a *known constant* are estimated from that
+        column's equi-depth histogram (``estimate_eq`` sees heavy hitters
+        that the whole-column average hides); positions probed with a bound
+        variable fall back to the average bucket.  Without attached column
+        summaries this degrades to the classical estimate exactly.
+        """
+        if self.columns is None:
+            return self.estimated_matches(positions)
+        estimate = float(self.cardinality)
+        cardinality = max(1, self.cardinality)
+        for position in positions:
+            if not 0 <= position < len(self.distinct):
+                continue
+            column = self.columns[position] if position < len(self.columns) else None
+            if column is None:
+                estimate /= max(1, self.distinct[position])
+            elif constants is not None and position in constants:
+                estimate *= column.estimate_eq(constants[position]) / cardinality
+            else:
+                estimate *= column.average_bucket() / cardinality
+        return estimate
+
 
 def relation_statistics(relation: "Relation") -> RelationStatistics:
     """Compute the statistics of one stored relation in a single pass."""
@@ -72,6 +124,24 @@ def relation_statistics(relation: "Relation") -> RelationStatistics:
     return RelationStatistics(
         cardinality=cardinality, distinct=tuple(len(values) for values in seen)
     )
+
+
+def statistics_fingerprint(statistics: Mapping[str, RelationStatistics]) -> str:
+    """A stable digest of a database's coarse statistics.
+
+    The persistent plan store keys its payload on this fingerprint: a plan
+    chosen for one data distribution is only reused while the relations'
+    cardinalities and distinct counts still match.  Only the exact, coarse
+    statistics participate — histogram bucketing is an implementation detail
+    that may legitimately differ between two loads of the same data.
+    """
+    digest = hashlib.sha1()
+    for name in sorted(statistics):
+        stats = statistics[name]
+        digest.update(
+            f"{name}:{stats.cardinality}:{','.join(map(str, stats.distinct))};".encode()
+        )
+    return digest.hexdigest()
 
 
 # --------------------------------------------------------------------------- #

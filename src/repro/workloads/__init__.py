@@ -1,5 +1,13 @@
-"""Workload generators: Example 1.1 graph search, synthetic CDR, random CQs, reduction gadgets."""
+"""Workload generators: Example 1.1 graph search, synthetic CDR, random CQs, the skewed social feed, reduction gadgets."""
 
-from . import cdr, example63, graph_search, lower_bounds, random_cq, reductions
+from . import cdr, example63, graph_search, lower_bounds, random_cq, reductions, skewed
 
-__all__ = ["cdr", "example63", "graph_search", "lower_bounds", "random_cq", "reductions"]
+__all__ = [
+    "cdr",
+    "example63",
+    "graph_search",
+    "lower_bounds",
+    "random_cq",
+    "reductions",
+    "skewed",
+]

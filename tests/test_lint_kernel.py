@@ -244,3 +244,74 @@ def test_analysis_sharding_may_not_import_storage_at_all(tmp_path):
     assert [v.code for v in violations] == ["kernel.shard-storage-import"]
     assert "nothing from repro.storage" in violations[0].message
     assert violations[0].path == Path("src/repro/analysis/sharding.py")
+
+
+@pytest.mark.parametrize(
+    "source",
+    [
+        "from repro.storage.histograms import EquiDepthHistogram\n",
+        "from repro.storage import histograms\n",
+        "import repro.storage.histograms\n",
+        "from ..storage.histograms import ColumnStatistics\n",
+    ],
+)
+def test_histogram_imports_outside_storage_are_flagged(tmp_path, source):
+    _write(tmp_path, "src/repro/engine/optimizer.py", source)
+    violations = lint_kernel.lint_tree(tmp_path)
+    assert [v.code for v in violations] == ["kernel.histogram-import"]
+    assert "statistics API" in violations[0].message
+
+
+def test_histogram_imports_inside_storage_are_allowed(tmp_path):
+    # statistics.py *is* the sanctioned consumer: it wraps histograms
+    # behind the TableStatistics API.
+    _write(
+        tmp_path,
+        "src/repro/storage/statistics.py",
+        "from .histograms import ColumnStatistics\n",
+    )
+    # Importing the statistics facade from outside storage is the intended
+    # access path and must stay clean.
+    _write(
+        tmp_path,
+        "src/repro/engine/optimizer.py",
+        "from ..storage.statistics import estimate_eq\n",
+    )
+    assert lint_kernel.lint_tree(tmp_path) == []
+
+
+@pytest.mark.parametrize(
+    "source",
+    [
+        "from repro.exec.iometer import IOMeter\n",
+        "from repro.exec import codegen\n",
+        "import repro.exec.codegen\n",
+        "from ...exec.plan_runner import execute_plan\n",
+        "from .cache import CachedPlan\n",
+    ],
+)
+def test_plan_store_exec_imports_are_flagged(tmp_path, source):
+    _write(tmp_path, "src/repro/engine/service/plan_store.py", source)
+    violations = lint_kernel.lint_tree(tmp_path)
+    assert [v.code for v in violations] == ["kernel.plan-store-exec-import"]
+    assert "plain data records" in violations[0].message
+
+
+def test_plan_store_data_imports_are_allowed(tmp_path):
+    # Plain-data imports (errors, stdlib) are fine; and the same exec
+    # import from the *service* module is not a plan-store violation.
+    _write(
+        tmp_path,
+        "src/repro/engine/service/plan_store.py",
+        """
+        import io
+        import pickle
+        from ...errors import PlanStoreError
+        """,
+    )
+    _write(
+        tmp_path,
+        "src/repro/engine/service/service.py",
+        "from ...exec.iometer import IOMeter\n",
+    )
+    assert lint_kernel.lint_tree(tmp_path) == []

@@ -119,3 +119,94 @@ def test_ucq_plans_are_unions_of_disjunct_plans():
         (q1, ConjunctiveQuery(head=(Variable("v"),), atoms=(RelationAtom("U", (Variable("u"), Variable("v"))),))),
     )
     assert not build_bounded_plan_ucq(bad, NO_VIEWS, ACCESS, SCHEMA).found
+
+
+# --------------------------------------------------------------------------- #
+# Differential property test: greedy vs DP ordering on ~200 random CQs/UCQs
+# --------------------------------------------------------------------------- #
+
+
+def _random_mixed_workload(schema, database, count: int, seed: int):
+    """~``count * 1.25`` queries: random CQs plus UCQs paired by arity."""
+    from repro.workloads.random_cq import RandomCQConfig, random_workload
+
+    config = RandomCQConfig(
+        min_atoms=1, max_atoms=3, head_size=2, constant_probability=0.6, seed=seed
+    )
+    cqs = [
+        q
+        for q in random_workload(schema, database, count, config)
+        if len(set(q.head)) == len(q.head)
+    ]
+    queries: list = list(cqs)
+    by_arity: dict[int, list] = {}
+    for q in cqs:
+        by_arity.setdefault(q.head_arity, []).append(q)
+    made = 0
+    for arity, group in sorted(by_arity.items()):
+        for i in range(0, len(group) - 1, 2):
+            if made >= count // 4:
+                break
+            queries.append(UnionQuery((group[i], group[i + 1]), name=f"U{arity}_{i}"))
+            made += 1
+    return queries
+
+
+def test_differential_greedy_vs_dp_random_workload():
+    """Join ordering is pure optimisation: on ~200 random CQs/UCQs the
+    cost-based DP planner must return bit-identical rows to the greedy
+    builder — on both backends — and every DP plan must pass the static
+    verifier.  Answers, not costs, are the contract."""
+    from repro.analysis import verify_plan
+    from repro.engine.service import QueryService
+    from repro.workloads import cdr
+
+    data = cdr.generate(num_customers=60, num_days=3, seed=1)
+    queries = _random_mixed_workload(cdr.schema(), data.database, 160, seed=31)
+    assert len(queries) >= 180  # ~200 including the paired UCQs
+    greedy = QueryService(
+        data.database,
+        cdr.access_schema(),
+        cdr.views(),
+        planners=("heuristic", "topped"),
+        codegen=False,
+    )
+    cost = QueryService(
+        data.database,
+        cdr.access_schema(),
+        cdr.views(),
+        planners=("cost", "topped"),
+        codegen=False,
+    )
+    try:
+        bounded = 0
+        dp_ordered = 0
+        for query in queries:
+            greedy_answer = greedy.query(query)
+            cost_answer = cost.query(query)
+            assert cost_answer.rows == greedy_answer.rows, query.name
+            assert (
+                cost_answer.used_bounded_plan == greedy_answer.used_bounded_plan
+            ), query.name
+            if not cost_answer.used_bounded_plan:
+                continue
+            bounded += 1
+            sqlite_rows = cost.query(query, backend="sqlite").rows
+            assert sqlite_rows == greedy.query(query, backend="sqlite").rows
+            assert sqlite_rows == cost_answer.rows, query.name
+            explanation = cost.explain(query)
+            if explanation.order_strategy == "dp":
+                dp_ordered += 1
+            report = verify_plan(
+                explanation.plan,
+                data.database.schema,
+                views=cdr.views(),
+                access_schema=cdr.access_schema(),
+            )
+            assert report.ok, (query.name, report.errors)
+        # The workload genuinely exercises the optimizer, not a corner of it.
+        assert bounded >= 100, bounded
+        assert dp_ordered >= 20, dp_ordered
+    finally:
+        greedy.close()
+        cost.close()

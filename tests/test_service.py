@@ -461,3 +461,136 @@ def test_bounded_engine_executor_is_reused(rs_database):
     engine.answer(anchored_chain())
     engine.answer(anchored_chain(2))
     assert backend._executor is executor_before  # built once, reused
+
+
+# --------------------------------------------------------------------------- #
+# Optimizer v2: estimates in explain, adaptive re-planning, shard identity,
+# and warm restart through the persistent plan store
+# --------------------------------------------------------------------------- #
+
+
+def test_explain_reports_estimates_and_actuals(service):
+    query = anchored_chain()
+    service.query(query)
+    explanation = service.explain(query)
+    assert explanation.estimated_fetches is not None
+    assert explanation.actual_fetches is not None
+    assert explanation.operator_estimates  # one line per fetch operator
+    text = explanation.render()
+    assert "estimated D" in text
+    assert "last actual" in text
+
+
+def _growing_service():
+    """Tiny r/s join whose statistics the data then outgrows 200x."""
+    from repro.storage.instance import Database
+
+    schema = schema_from_spec({"r": ("a", "b"), "s": ("b", "c")})
+    access = AccessSchema(
+        (
+            AccessConstraint("r", ("a",), ("b",), 5000),
+            AccessConstraint("s", ("b",), ("c",), 5000),
+        )
+    )
+    database = Database(schema)
+    database.add_many("r", [("k", f"b{i}") for i in range(10)])
+    database.add_many("s", [(f"b{i}", f"c{i}") for i in range(10)])
+    return QueryService(
+        database,
+        access,
+        planners=("cost", "topped"),
+        retain_plans_on_write=True,
+        codegen=False,
+    )
+
+
+def test_adaptive_replan_fires_once_and_never_changes_answers():
+    from repro.storage.updates import Insertion, UpdateBatch
+
+    service = _growing_service()
+    query = "Q(b, c) :- r('k', b), s(b, c)"
+    before = service.query(query)
+    assert service.stats.snapshot().replans == 0
+
+    # Grow the data 200x while the (now mis-estimated) plan stays cached.
+    service.apply(UpdateBatch([Insertion("r", ("k", f"B{i}")) for i in range(2000)]))
+    service.apply(
+        UpdateBatch([Insertion("s", (f"B{i}", f"C{i}")) for i in range(2000)])
+    )
+
+    # The next warm execution observes the >10x Dxi overshoot and swaps in
+    # a re-costed plan -- without changing any answer.
+    replanned = service.query(query)
+    settled = service.query(query)
+    assert before.rows <= replanned.rows  # inserts only add rows
+    assert replanned.rows == settled.rows
+    snapshot = service.stats.snapshot()
+    assert snapshot.replans == 1  # the corrected model converges in one swap
+
+    explanation = service.explain(query)
+    assert explanation.replans == 1
+    assert "re-plan threshold" in explanation.replan_reason
+    assert "replanned:" in explanation.render()
+    service.close()
+
+
+@pytest.mark.parametrize(
+    "planners", [("heuristic", "topped"), ("cost", "topped")]
+)
+@pytest.mark.parametrize("codegen", [False, True])
+def test_shard_variants_are_meter_identical(rs_database, planners, codegen):
+    """shards=None/1/4 answer with bit-identical rows and Dxi accounting,
+    whichever planner chose the join order and whichever tier executed."""
+    query = anchored_chain()
+    baseline = None
+    for shards in (None, 1, 4):
+        service = QueryService(
+            rs_database,
+            ACCESS,
+            planners=planners,
+            shards=shards,
+            codegen=codegen,
+            codegen_warmup=0,
+        )
+        answer = service.query(query)
+        assert answer.used_bounded_plan
+        observed = (
+            answer.rows,
+            answer.tuples_fetched,
+            answer.tuples_scanned,
+            answer.view_tuples_scanned,
+        )
+        if baseline is None:
+            baseline = observed
+        else:
+            assert observed == baseline, (planners, codegen, shards)
+        service.close()
+
+
+def test_plan_store_restart_first_execution_is_compiled(rs_database, tmp_path):
+    path = str(tmp_path / "plans.bin")
+    query = anchored_chain()
+    first = QueryService(
+        rs_database,
+        ACCESS,
+        planners=("cost", "topped"),
+        plan_store=path,
+        codegen_warmup=0,
+    )
+    expected = first.query(query)
+    assert expected.execution_tier == "compiled"
+    first.close()
+
+    second = QueryService(
+        rs_database,
+        ACCESS,
+        planners=("cost", "topped"),
+        plan_store=path,
+        codegen_warmup=0,
+    )
+    answer = second.query(query)
+    assert answer.rows == expected.rows
+    assert answer.cache_hit  # no re-planning after the restart
+    assert answer.execution_tier == "compiled"  # no re-warmup either
+    assert second.stats.snapshot().plan_store_hits == 1
+    second.close()

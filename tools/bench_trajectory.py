@@ -26,6 +26,14 @@ moves it visibly in the diff:
     ``query_many`` throughput under interleaved writes for both services
     and their speedup.
 
+``BENCH_optimizer.json``
+    Cost-based optimizer v2 on the skewed social-feed workload: the
+    invariants pin rows and per-planner ``Dξ`` (greedy vs. DP ordering),
+    the DP strategy, the adaptive re-plan tally of the growth scenario and
+    the plan-store warm-restart behaviour (first post-restart execution on
+    the compiled tier); the timings record warm per-query latency for both
+    planners and the DP speedup.
+
 Two modes::
 
     python tools/bench_trajectory.py            # measure, write the JSONs
@@ -69,6 +77,7 @@ from repro.storage.updates import (  # noqa: E402
     random_update_batch,
 )
 from repro.workloads import graph_search as gs  # noqa: E402
+from repro.workloads import skewed  # noqa: E402
 
 #: Committed-vs-measured throughput may differ by machine; only a collapse
 #: below this fraction of the committed number fails the gate.
@@ -78,11 +87,16 @@ TIMING_TOLERANCE = 0.1
 #: on bounded Q0, regardless of what the committed file says.
 SPEEDUP_FLOOR = 1.5
 
+#: DP join ordering must stay at least this much faster than the greedy
+#: builder on the skewed workload (the optimizer-v2 acceptance bar).
+OPTIMIZER_SPEEDUP_FLOOR = 2.0
+
 FILES = {
     "graph_search": ROOT / "BENCH_graph_search.json",
     "service": ROOT / "BENCH_service.json",
     "updates": ROOT / "BENCH_updates.json",
     "concurrency": ROOT / "BENCH_concurrency.json",
+    "optimizer": ROOT / "BENCH_optimizer.json",
 }
 
 INSTANCE = {"num_persons": 1000, "num_movies": 500, "seed": 11}
@@ -294,11 +308,121 @@ def measure_concurrency() -> dict:
     }
 
 
+def _measure_replan_scenario() -> int:
+    """The deterministic adaptive re-planning scenario: grow past 10x.
+
+    A two-atom join is planned under tiny statistics; the data then grows
+    200x under ``retain_plans_on_write`` (so the mis-estimated plan stays
+    cached), and the next warm execution's actual Dξ overshoots the
+    estimate past the re-plan threshold.  Returns the replan tally (1: the
+    corrected model converges in a single swap).
+    """
+    from repro.algebra.schema import schema_from_spec
+    from repro.core.access import AccessConstraint, AccessSchema
+    from repro.storage.instance import Database
+
+    schema = schema_from_spec({"r": ("a", "b"), "s": ("b", "c")})
+    access = AccessSchema(
+        (
+            AccessConstraint("r", ("a",), ("b",), 5000),
+            AccessConstraint("s", ("b",), ("c",), 5000),
+        )
+    )
+    database = Database(schema)
+    database.add_many("r", [("k", f"b{i}") for i in range(10)])
+    database.add_many("s", [(f"b{i}", f"c{i}") for i in range(10)])
+    service = QueryService(
+        database,
+        access,
+        planners=("cost", "topped"),
+        retain_plans_on_write=True,
+        codegen=False,
+    )
+    query = "Q(b, c) :- r('k', b), s(b, c)"
+    before = service.query(query)
+    service.apply(UpdateBatch([Insertion("r", ("k", f"B{i}")) for i in range(2000)]))
+    service.apply(UpdateBatch([Insertion("s", (f"B{i}", f"C{i}")) for i in range(2000)]))
+    replanned = service.query(query)
+    settled = service.query(query)
+    if before.rows - replanned.rows or replanned.rows != settled.rows:
+        raise AssertionError("adaptive re-planning changed the answers")
+    replans = service.stats.snapshot().replans
+    service.close()
+    return replans
+
+
+def measure_optimizer() -> dict:
+    import tempfile
+
+    instance = skewed.generate()
+    access = skewed.access_schema()
+    query = skewed.query_feed()
+
+    def planner_service(planners, **kwargs) -> QueryService:
+        return QueryService(
+            instance.database, access, skewed.views(), planners=planners, **kwargs
+        )
+
+    greedy = planner_service(("heuristic", "topped"), codegen=True, codegen_warmup=0)
+    cost = planner_service(("cost", "topped"), codegen=True, codegen_warmup=0)
+    greedy_answer = greedy.query(query)
+    cost_answer = cost.query(query)
+    if greedy_answer.rows != cost_answer.rows:
+        raise AssertionError("greedy and DP orderings disagree on rows")
+    strategy = cost.explain(query).order_strategy
+    greedy_us = _median_us(lambda: greedy.query(query), rounds=30, warmup=3)
+    cost_us = _median_us(lambda: cost.query(query), rounds=30, warmup=3)
+    greedy.close()
+    cost.close()
+
+    replans = _measure_replan_scenario()
+
+    # Warm restart through the persistent plan store: the first execution
+    # of the restarted service must already run the compiled closure.
+    with tempfile.TemporaryDirectory() as tmp:
+        store_path = str(Path(tmp) / "plans.bin")
+        first = planner_service(
+            ("cost", "topped"), plan_store=store_path, codegen_warmup=0
+        )
+        first.query(query)
+        first.close()
+        restarted = planner_service(
+            ("cost", "topped"), plan_store=store_path, codegen_warmup=0
+        )
+        restart_answer = restarted.query(query)
+        store_hits = restarted.stats.snapshot().plan_store_hits
+        restarted.close()
+    if restart_answer.rows != cost_answer.rows:
+        raise AssertionError("plan-store restart changed the answers")
+
+    return {
+        "workload": "optimizer_dp_vs_greedy",
+        "instance": {"workload": "skewed", "seed": 11},
+        "invariants": {
+            "rows": len(cost_answer.rows),
+            "greedy_tuples_fetched": greedy_answer.tuples_fetched,
+            "dp_tuples_fetched": cost_answer.tuples_fetched,
+            "order_strategy": strategy,
+            "replans": replans,
+            "plan_store_hits": store_hits,
+            "restart_tier": restart_answer.execution_tier,
+            "restart_cache_hit": restart_answer.cache_hit,
+        },
+        "timings": {
+            "greedy_us": round(greedy_us, 1),
+            "dp_us": round(cost_us, 1),
+            "speedup": round(greedy_us / cost_us, 2),
+        },
+        "floors": {"min_speedup": OPTIMIZER_SPEEDUP_FLOOR},
+    }
+
+
 MEASURES: dict[str, Callable[[], dict]] = {
     "graph_search": measure_graph_search,
     "service": measure_service,
     "updates": measure_updates,
     "concurrency": measure_concurrency,
+    "optimizer": measure_optimizer,
 }
 
 
@@ -317,6 +441,16 @@ def _check_one(name: str, committed: dict, measured: dict) -> list[str]:
         if measured_speedup < floor:
             problems.append(
                 f"{name}: compiled-tier speedup collapsed to "
+                f"{measured_speedup}x (gate {floor:.2f}x, committed "
+                f"{committed_speedup}x)"
+            )
+    elif name == "optimizer":
+        committed_speedup = committed.get("timings", {}).get("speedup", 0.0)
+        floor = max(OPTIMIZER_SPEEDUP_FLOOR, committed_speedup * 0.3)
+        measured_speedup = measured["timings"]["speedup"]
+        if measured_speedup < floor:
+            problems.append(
+                f"{name}: DP-vs-greedy speedup collapsed to "
                 f"{measured_speedup}x (gate {floor:.2f}x, committed "
                 f"{committed_speedup}x)"
             )

@@ -39,6 +39,22 @@ inspection (no imports of the checked code, so it runs on any tree):
     state mid-transaction or mutate shared storage without the observer
     protocol noticing.
 
+``kernel.histogram-import``
+    No module outside ``src/repro/storage`` may import
+    ``repro.storage.histograms``: histograms and HLL sketches are reached
+    only through the statistics API
+    (``Database.statistics()`` / ``TableStatistics``), which owns their
+    delta maintenance and staleness-triggered rebuilds.  A consumer holding
+    histogram objects directly could read half-rebuilt buckets or cost
+    plans against summaries the observer protocol no longer maintains.
+
+``kernel.plan-store-exec-import``
+    ``src/repro/engine/service/plan_store.py`` may not import ``repro.exec``
+    (nor the in-memory plan cache): the persistent store holds plain data
+    records only.  Compiled closures, meters and runtime state are rebuilt
+    by the service after load — pickling execution-layer objects would tie
+    the on-disk format to runtime internals.
+
 ``kernel.deprecated-import``
     No module outside a small allowlist may import the deprecated
     ``BoundedEngine``/``MaintainedEngine`` shims (or their modules); new
@@ -76,6 +92,11 @@ SHARD_SERVING_FILES: dict[Path, frozenset[str]] = {
     ),
     Path("src/repro/analysis/sharding.py"): frozenset(),
 }
+
+#: The persistent plan store holds plain data records; execution-layer
+#: modules it may never import (closures/meters are rebuilt after load).
+PLAN_STORE_FILE = Path("src/repro/engine/service/plan_store.py")
+PLAN_STORE_FORBIDDEN = ("repro.exec", "repro.engine.service.cache")
 
 DEPRECATED_NAMES = frozenset({"BoundedEngine", "MaintainedEngine"})
 DEPRECATED_MODULES = frozenset(
@@ -226,6 +247,86 @@ def check_shard_storage_imports(
     return violations
 
 
+def check_histogram_imports(path: Path, tree: ast.Module) -> list[Violation]:
+    """Histograms are reached only through the statistics API."""
+    parts = path.parts
+    package_parts: tuple[str, ...] = ()
+    if "src" in parts:
+        start = parts.index("src") + 1
+        package_parts = tuple(parts[start:-1])
+    violations: list[Violation] = []
+
+    def report(line: int, module: str) -> None:
+        violations.append(
+            Violation(
+                path,
+                line,
+                "kernel.histogram-import",
+                f"module imports {module!r}; histograms and sketches are "
+                "storage-internal — read them through the statistics API "
+                "(Database.statistics() / TableStatistics), which owns "
+                "their delta maintenance and rebuild scheduling",
+            )
+        )
+
+    target = "repro.storage.histograms"
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ImportFrom):
+            module = _imported_module(node, package_parts)
+            if module == target or module.startswith(target + "."):
+                report(node.lineno, module)
+            elif module == "repro.storage":
+                # ``from repro.storage import histograms`` binds the
+                # submodule just the same.
+                for alias in node.names:
+                    if alias.name == "histograms":
+                        report(node.lineno, f"{module}.{alias.name}")
+        elif isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.name == target or alias.name.startswith(target + "."):
+                    report(node.lineno, alias.name)
+    return violations
+
+
+def check_plan_store_imports(path: Path, tree: ast.Module) -> list[Violation]:
+    """The persistent plan store stays a plain-data module."""
+    parts = path.parts
+    package_parts: tuple[str, ...] = ()
+    if "src" in parts:
+        start = parts.index("src") + 1
+        package_parts = tuple(parts[start:-1])
+    violations: list[Violation] = []
+
+    def report(line: int, module: str) -> None:
+        violations.append(
+            Violation(
+                path,
+                line,
+                "kernel.plan-store-exec-import",
+                f"plan-store module imports {module!r}; the persistent store "
+                "holds plain data records only — compiled closures and "
+                "runtime caches are rebuilt by the service after load",
+            )
+        )
+
+    def is_forbidden(module: str) -> bool:
+        return any(
+            module == prefix or module.startswith(prefix + ".")
+            for prefix in PLAN_STORE_FORBIDDEN
+        )
+
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ImportFrom):
+            module = _imported_module(node, package_parts)
+            if is_forbidden(module):
+                report(node.lineno, module)
+        elif isinstance(node, ast.Import):
+            for alias in node.names:
+                if is_forbidden(alias.name):
+                    report(node.lineno, alias.name)
+    return violations
+
+
 def _imported_module(node: ast.ImportFrom, package_parts: tuple[str, ...]) -> str:
     """Absolute dotted module an ``ImportFrom`` resolves to (best effort)."""
     module = node.module or ""
@@ -285,8 +386,11 @@ def lint_file(path: Path, root: Path) -> list[Violation]:
         violations += check_shard_storage_imports(
             relative, tree, SHARD_SERVING_FILES[relative]
         )
+    if relative == PLAN_STORE_FILE:
+        violations += check_plan_store_imports(relative, tree)
     if STORAGE_DIR not in relative.parents:
         violations += check_storage_internals(relative, tree)
+        violations += check_histogram_imports(relative, tree)
     if relative not in DEPRECATED_IMPORT_ALLOWLIST:
         violations += check_deprecated_imports(relative, tree)
     return violations
